@@ -1,0 +1,1 @@
+bench/experiments_apps.ml: Array Circuit Cnf Eda List Printf Sat Util

@@ -1,0 +1,1 @@
+bench/experiments_core.ml: Array Circuit Cnf Csat Eda Int List Option Printf Sat String Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments_apps Experiments_core Format List Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/util.ml: Analyze Bechamel Benchmark Cnf Format Hashtbl List Measure Sat Staged String Test Time Toolkit Unix

@@ -1,0 +1,78 @@
+(* Shared benchmark utilities: timing, table printing, instance
+   generation, and a thin Bechamel wrapper for micro-kernels. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let header title anchor =
+  Format.printf "@.=== %s ===@.%s@.@." title anchor
+
+let row fmt = Format.printf fmt
+
+let line () = Format.printf "%s@." (String.make 78 '-')
+
+let random_3sat ~seed ~nvars ~ratio =
+  let rng = Sat.Rng.create seed in
+  let f = Cnf.Formula.create ~nvars () in
+  let nclauses = int_of_float (float_of_int nvars *. ratio) in
+  for _ = 1 to nclauses do
+    let rec distinct acc n =
+      if n = 0 then acc
+      else
+        let v = Sat.Rng.int rng nvars in
+        if List.mem v acc then distinct acc n else distinct (v :: acc) (n - 1)
+    in
+    let vars = distinct [] 3 in
+    Cnf.Formula.add_clause_l f
+      (List.map (fun v -> Cnf.Lit.of_var v (Sat.Rng.bool rng)) vars)
+  done;
+  f
+
+let pigeonhole n m =
+  let v i j = Cnf.Lit.pos ((i * m) + j) in
+  let f = Cnf.Formula.create ~nvars:(n * m) () in
+  for i = 0 to n - 1 do
+    Cnf.Formula.add_clause_l f (List.init m (fun j -> v i j))
+  done;
+  for j = 0 to m - 1 do
+    for i1 = 0 to n - 1 do
+      for i2 = i1 + 1 to n - 1 do
+        Cnf.Formula.add_clause_l f
+          [ Cnf.Lit.negate (v i1 j); Cnf.Lit.negate (v i2 j) ]
+      done
+    done
+  done;
+  f
+
+let is_sat = function
+  | Sat.Types.Sat _ -> true
+  | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> false
+
+let outcome_label = function
+  | Sat.Types.Sat _ -> "SAT"
+  | Sat.Types.Unsat -> "UNSAT"
+  | Sat.Types.Unsat_assuming _ -> "UNSAT*"
+  | Sat.Types.Unknown _ -> ">budget"
+
+(* Bechamel micro-kernel measurement: ns per run. *)
+let measure_ns name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+       match Analyze.OLS.estimates v with
+       | Some (e :: _) -> e
+       | Some [] | None -> acc)
+    results nan

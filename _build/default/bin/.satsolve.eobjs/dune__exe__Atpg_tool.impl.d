@@ -1,0 +1,1 @@
+bin/atpg_tool.ml: Arg Circuit Cmd Cmdliner Eda Format Term

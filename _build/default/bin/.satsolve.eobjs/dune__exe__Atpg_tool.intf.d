@@ -1,0 +1,1 @@
+bin/atpg_tool.mli:

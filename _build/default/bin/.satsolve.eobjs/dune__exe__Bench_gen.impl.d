@@ -1,0 +1,1 @@
+bin/bench_gen.ml: Arg Circuit Cmd Cmdliner Format Printf Term

@@ -1,0 +1,1 @@
+bin/bench_gen.mli:

@@ -1,0 +1,1 @@
+bin/bmc_tool.ml: Arg Array Circuit Cmd Cmdliner Eda List Printf Term

@@ -1,0 +1,1 @@
+bin/cec_tool.ml: Arg Array Circuit Cmd Cmdliner Eda Printf Sat String Term

@@ -1,0 +1,1 @@
+bin/satsolve.ml: Arg Array Buffer Cmd Cmdliner Cnf Format Printf Sat Term

@@ -1,0 +1,1 @@
+bin/sec_tool.ml: Arg Array Circuit Cmd Cmdliner Eda List Printf String Term

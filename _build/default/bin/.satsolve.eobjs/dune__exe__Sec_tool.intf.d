@@ -1,0 +1,1 @@
+bin/sec_tool.mli:

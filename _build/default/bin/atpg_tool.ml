@@ -1,0 +1,39 @@
+(* ATPG over a BENCH-format netlist.
+
+   atpg_tool FILE.bench [--no-fault-sim] [--structural] [--incremental] *)
+
+open Cmdliner
+
+let run path no_fault_sim structural incremental =
+  let c = Circuit.Bench_format.parse_file path in
+  Format.printf "circuit: %a@." Circuit.Netlist.pp_stats c;
+  let summary =
+    if incremental then Eda.Atpg.run_incremental c
+    else
+      Eda.Atpg.run ~use_structural:structural
+        ~fault_simulation:(not no_fault_sim) c
+  in
+  Format.printf "%a@." Eda.Atpg.pp_summary summary;
+  let redundant = summary.Eda.Atpg.redundant in
+  if redundant > 0 then
+    Format.printf "%d redundant fault(s): the circuit contains removable logic@."
+      redundant
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"BENCH netlist")
+
+let no_fault_sim =
+  Arg.(value & flag & info [ "no-fault-sim" ] ~doc:"disable fault simulation")
+
+let structural =
+  Arg.(value & flag & info [ "structural" ] ~doc:"use the Section 5 circuit layer")
+
+let incremental =
+  Arg.(value & flag & info [ "incremental" ] ~doc:"one incremental solver for all faults")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "atpg_tool" ~doc:"stuck-at test pattern generation")
+    Term.(const run $ file $ no_fault_sim $ structural $ incremental)
+
+let () = exit (Cmd.eval cmd)

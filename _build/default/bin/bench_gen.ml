@@ -1,0 +1,49 @@
+(* Emit the built-in circuit generators as BENCH files.
+
+   bench_gen FAMILY [--bits N] [--seed S] [-o FILE]
+   families: c17 fig1 fig3 ripple carryskip multiplier comparator parity
+             mux alu random majority *)
+
+open Cmdliner
+
+let run family bits seed out =
+  let circuit =
+    match family with
+    | "c17" -> Circuit.Generators.c17 ()
+    | "fig1" -> Circuit.Generators.fig1 ()
+    | "fig3" -> Circuit.Generators.fig3 ()
+    | "ripple" -> Circuit.Generators.ripple_adder ~bits
+    | "carryskip" -> Circuit.Generators.carry_skip_adder ~bits ~block:(max 1 (bits / 2))
+    | "multiplier" -> Circuit.Generators.multiplier ~bits
+    | "comparator" -> Circuit.Generators.comparator ~bits
+    | "parity" -> Circuit.Generators.parity ~bits
+    | "mux" -> Circuit.Generators.mux_tree ~select_bits:bits
+    | "alu" -> Circuit.Generators.alu ~bits
+    | "random" -> Circuit.Generators.random_circuit ~inputs:bits ~gates:(bits * 6) ~seed
+    | "majority" -> Circuit.Generators.majority3 ()
+    | other ->
+      Printf.eprintf "unknown family %s\n" other;
+      exit 2
+  in
+  let text = Circuit.Bench_format.to_string circuit in
+  match out with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Format.printf "%s: %a@." path Circuit.Netlist.pp_stats circuit
+  | None -> print_string text
+
+let family =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc:"circuit family")
+
+let bits = Arg.(value & opt int 4 & info [ "bits" ] ~doc:"size parameter")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"output file")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bench_gen" ~doc:"generate benchmark netlists")
+    Term.(const run $ family $ bits $ seed $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,57 @@
+(* Bounded model checking of sequential circuits: either the built-in
+   counter family or an ISCAS-89-style BENCH file with DFFs.
+
+   bmc_tool [--bits N] [--buggy-at K] [--bound B] [--bench FILE --bad OUT]
+   bmc_tool --induction ... additionally attempts a k-induction proof. *)
+
+open Cmdliner
+
+let run bits buggy_at bound bench bad induction =
+  let seq =
+    match bench with
+    | Some path -> Circuit.Bench_format.parse_sequential_file path
+    | None -> Circuit.Sequential.counter ~bits ~buggy_at
+  in
+  if induction then begin
+    match Eda.Bmc.prove_inductive ~bad_output:bad ~max_k:bound seq with
+    | Eda.Bmc.Proved k -> Printf.printf "PROVED for all depths (k=%d)\n" k
+    | Eda.Bmc.Refuted frames ->
+      Printf.printf "REFUTED: counterexample of length %d\n"
+        (List.length frames)
+    | Eda.Bmc.Bound_reached ->
+      Printf.printf "inconclusive up to k=%d\n" bound
+  end;
+  let r = Eda.Bmc.check ~bad_output:bad ~max_bound:bound seq in
+  (match r.Eda.Bmc.result with
+   | Eda.Bmc.Counterexample frames ->
+     Printf.printf "counterexample of length %d:\n" (List.length frames);
+     List.iteri
+       (fun t f ->
+          Printf.printf "  cycle %d: enable=%b\n" t f.(0))
+       frames
+   | Eda.Bmc.No_counterexample ->
+     Printf.printf "no counterexample up to bound %d\n" r.Eda.Bmc.bound_reached);
+  Printf.printf "time %.3fs\n" r.Eda.Bmc.time_seconds
+
+let bits = Arg.(value & opt int 4 & info [ "bits" ] ~doc:"counter width")
+
+let buggy_at =
+  Arg.(value & opt (some int) None & info [ "buggy-at" ] ~doc:"inject a jump bug at this count")
+
+let bound = Arg.(value & opt int 20 & info [ "bound" ] ~doc:"maximum unrolling depth")
+
+let bench =
+  Arg.(value & opt (some file) None & info [ "bench" ] ~doc:"sequential BENCH netlist")
+
+let bad =
+  Arg.(value & opt string "bad" & info [ "bad" ] ~doc:"property output name")
+
+let induction =
+  Arg.(value & flag & info [ "induction" ] ~doc:"also attempt a k-induction proof")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bmc_tool" ~doc:"bounded model checker demo")
+    Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction)
+
+let () = exit (Cmd.eval cmd)

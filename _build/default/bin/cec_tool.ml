@@ -1,0 +1,53 @@
+(* Combinational equivalence checking of two BENCH netlists.
+
+   cec_tool A.bench B.bench [--method sat|bdd|rl|aig|sweep] *)
+
+open Cmdliner
+
+let run a b method_ =
+  let c1 = Circuit.Bench_format.parse_file a in
+  let c2 = Circuit.Bench_format.parse_file b in
+  let report =
+    match method_ with
+    | "sat" -> Eda.Equiv.check_sat ~pipeline:Sat.Solver.full_pipeline c1 c2
+    | "bdd" -> Eda.Equiv.check_bdd c1 c2
+    | "rl" -> Eda.Equiv.check_rl ~depth:1 c1 c2
+    | "aig" -> Eda.Equiv.check_aig c1 c2
+    | "sweep" ->
+      let r = Eda.Sweep.check c1 c2 in
+      {
+        Eda.Equiv.verdict = r.Eda.Sweep.verdict;
+        time_seconds = r.Eda.Sweep.time_seconds;
+        sat_stats = None;
+        bdd_nodes = 0;
+      }
+    | other ->
+      Printf.eprintf "unknown method %s (sat|bdd|rl|aig|sweep)\n" other;
+      exit 2
+  in
+  match report.Eda.Equiv.verdict with
+  | Eda.Equiv.Equivalent ->
+    Printf.printf "EQUIVALENT (%.3fs)\n" report.Eda.Equiv.time_seconds;
+    exit 0
+  | Eda.Equiv.Inequivalent v ->
+    let bits = String.init (Array.length v) (fun i -> if v.(i) then '1' else '0') in
+    Printf.printf "NOT EQUIVALENT: distinguishing input %s (%.3fs)\n" bits
+      report.Eda.Equiv.time_seconds;
+    exit 1
+  | Eda.Equiv.Inconclusive why ->
+    Printf.printf "INCONCLUSIVE: %s\n" why;
+    exit 3
+
+let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc:"first netlist")
+let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"second netlist")
+
+let method_ =
+  Arg.(value & opt string "sat"
+       & info [ "method" ] ~doc:"sat, bdd, rl, aig or sweep")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "cec_tool" ~doc:"combinational equivalence checker")
+    Term.(const run $ a $ b $ method_)
+
+let () = exit (Cmd.eval cmd)

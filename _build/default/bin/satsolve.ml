@@ -1,0 +1,105 @@
+(* DIMACS CNF solver front-end.
+
+   satsolve FILE [--engine cdcl|dpll|walksat] [--preprocess] [--equiv]
+                 [--rl DEPTH] [--seed N] [--stats]                       *)
+
+open Cmdliner
+
+let solve_file path engine_name preprocess equiv rl seed stats certify =
+  let formula = Cnf.Dimacs.parse_file path in
+  let config = { Sat.Types.default with Sat.Types.random_seed = seed } in
+  if certify then begin
+    let outcome, verdict = Sat.Proof.solve_certified ~config formula in
+    (match outcome with
+     | Sat.Types.Sat _ -> print_endline "s SATISFIABLE"
+     | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
+       print_endline "s UNSATISFIABLE"
+     | Sat.Types.Unknown why -> Printf.printf "s UNKNOWN (%s)\n" why);
+    (match verdict with
+     | Sat.Proof.Valid_refutation ->
+       print_endline "c proof: valid refutation (UNSAT certified)"
+     | Sat.Proof.Valid_derivation ->
+       print_endline "c proof: all learned clauses verified"
+     | Sat.Proof.Invalid_step i ->
+       Printf.printf "c proof: INVALID at step %d\n" i);
+    exit
+      (match outcome, verdict with
+       | Sat.Types.Sat _, _ -> 10
+       | Sat.Types.Unsat, Sat.Proof.Valid_refutation -> 20
+       | _ -> 1)
+  end;
+  let engine =
+    match engine_name with
+    | "cdcl" -> Sat.Solver.Cdcl config
+    | "dpll" -> Sat.Solver.Dpll config
+    | "walksat" ->
+      Sat.Solver.Walksat { Sat.Local_search.default with Sat.Local_search.seed }
+    | other ->
+      Printf.eprintf "unknown engine %s (cdcl|dpll|walksat)\n" other;
+      exit 2
+  in
+  let pipeline =
+    {
+      Sat.Solver.preprocess;
+      probe_failed_literals = false;
+      equivalence = equiv;
+      recursive_learning = rl;
+    }
+  in
+  let report = Sat.Solver.solve ~engine ~pipeline formula in
+  (match report.Sat.Solver.outcome with
+   | Sat.Types.Sat m ->
+     print_endline "s SATISFIABLE";
+     let buf = Buffer.create 256 in
+     Buffer.add_string buf "v ";
+     Array.iteri
+       (fun v b ->
+          Buffer.add_string buf (string_of_int (if b then v + 1 else -(v + 1)));
+          Buffer.add_char buf ' ')
+       m;
+     Buffer.add_string buf "0";
+     print_endline (Buffer.contents buf)
+   | Sat.Types.Unsat -> print_endline "s UNSATISFIABLE"
+   | Sat.Types.Unsat_assuming _ -> print_endline "s UNSATISFIABLE"
+   | Sat.Types.Unknown why -> Printf.printf "s UNKNOWN (%s)\n" why);
+  if stats then begin
+    Printf.printf "c time %.4fs\n" report.Sat.Solver.time_seconds;
+    (match report.Sat.Solver.solver_stats with
+     | Some st -> Format.printf "c %a@." Sat.Types.pp_stats st
+     | None -> ());
+    (match report.Sat.Solver.preprocess_stats with
+     | Some p ->
+       Printf.printf "c preprocess units=%d pures=%d subsumed=%d strengthened=%d\n"
+         p.Sat.Preprocess.units p.Sat.Preprocess.pures p.Sat.Preprocess.subsumed
+         p.Sat.Preprocess.strengthened
+     | None -> ());
+    if report.Sat.Solver.equivalence_merged > 0 then
+      Printf.printf "c equivalence merged %d vars\n"
+        report.Sat.Solver.equivalence_merged
+  end;
+  match report.Sat.Solver.outcome with
+  | Sat.Types.Sat _ -> exit 10
+  | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> exit 20
+  | Sat.Types.Unknown _ -> exit 0
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF file")
+
+let engine =
+  Arg.(value & opt string "cdcl" & info [ "engine" ] ~doc:"cdcl, dpll or walksat")
+
+let preprocess = Arg.(value & flag & info [ "preprocess" ] ~doc:"enable preprocessing")
+let equiv = Arg.(value & flag & info [ "equiv" ] ~doc:"equivalency reasoning")
+let rl = Arg.(value & opt int 0 & info [ "rl" ] ~doc:"recursive learning depth")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"print statistics")
+
+let certify =
+  Arg.(value & flag & info [ "certify" ] ~doc:"check the learned-clause proof")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "satsolve" ~doc:"SAT solver for DIMACS CNF")
+    Term.(const solve_file $ file $ engine $ preprocess $ equiv $ rl $ seed $ stats $ certify)
+
+let () = exit (Cmd.eval cmd)

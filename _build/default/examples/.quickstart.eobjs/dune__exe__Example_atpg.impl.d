@@ -1,0 +1,1 @@
+examples/example_atpg.ml: Array Circuit Eda Format List Sat String

@@ -1,0 +1,1 @@
+examples/example_bmc.ml: Array Circuit Eda Format List Printf String

@@ -1,0 +1,1 @@
+examples/example_equivalence.ml: Array Circuit Eda Format Sat String

@@ -1,0 +1,1 @@
+examples/example_routing.ml: Eda Format List Sat

@@ -1,0 +1,1 @@
+examples/example_verification.ml: Circuit Cnf Eda Format List Sat

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Cnf Csat Format List Option Sat

@@ -1,0 +1,42 @@
+(* Test pattern generation for stuck-at faults (Sec. 3 of the paper).
+
+   Generates tests for every stuck-at fault of a carry-skip adder with
+   injected redundant logic, reporting coverage, the redundant (hence
+   untestable) faults, and the effect of fault simulation.
+
+   Run with: dune exec examples/example_atpg.exe *)
+
+let () =
+  let base = Circuit.Generators.carry_skip_adder ~bits:4 ~block:2 in
+  let circuit = Circuit.Transform.add_redundancy ~seed:7 ~count:2 base in
+  Format.printf "circuit: %a@." Circuit.Netlist.pp_stats circuit;
+
+  Format.printf "@.-- full flow with fault simulation --@.";
+  let s = Eda.Atpg.run circuit in
+  Format.printf "%a@." Eda.Atpg.pp_summary s;
+
+  Format.printf "@.-- the redundant faults --@.";
+  let redundant = Eda.Redundancy.identify circuit in
+  List.iter
+    (fun f -> Format.printf "  %a@." (Eda.Atpg.pp_fault circuit) f)
+    redundant;
+
+  Format.printf "@.-- redundancy removal --@.";
+  let r = Eda.Redundancy.remove circuit in
+  Format.printf "gates %d -> %d after removing %d redundancies@."
+    r.Eda.Redundancy.gates_before r.Eda.Redundancy.gates_after
+    r.Eda.Redundancy.removed_faults;
+
+  Format.printf "@.-- one fault in detail --@.";
+  match Eda.Atpg.fault_list circuit with
+  | f :: _ ->
+    (match Eda.Atpg.generate_test circuit f with
+     | Eda.Atpg.Test v, st ->
+       let bits =
+         String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+       in
+       Format.printf "fault %a: test vector [%s] (%d decisions)@."
+         (Eda.Atpg.pp_fault circuit) f bits st.Sat.Types.decisions
+     | Eda.Atpg.Redundant, _ -> Format.printf "fault is redundant@."
+     | Eda.Atpg.Aborted why, _ -> Format.printf "aborted: %s@." why)
+  | [] -> ()

@@ -1,0 +1,43 @@
+(* Bounded model checking (Sec. 3, [5]): find the shortest input
+   sequence driving a sequential circuit into a bad state.
+
+   Run with: dune exec examples/example_bmc.exe *)
+
+let show name seq ~max_bound =
+  let r = Eda.Bmc.check ~max_bound seq in
+  (match r.Eda.Bmc.result with
+   | Eda.Bmc.Counterexample frames ->
+     Format.printf "%s: counterexample of length %d@." name
+       (List.length frames);
+     List.iteri
+       (fun t frame ->
+          let bits =
+            String.init (Array.length frame) (fun i ->
+                if frame.(i) then '1' else '0')
+          in
+          Format.printf "  cycle %2d: inputs [%s]@." t bits)
+       frames;
+     (* replay it on the simulator *)
+     let outs = Circuit.Sequential.simulate seq ~inputs:frames in
+     Format.printf "  replay: bad=%b in the final cycle@."
+       (List.nth outs (List.length outs - 1)).(0)
+   | Eda.Bmc.No_counterexample ->
+     Format.printf "%s: no counterexample up to bound %d@." name
+       r.Eda.Bmc.bound_reached);
+  Format.printf "  solver effort per bound: %s@.@."
+    (String.concat ", "
+       (List.map
+          (fun (k, c) -> Printf.sprintf "k%d:%dcfl" k c)
+          r.Eda.Bmc.per_bound_conflicts))
+
+let () =
+  Format.printf "-- correct 4-bit counter: bad = (count = 15) --@.";
+  show "counter" (Circuit.Sequential.counter ~bits:4 ~buggy_at:None) ~max_bound:20;
+
+  Format.printf "-- buggy counter: jumps from 5 to 15 --@.";
+  show "buggy counter"
+    (Circuit.Sequential.counter ~bits:4 ~buggy_at:(Some 5))
+    ~max_bound:20;
+
+  Format.printf "-- bound too small: property holds up to 10 --@.";
+  show "deep counter" (Circuit.Sequential.counter ~bits:5 ~buggy_at:None) ~max_bound:10

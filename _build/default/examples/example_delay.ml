@@ -1,0 +1,44 @@
+(* SAT-based circuit delay computation (Sec. 3, [28, 36]): the true
+   (floating-mode) delay of a carry-skip adder is smaller than its
+   topological delay because the ripple path through a skipping block is
+   a false path.
+
+   Run with: dune exec examples/example_delay.exe *)
+
+let report name c =
+  Format.printf "-- %s: %a --@." name Circuit.Netlist.pp_stats c;
+  List.iter
+    (fun r ->
+       Format.printf "  %-6s topo=%2d true=%2d%s@." r.Eda.Delay.output
+         r.Eda.Delay.topological r.Eda.Delay.true_floating
+         (if r.Eda.Delay.false_path then "   <- false path" else ""))
+    (Eda.Delay.report c);
+  Format.printf "@."
+
+let () =
+  report "ripple adder (8 bits)" (Circuit.Generators.ripple_adder ~bits:8);
+  report "carry-skip adder (8 bits, blocks of 4)"
+    (Circuit.Generators.carry_skip_adder ~bits:8 ~block:4);
+  report "parity tree (8 bits)" (Circuit.Generators.parity ~bits:8);
+
+  (* crosstalk analysis rides on the same timed encoding *)
+  let c = Circuit.Generators.carry_skip_adder ~bits:4 ~block:2 in
+  Format.printf "-- crosstalk windows on the carry-skip adder --@.";
+  let pairs = Eda.Crosstalk.coupled_pairs c ~max_level_gap:0 in
+  let examined = ref 0 and noisy = ref 0 in
+  List.iter
+    (fun (a, b) ->
+       if !examined < 10 then begin
+         incr examined;
+         let q = { Eda.Crosstalk.victim = a; aggressor = b; window = (2, 5) } in
+         match Eda.Crosstalk.analyze c q with
+         | Eda.Crosstalk.Noise (_, _, t) ->
+           incr noisy;
+           Format.printf "  %s / %s: opposite switching possible at t=%d@."
+             (Circuit.Netlist.name c a) (Circuit.Netlist.name c b) t
+         | Eda.Crosstalk.Safe -> ()
+         | Eda.Crosstalk.Unknown why -> Format.printf "  unknown: %s@." why
+       end)
+    pairs;
+  Format.printf "%d of %d examined pairs can couple in window [2,5]@."
+    !noisy !examined

@@ -1,0 +1,48 @@
+(* SAT-based FPGA detailed routing (Sec. 3, [29, 30]): sweep the channel
+   width and find the routability crossover.
+
+   Run with: dune exec examples/example_routing.exe *)
+
+let () =
+  let base =
+    Eda.Routing.random_instance ~seed:2026 ~width:5 ~height:5 ~tracks:1
+      ~nets:14
+  in
+  Format.printf "grid 5x5, %d two-pin nets@.@." (List.length base.Eda.Routing.nets);
+  Format.printf "%-8s %-12s %-10s %-10s@." "tracks" "result" "decisions"
+    "conflicts";
+  let crossover = ref None in
+  for tracks = 1 to 5 do
+    let inst = { base with Eda.Routing.tracks } in
+    let result, stats = Eda.Routing.route inst in
+    let label =
+      match result with
+      | Eda.Routing.Routed routes ->
+        assert (Eda.Routing.check_routes inst routes);
+        if !crossover = None then crossover := Some tracks;
+        "ROUTED"
+      | Eda.Routing.Unroutable -> "unroutable"
+      | Eda.Routing.Unknown _ -> "unknown"
+    in
+    Format.printf "%-8d %-12s %-10d %-10d@." tracks label
+      stats.Sat.Types.decisions stats.Sat.Types.conflicts
+  done;
+  (match !crossover with
+   | Some t -> Format.printf "@.routable from %d tracks upward@." t
+   | None -> Format.printf "@.not routable within 5 tracks@.");
+  (* show one routing in detail *)
+  match
+    Eda.Routing.route { base with Eda.Routing.tracks = 5 }
+  with
+  | Eda.Routing.Routed routes, _ ->
+    Format.printf "@.a 5-track solution:@.";
+    List.iter
+      (fun r ->
+         let net = List.nth base.Eda.Routing.nets r.Eda.Routing.net_index in
+         let (sx, sy) = net.Eda.Routing.src and (dx, dy) = net.Eda.Routing.dst in
+         Format.printf "  net %2d (%d,%d)->(%d,%d): %s-first on track %d@."
+           r.Eda.Routing.net_index sx sy dx dy
+           (if r.Eda.Routing.vertical_first then "vertical" else "horizontal")
+           r.Eda.Routing.track)
+      routes
+  | _ -> ()

@@ -1,0 +1,227 @@
+(* Nodes: node 0 is the constant (TRUE when referenced uncomplemented);
+   inputs and ANDs follow.  An edge (lit) packs a node index and a
+   complement bit, like CNF literals. *)
+
+type lit = int
+
+type node =
+  | Const
+  | Input of int
+  | And of lit * lit
+
+type man = {
+  nodes : node Sat.Vec.t;
+  strash : (lit * lit, int) Hashtbl.t;
+  mutable inputs : int;
+}
+
+let create () =
+  let m =
+    { nodes = Sat.Vec.create ~dummy:Const (); strash = Hashtbl.create 256;
+      inputs = 0 }
+  in
+  Sat.Vec.push m.nodes Const;
+  m
+
+let const_true : lit = 0
+let const_false : lit = 1
+let node_of (l : lit) = l lsr 1
+let neg (l : lit) : lit = l lxor 1
+let is_complemented l = l land 1 = 1
+
+let add_input m =
+  let id = Sat.Vec.size m.nodes in
+  Sat.Vec.push m.nodes (Input m.inputs);
+  m.inputs <- m.inputs + 1;
+  (id * 2 : lit)
+
+let num_inputs m = m.inputs
+
+let input m i =
+  if i < 0 || i >= m.inputs then raise Not_found;
+  (* inputs occupy consecutive node slots after the constant *)
+  let found = ref (-1) in
+  Sat.Vec.iter
+    (let id = ref (-1) in
+     fun node ->
+       incr id;
+       match node with
+       | Input k -> if k = i then found := !id
+       | Const | And _ -> ())
+    m.nodes;
+  ((!found * 2) : lit)
+
+let num_ands m =
+  let n = ref 0 in
+  Sat.Vec.iter (function And _ -> incr n | Const | Input _ -> ()) m.nodes;
+  !n
+
+let node_count m = Sat.Vec.size m.nodes
+
+let and_ m a b =
+  if a = const_false || b = const_false then const_false
+  else if a = const_true then b
+  else if b = const_true then a
+  else if a = b then a
+  else if a = neg b then const_false
+  else begin
+    let x, y = if a <= b then (a, b) else (b, a) in
+    match Hashtbl.find_opt m.strash (x, y) with
+    | Some id -> (id * 2 : lit)
+    | None ->
+      let id = Sat.Vec.size m.nodes in
+      Sat.Vec.push m.nodes (And (x, y));
+      Hashtbl.add m.strash (x, y) id;
+      (id * 2 : lit)
+  end
+
+let or_ m a b = neg (and_ m (neg a) (neg b))
+
+let xor m a b =
+  (* a xor b = (a | b) & ~(a & b) *)
+  and_ m (or_ m a b) (neg (and_ m a b))
+
+let mux m s t e = or_ m (and_ m s t) (and_ m (neg s) e)
+
+let eval m inputs l =
+  let memo = Array.make (Sat.Vec.size m.nodes) (-1) in
+  let rec node_val id =
+    if memo.(id) >= 0 then memo.(id) = 1
+    else begin
+      let v =
+        match Sat.Vec.get m.nodes id with
+        | Const -> true
+        | Input k -> inputs.(k)
+        | And (a, b) -> edge_val a && edge_val b
+      in
+      memo.(id) <- (if v then 1 else 0);
+      v
+    end
+  and edge_val l =
+    let v = node_val (node_of l) in
+    if is_complemented l then not v else v
+  in
+  edge_val l
+
+let build_from m circuit input_edges =
+  let values = Array.make (max 1 (Circuit.Netlist.num_nodes circuit)) const_false in
+  List.iteri
+    (fun i id -> values.(id) <- input_edges.(i))
+    (Circuit.Netlist.inputs circuit);
+  let conj = function
+    | [] -> const_true
+    | e :: rest -> List.fold_left (and_ m) e rest
+  in
+  for id = 0 to Circuit.Netlist.num_nodes circuit - 1 do
+    match Circuit.Netlist.node circuit id with
+    | Circuit.Netlist.Input -> ()
+    | Circuit.Netlist.Const b ->
+      values.(id) <- (if b then const_true else const_false)
+    | Circuit.Netlist.Gate (g, fs) ->
+      let ins = List.map (fun f -> values.(f)) fs in
+      values.(id) <-
+        (match g with
+         | Circuit.Gate.And -> conj ins
+         | Circuit.Gate.Nand -> neg (conj ins)
+         | Circuit.Gate.Or -> neg (conj (List.map neg ins))
+         | Circuit.Gate.Nor -> conj (List.map neg ins)
+         | Circuit.Gate.Xor ->
+           (match ins with
+            | e :: rest -> List.fold_left (xor m) e rest
+            | [] -> const_false)
+         | Circuit.Gate.Xnor ->
+           (match ins with
+            | e :: rest -> neg (List.fold_left (xor m) e rest)
+            | [] -> const_true)
+         | Circuit.Gate.Not -> (match ins with [ e ] -> neg e | _ -> assert false)
+         | Circuit.Gate.Buf -> (match ins with [ e ] -> e | _ -> assert false))
+  done;
+  values
+
+let of_netlist circuit =
+  let m = create () in
+  let input_edges =
+    Array.of_list (List.map (fun _ -> add_input m) (Circuit.Netlist.inputs circuit))
+  in
+  let values = build_from m circuit input_edges in
+  (m, List.map (fun (n, o) -> (n, values.(o))) (Circuit.Netlist.outputs circuit))
+
+let merge_netlists c1 c2 =
+  if List.length (Circuit.Netlist.inputs c1)
+     <> List.length (Circuit.Netlist.inputs c2)
+     || List.length (Circuit.Netlist.outputs c1)
+        <> List.length (Circuit.Netlist.outputs c2)
+  then invalid_arg "Aig.merge_netlists: interface mismatch";
+  let m = create () in
+  let input_edges =
+    Array.of_list (List.map (fun _ -> add_input m) (Circuit.Netlist.inputs c1))
+  in
+  let v1 = build_from m c1 input_edges in
+  let v2 = build_from m c2 input_edges in
+  let pairs =
+    List.map2
+      (fun a b -> (v1.(a), v2.(b)))
+      (Circuit.Netlist.output_ids c1) (Circuit.Netlist.output_ids c2)
+  in
+  (m, pairs)
+
+let to_netlist m ~outputs =
+  let c = Circuit.Netlist.create () in
+  let node_map = Array.make (Sat.Vec.size m.nodes) (-1) in
+  let not_memo = Hashtbl.create 32 in
+  let rec node_id id =
+    if node_map.(id) >= 0 then node_map.(id)
+    else begin
+      let nid =
+        match Sat.Vec.get m.nodes id with
+        | Const ->
+          Circuit.Netlist.add_const c true
+        | Input _ -> Circuit.Netlist.add_input c
+        | And (a, b) ->
+          let fa = edge a and fb = edge b in
+          Circuit.Netlist.add_gate c Circuit.Gate.And [ fa; fb ]
+      in
+      node_map.(id) <- nid;
+      nid
+    end
+  and edge l =
+    let nid = node_id (node_of l) in
+    if is_complemented l then (
+      match Hashtbl.find_opt not_memo nid with
+      | Some inv -> inv
+      | None ->
+        let inv = Circuit.Netlist.add_gate c Circuit.Gate.Not [ nid ] in
+        Hashtbl.add not_memo nid inv;
+        inv)
+    else nid
+  in
+  (* inputs must exist (in order) even if unused by the outputs *)
+  for id = 0 to Sat.Vec.size m.nodes - 1 do
+    match Sat.Vec.get m.nodes id with
+    | Input _ -> ignore (node_id id)
+    | Const | And _ -> ()
+  done;
+  List.iter (fun (name, l) -> Circuit.Netlist.set_output ~name c (edge l)) outputs;
+  c
+
+let to_cnf m =
+  let f = Cnf.Formula.create () in
+  let vars = Array.init (Sat.Vec.size m.nodes) (fun _ -> Cnf.Formula.fresh_var f) in
+  let lit_of (l : lit) =
+    let base = Cnf.Lit.pos vars.(node_of l) in
+    if is_complemented l then Cnf.Lit.negate base else base
+  in
+  (* constant-true node *)
+  Cnf.Formula.add_clause_l f [ Cnf.Lit.pos vars.(0) ];
+  for id = 0 to Sat.Vec.size m.nodes - 1 do
+    match Sat.Vec.get m.nodes id with
+    | Const | Input _ -> ()
+    | And (a, b) ->
+      let out = Cnf.Lit.pos vars.(id) in
+      let la = lit_of a and lb = lit_of b in
+      Cnf.Formula.add_clause_l f [ Cnf.Lit.negate out; la ];
+      Cnf.Formula.add_clause_l f [ Cnf.Lit.negate out; lb ];
+      Cnf.Formula.add_clause_l f
+        [ out; Cnf.Lit.negate la; Cnf.Lit.negate lb ]
+  done;
+  (f, lit_of)

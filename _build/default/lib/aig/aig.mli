@@ -1,0 +1,66 @@
+(** And-inverter graphs: two-input AND nodes with complemented edges,
+    hash-consed on construction.
+
+    The normal form behind most SAT-based EDA flows: conversion to AIG
+    is itself a structural-hashing pass, two circuits built into one
+    manager share all common logic, and the CNF translation emits three
+    clauses per AND node. *)
+
+type man
+(** A manager; owns the node table. *)
+
+type lit = private int
+(** An edge: node index with a complement bit.  Only valid with the
+    manager that created it. *)
+
+val create : unit -> man
+
+val const_false : lit
+val const_true : lit
+
+val add_input : man -> lit
+(** Inputs are numbered in creation order. *)
+
+val num_inputs : man -> int
+
+val input : man -> int -> lit
+(** The edge of the i-th input (creation order).  Raises [Not_found]
+    when out of range. *)
+
+val num_ands : man -> int
+
+val neg : lit -> lit
+val is_complemented : lit -> bool
+
+val and_ : man -> lit -> lit -> lit
+(** Hash-consed with the usual simplifications
+    ([a & a = a], [a & ~a = 0], constants). *)
+
+val or_ : man -> lit -> lit -> lit
+val xor : man -> lit -> lit -> lit
+val mux : man -> lit -> lit -> lit -> lit
+(** [mux m s t e] = if [s] then [t] else [e]. *)
+
+val eval : man -> bool array -> lit -> bool
+(** Input values in creation order. *)
+
+val of_netlist : Circuit.Netlist.t -> man * (string * lit) list
+(** Converts a combinational netlist; returns the manager and the named
+    output edges.  The AIG inputs correspond positionally to the
+    netlist's inputs. *)
+
+val merge_netlists :
+  Circuit.Netlist.t -> Circuit.Netlist.t -> man * (lit * lit) list
+(** Builds both circuits over shared inputs in one manager — common
+    structure is hash-consed away — and returns the paired output
+    edges.  Raises [Invalid_argument] on interface mismatch. *)
+
+val to_netlist : man -> outputs:(string * lit) list -> Circuit.Netlist.t
+(** Re-materialises as a gate netlist (AND/NOT gates). *)
+
+val to_cnf : man -> Cnf.Formula.t * (lit -> Cnf.Lit.t)
+(** Tseitin translation: one variable per node, three clauses per AND.
+    The mapping converts any edge of the manager to a formula literal. *)
+
+val node_count : man -> int
+(** Inputs + AND nodes + the constant. *)

@@ -1,0 +1,168 @@
+exception Node_limit
+
+type t = Zero | One | Node of { id : int; var : int; lo : t; hi : t }
+
+type manager = {
+  node_limit : int;
+  mutable next_id : int;
+  unique : (int * int * int, t) Hashtbl.t; (* (var, lo id, hi id) *)
+  ite_memo : (int * int * int, t) Hashtbl.t;
+}
+
+let manager ?(node_limit = 1_000_000) () =
+  {
+    node_limit;
+    next_id = 2;
+    unique = Hashtbl.create 1024;
+    ite_memo = Hashtbl.create 1024;
+  }
+
+let node_count m = m.next_id - 2
+let id = function Zero -> 0 | One -> 1 | Node n -> n.id
+let top_var = function Zero | One -> max_int | Node n -> n.var
+
+let mk m v lo hi =
+  if lo == hi then lo
+  else begin
+    let key = (v, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      if node_count m >= m.node_limit then raise Node_limit;
+      let n = Node { id = m.next_id; var = v; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let zero _ = Zero
+let one _ = One
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var";
+  mk m i Zero One
+
+(* cofactor of [f] with respect to the top variable [v] (v <= top f) *)
+let cof f v b =
+  match f with
+  | Node n when n.var = v -> if b then n.hi else n.lo
+  | Zero | One | Node _ -> f
+
+let rec ite m f g h =
+  match f, g, h with
+  | One, _, _ -> g
+  | Zero, _, _ -> h
+  | _, One, Zero -> f
+  | _ when g == h -> g
+  | _ ->
+    let key = (id f, id g, id h) in
+    (match Hashtbl.find_opt m.ite_memo key with
+     | Some r -> r
+     | None ->
+       let v = min (top_var f) (min (top_var g) (top_var h)) in
+       let lo = ite m (cof f v false) (cof g v false) (cof h v false) in
+       let hi = ite m (cof f v true) (cof g v true) (cof h v true) in
+       let r = mk m v lo hi in
+       Hashtbl.add m.ite_memo key r;
+       r)
+
+let not_ m f = ite m f Zero One
+let and_ m f g = ite m f g Zero
+let or_ m f g = ite m f One g
+let xor m f g = ite m f (not_ m g) g
+let iff m f g = ite m f g (not_ m g)
+let imp m f g = ite m f g One
+let equal a b = a == b
+let is_zero f = f == Zero
+let is_one f = f == One
+
+let restrict m f v b =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | Zero | One -> f
+    | Node n ->
+      if n.var > v then f
+      else if n.var = v then if b then n.hi else n.lo
+      else (
+        match Hashtbl.find_opt memo n.id with
+        | Some r -> r
+        | None ->
+          let r = mk m n.var (go n.lo) (go n.hi) in
+          Hashtbl.add memo n.id r;
+          r)
+  in
+  go f
+
+let exists m vs f =
+  List.fold_left
+    (fun acc v -> or_ m (restrict m acc v false) (restrict m acc v true))
+    f vs
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go f;
+  Hashtbl.length seen
+
+let rec eval f env =
+  match f with
+  | Zero -> false
+  | One -> true
+  | Node n -> if env n.var then eval n.hi env else eval n.lo env
+
+let sat_count _ ~nvars f =
+  let memo = Hashtbl.create 64 in
+  (* models over variables with index >= top_var, padded below *)
+  let rec go f =
+    match f with
+    | Zero -> 0.
+    | One -> 1.
+    | Node n -> (
+        match Hashtbl.find_opt memo n.id with
+        | Some r -> r
+        | None ->
+          let weight sub =
+            let gap = min (top_var sub) nvars - n.var - 1 in
+            go sub *. (2. ** float_of_int gap)
+          in
+          let r = weight n.lo +. weight n.hi in
+          Hashtbl.add memo n.id r;
+          r)
+  in
+  go f *. (2. ** float_of_int (min (top_var f) nvars))
+
+let any_sat f =
+  let rec go acc = function
+    | Zero -> None
+    | One -> Some (List.rev acc)
+    | Node n -> (
+        match go ((n.var, false) :: acc) n.lo with
+        | Some r -> Some r
+        | None -> go ((n.var, true) :: acc) n.hi)
+  in
+  go [] f
+
+let support f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        Hashtbl.replace vars n.var ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go f;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort Int.compare

@@ -1,0 +1,64 @@
+(** Reduced ordered binary decision diagrams.
+
+    The comparison technology of the paper's introduction: "SAT packages
+    are currently expected to have an impact on EDA applications similar
+    to that of BDD packages".  Used by the equivalence-checking
+    experiments to reproduce the classic SAT-vs-BDD trade-off (BDDs
+    canonical but exponential on multipliers; SAT robust).
+
+    A manager hash-conses nodes for one fixed variable order (variable
+    index = order position).  Operations are memoised.  A node budget
+    guards against blow-up: crossing it raises {!Node_limit}. *)
+
+type manager
+type t
+(** A BDD handle, valid only with the manager that produced it.
+    Equality of handles ({!equal}) is semantic equivalence. *)
+
+exception Node_limit
+
+val manager : ?node_limit:int -> unit -> manager
+(** [node_limit] default: 1_000_000 live nodes. *)
+
+val node_count : manager -> int
+(** Total unique nodes allocated so far. *)
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+(** [var m i] is the function of variable [i].  Raises
+    [Invalid_argument] for negative [i]. *)
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+val iff : manager -> t -> t -> t
+val imp : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Constant-time semantic equivalence (canonicity). *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor with respect to a variable value. *)
+
+val exists : manager -> int list -> t -> t
+(** Existential quantification over the listed variables. *)
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from the handle. *)
+
+val eval : t -> (int -> bool) -> bool
+
+val sat_count : manager -> nvars:int -> t -> float
+(** Number of satisfying assignments over [nvars] variables. *)
+
+val any_sat : t -> (int * bool) list option
+(** Some partial assignment reaching [one], or [None] for [zero]. *)
+
+val support : t -> int list
+(** Variables the function depends on, ascending. *)

@@ -1,0 +1,1 @@
+lib/circuit/bench_format.ml: Buffer Fun Gate List Netlist Option Printf Sequential String

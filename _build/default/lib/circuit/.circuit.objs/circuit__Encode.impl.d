@@ -1,0 +1,1 @@
+lib/circuit/encode.ml: Array Cnf Gate List Netlist

@@ -1,0 +1,1 @@
+lib/circuit/encode.mli: Cnf Gate Netlist

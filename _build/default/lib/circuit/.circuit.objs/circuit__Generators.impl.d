@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Bench_format Gate List Netlist Printf Sat

@@ -1,0 +1,1 @@
+lib/circuit/miter.ml: Array Encode Gate Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/circuit/miter.mli: Cnf Netlist

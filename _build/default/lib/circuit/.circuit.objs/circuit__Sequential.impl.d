@@ -1,0 +1,1 @@
+lib/circuit/sequential.ml: Array Gate Hashtbl List Netlist Printf Simulate

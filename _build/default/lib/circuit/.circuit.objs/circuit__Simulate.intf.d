@@ -1,0 +1,1 @@
+lib/circuit/simulate.mli: Gate Netlist Sat

@@ -1,0 +1,1 @@
+lib/circuit/transform.ml: Array Gate Hashtbl Int List Netlist Printf Sat

@@ -1,0 +1,224 @@
+module N = Netlist
+
+exception Parse_error of string
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+type raw_line =
+  | Rinput of string
+  | Routput of string
+  | Rgate of string * string * string list
+
+let parse_line line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then None
+  else
+    let inside s =
+      match String.index_opt s '(' with
+      | None -> raise (Parse_error ("missing ( in: " ^ line))
+      | Some i ->
+        (match String.rindex_opt s ')' with
+         | None -> raise (Parse_error ("missing ) in: " ^ line))
+         | Some j when j > i -> String.sub s (i + 1) (j - i - 1)
+         | Some _ -> raise (Parse_error ("bad parens in: " ^ line)))
+    in
+    let upper = String.uppercase_ascii line in
+    if String.length upper >= 5 && String.sub upper 0 5 = "INPUT" then
+      Some (Rinput (String.trim (inside line)))
+    else if String.length upper >= 6 && String.sub upper 0 6 = "OUTPUT" then
+      Some (Routput (String.trim (inside line)))
+    else
+      match String.index_opt line '=' with
+      | None -> raise (Parse_error ("unparsable line: " ^ line))
+      | Some eq ->
+        let name = String.trim (String.sub line 0 eq) in
+        let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+        let gate_name =
+          match String.index_opt rhs '(' with
+          | Some i -> String.trim (String.sub rhs 0 i)
+          | None -> raise (Parse_error ("missing gate call: " ^ line))
+        in
+        let args =
+          inside rhs |> String.split_on_char ',' |> List.map String.trim
+          |> List.filter (( <> ) "")
+        in
+        Some (Rgate (name, gate_name, args))
+
+(* [dff]: when [Some], DFF definitions are collected as (q, d-name)
+   state pairs instead of being rejected. *)
+let parse_lines ?dff lines =
+  let c = N.create () in
+  let pending_outputs = ref [] in
+  let state_pairs = ref [] in
+  (* two passes: declare inputs first, then add gates in dependency order *)
+  List.iter
+    (function
+      | Rinput name -> ignore (N.add_input ~name c)
+      | Routput name -> pending_outputs := name :: !pending_outputs
+      | Rgate (name, gate, args) when String.uppercase_ascii gate = "DFF" -> (
+          match dff, args with
+          | Some _, [ d ] ->
+            (* the flip-flop output is a fresh state input *)
+            let q = N.add_input ~name c in
+            state_pairs := (q, d) :: !state_pairs
+          | Some _, _ -> raise (Parse_error ("DFF arity: " ^ name))
+          | None, _ -> raise (Parse_error ("unknown gate: DFF (combinational parser)")))
+      | Rgate _ -> ())
+    lines;
+  let gates =
+    List.filter_map
+      (function
+        | Rgate (_, g, _) when String.uppercase_ascii g = "DFF" -> None
+        | Rgate (n, g, args) -> Some (n, g, args)
+        | Rinput _ | Routput _ -> None)
+      lines
+  in
+  (* iterate until all gates are placed (they may be listed out of order) *)
+  let remaining = ref gates in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    remaining :=
+      List.filter
+        (fun (name, gate_name, args) ->
+           let fanins = List.map (N.find_by_name c) args in
+           if List.for_all Option.is_some fanins then begin
+             let g =
+               match Gate.of_string gate_name with
+               | Some g -> g
+               | None -> raise (Parse_error ("unknown gate: " ^ gate_name))
+             in
+             let fanins = List.filter_map Fun.id fanins in
+             (* BENCH allows 1-input AND/OR as a buffer *)
+             if List.length fanins = 1 && not (Gate.arity_ok g 1) then
+               ignore (N.add_gate ~name c Gate.Buf fanins)
+             else ignore (N.add_gate ~name c g fanins);
+             progress := true;
+             false
+           end
+           else true)
+        !remaining
+  done;
+  (match !remaining with
+   | [] -> ()
+   | (name, _, _) :: _ ->
+     raise (Parse_error ("unresolved signal in definition of " ^ name)));
+  List.iter
+    (fun name ->
+       match N.find_by_name c name with
+       | Some id -> N.set_output ~name c id
+       | None -> raise (Parse_error ("undefined output: " ^ name)))
+    (List.rev !pending_outputs);
+  let states =
+    List.rev_map
+      (fun (q, dname) ->
+         match N.find_by_name c dname with
+         | Some d -> (q, d)
+         | None -> raise (Parse_error ("undefined DFF input: " ^ dname)))
+      !state_pairs
+  in
+  (c, states)
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text |> List.filter_map parse_line in
+  let c, _ = parse_lines lines in
+  c
+
+let parse_sequential_string text =
+  let lines = String.split_on_char '\n' text |> List.filter_map parse_line in
+  let c, states = parse_lines ~dff:() lines in
+  let state_inputs = List.map fst states in
+  let primary_inputs =
+    List.filter (fun i -> not (List.mem i state_inputs)) (N.inputs c)
+  in
+  {
+    Sequential.comb = c;
+    primary_inputs;
+    state_inputs;
+    next_state = List.map snd states;
+    init = List.map (fun _ -> false) states;
+  }
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let parse_file path = parse_string (read_file path)
+let parse_sequential_file path = parse_sequential_string (read_file path)
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# generated by satreda\n";
+  List.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (N.name c id)))
+    (N.inputs c);
+  List.iter
+    (fun (_, id) ->
+       Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (N.name c id)))
+    (N.outputs c);
+  for id = 0 to N.num_nodes c - 1 do
+    match N.node c id with
+    | N.Input -> ()
+    | N.Const b ->
+      (* constants are not in the BENCH vocabulary; derive them from the
+         first primary input: XOR(a, a) = 0, XNOR(a, a) = 1 *)
+      (match N.inputs c with
+       | first :: _ ->
+         Buffer.add_string buf
+           (Printf.sprintf "%s = %s(%s, %s)\n" (N.name c id)
+              (if b then "XNOR" else "XOR")
+              (N.name c first) (N.name c first))
+       | [] -> invalid_arg "Bench_format: constant in input-free circuit")
+    | N.Gate (g, fs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" (N.name c id) (Gate.to_string g)
+           (String.concat ", " (List.map (N.name c) fs)))
+  done;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc
+
+let sequential_to_string (s : Sequential.t) =
+  if List.exists Fun.id s.Sequential.init then
+    invalid_arg "Bench_format: only all-false initial states print";
+  let c = s.Sequential.comb in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# generated by satreda (sequential)\n";
+  List.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (N.name c id)))
+    s.Sequential.primary_inputs;
+  List.iter
+    (fun (_, id) ->
+       Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (N.name c id)))
+    (N.outputs c);
+  List.iter2
+    (fun q d ->
+       Buffer.add_string buf
+         (Printf.sprintf "%s = DFF(%s)\n" (N.name c q) (N.name c d)))
+    s.Sequential.state_inputs s.Sequential.next_state;
+  for id = 0 to N.num_nodes c - 1 do
+    match N.node c id with
+    | N.Input -> ()
+    | N.Const b ->
+      (match N.inputs c with
+       | first :: _ ->
+         Buffer.add_string buf
+           (Printf.sprintf "%s = %s(%s, %s)\n" (N.name c id)
+              (if b then "XNOR" else "XOR")
+              (N.name c first) (N.name c first))
+       | [] -> invalid_arg "Bench_format: constant in input-free circuit")
+    | N.Gate (g, fs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" (N.name c id) (Gate.to_string g)
+           (String.concat ", " (List.map (N.name c) fs)))
+  done;
+  Buffer.contents buf

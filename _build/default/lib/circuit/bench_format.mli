@@ -1,0 +1,23 @@
+(** ISCAS BENCH netlist format.
+
+    Supported lines: [INPUT(name)], [OUTPUT(name)], comments ([#]) and
+    gate definitions [name = GATE(a, b, ...)] with the gate names of
+    {!Gate.of_string}.  The combinational entry points reject [DFF];
+    {!parse_sequential} accepts ISCAS-89-style [q = DFF(d)] lines,
+    turning each flip-flop output into a state input (initialised to 0,
+    the s-series convention) and its argument into the next-state
+    function. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Netlist.t
+val parse_file : string -> Netlist.t
+val to_string : Netlist.t -> string
+val write_file : string -> Netlist.t -> unit
+
+val parse_sequential_string : string -> Sequential.t
+val parse_sequential_file : string -> Sequential.t
+
+val sequential_to_string : Sequential.t -> string
+(** Prints with [DFF] lines; only all-false initial states are
+    representable (raises [Invalid_argument] otherwise). *)

@@ -1,0 +1,61 @@
+type t = And | Or | Nand | Nor | Xor | Xnor | Not | Buf
+
+let all = [ And; Or; Nand; Nor; Xor; Xnor; Not; Buf ]
+
+let arity_ok g n =
+  match g with
+  | Not | Buf -> n = 1
+  | And | Or | Nand | Nor | Xor | Xnor -> n >= 2
+
+let eval g ins =
+  if not (arity_ok g (List.length ins)) then invalid_arg "Gate.eval: arity";
+  match g, ins with
+  | And, _ -> List.for_all Fun.id ins
+  | Or, _ -> List.exists Fun.id ins
+  | Nand, _ -> not (List.for_all Fun.id ins)
+  | Nor, _ -> not (List.exists Fun.id ins)
+  | Xor, _ -> List.fold_left ( <> ) false ins
+  | Xnor, _ -> not (List.fold_left ( <> ) false ins)
+  | Not, [ a ] -> not a
+  | Buf, [ a ] -> a
+  | (Not | Buf), _ -> assert false
+
+let controlling = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Xor | Xnor | Not | Buf -> None
+
+let inverting = function
+  | Nand | Nor | Xnor | Not -> true
+  | And | Or | Xor | Buf -> false
+
+let controlled_output = function
+  | And -> Some false
+  | Nand -> Some true
+  | Or -> Some true
+  | Nor -> Some false
+  | Xor | Xnor | Not | Buf -> None
+
+let to_string = function
+  | And -> "AND"
+  | Or -> "OR"
+  | Nand -> "NAND"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Not -> "NOT"
+  | Buf -> "BUF"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "OR" -> Some Or
+  | "NAND" -> Some Nand
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "NOT" | "INV" -> Some Not
+  | "BUF" | "BUFF" -> Some Buf
+  | _ -> None
+
+let pp ppf g = Format.pp_print_string ppf (to_string g)

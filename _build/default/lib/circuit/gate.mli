@@ -1,0 +1,29 @@
+(** Simple gate types (Table 1 of the paper). *)
+
+type t = And | Or | Nand | Nor | Xor | Xnor | Not | Buf
+
+val all : t list
+
+val eval : t -> bool list -> bool
+(** Raises [Invalid_argument] on arity violations. *)
+
+val arity_ok : t -> int -> bool
+(** [Not]/[Buf] take exactly one input; the others at least two. *)
+
+val controlling : t -> bool option
+(** The input value that determines the output regardless of the other
+    inputs ([Some false] for AND/NAND, [Some true] for OR/NOR, [None]
+    for XOR/XNOR/NOT/BUF). *)
+
+val inverting : t -> bool
+(** Whether the gate complements its base function (NAND, NOR, XNOR,
+    NOT). *)
+
+val controlled_output : t -> bool option
+(** Output value produced when a controlling input is present. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Case-insensitive; accepts the BENCH-format spelling [BUFF]. *)
+
+val pp : Format.formatter -> t -> unit

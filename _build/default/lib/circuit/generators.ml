@@ -1,0 +1,461 @@
+module N = Netlist
+
+let c17 () =
+  let c = N.create () in
+  let i1 = N.add_input ~name:"i1" c in
+  let i2 = N.add_input ~name:"i2" c in
+  let i3 = N.add_input ~name:"i3" c in
+  let i4 = N.add_input ~name:"i4" c in
+  let i5 = N.add_input ~name:"i5" c in
+  let g1 = N.add_gate ~name:"g1" c Gate.Nand [ i1; i3 ] in
+  let g2 = N.add_gate ~name:"g2" c Gate.Nand [ i3; i4 ] in
+  let g3 = N.add_gate ~name:"g3" c Gate.Nand [ i2; g2 ] in
+  let g4 = N.add_gate ~name:"g4" c Gate.Nand [ g2; i5 ] in
+  let g5 = N.add_gate ~name:"o1" c Gate.Nand [ g1; g3 ] in
+  let g6 = N.add_gate ~name:"o2" c Gate.Nand [ g3; g4 ] in
+  N.set_output c g5;
+  N.set_output c g6;
+  c
+
+let s27_text =
+  "# ISCAS-89 s27\n\
+   INPUT(G0)\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\nG6 = DFF(G11)\nG7 = DFF(G13)\n\
+   G14 = NOT(G0)\nG17 = NOT(G11)\nG8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\nG16 = OR(G3, G8)\nG9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\nG11 = NOR(G5, G9)\nG12 = NOR(G1, G7)\n\
+   G13 = NOR(G2, G12)\n"
+
+let s27 () = Bench_format.parse_sequential_string s27_text
+
+let fig1 () =
+  let c = N.create () in
+  let w1 = N.add_input ~name:"w1" c in
+  let w2 = N.add_input ~name:"w2" c in
+  let x = N.add_gate ~name:"x" c Gate.Not [ w1 ] in
+  let y = N.add_gate ~name:"y" c Gate.Not [ w2 ] in
+  let z = N.add_gate ~name:"z" c Gate.And [ w1; w2 ] in
+  N.set_output c x;
+  N.set_output c y;
+  N.set_output c z;
+  c
+
+let fig3 () =
+  let c = N.create () in
+  let x1 = N.add_input ~name:"x1" c in
+  let w = N.add_input ~name:"w" c in
+  let y1 = N.add_gate ~name:"y1" c Gate.Not [ x1 ] in
+  let y2 = N.add_gate ~name:"y2" c Gate.Not [ w ] in
+  let y3 = N.add_gate ~name:"y3" c Gate.Nor [ y1; y2 ] in
+  N.set_output c y3;
+  c
+
+let full_adder c a b cin =
+  let axb = N.add_gate c Gate.Xor [ a; b ] in
+  let s = N.add_gate c Gate.Xor [ axb; cin ] in
+  let t1 = N.add_gate c Gate.And [ a; b ] in
+  let t2 = N.add_gate c Gate.And [ axb; cin ] in
+  let cout = N.add_gate c Gate.Or [ t1; t2 ] in
+  (s, cout)
+
+let mux2 c s a b =
+  (* s ? b : a *)
+  let ns = N.add_gate c Gate.Not [ s ] in
+  let ta = N.add_gate c Gate.And [ ns; a ] in
+  let tb = N.add_gate c Gate.And [ s; b ] in
+  N.add_gate c Gate.Or [ ta; tb ]
+
+let adder_frame ~bits =
+  let c = N.create () in
+  let a = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let cin = N.add_input ~name:"cin" c in
+  (c, a, b, cin)
+
+let ripple_adder ~bits =
+  let c, a, b, cin = adder_frame ~bits in
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let s, cout = full_adder c a.(i) b.(i) !carry in
+    N.set_output ~name:(Printf.sprintf "s%d" i) c s;
+    carry := cout
+  done;
+  N.set_output ~name:"cout" c !carry;
+  c
+
+let carry_skip_adder ~bits ~block =
+  if block < 1 then invalid_arg "carry_skip_adder: block";
+  let c, a, b, cin = adder_frame ~bits in
+  let carry = ref cin in
+  let i = ref 0 in
+  while !i < bits do
+    let hi = min (!i + block) bits in
+    let block_cin = !carry in
+    let props = ref [] in
+    let ripple = ref block_cin in
+    for j = !i to hi - 1 do
+      let s, cout = full_adder c a.(j) b.(j) !ripple in
+      N.set_output ~name:(Printf.sprintf "s%d" j) c s;
+      let p = N.add_gate c Gate.Xor [ a.(j); b.(j) ] in
+      props := p :: !props;
+      ripple := cout
+    done;
+    (* skip mux: if every stage propagates, the block carry-in skips the
+       ripple chain — the ripple path becomes a false path *)
+    let all_p =
+      match !props with
+      | [ p ] -> p
+      | ps -> N.add_gate c Gate.And ps
+    in
+    let skip = N.add_gate c Gate.And [ all_p; block_cin ] in
+    let keep_n = N.add_gate c Gate.Not [ all_p ] in
+    let keep = N.add_gate c Gate.And [ keep_n; !ripple ] in
+    carry := N.add_gate c Gate.Or [ skip; keep ];
+    i := hi
+  done;
+  N.set_output ~name:"cout" c !carry;
+  c
+
+let kogge_stone_adder ~bits =
+  let c, a, b, cin = adder_frame ~bits in
+  let p = Array.init bits (fun i -> N.add_gate c Gate.Xor [ a.(i); b.(i) ]) in
+  let g = Array.init bits (fun i -> N.add_gate c Gate.And [ a.(i); b.(i) ]) in
+  (* parallel prefix: (G, P) pairs with span doubling *)
+  let gg = ref (Array.copy g) and pp = ref (Array.copy p) in
+  let d = ref 1 in
+  while !d < bits do
+    let g' = Array.copy !gg and p' = Array.copy !pp in
+    for i = !d to bits - 1 do
+      let through = N.add_gate c Gate.And [ !pp.(i); !gg.(i - !d) ] in
+      g'.(i) <- N.add_gate c Gate.Or [ !gg.(i); through ];
+      p'.(i) <- N.add_gate c Gate.And [ !pp.(i); !pp.(i - !d) ]
+    done;
+    gg := g';
+    pp := p';
+    d := !d * 2
+  done;
+  (* carries: c_0 = cin, c_{i+1} = G*_i | (P*_i & cin) *)
+  let carry = Array.make (bits + 1) cin in
+  for i = 0 to bits - 1 do
+    let through = N.add_gate c Gate.And [ !pp.(i); cin ] in
+    carry.(i + 1) <- N.add_gate c Gate.Or [ !gg.(i); through ]
+  done;
+  for i = 0 to bits - 1 do
+    let s = N.add_gate c Gate.Xor [ p.(i); carry.(i) ] in
+    N.set_output ~name:(Printf.sprintf "s%d" i) c s
+  done;
+  N.set_output ~name:"cout" c carry.(bits);
+  c
+
+let multiplier ~bits =
+  let c = N.create () in
+  let a = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let zero = N.add_const c false in
+  (* row accumulation of partial products *)
+  let acc = Array.make (2 * bits) zero in
+  for j = 0 to bits - 1 do
+    let carry = ref zero in
+    for i = 0 to bits - 1 do
+      let pp = N.add_gate c Gate.And [ a.(i); b.(j) ] in
+      let s, cout = full_adder c acc.(i + j) pp !carry in
+      acc.(i + j) <- s;
+      carry := cout
+    done;
+    (* fold the row carry into the next column *)
+    let s, cout = full_adder c acc.(j + bits) !carry zero in
+    acc.(j + bits) <- s;
+    if j + bits + 1 < 2 * bits then begin
+      let s', cout' = full_adder c acc.(j + bits + 1) cout zero in
+      acc.(j + bits + 1) <- s';
+      ignore cout'
+    end
+  done;
+  Array.iteri
+    (fun k n -> N.set_output ~name:(Printf.sprintf "p%d" k) c n)
+    acc;
+  c
+
+let wallace_multiplier ~bits =
+  let c = N.create () in
+  let a = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let width = 2 * bits in
+  let cols = Array.make width [] in
+  for i = 0 to bits - 1 do
+    for j = 0 to bits - 1 do
+      let pp = N.add_gate c Gate.And [ a.(i); b.(j) ] in
+      cols.(i + j) <- pp :: cols.(i + j)
+    done
+  done;
+  (* 3:2 compression until every column holds at most two bits *)
+  let max_height () = Array.fold_left (fun m col -> max m (List.length col)) 0 cols in
+  while max_height () > 2 do
+    let next = Array.make width [] in
+    for k = 0 to width - 1 do
+      let rec reduce = function
+        | x :: y :: z :: rest ->
+          let s, cout = full_adder c x y z in
+          next.(k) <- s :: next.(k);
+          if k + 1 < width then next.(k + 1) <- cout :: next.(k + 1);
+          reduce rest
+        | leftovers -> next.(k) <- leftovers @ next.(k)
+      in
+      reduce cols.(k)
+    done;
+    Array.blit next 0 cols 0 width
+  done;
+  (* final carry-propagate stage over the two remaining rows *)
+  let zero = N.add_const c false in
+  let carry = ref zero in
+  for k = 0 to width - 1 do
+    let bits_here =
+      match cols.(k) with
+      | [] -> [ zero ]
+      | l -> l
+    in
+    let x, y =
+      match bits_here with
+      | [ x ] -> (x, zero)
+      | [ x; y ] -> (x, y)
+      | _ -> assert false
+    in
+    let s, cout = full_adder c x y !carry in
+    N.set_output ~name:(Printf.sprintf "p%d" k) c s;
+    carry := cout
+  done;
+  c
+
+let barrel_shifter ~bits =
+  if bits land (bits - 1) <> 0 || bits < 2 then
+    invalid_arg "barrel_shifter: power-of-two width required";
+  let c = N.create () in
+  let data =
+    Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "d%d" i) c)
+  in
+  let stages =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+    log2 bits
+  in
+  let sels =
+    Array.init stages (fun j -> N.add_input ~name:(Printf.sprintf "s%d" j) c)
+  in
+  let zero = N.add_const c false in
+  let current = ref data in
+  for j = 0 to stages - 1 do
+    let amount = 1 lsl j in
+    current :=
+      Array.init bits (fun i ->
+          let shifted = if i >= amount then !current.(i - amount) else zero in
+          mux2 c sels.(j) !current.(i) shifted)
+  done;
+  Array.iteri
+    (fun i y -> N.set_output ~name:(Printf.sprintf "y%d" i) c y)
+    !current;
+  c
+
+let decoder ~select_bits =
+  let c = N.create () in
+  let sels =
+    Array.init select_bits (fun j -> N.add_input ~name:(Printf.sprintf "s%d" j) c)
+  in
+  let nsels =
+    Array.map (fun s -> N.add_gate c Gate.Not [ s ]) sels
+  in
+  for i = 0 to (1 lsl select_bits) - 1 do
+    let terms =
+      List.init select_bits (fun j ->
+          if i land (1 lsl j) <> 0 then sels.(j) else nsels.(j))
+    in
+    let d =
+      match terms with
+      | [ one ] -> N.add_gate c Gate.Buf [ one ]
+      | ts -> N.add_gate c Gate.And ts
+    in
+    N.set_output ~name:(Printf.sprintf "d%d" i) c d
+  done;
+  c
+
+let priority_encoder ~bits =
+  let c = N.create () in
+  let reqs =
+    Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "r%d" i) c)
+  in
+  (* grant_i = r_i and no higher-priority (lower index) request *)
+  let none_before = ref (N.add_const c true) in
+  let grants =
+    Array.map
+      (fun r ->
+         let g = N.add_gate c Gate.And [ r; !none_before ] in
+         let nr = N.add_gate c Gate.Not [ r ] in
+         none_before := N.add_gate c Gate.And [ !none_before; nr ];
+         g)
+      reqs
+  in
+  let out_bits =
+    let rec log2 n = if n <= 1 then 0 else 1 + log2 ((n + 1) / 2) in
+    max 1 (log2 bits)
+  in
+  for b = 0 to out_bits - 1 do
+    let sources =
+      Array.to_list grants
+      |> List.filteri (fun i _ -> i land (1 lsl b) <> 0)
+    in
+    let y =
+      match sources with
+      | [] -> N.add_const c false
+      | [ one ] -> N.add_gate c Gate.Buf [ one ]
+      | gs -> N.add_gate c Gate.Or gs
+    in
+    N.set_output ~name:(Printf.sprintf "y%d" b) c y
+  done;
+  let valid =
+    match Array.to_list reqs with
+    | [ one ] -> N.add_gate c Gate.Buf [ one ]
+    | rs -> N.add_gate c Gate.Or rs
+  in
+  N.set_output ~name:"valid" c valid;
+  c
+
+let comparator ~bits =
+  let c = N.create () in
+  let a = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  (* from LSB: lt_i = (~a_i & b_i) | (a_i XNOR b_i) & lt_{i-1} *)
+  let lt = ref (N.add_const c false) in
+  for i = 0 to bits - 1 do
+    let na = N.add_gate c Gate.Not [ a.(i) ] in
+    let here = N.add_gate c Gate.And [ na; b.(i) ] in
+    let eq = N.add_gate c Gate.Xnor [ a.(i); b.(i) ] in
+    let keep = N.add_gate c Gate.And [ eq; !lt ] in
+    lt := N.add_gate c Gate.Or [ here; keep ]
+  done;
+  N.set_output ~name:"lt" c !lt;
+  c
+
+let parity ~bits =
+  let c = N.create () in
+  let xs = List.init bits (fun i -> N.add_input ~name:(Printf.sprintf "x%d" i) c) in
+  let out =
+    match xs with
+    | [] -> N.add_const c false
+    | [ x ] -> N.add_gate c Gate.Buf [ x ]
+    | xs ->
+      (* balanced tree *)
+      let rec build = function
+        | [] -> assert false
+        | [ x ] -> x
+        | nodes ->
+          let rec pair = function
+            | [] -> []
+            | [ x ] -> [ x ]
+            | x :: y :: rest -> N.add_gate c Gate.Xor [ x; y ] :: pair rest
+          in
+          build (pair nodes)
+      in
+      build xs
+  in
+  N.set_output ~name:"par" c out;
+  c
+
+let mux_tree ~select_bits =
+  let c = N.create () in
+  let n = 1 lsl select_bits in
+  let data = List.init n (fun i -> N.add_input ~name:(Printf.sprintf "d%d" i) c) in
+  let sels = List.init select_bits (fun i -> N.add_input ~name:(Printf.sprintf "s%d" i) c) in
+  let rec reduce level = function
+    | [ x ] -> x
+    | nodes ->
+      let s = List.nth sels level in
+      let rec pair = function
+        | [] -> []
+        | [ x ] -> [ x ]
+        | a :: b :: rest -> mux2 c s a b :: pair rest
+      in
+      reduce (level + 1) (pair nodes)
+  in
+  N.set_output ~name:"y" c (reduce 0 data);
+  c
+
+let alu ~bits =
+  let c = N.create () in
+  let a = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "a%d" i) c) in
+  let b = Array.init bits (fun i -> N.add_input ~name:(Printf.sprintf "b%d" i) c) in
+  let op0 = N.add_input ~name:"op0" c in
+  let op1 = N.add_input ~name:"op1" c in
+  let zero = N.add_const c false in
+  let carry = ref zero in
+  let sums =
+    Array.init bits (fun i ->
+        let s, cout = full_adder c a.(i) b.(i) !carry in
+        carry := cout;
+        s)
+  in
+  for i = 0 to bits - 1 do
+    let f_and = N.add_gate c Gate.And [ a.(i); b.(i) ] in
+    let f_or = N.add_gate c Gate.Or [ a.(i); b.(i) ] in
+    let f_xor = N.add_gate c Gate.Xor [ a.(i); b.(i) ] in
+    (* op1 op0: 00 AND, 01 OR, 10 XOR, 11 ADD *)
+    let lo = mux2 c op0 f_and f_or in
+    let hi = mux2 c op0 f_xor sums.(i) in
+    let y = mux2 c op1 lo hi in
+    N.set_output ~name:(Printf.sprintf "y%d" i) c y
+  done;
+  N.set_output ~name:"cout" c !carry;
+  c
+
+let random_circuit ~inputs ~gates ~seed =
+  let rng = Sat.Rng.create seed in
+  let c = N.create () in
+  let nodes = ref [] in
+  for i = 0 to inputs - 1 do
+    nodes := N.add_input ~name:(Printf.sprintf "x%d" i) c :: !nodes
+  done;
+  let pick () =
+    let l = !nodes in
+    List.nth l (Sat.Rng.int rng (List.length l))
+  in
+  for _ = 1 to gates do
+    let gate_pool =
+      [| Gate.And; Gate.Or; Gate.Nand; Gate.Nor; Gate.Xor; Gate.Xnor; Gate.Not |]
+    in
+    let g = gate_pool.(Sat.Rng.int rng (Array.length gate_pool)) in
+    let fanins =
+      match g with
+      | Gate.Not | Gate.Buf -> [ pick () ]
+      | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        let a = pick () in
+        let rec other tries =
+          let b = pick () in
+          if b <> a || tries > 5 then b else other (tries + 1)
+        in
+        [ a; other 0 ]
+    in
+    nodes := N.add_gate c g fanins :: !nodes
+  done;
+  (* every node without fanout becomes an output *)
+  let has_fanout = Array.make (N.num_nodes c) false in
+  for id = 0 to N.num_nodes c - 1 do
+    List.iter (fun f -> has_fanout.(f) <- true) (N.fanins c id)
+  done;
+  for id = 0 to N.num_nodes c - 1 do
+    if not has_fanout.(id) then
+      match N.node c id with
+      | N.Gate _ -> N.set_output c id
+      | N.Input | N.Const _ -> ()
+  done;
+  if N.outputs c = [] && N.num_nodes c > 0 then N.set_output c (N.num_nodes c - 1);
+  c
+
+let majority3 () =
+  let c = N.create () in
+  let a = N.add_input ~name:"a" c in
+  let b = N.add_input ~name:"b" c in
+  let d = N.add_input ~name:"c" c in
+  let ab = N.add_gate c Gate.And [ a; b ] in
+  let ad = N.add_gate c Gate.And [ a; d ] in
+  let bd = N.add_gate c Gate.And [ b; d ] in
+  let m = N.add_gate ~name:"maj" c Gate.Or [ ab; ad; bd ] in
+  N.set_output c m;
+  c

@@ -1,0 +1,76 @@
+(** Parametric circuit families standing in for the industrial benchmark
+    suites of the paper's experiments (see DESIGN.md, substitutions).
+
+    Input and output names follow the patterns noted per generator, so
+    application code can locate buses by name. *)
+
+val c17 : unit -> Netlist.t
+(** The 6-NAND ISCAS-85 example circuit (inputs [i1..i5], outputs
+    [o1 o2]). *)
+
+val s27 : unit -> Sequential.t
+(** The ISCAS-89 s27 benchmark (4 primary inputs, 3 flip-flops, 1
+    output), parsed from its standard BENCH text. *)
+
+val fig1 : unit -> Netlist.t
+(** The example circuit of Figure 1 of the paper: [x = NOT w1],
+    [y = NOT w2], [z = AND (w1, w2)], all three outputs visible. *)
+
+val fig3 : unit -> Netlist.t
+(** The example circuit of Figure 3 — the conflict-analysis walkthrough:
+    [y1 = NOT x1], [y2 = NOT w], [y3 = NOR (y1, y2)] (so [y3 = x1 AND w]).
+    With [w = 1], [y3 = 0], assigning [x1 = 1] conflicts and yields the
+    clause [(~x1 + ~w + y3)]. *)
+
+val ripple_adder : bits:int -> Netlist.t
+(** Inputs [a0.. b0.. cin], outputs [s0.. cout]. *)
+
+val carry_skip_adder : bits:int -> block:int -> Netlist.t
+(** Ripple blocks with carry-skip bypass — the classic source of false
+    paths for delay computation (E11).  Same interface as
+    {!ripple_adder}. *)
+
+val kogge_stone_adder : bits:int -> Netlist.t
+(** Parallel-prefix (Kogge-Stone) adder: logarithmic depth, same
+    interface as {!ripple_adder} — the classic equivalence-checking
+    partner and delay-computation contrast. *)
+
+val multiplier : bits:int -> Netlist.t
+(** Array multiplier, inputs [a0.. b0..], outputs [p0..p(2n-1)].  The
+    standard BDD-killer (E10). *)
+
+val wallace_multiplier : bits:int -> Netlist.t
+(** Wallace-tree multiplier: 3:2 column compression with a final ripple
+    stage.  Same interface as {!multiplier}. *)
+
+val barrel_shifter : bits:int -> Netlist.t
+(** Logical left shifter: data [d0..], shift amount [s0..s(log n - 1)],
+    outputs [y0..].  [bits] must be a power of two. *)
+
+val decoder : select_bits:int -> Netlist.t
+(** One-hot decoder: selectors [s0..], outputs [d0..d(2^k - 1)]. *)
+
+val priority_encoder : bits:int -> Netlist.t
+(** Priority encoder: requests [r0..] ([r0] wins), outputs the binary
+    index [y0..] of the highest-priority active request plus a [valid]
+    flag. *)
+
+val comparator : bits:int -> Netlist.t
+(** Output [lt] = (a < b), unsigned. *)
+
+val parity : bits:int -> Netlist.t
+(** XOR tree over [x0..], output [par]. *)
+
+val mux_tree : select_bits:int -> Netlist.t
+(** [2^s] data inputs [d0..], selectors [s0..], output [y]. *)
+
+val alu : bits:int -> Netlist.t
+(** Two-operand ALU: op bits [op0 op1] select AND / OR / XOR / ADD;
+    outputs [y0..] and [cout]. *)
+
+val random_circuit :
+  inputs:int -> gates:int -> seed:int -> Netlist.t
+(** Random DAG of 1/2-input gates; every sink is made an output. *)
+
+val majority3 : unit -> Netlist.t
+(** 3-input majority (carry of a full adder). *)

@@ -1,0 +1,40 @@
+module N = Netlist
+
+let build c1 c2 =
+  let in1 = N.inputs c1 and in2 = N.inputs c2 in
+  if List.length in1 <> List.length in2 then
+    invalid_arg "Miter.build: input counts differ";
+  let out1 = N.output_ids c1 and out2 = N.output_ids c2 in
+  if List.length out1 <> List.length out2 then
+    invalid_arg "Miter.build: output counts differ";
+  let m = N.create () in
+  let shared =
+    List.mapi (fun i _ -> N.add_input ~name:(Printf.sprintf "pi%d" i) m) in1
+  in
+  let input_map ins =
+    let table = Hashtbl.create 16 in
+    List.iter2 (fun src dst -> Hashtbl.replace table src dst) ins shared;
+    fun id -> Hashtbl.find_opt table id
+  in
+  let map1 = N.import c1 ~into:m ~map_node:(input_map in1) in
+  let map2 = N.import c2 ~into:m ~map_node:(input_map in2) in
+  let xors =
+    List.map2
+      (fun o1 o2 -> N.add_gate m Gate.Xor [ map1.(o1); map2.(o2) ])
+      out1 out2
+  in
+  let diff =
+    match xors with
+    | [ x ] -> N.add_gate ~name:"diff" m Gate.Buf [ x ]
+    | xs -> N.add_gate ~name:"diff" m Gate.Or xs
+  in
+  N.set_output m diff;
+  m
+
+let to_cnf c1 c2 =
+  let m = build c1 c2 in
+  let enc = Encode.encode m in
+  (match N.output_ids m with
+   | [ diff ] -> Encode.assert_output enc.Encode.formula (enc.Encode.lit_of_node diff) true
+   | [] | _ :: _ -> assert false);
+  (enc.Encode.formula, enc.Encode.lit_of_node)

@@ -1,0 +1,16 @@
+(** Miter construction for combinational equivalence checking (Sec. 3).
+
+    Two circuits with matching input counts share their primary inputs;
+    corresponding outputs are XORed and the disjunction of all the XORs is
+    the single miter output: satisfiable (output 1 reachable) iff the
+    circuits differ. *)
+
+val build : Netlist.t -> Netlist.t -> Netlist.t
+(** Inputs are matched positionally; raises [Invalid_argument] when input
+    or output counts disagree.  The result's single output is named
+    ["diff"]. *)
+
+val to_cnf : Netlist.t -> Netlist.t -> Cnf.Formula.t * (Netlist.node_id -> Cnf.Lit.t)
+(** [to_cnf c1 c2] is the CNF of [build c1 c2] with the miter output
+    asserted to 1; the returned map covers the miter's nodes (the shared
+    inputs come first, in input order). *)

@@ -1,0 +1,183 @@
+type node_id = int
+
+type node =
+  | Input
+  | Const of bool
+  | Gate of Gate.t * node_id list
+
+type t = {
+  nodes : node Sat.Vec.t;
+  names : (node_id, string) Hashtbl.t;
+  by_name : (string, node_id) Hashtbl.t;
+  mutable input_ids : node_id list; (* reverse creation order *)
+  mutable outs : (string * node_id) list; (* reverse order *)
+  mutable fanout_cache : node_id list array option;
+  mutable level_cache : int array option;
+}
+
+let create () =
+  {
+    nodes = Sat.Vec.create ~dummy:Input ();
+    names = Hashtbl.create 64;
+    by_name = Hashtbl.create 64;
+    input_ids = [];
+    outs = [];
+    fanout_cache = None;
+    level_cache = None;
+  }
+
+let num_nodes c = Sat.Vec.size c.nodes
+let node c i = Sat.Vec.get c.nodes i
+
+let invalidate c =
+  c.fanout_cache <- None;
+  c.level_cache <- None
+
+let register_name c id = function
+  | None -> ()
+  | Some name ->
+    if Hashtbl.mem c.by_name name then
+      invalid_arg ("Netlist: duplicate name " ^ name);
+    Hashtbl.replace c.names id name;
+    Hashtbl.replace c.by_name name id
+
+let add_node ?name c n =
+  let id = num_nodes c in
+  Sat.Vec.push c.nodes n;
+  register_name c id name;
+  invalidate c;
+  id
+
+let add_input ?name c =
+  let id = add_node ?name c Input in
+  c.input_ids <- id :: c.input_ids;
+  id
+
+let add_const c b = add_node c (Const b)
+
+let add_gate ?name c g fanins =
+  if not (Gate.arity_ok g (List.length fanins)) then
+    invalid_arg "Netlist.add_gate: arity";
+  let limit = num_nodes c in
+  List.iter
+    (fun f ->
+       if f < 0 || f >= limit then invalid_arg "Netlist.add_gate: dangling fanin")
+    fanins;
+  add_node ?name c (Gate (g, fanins))
+
+let set_output ?name c id =
+  if id < 0 || id >= num_nodes c then invalid_arg "Netlist.set_output";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> (
+        match Hashtbl.find_opt c.names id with
+        | Some n -> n
+        | None -> Printf.sprintf "o%d" (List.length c.outs))
+  in
+  c.outs <- (name, id) :: c.outs
+
+let inputs c = List.rev c.input_ids
+let outputs c = List.rev c.outs
+let output_ids c = List.map snd (outputs c)
+
+let name c id =
+  match Hashtbl.find_opt c.names id with
+  | Some n -> n
+  | None -> Printf.sprintf "n%d" id
+
+let find_by_name c n = Hashtbl.find_opt c.by_name n
+
+let fanins c id =
+  match node c id with Input | Const _ -> [] | Gate (_, fs) -> fs
+
+let fanout_table c =
+  match c.fanout_cache with
+  | Some t -> t
+  | None ->
+    let t = Array.make (max 1 (num_nodes c)) [] in
+    for id = num_nodes c - 1 downto 0 do
+      List.iter (fun f -> t.(f) <- id :: t.(f)) (fanins c id)
+    done;
+    c.fanout_cache <- Some t;
+    t
+
+let fanouts c id = (fanout_table c).(id)
+
+let gate_count c =
+  let n = ref 0 in
+  for id = 0 to num_nodes c - 1 do
+    match node c id with Gate _ -> incr n | Input | Const _ -> ()
+  done;
+  !n
+
+let level_table c =
+  match c.level_cache with
+  | Some t -> t
+  | None ->
+    let t = Array.make (max 1 (num_nodes c)) 0 in
+    for id = 0 to num_nodes c - 1 do
+      t.(id) <-
+        (match node c id with
+         | Input | Const _ -> 0
+         | Gate (_, fs) -> 1 + List.fold_left (fun m f -> max m t.(f)) 0 fs)
+    done;
+    c.level_cache <- Some t;
+    t
+
+let level c id = (level_table c).(id)
+
+let depth c =
+  List.fold_left (fun m (_, id) -> max m (level c id)) 0 (outputs c)
+
+let closure c ~next seeds =
+  let seen = Array.make (max 1 (num_nodes c)) false in
+  let rec go acc = function
+    | [] -> acc
+    | id :: rest ->
+      if seen.(id) then go acc rest
+      else begin
+        seen.(id) <- true;
+        go (id :: acc) (next id @ rest)
+      end
+  in
+  List.sort Int.compare (go [] seeds)
+
+let transitive_fanin c id = closure c ~next:(fanins c) [ id ]
+let transitive_fanout c id = closure c ~next:(fanouts c) [ id ]
+
+let import src ~into ~map_node =
+  let map = Array.make (max 1 (num_nodes src)) (-1) in
+  for id = 0 to num_nodes src - 1 do
+    match map_node id with
+    | Some dst -> map.(id) <- dst
+    | None -> (
+        match node src id with
+        | Input -> invalid_arg "Netlist.import: unmapped input"
+        | Const b -> map.(id) <- add_const into b
+        | Gate (g, fs) ->
+          map.(id) <- add_gate into g (List.map (fun f -> map.(f)) fs))
+  done;
+  map
+
+let copy c =
+  let d = create () in
+  for id = 0 to num_nodes c - 1 do
+    let nid =
+      match node c id with
+      | Input -> add_input ?name:(Hashtbl.find_opt c.names id) d
+      | Const b -> add_const d b
+      | Gate (g, fs) ->
+        add_gate ?name:(Hashtbl.find_opt c.names id) d g fs
+    in
+    assert (nid = id)
+  done;
+  List.iter (fun (n, id) -> set_output ~name:n d id) (outputs c);
+  d
+
+let pp_stats ppf c =
+  Format.fprintf ppf "nodes=%d inputs=%d outputs=%d gates=%d depth=%d"
+    (num_nodes c)
+    (List.length (inputs c))
+    (List.length (outputs c))
+    (gate_count c) (depth c)

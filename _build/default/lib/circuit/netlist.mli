@@ -1,0 +1,64 @@
+(** Gate-level combinational netlists.
+
+    Nodes are numbered densely from 0 in creation order, which is a
+    topological order by construction (a gate may only reference already
+    existing nodes).  The structure is a mutable builder; analyses
+    ({!fanouts}, {!levels}) are computed on demand against the current
+    contents. *)
+
+type node_id = int
+
+type node =
+  | Input
+  | Const of bool
+  | Gate of Gate.t * node_id list
+
+type t
+
+val create : unit -> t
+
+val add_input : ?name:string -> t -> node_id
+val add_const : t -> bool -> node_id
+val add_gate : ?name:string -> t -> Gate.t -> node_id list -> node_id
+(** Raises [Invalid_argument] on bad arity or dangling fanin ids. *)
+
+val set_output : ?name:string -> t -> node_id -> unit
+(** Marks a node as a primary output (a node may be marked once). *)
+
+val num_nodes : t -> int
+val node : t -> node_id -> node
+val inputs : t -> node_id list
+(** In creation order. *)
+
+val outputs : t -> (string * node_id) list
+val output_ids : t -> node_id list
+val name : t -> node_id -> string
+(** The given name or ["n<id>"]. *)
+
+val find_by_name : t -> string -> node_id option
+
+val fanins : t -> node_id -> node_id list
+val fanouts : t -> node_id -> node_id list
+(** Reverse edges; recomputed when the netlist changed. *)
+
+val gate_count : t -> int
+val level : t -> node_id -> int
+(** Longest path from an input/constant (inputs are level 0). *)
+
+val depth : t -> int
+(** Maximum output level. *)
+
+val transitive_fanin : t -> node_id -> node_id list
+val transitive_fanout : t -> node_id -> node_id list
+
+val copy : t -> t
+
+val import :
+  t -> into:t -> map_node:(node_id -> node_id option) -> node_id array
+(** Copies every node of the source into [into].  [map_node] may redirect
+    a source node to an existing node of the destination (used to share
+    primary inputs and to cut at fault sites); unmapped inputs raise
+    [Invalid_argument].  Outputs are not marked.  Returns the source-id to
+    destination-id mapping. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+module N = Netlist
+
+type t = {
+  comb : Netlist.t;
+  primary_inputs : Netlist.node_id list;
+  state_inputs : Netlist.node_id list;
+  next_state : Netlist.node_id list;
+  init : bool list;
+}
+
+let validate s =
+  if List.length s.state_inputs <> List.length s.next_state then
+    invalid_arg "Sequential: state arity mismatch";
+  if List.length s.state_inputs <> List.length s.init then
+    invalid_arg "Sequential: init length mismatch";
+  let all_inputs = N.inputs s.comb in
+  List.iter
+    (fun id ->
+       if not (List.mem id all_inputs) then
+         invalid_arg "Sequential: state input is not a comb input")
+    (s.primary_inputs @ s.state_inputs);
+  List.iter
+    (fun id ->
+       if id < 0 || id >= N.num_nodes s.comb then
+         invalid_arg "Sequential: bad next-state node")
+    s.next_state
+
+(* order a full input vector for [comb] from primary + state values *)
+let comb_inputs s ~state ~inputs =
+  let assoc = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace assoc id inputs.(i)) s.primary_inputs;
+  List.iter2 (fun id v -> Hashtbl.replace assoc id v) s.state_inputs state;
+  N.inputs s.comb
+  |> List.map (fun id ->
+      match Hashtbl.find_opt assoc id with
+      | Some v -> v
+      | None -> false)
+  |> Array.of_list
+
+let step s ~state ~inputs =
+  let values = Simulate.eval_all s.comb (comb_inputs s ~state ~inputs) in
+  let next = List.map (fun id -> values.(id)) s.next_state in
+  let outs =
+    N.outputs s.comb |> List.map (fun (_, id) -> values.(id)) |> Array.of_list
+  in
+  (next, outs)
+
+let simulate s ~inputs =
+  let rec go state acc = function
+    | [] -> List.rev acc
+    | iv :: rest ->
+      let next, outs = step s ~state ~inputs:iv in
+      go next (outs :: acc) rest
+  in
+  go s.init [] inputs
+
+let counter ~bits ~buggy_at =
+  let c = N.create () in
+  let enable = N.add_input ~name:"enable" c in
+  let state =
+    List.init bits (fun i -> N.add_input ~name:(Printf.sprintf "q%d" i) c)
+  in
+  (* incremented value: ripple of half adders gated by enable *)
+  let carry = ref enable in
+  let incremented =
+    List.map
+      (fun q ->
+         let s = N.add_gate c Gate.Xor [ q; !carry ] in
+         carry := N.add_gate c Gate.And [ q; !carry ];
+         s)
+      state
+  in
+  let eq_const value =
+    let bits_eq =
+      List.mapi
+        (fun i q ->
+           if value land (1 lsl i) <> 0 then N.add_gate c Gate.Buf [ q ]
+           else N.add_gate c Gate.Not [ q ])
+        state
+    in
+    match bits_eq with
+    | [ b ] -> b
+    | bs -> N.add_gate c Gate.And bs
+  in
+  let all_ones = (1 lsl bits) - 1 in
+  let next =
+    match buggy_at with
+    | None -> incremented
+    | Some k ->
+      let jump = eq_const k in
+      List.map
+        (fun inc ->
+           (* on count = k, force the bit to 1 (jump to all-ones) *)
+           N.add_gate c Gate.Or [ inc; jump ])
+        incremented
+  in
+  let bad = N.add_gate ~name:"bad" c Gate.Buf [ eq_const all_ones ] in
+  N.set_output c bad;
+  {
+    comb = c;
+    primary_inputs = [ enable ];
+    state_inputs = state;
+    next_state = next;
+    init = List.map (fun _ -> false) state;
+  }
+
+let ring_counter ~bits =
+  if bits < 2 then invalid_arg "ring_counter: bits >= 2";
+  let c = N.create () in
+  let state =
+    List.init bits (fun i -> N.add_input ~name:(Printf.sprintf "t%d" i) c)
+  in
+  let state_arr = Array.of_list state in
+  let next =
+    List.init bits (fun i ->
+        N.add_gate c Gate.Buf [ state_arr.((i + bits - 1) mod bits) ])
+  in
+  (* bad: two tokens at once *)
+  let pairs = ref [] in
+  for i = 0 to bits - 1 do
+    for j = i + 1 to bits - 1 do
+      pairs := N.add_gate c Gate.And [ state_arr.(i); state_arr.(j) ] :: !pairs
+    done
+  done;
+  let bad =
+    match !pairs with
+    | [ one ] -> N.add_gate ~name:"bad" c Gate.Buf [ one ]
+    | ps -> N.add_gate ~name:"bad" c Gate.Or ps
+  in
+  N.set_output c bad;
+  {
+    comb = c;
+    primary_inputs = [];
+    state_inputs = state;
+    next_state = next;
+    init = List.mapi (fun i _ -> i = 0) state;
+  }
+
+let lfsr ~bits ~taps =
+  let c = N.create () in
+  let state =
+    List.init bits (fun i -> N.add_input ~name:(Printf.sprintf "r%d" i) c)
+  in
+  let state_arr = Array.of_list state in
+  let feedback =
+    match taps with
+    | [] -> invalid_arg "lfsr: no taps"
+    | [ t ] -> N.add_gate c Gate.Buf [ state_arr.(t) ]
+    | ts ->
+      let lits = List.map (fun t -> state_arr.(t)) ts in
+      N.add_gate c Gate.Xor lits
+  in
+  (* shift towards higher indices; bit 0 receives the feedback *)
+  let next =
+    List.mapi
+      (fun i _ ->
+         if i = 0 then feedback
+         else N.add_gate c Gate.Buf [ state_arr.(i - 1) ])
+      state
+  in
+  N.set_output ~name:"tap0" c state_arr.(0);
+  {
+    comb = c;
+    primary_inputs = [];
+    state_inputs = state;
+    next_state = next;
+    init = List.mapi (fun i _ -> i = 0) state;
+  }

@@ -1,0 +1,42 @@
+(** Sequential circuits for bounded model checking (Sec. 3, [5]).
+
+    A sequential circuit is a combinational netlist whose inputs split
+    into primary inputs and current-state inputs; designated outputs
+    compute the next state.  Observable outputs (including a property
+    node) are ordinary netlist outputs. *)
+
+type t = {
+  comb : Netlist.t;
+  primary_inputs : Netlist.node_id list;
+  state_inputs : Netlist.node_id list;
+  next_state : Netlist.node_id list;  (** aligned with [state_inputs] *)
+  init : bool list;                   (** initial state values *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on malformed registers (length mismatches,
+    state inputs that are not inputs of [comb]). *)
+
+val step : t -> state:bool list -> inputs:bool array -> bool list * bool array
+(** One clock cycle: returns (next state, output values).  The [inputs]
+    array covers only the primary inputs, in order. *)
+
+val simulate : t -> inputs:bool array list -> bool array list
+(** Runs from the initial state; one output vector per cycle. *)
+
+val counter : bits:int -> buggy_at:int option -> t
+(** An up-counter (primary input [enable]) whose output [bad] rises when
+    the count reaches [2^bits - 1].  With [buggy_at = Some k] the
+    next-state logic erroneously jumps from count [k] straight to
+    all-ones, so the shortest path to [bad] shrinks from [2^bits - 1]
+    enabled cycles to [k + 1]. *)
+
+val ring_counter : bits:int -> t
+(** A one-hot token ring: the single token rotates one position per
+    cycle.  Output [bad] rises if two tokens ever coexist — unreachable,
+    and provable by 1-induction (the one-hot invariant is preserved by
+    rotation), which plain BMC can never conclude. *)
+
+val lfsr : bits:int -> taps:int list -> t
+(** Fibonacci LFSR with the given tap positions; output [tap0] exposes
+    bit 0.  No primary inputs. *)

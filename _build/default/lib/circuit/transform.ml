@@ -1,0 +1,291 @@
+module N = Netlist
+
+(* Rebuild [c], letting [rewrite] decide how to realise each gate from
+   already-mapped fanins; outputs are re-marked through the map. *)
+let rebuild c rewrite =
+  let d = N.create () in
+  let map = Array.make (max 1 (N.num_nodes c)) (-1) in
+  for id = 0 to N.num_nodes c - 1 do
+    map.(id) <-
+      (match N.node c id with
+       | N.Input -> N.add_input ~name:(N.name c id) d
+       | N.Const b -> N.add_const d b
+       | N.Gate (g, fs) -> rewrite d g (List.map (fun f -> map.(f)) fs))
+  done;
+  List.iter (fun (n, id) -> N.set_output ~name:n d map.(id)) (N.outputs c);
+  d
+
+let rewrite_xor c =
+  let rewrite d g ins =
+    match g, ins with
+    | Gate.Xor, [ a; b ] ->
+      let na = N.add_gate d Gate.Not [ a ] in
+      let nb = N.add_gate d Gate.Not [ b ] in
+      let t1 = N.add_gate d Gate.And [ a; nb ] in
+      let t2 = N.add_gate d Gate.And [ na; b ] in
+      N.add_gate d Gate.Or [ t1; t2 ]
+    | Gate.Xnor, [ a; b ] ->
+      let na = N.add_gate d Gate.Not [ a ] in
+      let nb = N.add_gate d Gate.Not [ b ] in
+      let t1 = N.add_gate d Gate.And [ a; b ] in
+      let t2 = N.add_gate d Gate.And [ na; nb ] in
+      N.add_gate d Gate.Or [ t1; t2 ]
+    | _ -> N.add_gate d g ins
+  in
+  rebuild c rewrite
+
+let demorgan ~seed c =
+  let rng = Sat.Rng.create seed in
+  let rewrite d g ins =
+    if Sat.Rng.float rng < 0.5 then N.add_gate d g ins
+    else
+      match g with
+      | Gate.And ->
+        let negs = List.map (fun x -> N.add_gate d Gate.Not [ x ]) ins in
+        N.add_gate d Gate.Nor negs
+      | Gate.Or ->
+        let negs = List.map (fun x -> N.add_gate d Gate.Not [ x ]) ins in
+        N.add_gate d Gate.Nand negs
+      | Gate.Nand ->
+        let negs = List.map (fun x -> N.add_gate d Gate.Not [ x ]) ins in
+        N.add_gate d Gate.Or negs
+      | Gate.Nor ->
+        let negs = List.map (fun x -> N.add_gate d Gate.Not [ x ]) ins in
+        N.add_gate d Gate.And negs
+      | Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buf -> N.add_gate d g ins
+  in
+  rebuild c rewrite
+
+let double_invert ~seed ?(count = 4) c =
+  let rng = Sat.Rng.create seed in
+  let targets =
+    (* wires eligible for inverter-pair insertion: any gate fanin edge *)
+    let all = ref [] in
+    for id = 0 to N.num_nodes c - 1 do
+      match N.node c id with
+      | N.Gate _ -> all := id :: !all
+      | N.Input | N.Const _ -> ()
+    done;
+    !all
+  in
+  let chosen = Hashtbl.create 8 in
+  let n = List.length targets in
+  if n > 0 then
+    for _ = 1 to count do
+      Hashtbl.replace chosen (List.nth targets (Sat.Rng.int rng n)) ()
+    done;
+  let rewrite d g ins =
+    let out = N.add_gate d g ins in
+    out
+  in
+  (* rebuild, then re-route chosen nodes through two inverters *)
+  let d = N.create () in
+  let map = Array.make (max 1 (N.num_nodes c)) (-1) in
+  for id = 0 to N.num_nodes c - 1 do
+    let base =
+      match N.node c id with
+      | N.Input -> N.add_input ~name:(N.name c id) d
+      | N.Const b -> N.add_const d b
+      | N.Gate (g, fs) -> rewrite d g (List.map (fun f -> map.(f)) fs)
+    in
+    map.(id) <-
+      (if Hashtbl.mem chosen id then begin
+         let n1 = N.add_gate d Gate.Not [ base ] in
+         N.add_gate d Gate.Not [ n1 ]
+       end
+       else base)
+  done;
+  List.iter (fun (n, id) -> N.set_output ~name:n d map.(id)) (N.outputs c);
+  d
+
+let inject_bug ~seed c =
+  let rng = Sat.Rng.create seed in
+  let gates = ref [] in
+  for id = 0 to N.num_nodes c - 1 do
+    match N.node c id with
+    | N.Gate (g, fs) when List.length fs >= 2 -> gates := (id, g) :: !gates
+    | N.Gate _ | N.Input | N.Const _ -> ()
+  done;
+  match !gates with
+  | [] -> (N.copy c, "no mutable gate")
+  | gs ->
+    let victim, old_gate = List.nth gs (Sat.Rng.int rng (List.length gs)) in
+    let replacement =
+      let pool =
+        List.filter (fun g -> g <> old_gate)
+          [ Gate.And; Gate.Or; Gate.Nand; Gate.Nor; Gate.Xor; Gate.Xnor ]
+      in
+      List.nth pool (Sat.Rng.int rng (List.length pool))
+    in
+    let d = N.create () in
+    let map = Array.make (max 1 (N.num_nodes c)) (-1) in
+    for id = 0 to N.num_nodes c - 1 do
+      map.(id) <-
+        (match N.node c id with
+         | N.Input -> N.add_input ~name:(N.name c id) d
+         | N.Const b -> N.add_const d b
+         | N.Gate (g, fs) ->
+           let g' = if id = victim then replacement else g in
+           N.add_gate d g' (List.map (fun f -> map.(f)) fs))
+    done;
+    List.iter (fun (n, id) -> N.set_output ~name:n d map.(id)) (N.outputs c);
+    ( d,
+      Printf.sprintf "node %s: %s -> %s" (N.name c victim)
+        (Gate.to_string old_gate)
+        (Gate.to_string replacement) )
+
+let strash c =
+  let d = N.create () in
+  let map = Array.make (max 1 (N.num_nodes c)) (-1) in
+  let table : (Gate.t * int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let commutative = function
+    | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor -> true
+    | Gate.Not | Gate.Buf -> false
+  in
+  for id = 0 to N.num_nodes c - 1 do
+    map.(id) <-
+      (match N.node c id with
+       | N.Input -> N.add_input ~name:(N.name c id) d
+       | N.Const b -> N.add_const d b
+       | N.Gate (g, fs) ->
+         let fanins = List.map (fun f -> map.(f)) fs in
+         let key =
+           (g, if commutative g then List.sort Int.compare fanins else fanins)
+         in
+         (match Hashtbl.find_opt table key with
+          | Some existing -> existing
+          | None ->
+            let fresh = N.add_gate d g fanins in
+            Hashtbl.add table key fresh;
+            fresh))
+  done;
+  List.iter (fun (n, o) -> N.set_output ~name:n d map.(o)) (N.outputs c);
+  d
+
+(* A simplification-time value: a constant or a (node, inverted) wire. *)
+type wire = Cval of bool | W of int * bool
+
+let simplify c =
+  let d = N.create () in
+  let repr = Array.make (max 1 (N.num_nodes c)) (Cval false) in
+  let not_memo = Hashtbl.create 16 in
+  let realize = function
+    | Cval b -> N.add_const d b
+    | W (id, false) -> id
+    | W (id, true) -> (
+        match Hashtbl.find_opt not_memo id with
+        | Some n -> n
+        | None ->
+          let n = N.add_gate d Gate.Not [ id ] in
+          Hashtbl.add not_memo id n;
+          n)
+  in
+  let invert = function Cval b -> Cval (not b) | W (i, v) -> W (i, not v) in
+  (* keep only nodes feeding an output, but preserve the input interface *)
+  let reachable = Array.make (max 1 (N.num_nodes c)) false in
+  List.iter
+    (fun (_, o) -> List.iter (fun x -> reachable.(x) <- true) (N.transitive_fanin c o))
+    (N.outputs c);
+  (* AND/OR family with controlling value [ctrl]: drop non-controlling
+     constants and duplicates, detect [w op ~w]; [gate]/[gate_inv] realise
+     the residue (And/Nand or Or/Nor), keeping inversion on the output
+     wire rather than materialising inverters *)
+  let controlled_like ~ctrl ~gate ~gate_inv inverting ws =
+    let rec dedup acc = function
+      | [] -> Some acc
+      | Cval c :: rest ->
+        if c = ctrl then None else dedup acc rest
+      | W (i, v) :: rest ->
+        if List.exists (fun (j, u) -> j = i && u <> v) acc then None
+        else if List.mem (i, v) acc then dedup acc rest
+        else dedup ((i, v) :: acc) rest
+    in
+    match dedup [] ws with
+    | None -> Cval (ctrl <> inverting) (* controlled output *)
+    | Some [] -> Cval ((not ctrl) <> inverting)
+    | Some [ (i, v) ] -> W (i, v <> inverting)
+    | Some ws ->
+      let ins = List.map (fun (i, v) -> realize (W (i, v))) ws in
+      W (N.add_gate d (if inverting then gate_inv else gate) ins, false)
+  in
+  let and_like = controlled_like ~ctrl:false ~gate:Gate.And ~gate_inv:Gate.Nand in
+  let or_like = controlled_like ~ctrl:true ~gate:Gate.Or ~gate_inv:Gate.Nor in
+  let xor_like inverting ws =
+    let parity = ref inverting in
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (function
+        | Cval b -> if b then parity := not !parity
+        | W (i, v) ->
+          if v then parity := not !parity;
+          (match Hashtbl.find_opt seen i with
+           | Some () -> Hashtbl.remove seen i (* x ^ x = 0 *)
+           | None -> Hashtbl.add seen i ()))
+      ws;
+    let rest = Hashtbl.fold (fun i () acc -> i :: acc) seen [] in
+    match List.sort Int.compare rest with
+    | [] -> Cval !parity
+    | [ i ] -> W (i, !parity)
+    | is ->
+      let g = if !parity then Gate.Xnor else Gate.Xor in
+      W (N.add_gate d g is, false)
+  in
+  for id = 0 to N.num_nodes c - 1 do
+    match N.node c id with
+    | N.Input ->
+      repr.(id) <- W (N.add_input ~name:(N.name c id) d, false)
+    | N.Const b -> repr.(id) <- Cval b
+    | N.Gate (g, fs) ->
+      if reachable.(id) then begin
+        let ws = List.map (fun f -> repr.(f)) fs in
+        repr.(id) <-
+          (match g with
+           | Gate.And -> and_like false ws
+           | Gate.Nand -> and_like true ws
+           | Gate.Or -> or_like false ws
+           | Gate.Nor -> or_like true ws
+           | Gate.Xor -> xor_like false ws
+           | Gate.Xnor -> xor_like true ws
+           | Gate.Buf -> (match ws with [ w ] -> w | _ -> assert false)
+           | Gate.Not -> (match ws with [ w ] -> invert w | _ -> assert false))
+      end
+  done;
+  List.iter (fun (n, o) -> N.set_output ~name:n d (realize repr.(o))) (N.outputs c);
+  d
+
+let add_redundancy ~seed ?(count = 2) c =
+  let rng = Sat.Rng.create seed in
+  let wires = ref [] in
+  for id = 0 to N.num_nodes c - 1 do
+    match N.node c id with
+    | N.Gate _ | N.Input -> wires := id :: !wires
+    | N.Const _ -> ()
+  done;
+  let chosen = Hashtbl.create 8 in
+  let n = List.length !wires in
+  if n > 0 then
+    for _ = 1 to count do
+      Hashtbl.replace chosen (List.nth !wires (Sat.Rng.int rng n)) ()
+    done;
+  let d = N.create () in
+  let map = Array.make (max 1 (N.num_nodes c)) (-1) in
+  for id = 0 to N.num_nodes c - 1 do
+    let base =
+      match N.node c id with
+      | N.Input -> N.add_input ~name:(N.name c id) d
+      | N.Const b -> N.add_const d b
+      | N.Gate (g, fs) -> N.add_gate d g (List.map (fun f -> map.(f)) fs)
+    in
+    map.(id) <-
+      (if Hashtbl.mem chosen id && id > 0 then begin
+         (* OR with (w AND NOT w): never changes the value, and the
+            inserted gates harbour untestable stuck-at-0 faults *)
+         let partner = map.(Sat.Rng.int rng id) in
+         let np = N.add_gate d Gate.Not [ partner ] in
+         let zero = N.add_gate d Gate.And [ partner; np ] in
+         N.add_gate d Gate.Or [ base; zero ]
+       end
+       else base)
+  done;
+  List.iter (fun (n, id) -> N.set_output ~name:n d map.(id)) (N.outputs c);
+  d

@@ -1,0 +1,39 @@
+(** Structural transformations.
+
+    Equivalence-preserving rewrites manufacture "independently
+    implemented" versions of a circuit for equivalence-checking
+    experiments; mutation and redundancy insertion manufacture buggy and
+    redundant versions for ATPG and redundancy-identification
+    experiments. *)
+
+val rewrite_xor : Netlist.t -> Netlist.t
+(** Replaces every 2-input XOR/XNOR by an AND/OR/NOT network
+    (equivalence-preserving). *)
+
+val demorgan : seed:int -> Netlist.t -> Netlist.t
+(** Randomly rewrites AND/OR gates through De Morgan duals
+    (equivalence-preserving). *)
+
+val double_invert : seed:int -> ?count:int -> Netlist.t -> Netlist.t
+(** Inserts inverter pairs on randomly chosen wires
+    (equivalence-preserving; default 4 pairs). *)
+
+val inject_bug : seed:int -> Netlist.t -> Netlist.t * string
+(** Flips one randomly chosen gate to a different type; returns the
+    mutant and a description.  Usually — not always — inequivalent. *)
+
+val strash : Netlist.t -> Netlist.t
+(** Structural hashing: gates with the same type and (for commutative
+    gates, order-insensitive) fanin list are shared
+    (equivalence-preserving).  The workhorse normalisation in front of
+    equivalence checking. *)
+
+val simplify : Netlist.t -> Netlist.t
+(** Constant folding, buffer/double-inverter collapsing and dead-node
+    removal (equivalence-preserving).  Used after redundancy removal to
+    expose the gate-count saving. *)
+
+val add_redundancy : seed:int -> ?count:int -> Netlist.t -> Netlist.t
+(** Inserts logic that cannot affect any output — e.g. OR-ing a wire
+    with [x AND NOT x] — creating untestable stuck-at faults (default 2
+    sites).  Equivalence-preserving. *)

@@ -1,0 +1,1 @@
+lib/cnf/cardinality.ml: Array Formula List Lit

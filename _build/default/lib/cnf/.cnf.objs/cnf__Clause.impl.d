@@ -1,0 +1,1 @@
+lib/cnf/clause.ml: Array Format List Lit Stdlib

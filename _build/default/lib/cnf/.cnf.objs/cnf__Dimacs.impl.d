@@ -1,0 +1,1 @@
+lib/cnf/dimacs.ml: Buffer Clause Formula List Lit Printf String

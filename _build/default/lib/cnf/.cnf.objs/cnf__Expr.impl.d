@@ -1,0 +1,1 @@
+lib/cnf/expr.ml: Format Int List Set

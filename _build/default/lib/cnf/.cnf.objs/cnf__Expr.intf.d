@@ -1,0 +1,1 @@
+lib/cnf/expr.mli: Format

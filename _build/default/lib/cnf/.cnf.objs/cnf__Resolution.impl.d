@@ -1,0 +1,1 @@
+lib/cnf/resolution.ml: Clause Formula List Lit

@@ -1,0 +1,1 @@
+lib/cnf/resolution.mli: Clause Formula Lit

@@ -1,0 +1,1 @@
+lib/cnf/tseitin.ml: Expr Formula Hashtbl List Lit Option

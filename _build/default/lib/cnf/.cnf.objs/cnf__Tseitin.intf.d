@@ -1,0 +1,1 @@
+lib/cnf/tseitin.mli: Expr Formula Lit

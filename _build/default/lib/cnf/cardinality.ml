@@ -1,0 +1,47 @@
+(* Sequential counter encoding (Sinz 2005): registers s_{i,j} meaning
+   "at least j of the first i+1 literals are true". *)
+let at_most f lits k =
+  let lits = Array.of_list lits in
+  let n = Array.length lits in
+  if k < 0 then invalid_arg "Cardinality.at_most: negative bound";
+  if k = 0 then Array.iter (fun l -> Formula.add_clause_l f [ Lit.negate l ]) lits
+  else if k < n then begin
+    let s = Array.init (n - 1) (fun _ -> Array.init k (fun _ -> Lit.pos (Formula.fresh_var f))) in
+    Formula.add_clause_l f [ Lit.negate lits.(0); s.(0).(0) ];
+    for j = 1 to k - 1 do
+      Formula.add_clause_l f [ Lit.negate s.(0).(j) ]
+    done;
+    for i = 1 to n - 2 do
+      Formula.add_clause_l f [ Lit.negate lits.(i); s.(i).(0) ];
+      Formula.add_clause_l f [ Lit.negate s.(i - 1).(0); s.(i).(0) ];
+      for j = 1 to k - 1 do
+        Formula.add_clause_l f
+          [ Lit.negate lits.(i); Lit.negate s.(i - 1).(j - 1); s.(i).(j) ];
+        Formula.add_clause_l f [ Lit.negate s.(i - 1).(j); s.(i).(j) ]
+      done;
+      Formula.add_clause_l f [ Lit.negate lits.(i); Lit.negate s.(i - 1).(k - 1) ]
+    done;
+    if n >= 2 then
+      Formula.add_clause_l f
+        [ Lit.negate lits.(n - 1); Lit.negate s.(n - 2).(k - 1) ]
+  end
+
+let at_least f lits k =
+  let n = List.length lits in
+  if k <= 0 then ()
+  else if k > n then Formula.add_clause_l f []
+  else if k = 1 then Formula.add_clause_l f lits
+  else at_most f (List.map Lit.negate lits) (n - k)
+
+let exactly f lits k =
+  at_most f lits k;
+  at_least f lits k
+
+let at_most_one_pairwise f lits =
+  let rec pairs = function
+    | [] -> ()
+    | l :: rest ->
+      List.iter (fun m -> Formula.add_clause_l f [ Lit.negate l; Lit.negate m ]) rest;
+      pairs rest
+  in
+  pairs lits

@@ -1,0 +1,19 @@
+(** Cardinality constraints over literals, encoded with the sequential
+    (totalizer-free) counter encoding of Sinz.
+
+    Auxiliary variables are allocated in the target formula; the encodings
+    are satisfiability-preserving and arc-consistent under unit
+    propagation. *)
+
+val at_most : Formula.t -> Lit.t list -> int -> unit
+(** [at_most f lits k] constrains at most [k] of [lits] to be true.
+    [k = 0] emits unit clauses; [k >= length lits] emits nothing. *)
+
+val at_least : Formula.t -> Lit.t list -> int -> unit
+(** [at_least f lits k] constrains at least [k] of [lits] to be true. *)
+
+val exactly : Formula.t -> Lit.t list -> int -> unit
+
+val at_most_one_pairwise : Formula.t -> Lit.t list -> unit
+(** Quadratic pairwise at-most-one (no auxiliary variables); preferable for
+    very small literal sets. *)

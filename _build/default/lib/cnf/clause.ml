@@ -1,0 +1,43 @@
+type t = Lit.t array
+
+let of_list lits =
+  let sorted = List.sort_uniq Lit.compare lits in
+  Array.of_list sorted
+
+let of_dimacs_list ints = of_list (List.map Lit.of_dimacs ints)
+let to_list c = Array.to_list c
+let to_array c = Array.copy c
+let size c = Array.length c
+let is_empty c = Array.length c = 0
+
+(* Literals are sorted, so l and negate l are adjacent when both present. *)
+let is_tautology c =
+  let n = Array.length c in
+  let rec check i =
+    if i + 1 >= n then false
+    else if Lit.var c.(i) = Lit.var c.(i + 1) then true
+    else check (i + 1)
+  in
+  check 0
+
+let mem l c = Array.exists (Lit.equal l) c
+let equal a b = a = b
+let compare a b = Stdlib.compare a b
+let subsumes c d = Array.for_all (fun l -> mem l d) c
+
+let eval value c =
+  Array.exists (fun l -> value (Lit.var l) = Lit.is_pos l) c
+
+let map_vars f c =
+  let image l =
+    let l' = f (Lit.var l) in
+    if Lit.is_pos l then l' else Lit.negate l'
+  in
+  of_list (List.map image (to_list c))
+
+let pp ppf c =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Lit.pp)
+    (to_list c)
+
+let to_string c = Format.asprintf "%a" pp c

@@ -1,0 +1,64 @@
+exception Parse_error of string
+
+let parse_string text =
+  let f = Formula.create () in
+  let lines = String.split_on_char '\n' text in
+  let pending = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> raise (Parse_error (Printf.sprintf "bad token %S" tok))
+    | Some 0 ->
+      Formula.add_dimacs f (List.rev !pending);
+      pending := []
+    | Some i -> pending := i :: !pending
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" then ()
+    else
+      match line.[0] with
+      | 'c' | '%' -> ()
+      | 'p' ->
+        (match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+         | [ "p"; "cnf"; v; _ ] ->
+           (match int_of_string_opt v with
+            | Some nv ->
+              for _ = Formula.nvars f to nv - 1 do
+                ignore (Formula.fresh_var f)
+              done
+            | None -> raise (Parse_error "bad header"))
+         | _ -> raise (Parse_error "bad header"))
+      | '0' .. '9' | '-' ->
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (( <> ) "")
+        |> List.iter handle_token
+      | _ -> raise (Parse_error (Printf.sprintf "bad line %S" line))
+  in
+  List.iter handle_line lines;
+  (match !pending with
+   | [] -> ()
+   | lits -> Formula.add_dimacs f (List.rev lits));
+  f
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+let to_string f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Formula.nvars f) (Formula.nclauses f));
+  Formula.iter_clauses f (fun c ->
+      Clause.to_list c
+      |> List.iter (fun l -> Buffer.add_string buf (Lit.to_string l ^ " "));
+      Buffer.add_string buf "0\n");
+  Buffer.contents buf
+
+let write_file path f =
+  let oc = open_out path in
+  output_string oc (to_string f);
+  close_out oc

@@ -1,0 +1,15 @@
+(** DIMACS CNF reader and writer. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Formula.t
+(** Parses DIMACS CNF text.  Comment lines ([c ...]) are skipped, the
+    [p cnf v c] header is honoured if present (and variable/clause counts
+    are allowed to exceed it).  Raises {!Parse_error} on malformed input. *)
+
+val parse_file : string -> Formula.t
+
+val to_string : Formula.t -> string
+(** Renders a formula in DIMACS, including the [p cnf] header. *)
+
+val write_file : string -> Formula.t -> unit

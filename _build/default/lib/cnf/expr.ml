@@ -1,0 +1,74 @@
+type t =
+  | True
+  | False
+  | Atom of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+  | Iff of t * t
+  | Imp of t * t
+  | Ite of t * t * t
+
+let atom i =
+  if i < 0 then invalid_arg "Expr.atom: negative index";
+  Atom i
+
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let ( ^^^ ) a b = Xor (a, b)
+let ( ==> ) a b = Imp (a, b)
+let ( <=> ) a b = Iff (a, b)
+let not_ a = Not a
+let conj es = And es
+let disj es = Or es
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Atom i -> env i
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+  | Xor (a, b) -> eval env a <> eval env b
+  | Iff (a, b) -> eval env a = eval env b
+  | Imp (a, b) -> (not (eval env a)) || eval env b
+  | Ite (c, t, e) -> if eval env c then eval env t else eval env e
+
+let atoms e =
+  let module S = Set.Make (Int) in
+  let rec go acc = function
+    | True | False -> acc
+    | Atom i -> S.add i acc
+    | Not e -> go acc e
+    | And es | Or es -> List.fold_left go acc es
+    | Xor (a, b) | Iff (a, b) | Imp (a, b) -> go (go acc a) b
+    | Ite (c, t, e) -> go (go (go acc c) t) e
+  in
+  S.elements (go S.empty e)
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not e -> 1 + size e
+  | And es | Or es -> List.fold_left (fun acc e -> acc + size e) 1 es
+  | Xor (a, b) | Iff (a, b) | Imp (a, b) -> 1 + size a + size b
+  | Ite (c, t, e) -> 1 + size c + size t + size e
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "1"
+  | False -> Format.pp_print_string ppf "0"
+  | Atom i -> Format.fprintf ppf "x%d" i
+  | Not e -> Format.fprintf ppf "!%a" pp e
+  | And es -> pp_nary ppf "&" es
+  | Or es -> pp_nary ppf "|" es
+  | Xor (a, b) -> Format.fprintf ppf "(%a ^ %a)" pp a pp b
+  | Iff (a, b) -> Format.fprintf ppf "(%a <=> %a)" pp a pp b
+  | Imp (a, b) -> Format.fprintf ppf "(%a => %a)" pp a pp b
+  | Ite (c, t, e) -> Format.fprintf ppf "ite(%a, %a, %a)" pp c pp t pp e
+
+and pp_nary ppf op = function
+  | [] -> Format.pp_print_string ppf (if op = "&" then "1" else "0")
+  | [ e ] -> pp ppf e
+  | es ->
+    let sep ppf () = Format.fprintf ppf " %s " op in
+    Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:sep pp) es

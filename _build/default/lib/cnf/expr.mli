@@ -1,0 +1,37 @@
+(** Boolean expressions over integer-named atoms.
+
+    Used as the front-end to the Tseitin transformation ({!Tseitin}) and in
+    tests as an executable semantics reference. *)
+
+type t =
+  | True
+  | False
+  | Atom of int                 (** an external variable index, [>= 0] *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+  | Iff of t * t
+  | Imp of t * t
+  | Ite of t * t * t            (** [Ite (c, t, e)] = if [c] then [t] else [e] *)
+
+val atom : int -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ^^^ ) : t -> t -> t
+val ( ==> ) : t -> t -> t
+val ( <=> ) : t -> t -> t
+val not_ : t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+val eval : (int -> bool) -> t -> bool
+(** [eval env e] evaluates [e] under the atom assignment [env]. *)
+
+val atoms : t -> int list
+(** Sorted list of distinct atom indices occurring in the expression. *)
+
+val size : t -> int
+(** Number of operator and atom nodes. *)
+
+val pp : Format.formatter -> t -> unit

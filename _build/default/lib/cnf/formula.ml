@@ -1,0 +1,43 @@
+type t = { mutable nvars : int; mutable clauses : Clause.t list; mutable n : int }
+
+let create ?(nvars = 0) () = { nvars; clauses = []; n = 0 }
+
+let fresh_var f =
+  let v = f.nvars in
+  f.nvars <- v + 1;
+  v
+
+let nvars f = f.nvars
+let nclauses f = f.n
+
+let add_clause f c =
+  if not (Clause.is_tautology c) then begin
+    Clause.to_list c
+    |> List.iter (fun l -> if Lit.var l >= f.nvars then f.nvars <- Lit.var l + 1);
+    f.clauses <- c :: f.clauses;
+    f.n <- f.n + 1
+  end
+
+let add_clause_l f lits = add_clause f (Clause.of_list lits)
+let add_dimacs f ints = add_clause f (Clause.of_dimacs_list ints)
+
+let clauses f =
+  let a = Array.make f.n (Clause.of_list []) in
+  List.iteri (fun i c -> a.(f.n - 1 - i) <- c) f.clauses;
+  a
+
+let iter_clauses f g = Array.iter g (clauses f)
+let copy f = { nvars = f.nvars; clauses = f.clauses; n = f.n }
+
+let of_clauses ?(nvars = 0) cs =
+  let f = create ~nvars () in
+  List.iter (add_clause f) cs;
+  f
+
+let eval value f = List.for_all (Clause.eval value) f.clauses
+let num_literals f = List.fold_left (fun acc c -> acc + Clause.size c) 0 f.clauses
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v>cnf %d vars, %d clauses@,%a@]" f.nvars f.n
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Clause.pp)
+    (Array.to_list (clauses f))

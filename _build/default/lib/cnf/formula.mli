@@ -1,0 +1,46 @@
+(** CNF formulas: conjunctions of clauses over variables [0 .. nvars-1].
+
+    A formula is a mutable builder: variables are allocated with
+    {!fresh_var} (or implied by {!add_clause}) and clauses are appended.
+    Solvers consume the snapshot {!clauses}. *)
+
+type t
+
+val create : ?nvars:int -> unit -> t
+(** [create ~nvars ()] is an empty formula with [nvars] pre-allocated
+    variables (default 0). *)
+
+val fresh_var : t -> int
+(** Allocates and returns a new variable index. *)
+
+val nvars : t -> int
+val nclauses : t -> int
+
+val add_clause : t -> Clause.t -> unit
+(** Appends a clause.  Grows the variable count if the clause mentions an
+    unallocated variable.  Tautologies are silently dropped. *)
+
+val add_clause_l : t -> Lit.t list -> unit
+(** [add_clause_l f lits] is [add_clause f (Clause.of_list lits)]. *)
+
+val add_dimacs : t -> int list -> unit
+(** Appends a clause given as DIMACS literals. *)
+
+val clauses : t -> Clause.t array
+(** Snapshot of the clauses, in insertion order. *)
+
+val iter_clauses : t -> (Clause.t -> unit) -> unit
+
+val copy : t -> t
+
+val of_clauses : ?nvars:int -> Clause.t list -> t
+
+val eval : (int -> bool) -> t -> bool
+(** [eval value f] is [true] iff every clause is satisfied by the total
+    assignment [value]. *)
+
+val num_literals : t -> int
+(** Total number of literal occurrences. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line form. *)

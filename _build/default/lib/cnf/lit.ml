@@ -1,0 +1,23 @@
+type t = int
+
+let of_var v positive =
+  if v < 0 then invalid_arg "Lit.of_var: negative variable";
+  (v * 2) + if positive then 0 else 1
+
+let pos v = of_var v true
+let neg_of_var v = of_var v false
+let var l = l lsr 1
+let negate l = l lxor 1
+let is_pos l = l land 1 = 0
+let is_neg l = l land 1 = 1
+
+let of_dimacs i =
+  if i = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if i > 0 then pos (i - 1) else neg_of_var (-i - 1)
+
+let to_dimacs l = if is_pos l then var l + 1 else -(var l + 1)
+let compare = Int.compare
+let equal = Int.equal
+let hash l = l
+let pp ppf l = Format.fprintf ppf "%d" (to_dimacs l)
+let to_string l = string_of_int (to_dimacs l)

@@ -1,0 +1,48 @@
+(** Propositional literals.
+
+    A variable is a non-negative integer [v]; the positive literal of [v] is
+    the even integer [2v] and the negative literal is [2v + 1].  This packed
+    representation lets solvers index watch lists and value arrays directly
+    by literal. *)
+
+type t = int
+(** A literal.  Invariant: [t >= 0]. *)
+
+val of_var : int -> bool -> t
+(** [of_var v positive] is the literal of variable [v] with the given
+    polarity.  Raises [Invalid_argument] if [v < 0]. *)
+
+val pos : int -> t
+(** [pos v] is the positive literal of variable [v]. *)
+
+val neg_of_var : int -> t
+(** [neg_of_var v] is the negative literal of variable [v]. *)
+
+val var : t -> int
+(** [var l] is the variable of literal [l]. *)
+
+val negate : t -> t
+(** [negate l] is the complement of [l]. *)
+
+val is_pos : t -> bool
+(** [is_pos l] is [true] iff [l] is a positive literal. *)
+
+val is_neg : t -> bool
+(** [is_neg l] is [true] iff [l] is a negative literal. *)
+
+val of_dimacs : int -> t
+(** [of_dimacs i] converts a non-zero DIMACS literal ([+v] / [-v], variables
+    numbered from 1) to the packed representation (variables numbered from
+    0).  Raises [Invalid_argument] on [0]. *)
+
+val to_dimacs : t -> int
+(** [to_dimacs l] is the DIMACS integer for [l]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the DIMACS form, e.g. [-3]. *)
+
+val to_string : t -> string

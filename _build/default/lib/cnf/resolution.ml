@@ -1,0 +1,42 @@
+let resolve c d v =
+  let lp = Lit.pos v and ln = Lit.neg_of_var v in
+  let has_pos cl = Clause.mem lp cl and has_neg cl = Clause.mem ln cl in
+  let pick =
+    if has_pos c && has_neg d then Some (c, d)
+    else if has_neg c && has_pos d then Some (d, c)
+    else None
+  in
+  match pick with
+  | None -> None
+  | Some (cp, cn) ->
+    let keep cl bad = List.filter (fun l -> not (Lit.equal l bad)) (Clause.to_list cl) in
+    let r = Clause.of_list (keep cp lp @ keep cn ln) in
+    if Clause.is_tautology r then None else Some r
+
+let resolvable c d =
+  let clashes =
+    Clause.to_list c
+    |> List.filter (fun l -> Clause.mem (Lit.negate l) d)
+    |> List.map Lit.var
+  in
+  match clashes with [ v ] -> Some v | [] | _ :: _ -> None
+
+let self_subsumes c d =
+  match resolvable c d with
+  | None -> None
+  | Some v ->
+    (match resolve c d v with
+     | Some r when Clause.subsumes r d ->
+       let dropped = if Clause.mem (Lit.pos v) d then Lit.pos v else Lit.neg_of_var v in
+       Some dropped
+     | Some _ | None -> None)
+
+let is_implicate f c =
+  let n = Formula.nvars f in
+  if n > 24 then invalid_arg "Resolution.is_implicate: too many variables";
+  let ok = ref true in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value v = mask land (1 lsl v) <> 0 in
+    if Formula.eval value f && not (Clause.eval value c) then ok := false
+  done;
+  !ok

@@ -1,0 +1,20 @@
+(** Resolution and subsumption utilities. *)
+
+val resolve : Clause.t -> Clause.t -> int -> Clause.t option
+(** [resolve c d v] is the resolvent of [c] and [d] on variable [v], or
+    [None] if the pair does not clash on [v] or the resolvent is a
+    tautology. *)
+
+val resolvable : Clause.t -> Clause.t -> int option
+(** [resolvable c d] is [Some v] for the unique clash variable when [c]
+    and [d] clash on exactly one variable, [None] otherwise. *)
+
+val self_subsumes : Clause.t -> Clause.t -> Lit.t option
+(** [self_subsumes c d] is [Some l] when resolving [c] with [d] on
+    [Lit.var l] yields a clause that subsumes [d] by dropping literal [l]
+    from [d] (self-subsuming resolution: [c] strengthens [d]). *)
+
+val is_implicate : Formula.t -> Clause.t -> bool
+(** [is_implicate f c] checks by exhaustive enumeration (intended for
+    tests, up to ~20 variables) that [c] is an implicate of [f]: every
+    model of [f] satisfies [c]. *)

@@ -1,0 +1,123 @@
+type context = {
+  f : Formula.t;
+  atom_lit : (int, Lit.t) Hashtbl.t;
+  cache : (Expr.t, Lit.t) Hashtbl.t;
+  mutable const_true : Lit.t option;
+}
+
+let create () =
+  { f = Formula.create (); atom_lit = Hashtbl.create 64;
+    cache = Hashtbl.create 64; const_true = None }
+
+let formula ctx = ctx.f
+
+let lit_of_atom ctx i =
+  match Hashtbl.find_opt ctx.atom_lit i with
+  | Some l -> l
+  | None ->
+    let l = Lit.pos (Formula.fresh_var ctx.f) in
+    Hashtbl.add ctx.atom_lit i l;
+    l
+
+(* A literal constrained to be true, used to translate constants. *)
+let true_lit ctx =
+  match ctx.const_true with
+  | Some l -> l
+  | None ->
+    let l = Lit.pos (Formula.fresh_var ctx.f) in
+    Formula.add_clause_l ctx.f [ l ];
+    ctx.const_true <- Some l;
+    l
+
+let define_and ctx out ins =
+  List.iter (fun w -> Formula.add_clause_l ctx.f [ Lit.negate out; w ]) ins;
+  Formula.add_clause_l ctx.f (out :: List.map Lit.negate ins)
+
+let define_or ctx out ins =
+  List.iter (fun w -> Formula.add_clause_l ctx.f [ out; Lit.negate w ]) ins;
+  Formula.add_clause_l ctx.f (Lit.negate out :: ins)
+
+let define_xor ctx out a b =
+  Formula.add_clause_l ctx.f [ Lit.negate out; a; b ];
+  Formula.add_clause_l ctx.f [ Lit.negate out; Lit.negate a; Lit.negate b ];
+  Formula.add_clause_l ctx.f [ out; Lit.negate a; b ];
+  Formula.add_clause_l ctx.f [ out; a; Lit.negate b ]
+
+let define_ite ctx out c t e =
+  Formula.add_clause_l ctx.f [ Lit.negate c; Lit.negate t; out ];
+  Formula.add_clause_l ctx.f [ Lit.negate c; t; Lit.negate out ];
+  Formula.add_clause_l ctx.f [ c; Lit.negate e; out ];
+  Formula.add_clause_l ctx.f [ c; e; Lit.negate out ]
+
+let rec translate ctx (e : Expr.t) : Lit.t =
+  match Hashtbl.find_opt ctx.cache e with
+  | Some l -> l
+  | None ->
+    let l = translate_uncached ctx e in
+    Hashtbl.replace ctx.cache e l;
+    l
+
+and translate_uncached ctx = function
+  | Expr.True -> true_lit ctx
+  | Expr.False -> Lit.negate (true_lit ctx)
+  | Expr.Atom i -> lit_of_atom ctx i
+  | Expr.Not e -> Lit.negate (translate ctx e)
+  | Expr.And [] -> true_lit ctx
+  | Expr.And [ e ] -> translate ctx e
+  | Expr.And es ->
+    let ins = List.map (translate ctx) es in
+    let out = Lit.pos (Formula.fresh_var ctx.f) in
+    define_and ctx out ins;
+    out
+  | Expr.Or [] -> Lit.negate (true_lit ctx)
+  | Expr.Or [ e ] -> translate ctx e
+  | Expr.Or es ->
+    let ins = List.map (translate ctx) es in
+    let out = Lit.pos (Formula.fresh_var ctx.f) in
+    define_or ctx out ins;
+    out
+  | Expr.Xor (a, b) ->
+    let la = translate ctx a and lb = translate ctx b in
+    let out = Lit.pos (Formula.fresh_var ctx.f) in
+    define_xor ctx out la lb;
+    out
+  | Expr.Iff (a, b) -> Lit.negate (translate ctx (Expr.Xor (a, b)))
+  | Expr.Imp (a, b) -> translate ctx (Expr.Or [ Expr.Not a; b ])
+  | Expr.Ite (c, t, e) ->
+    let lc = translate ctx c
+    and lt = translate ctx t
+    and le = translate ctx e in
+    let out = Lit.pos (Formula.fresh_var ctx.f) in
+    define_ite ctx out lc lt le;
+    out
+
+let assert_expr ctx e =
+  (* Assert top-level conjuncts clause-by-clause where possible: shallow
+     disjunctions of literals avoid needless definition variables. *)
+  let rec as_literal = function
+    | Expr.Atom i -> Some (lit_of_atom ctx i)
+    | Expr.Not e -> Option.map Lit.negate (as_literal e)
+    | Expr.True | Expr.False | Expr.And _ | Expr.Or _ | Expr.Xor _
+    | Expr.Iff _ | Expr.Imp _ | Expr.Ite _ -> None
+  in
+  let rec assert_true = function
+    | Expr.True -> ()
+    | Expr.And es -> List.iter assert_true es
+    | Expr.Or es ->
+      let lits = List.map (fun e ->
+          match as_literal e with
+          | Some l -> l
+          | None -> translate ctx e)
+          es
+      in
+      Formula.add_clause_l ctx.f lits
+    | e -> Formula.add_clause_l ctx.f [ translate ctx e ]
+  in
+  assert_true e
+
+let cnf_of_expr e =
+  let ctx = create () in
+  (* Allocate atom literals first so atom k maps to formula var k. *)
+  List.iter (fun a -> ignore (lit_of_atom ctx a)) (Expr.atoms e);
+  assert_expr ctx e;
+  (formula ctx, lit_of_atom ctx)

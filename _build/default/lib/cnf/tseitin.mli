@@ -1,0 +1,30 @@
+(** Tseitin transformation: linear-size, equisatisfiable CNF translation of
+    Boolean expressions.
+
+    Expression atoms map to formula variables through a caller-visible
+    mapping so models of the CNF can be read back as assignments of the
+    original atoms. *)
+
+type context
+(** A translation context owning a target {!Formula.t}. *)
+
+val create : unit -> context
+
+val formula : context -> Formula.t
+(** The CNF accumulated so far. *)
+
+val lit_of_atom : context -> int -> Lit.t
+(** The formula literal standing for an expression atom (allocated on first
+    use). *)
+
+val translate : context -> Expr.t -> Lit.t
+(** [translate ctx e] adds defining clauses for [e] and returns a literal
+    equivalent to [e] (in every model of the defining clauses).  Repeated
+    identical sub-expressions are shared structurally. *)
+
+val assert_expr : context -> Expr.t -> unit
+(** [assert_expr ctx e] constrains [e] to be true. *)
+
+val cnf_of_expr : Expr.t -> Formula.t * (int -> Lit.t)
+(** One-shot: [cnf_of_expr e] asserts [e] and returns the CNF together with
+    the atom-to-literal mapping. *)

@@ -1,0 +1,1 @@
+lib/core/bcp.ml: Array Cnf Hashtbl List Queue Vec

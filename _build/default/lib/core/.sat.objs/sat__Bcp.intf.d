@@ -1,0 +1,1 @@
+lib/core/bcp.mli: Cnf

@@ -1,0 +1,1 @@
+lib/core/cdcl.ml: Array Cnf Float Hashtbl Heap Int List Option Rng Types Vec

@@ -1,0 +1,1 @@
+lib/core/cdcl.mli: Cnf Types

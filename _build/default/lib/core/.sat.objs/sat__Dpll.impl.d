@@ -1,0 +1,1 @@
+lib/core/dpll.ml: Array Cnf Hashtbl List Option Rng Types Vec

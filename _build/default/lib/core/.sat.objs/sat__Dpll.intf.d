@@ -1,0 +1,1 @@
+lib/core/dpll.mli: Cnf Types

@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Array Cnf Hashtbl List Vec

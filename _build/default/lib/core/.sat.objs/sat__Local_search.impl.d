@@ -1,0 +1,1 @@
+lib/core/local_search.ml: Array Cnf List Rng Types Vec

@@ -1,0 +1,1 @@
+lib/core/preprocess.ml: Array Bcp Cnf List

@@ -1,0 +1,1 @@
+lib/core/proof.ml: Bcp Cdcl Cnf Types

@@ -1,0 +1,1 @@
+lib/core/proof.mli: Cnf Types

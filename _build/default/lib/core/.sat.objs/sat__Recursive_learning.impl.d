@@ -1,0 +1,1 @@
+lib/core/recursive_learning.ml: Array Bcp Cnf Hashtbl Int Lazy List Set

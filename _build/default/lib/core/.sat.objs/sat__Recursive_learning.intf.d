@@ -1,0 +1,1 @@
+lib/core/recursive_learning.mli: Cnf

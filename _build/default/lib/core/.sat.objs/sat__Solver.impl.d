@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Cdcl Cnf Dpll Equivalence List Local_search Preprocess Recursive_learning Types Unix

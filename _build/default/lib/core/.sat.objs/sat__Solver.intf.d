@@ -1,0 +1,1 @@
+lib/core/solver.mli: Cnf Local_search Preprocess Types

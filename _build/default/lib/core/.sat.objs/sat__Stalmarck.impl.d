@@ -1,0 +1,1 @@
+lib/core/stalmarck.ml: Bcp Cnf List

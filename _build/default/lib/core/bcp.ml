@@ -1,0 +1,190 @@
+module Lit = Cnf.Lit
+
+type t = {
+  nvars : int;
+  clauses : int array Vec.t;
+  occ : int list array; (* literal -> indices of clauses containing it *)
+  ntrue : int Vec.t;    (* per clause *)
+  nfree : int Vec.t;    (* per clause: literals not yet false *)
+  assign : int array;   (* var -> -1/0/1 *)
+  reason : int array;   (* var -> clause index or -1 *)
+  trail : int Vec.t;
+  trail_pos : int array; (* var -> position on trail, -1 if unassigned *)
+  mutable consistent : bool;
+}
+
+let nvars t = t.nvars
+let is_consistent t = t.consistent
+
+let value t l =
+  let a = t.assign.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let value_var t v = t.assign.(v)
+let checkpoint t = Vec.size t.trail
+
+(* Assign [l] true and update clause counters; returns the clause indices
+   that became unit and sets [consistent := false] on an empty clause. *)
+let assign_lit t l reason =
+  let v = Lit.var l in
+  t.assign.(v) <- (if Lit.is_pos l then 1 else 0);
+  t.reason.(v) <- reason;
+  t.trail_pos.(v) <- Vec.size t.trail;
+  Vec.push t.trail l;
+  let units = ref [] in
+  List.iter
+    (fun ci ->
+       Vec.set t.nfree ci (Vec.get t.nfree ci - 1);
+       if Vec.get t.ntrue ci = 0 then begin
+         if Vec.get t.nfree ci = 0 then t.consistent <- false
+         else if Vec.get t.nfree ci = 1 then units := ci :: !units
+       end)
+    t.occ.(Lit.negate l);
+  List.iter (fun ci -> Vec.set t.ntrue ci (Vec.get t.ntrue ci + 1)) t.occ.(l);
+  !units
+
+let unassign_last t =
+  let l = Vec.pop t.trail in
+  let v = Lit.var l in
+  t.assign.(v) <- -1;
+  t.reason.(v) <- -1;
+  t.trail_pos.(v) <- -1;
+  List.iter (fun ci -> Vec.set t.nfree ci (Vec.get t.nfree ci + 1)) t.occ.(Lit.negate l);
+  List.iter (fun ci -> Vec.set t.ntrue ci (Vec.get t.ntrue ci - 1)) t.occ.(l)
+
+let backtrack t mark =
+  while Vec.size t.trail > mark do
+    unassign_last t
+  done;
+  t.consistent <- true
+
+let free_lit_of t ci =
+  let c = Vec.get t.clauses ci in
+  let rec go i =
+    if i >= Array.length c then raise Not_found
+    else if value t c.(i) < 0 then c.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Propagate from a queue of unit clauses to fixpoint. *)
+let propagate t units =
+  let queue = Queue.create () in
+  List.iter (fun ci -> Queue.add ci queue) units;
+  while t.consistent && not (Queue.is_empty queue) do
+    let ci = Queue.pop queue in
+    (* the clause may have been satisfied meanwhile *)
+    if Vec.get t.ntrue ci = 0 && Vec.get t.nfree ci = 1 then begin
+      let l = free_lit_of t ci in
+      let more = assign_lit t l ci in
+      List.iter (fun u -> Queue.add u queue) more
+    end
+  done
+
+let assume t l =
+  if not t.consistent then None
+  else
+    let mark = checkpoint t in
+    match value t l with
+    | 1 -> Some [ l ]
+    | 0 -> None
+    | _ ->
+      let units = assign_lit t l (-1) in
+      propagate t units;
+      if t.consistent then begin
+        let implied = ref [] in
+        for i = Vec.size t.trail - 1 downto mark do
+          implied := Vec.get t.trail i :: !implied
+        done;
+        Some !implied
+      end
+      else begin
+        backtrack t mark;
+        None
+      end
+
+let add_unit t l =
+  if not t.consistent then false
+  else
+    match value t l with
+    | 1 -> true
+    | 0 ->
+      t.consistent <- false;
+      false
+    | _ ->
+      let units = assign_lit t l (-1) in
+      propagate t units;
+      t.consistent
+
+let reason t v =
+  let ci = t.reason.(v) in
+  if ci < 0 then None
+  else Some (Cnf.Clause.of_list (Array.to_list (Vec.get t.clauses ci)))
+
+let trail t = Vec.to_list t.trail
+let trail_position t v = t.trail_pos.(v)
+
+let support t ~since l =
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  let rec walk l =
+    let v = Lit.var l in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      if t.trail_pos.(v) < since then out := l :: !out
+      else
+        let ci = t.reason.(v) in
+        if ci >= 0 then
+          Array.iter
+            (fun m -> if Lit.var m <> v then walk (Lit.negate m))
+            (Vec.get t.clauses ci)
+    end
+  in
+  walk l;
+  !out
+
+(* append a clause, computing its counters under the current root
+   assignment; propagates if it became unit, flags inconsistency if
+   falsified *)
+let add_clause t c =
+  if not (Cnf.Clause.is_tautology c) then begin
+    let lits = Array.of_list (Cnf.Clause.to_list c) in
+    Array.iter
+      (fun l ->
+         if Lit.var l >= t.nvars then invalid_arg "Bcp.add_clause: unknown var")
+      lits;
+    let ci = Vec.size t.clauses in
+    Vec.push t.clauses lits;
+    let ntrue =
+      Array.fold_left (fun acc l -> if value t l = 1 then acc + 1 else acc) 0 lits
+    in
+    let nfree =
+      Array.fold_left (fun acc l -> if value t l <> 0 then acc + 1 else acc) 0 lits
+    in
+    Vec.push t.ntrue ntrue;
+    Vec.push t.nfree nfree;
+    Array.iter (fun l -> t.occ.(l) <- ci :: t.occ.(l)) lits;
+    if t.consistent && ntrue = 0 then begin
+      if nfree = 0 then t.consistent <- false
+      else if nfree = 1 then propagate t [ ci ]
+    end
+  end
+
+let create f =
+  let n = Cnf.Formula.nvars f in
+  let t =
+    {
+      nvars = n;
+      clauses = Vec.create ~dummy:[||] ();
+      occ = Array.make (max 1 (2 * n)) [];
+      ntrue = Vec.create ~dummy:0 ();
+      nfree = Vec.create ~dummy:0 ();
+      assign = Array.make (max 1 n) (-1);
+      reason = Array.make (max 1 n) (-1);
+      trail = Vec.create ~dummy:0 ();
+      trail_pos = Array.make (max 1 n) (-1);
+      consistent = true;
+    }
+  in
+  Cnf.Formula.iter_clauses f (fun c -> add_clause t c);
+  t

@@ -1,0 +1,61 @@
+(** Standalone Boolean constraint propagation over a static clause set,
+    with checkpoints and reason tracking.
+
+    This is the implication engine used by preprocessing (failed-literal
+    probing) and by recursive learning on CNF formulas (Sec. 4.2), where
+    each case split needs its implied assignments and the clauses that
+    produced them. *)
+
+type t
+
+val create : Cnf.Formula.t -> t
+(** Builds the engine and propagates the formula's unit clauses.
+    Check {!is_consistent} afterwards. *)
+
+val add_clause : t -> Cnf.Clause.t -> unit
+(** Appends a clause at the root level (no assumptions may be active)
+    and propagates.  Used by the proof checker to grow the clause set as
+    a derivation is replayed. *)
+
+val is_consistent : t -> bool
+(** [false] once a conflict was reached at the root level. *)
+
+val nvars : t -> int
+val value : t -> Cnf.Lit.t -> int
+(** 1 true, 0 false, -1 unassigned. *)
+
+val value_var : t -> int -> int
+
+val checkpoint : t -> int
+(** Returns a mark for {!backtrack}. *)
+
+val backtrack : t -> int -> unit
+
+val assume : t -> Cnf.Lit.t -> Cnf.Lit.t list option
+(** [assume t l] assigns [l] and propagates.  Returns [Some implied] (the
+    newly assigned literals, [l] first) or [None] on conflict, in which
+    case the engine has already undone the assumption's consequences and
+    the assumption itself. *)
+
+val add_unit : t -> Cnf.Lit.t -> bool
+(** Permanently asserts a literal at the current level; returns [false]
+    on conflict (engine state then inconsistent — only meaningful at the
+    root). *)
+
+val reason : t -> int -> Cnf.Clause.t option
+(** [reason t v] is the clause that implied variable [v]'s current value,
+    or [None] for assumptions, root units given in the formula, or
+    unassigned variables. *)
+
+val trail : t -> Cnf.Lit.t list
+(** Currently assigned literals, oldest first. *)
+
+val trail_position : t -> int -> int
+(** [trail_position t v] is the position of variable [v]'s assignment on
+    the trail, or [-1] when unassigned. *)
+
+val support : t -> since:int -> Cnf.Lit.t -> Cnf.Lit.t list
+(** [support t ~since l] — for a literal [l] implied after checkpoint
+    [since], the set of literals assigned *before* [since] that the
+    implication chain of [l] rests on (the "explanation" antecedents of
+    recursive learning).  Assumes [l] is currently assigned true. *)

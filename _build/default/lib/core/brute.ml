@@ -1,0 +1,25 @@
+let check_size f =
+  if Cnf.Formula.nvars f > 24 then invalid_arg "Brute: too many variables"
+
+let fold f init g =
+  check_size g;
+  let n = Cnf.Formula.nvars g in
+  let acc = ref init in
+  for mask = 0 to (1 lsl n) - 1 do
+    let value v = mask land (1 lsl v) <> 0 in
+    if Cnf.Formula.eval value g then acc := f !acc mask
+  done;
+  !acc
+
+let mask_to_model n mask = Array.init n (fun v -> mask land (1 lsl v) <> 0)
+
+let solve g =
+  match fold (fun acc m -> match acc with None -> Some m | some -> some) None g with
+  | Some mask -> Types.Sat (mask_to_model (Cnf.Formula.nvars g) mask)
+  | None -> Types.Unsat
+
+let count_models g = fold (fun acc _ -> acc + 1) 0 g
+
+let models g =
+  let n = Cnf.Formula.nvars g in
+  List.rev (fold (fun acc m -> mask_to_model n m :: acc) [] g)

@@ -1,0 +1,11 @@
+(** Exhaustive-enumeration reference solver, for tests and tiny instances
+    (up to ~24 variables). *)
+
+val solve : Cnf.Formula.t -> Types.outcome
+(** Tries all assignments in lexicographic order.  Raises
+    [Invalid_argument] beyond 24 variables. *)
+
+val count_models : Cnf.Formula.t -> int
+
+val models : Cnf.Formula.t -> bool array list
+(** All satisfying assignments (tests only). *)

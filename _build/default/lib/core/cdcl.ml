@@ -1,0 +1,771 @@
+(* Conflict-driven clause learning with two-literal watching.  The
+   imperative core follows the MiniSat lineage of the GRASP architecture
+   described in the paper; comments mark the Decide / Deduce / Diagnose /
+   Erase roles of Figure 2. *)
+
+module Lit = Cnf.Lit
+
+type clause = {
+  mutable lits : int array; (* lits.(0), lits.(1) are the watched literals *)
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+  mutable lbd : int; (* distinct decision levels at learning time *)
+}
+
+type plugin = {
+  on_assign : Cnf.Lit.t -> unit;
+  on_unassign : Cnf.Lit.t -> unit;
+  decide : unit -> Cnf.Lit.t option;
+  is_complete : unit -> bool;
+}
+
+let no_plugin =
+  {
+    on_assign = (fun _ -> ());
+    on_unassign = (fun _ -> ());
+    decide = (fun () -> None);
+    is_complete = (fun () -> false);
+  }
+
+let dummy_clause =
+  { lits = [||]; activity = 0.; learnt = false; deleted = true; lbd = 0 }
+
+type t = {
+  cfg : Types.config;
+  stats : Types.stats;
+  rng : Rng.t;
+  mutable nvars : int;
+  mutable ok : bool;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* indexed by literal *)
+  mutable assign : int array;           (* var -> -1 / 0 / 1 *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable phase : bool array;
+  mutable activity : float array;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable heap : Heap.t;
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable seen : bool array;
+  mutable jw_weight : float array;      (* static Jeroslow-Wang literal weights *)
+  mutable jw_ready : bool;
+  mutable plugin : plugin;
+  mutable model : bool array;
+  mutable partial : int array option;
+  mutable max_learnts : int;
+  mutable assumptions : int array;
+  mutable proof : Cnf.Clause.t list; (* learned clauses, newest first *)
+}
+
+let config s = s.cfg
+let stats s = s.stats
+let set_plugin s p = s.plugin <- p
+let nvars s = s.nvars
+let decision_level s = Vec.size s.trail_lim
+
+let value_var s v = s.assign.(v)
+
+let value s l =
+  let a = s.assign.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let ensure_capacity s n =
+  let old = Array.length s.assign in
+  if n > old then begin
+    let cap = max n (old * 2) in
+    let grow_arr a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    s.assign <- grow_arr s.assign (-1);
+    s.level <- grow_arr s.level (-1);
+    s.reason <- grow_arr s.reason None;
+    s.phase <- grow_arr s.phase false;
+    s.activity <- grow_arr s.activity 0.;
+    s.seen <- grow_arr s.seen false;
+    let w = Array.init (2 * cap) (fun i ->
+        if i < 2 * old then s.watches.(i)
+        else Vec.create ~capacity:4 ~dummy:dummy_clause ())
+    in
+    s.watches <- w;
+    Heap.grow s.heap cap
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  ensure_capacity s s.nvars;
+  Heap.insert s.heap v;
+  v
+
+(* --- assignment / trail ------------------------------------------------ *)
+
+let enqueue s l reason =
+  let v = Lit.var l in
+  s.assign.(v) <- (if Lit.is_pos l then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l;
+  s.plugin.on_assign l
+
+let new_decision_level s = Vec.push s.trail_lim (Vec.size s.trail)
+
+(* Erase(): undo assignments above [lvl]. *)
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      if s.cfg.phase_saving then s.phase.(v) <- s.assign.(v) = 1;
+      s.assign.(v) <- -1;
+      s.reason.(v) <- None;
+      s.plugin.on_unassign l;
+      Heap.insert s.heap v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* --- clause attachment -------------------------------------------------- *)
+
+let attach s (c : clause) =
+  Vec.push s.watches.(c.lits.(0)) c;
+  Vec.push s.watches.(c.lits.(1)) c
+
+let detach s (c : clause) =
+  let remove l = Vec.filter_in_place (fun d -> d != c) s.watches.(l) in
+  remove c.lits.(0);
+  remove c.lits.(1)
+
+let locked s (c : clause) =
+  Array.length c.lits > 0
+  && (match s.reason.(Lit.var c.lits.(0)) with
+      | Some r -> r == c
+      | None -> false)
+
+let delete_clause s (c : clause) =
+  detach s c;
+  c.deleted <- true;
+  s.stats.deleted <- s.stats.deleted + 1
+
+(* --- activities --------------------------------------------------------- *)
+
+let var_decay = 1. /. 0.95
+let cla_decay = 1. /. 0.999
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  Heap.update s.heap v
+
+let bump_clause s (c : clause) =
+  c.activity <- c.activity +. s.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (d : clause) -> d.activity <- d.activity *. 1e-20) s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let decay_activities s =
+  s.var_inc <- s.var_inc *. var_decay;
+  s.cla_inc <- s.cla_inc *. cla_decay
+
+(* --- Deduce(): unit propagation with two-literal watching --------------- *)
+
+let propagate s =
+  let confl = ref None in
+  while !confl = None && s.qhead < Vec.size s.trail do
+    let p = Vec.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.stats.propagations <- s.stats.propagations + 1;
+    let np = Lit.negate p in
+    let ws = s.watches.(np) in
+    let n = Vec.size ws in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if not c.deleted then begin
+        (* normalise: the falsified watch sits at position 1 *)
+        if c.lits.(0) = np then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- np
+        end;
+        if value s c.lits.(0) = 1 then begin
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          let len = Array.length c.lits in
+          let k = ref 2 and found = ref false in
+          while (not !found) && !k < len do
+            if value s c.lits.(!k) <> 0 then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- np;
+              Vec.push s.watches.(c.lits.(1)) c;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            Vec.set ws !j c;
+            incr j;
+            if value s c.lits.(0) = 0 then begin
+              (* conflicting clause: flush remaining watchers and stop *)
+              confl := Some c;
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr j;
+                incr i
+              done
+            end
+            else enqueue s c.lits.(0) (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !confl
+
+(* --- Diagnose(): 1-UIP conflict analysis -------------------------------- *)
+
+(* Returns the learned literals (UIP first) and the backjump level.  The
+   learned clause is an implicate of the formula (clause recording); the
+   asserted UIP literal is the conflict-induced necessary assignment. *)
+let analyze s confl =
+  let learnt = ref [] in
+  let to_clear = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let idx = ref (Vec.size s.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+     | None -> assert false
+     | Some c ->
+       if c.learnt then bump_clause s c;
+       Array.iter
+         (fun q ->
+            let v = Lit.var q in
+            if q <> !p && (not s.seen.(v)) && s.level.(v) > 0 then begin
+              s.seen.(v) <- true;
+              to_clear := v :: !to_clear;
+              bump_var s v;
+              if s.level.(v) >= decision_level s then incr path
+              else learnt := q :: !learnt
+            end)
+         c.lits);
+    (* walk back to the next marked literal on the trail *)
+    while not s.seen.(Lit.var (Vec.get s.trail !idx)) do
+      decr idx
+    done;
+    let q = Vec.get s.trail !idx in
+    decr idx;
+    s.seen.(Lit.var q) <- false;
+    decr path;
+    if !path = 0 then begin
+      p := q;
+      continue := false
+    end
+    else begin
+      p := q;
+      confl := s.reason.(Lit.var q)
+    end
+  done;
+  let uip = Lit.negate !p in
+  (* conflict-clause minimization: drop literals implied by the rest *)
+  let kept =
+    if not s.cfg.minimize_learned then !learnt
+    else begin
+      (* [seen] currently true exactly for the vars in [learnt] *)
+      List.iter (fun q -> s.seen.(Lit.var q) <- true) !learnt;
+      let redundant q =
+        match s.reason.(Lit.var q) with
+        | None -> false
+        | Some c ->
+          Array.for_all
+            (fun l ->
+               Lit.var l = Lit.var q
+               || s.level.(Lit.var l) = 0
+               || s.seen.(Lit.var l))
+            c.lits
+      in
+      let kept = List.filter (fun q -> not (redundant q)) !learnt in
+      List.iter (fun q -> s.seen.(Lit.var q) <- false) !learnt;
+      kept
+    end
+  in
+  List.iter (fun v -> s.seen.(v) <- false) !to_clear;
+  (* backjump level = highest level among the non-UIP literals *)
+  let bj = List.fold_left (fun acc q -> max acc (s.level.(Lit.var q))) 0 kept in
+  (* order: UIP first, then a literal of the backjump level (watch sanity) *)
+  let at_bj, rest = List.partition (fun q -> s.level.(Lit.var q) = bj) kept in
+  (uip :: (at_bj @ rest), bj)
+
+(* Failed-assumption analysis: which assumptions force [p] false. *)
+let analyze_final s p =
+  let core = ref [ p ] in
+  let v0 = Lit.var p in
+  s.seen.(v0) <- true;
+  for i = Vec.size s.trail - 1 downto 0 do
+    let q = Vec.get s.trail i in
+    let v = Lit.var q in
+    if s.seen.(v) then begin
+      (match s.reason.(v) with
+       | None -> if s.level.(v) > 0 && v <> v0 then core := q :: !core
+       | Some c ->
+         Array.iter
+           (fun l ->
+              if Lit.var l <> v && s.level.(Lit.var l) > 0 then
+                s.seen.(Lit.var l) <- true)
+           c.lits);
+      s.seen.(v) <- false
+    end
+  done;
+  s.seen.(v0) <- false;
+  !core
+
+(* --- clause recording ---------------------------------------------------- *)
+
+let record_learnt s lits =
+  s.stats.learned <- s.stats.learned + 1;
+  s.stats.learned_literals <- s.stats.learned_literals + List.length lits;
+  if s.cfg.proof_logging then s.proof <- Cnf.Clause.of_list lits :: s.proof;
+  match lits with
+  | [] -> s.ok <- false; None
+  | [ l ] ->
+    enqueue s l None;
+    None
+  | l :: rest ->
+    (* literal-block distance: distinct levels of the tail literals,
+       plus the level the UIP is about to be asserted at *)
+    let lbd =
+      1
+      + List.length
+          (List.sort_uniq Int.compare
+             (List.map (fun q -> s.level.(Lit.var q)) rest))
+    in
+    let c =
+      { lits = Array.of_list lits; activity = 0.; learnt = true;
+        deleted = false; lbd }
+    in
+    attach s c;
+    Vec.push s.learnts c;
+    bump_clause s c;
+    enqueue s l (Some c);
+    Some c
+
+(* --- clause deletion policies ------------------------------------------- *)
+
+let reduce_activity_half s =
+  let arr =
+    Vec.to_list s.learnts
+    |> List.filter (fun c -> not c.deleted)
+    |> List.sort (fun (a : clause) (b : clause) ->
+           Float.compare a.activity b.activity)
+    |> Array.of_list
+  in
+  let target = Array.length arr / 2 in
+  let removed = ref 0 in
+  Array.iter
+    (fun c ->
+       if !removed < target && Array.length c.lits > 2 && not (locked s c) then begin
+         delete_clause s c;
+         incr removed
+       end)
+    arr;
+  Vec.filter_in_place (fun c -> not c.deleted) s.learnts
+
+let reduce_by_predicate s pred =
+  Vec.iter
+    (fun c -> if (not c.deleted) && pred c && not (locked s c) then delete_clause s c)
+    s.learnts;
+  Vec.filter_in_place (fun c -> not c.deleted) s.learnts
+
+let unassigned_count s (c : clause) =
+  Array.fold_left (fun acc l -> if value s l < 0 then acc + 1 else acc) 0 c.lits
+
+let maybe_reduce s =
+  match s.cfg.deletion with
+  | Types.No_deletion -> ()
+  | Types.Activity_halving ->
+    if Vec.size s.learnts > s.max_learnts then begin
+      reduce_activity_half s;
+      s.max_learnts <- s.max_learnts * 12 / 10
+    end
+  | Types.Size_bounded bound ->
+    if s.stats.conflicts mod 1000 = 0 then
+      reduce_by_predicate s (fun c -> Array.length c.lits > bound)
+  | Types.Relevance (bound, r) ->
+    if s.stats.conflicts mod 1000 = 0 then
+      reduce_by_predicate s (fun c ->
+          Array.length c.lits > bound && unassigned_count s c > r)
+  | Types.Lbd_bounded bound ->
+    if s.stats.conflicts mod 1000 = 0 then
+      reduce_by_predicate s (fun c -> c.lbd > bound && Array.length c.lits > 2)
+
+(* --- Decide(): branching heuristics -------------------------------------- *)
+
+let pick_phase s v = if s.phase.(v) then Lit.pos v else Lit.neg_of_var v
+
+let decide_vsids s =
+  let rec go () =
+    if Heap.is_empty s.heap then None
+    else
+      let v = Heap.pop_max s.heap in
+      if s.assign.(v) < 0 then Some (pick_phase s v) else go ()
+  in
+  go ()
+
+let decide_fixed s =
+  let rec go v =
+    if v >= s.nvars then None
+    else if s.assign.(v) < 0 then Some (pick_phase s v)
+    else go (v + 1)
+  in
+  go 0
+
+let decide_random s =
+  let free = ref [] and n = ref 0 in
+  for v = s.nvars - 1 downto 0 do
+    if s.assign.(v) < 0 then begin
+      free := v :: !free;
+      incr n
+    end
+  done;
+  if !n = 0 then None
+  else
+    let v = List.nth !free (Rng.int s.rng !n) in
+    Some (Lit.of_var v (Rng.bool s.rng))
+
+(* Literal-count heuristics scan the clause database; used by the
+   GRASP-flavoured configurations on small instances. *)
+let clause_satisfied s (c : clause) = Array.exists (fun l -> value s l = 1) c.lits
+
+let decide_by_counts s ~restrict_to_min =
+  let best = ref (-1) and best_count = ref (-1) in
+  let counts = Hashtbl.create 64 in
+  let min_size = ref max_int in
+  let consider c =
+    if (not c.deleted) && not (clause_satisfied s c) then begin
+      let free = unassigned_count s c in
+      if free > 0 && free < !min_size then min_size := free
+    end
+  in
+  if restrict_to_min then begin
+    Vec.iter consider s.clauses;
+    Vec.iter consider s.learnts
+  end;
+  let count c =
+    if (not c.deleted) && not (clause_satisfied s c) then begin
+      let free = unassigned_count s c in
+      if free > 0 && ((not restrict_to_min) || free = !min_size) then
+        Array.iter
+          (fun l ->
+             if value s l < 0 then begin
+               let cur = Option.value ~default:0 (Hashtbl.find_opt counts l) in
+               Hashtbl.replace counts l (cur + 1)
+             end)
+          c.lits
+    end
+  in
+  Vec.iter count s.clauses;
+  Vec.iter count s.learnts;
+  Hashtbl.iter
+    (fun l c ->
+       if c > !best_count || (c = !best_count && l < !best) then begin
+         best := l;
+         best_count := c
+       end)
+    counts;
+  if !best < 0 then decide_fixed s else Some !best
+
+let compute_jw s =
+  let w = Array.make (2 * max 1 s.nvars) 0. in
+  let add c =
+    if not c.deleted then begin
+      let inc = 2. ** float_of_int (-Array.length c.lits) in
+      Array.iter (fun l -> w.(l) <- w.(l) +. inc) c.lits
+    end
+  in
+  Vec.iter add s.clauses;
+  s.jw_weight <- w;
+  s.jw_ready <- true
+
+let decide_jw s =
+  if not s.jw_ready then compute_jw s;
+  let best = ref (-1) and best_w = ref neg_infinity in
+  for l = 0 to (2 * s.nvars) - 1 do
+    if value s l < 0 && l < Array.length s.jw_weight && s.jw_weight.(l) > !best_w
+    then begin
+      best := l;
+      best_w := s.jw_weight.(l)
+    end
+  done;
+  if !best < 0 then None else Some !best
+
+let default_decide s =
+  if s.cfg.random_decision_freq > 0.
+     && Rng.float s.rng < s.cfg.random_decision_freq
+  then
+    match decide_random s with
+    | Some l -> Some l
+    | None -> None
+  else
+    match s.cfg.heuristic with
+    | Types.Vsids -> decide_vsids s
+    | Types.Fixed_order -> decide_fixed s
+    | Types.Random_order -> decide_random s
+    | Types.Dlis -> decide_by_counts s ~restrict_to_min:false
+    | Types.Moms -> decide_by_counts s ~restrict_to_min:true
+    | Types.Jeroslow_wang -> decide_jw s
+
+(* --- restarts ------------------------------------------------------------- *)
+
+(* MiniSat's integer Luby sequence: 1 1 2 1 1 2 4 ... *)
+let luby x =
+  let size = ref 1 and seq = ref 0 and x = ref x in
+  while !size < !x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+let restart_limit s k =
+  match s.cfg.restarts with
+  | Types.No_restarts -> max_int
+  | Types.Luby base -> base * luby k
+  | Types.Geometric (first, factor) ->
+    int_of_float (float_of_int first *. (factor ** float_of_int k))
+
+(* --- top-level clause addition ------------------------------------------- *)
+
+let add_clause s lits =
+  assert (decision_level s = 0);
+  let c = Cnf.Clause.of_list lits in
+  if s.ok && not (Cnf.Clause.is_tautology c) then begin
+    List.iter (fun l -> ignore (Lit.var l);
+                while Lit.var l >= s.nvars do ignore (new_var s) done)
+      (Cnf.Clause.to_list c);
+    (* simplify against the level-0 assignment *)
+    let lits = Cnf.Clause.to_list c in
+    if not (List.exists (fun l -> value s l = 1) lits) then begin
+      let lits = List.filter (fun l -> value s l <> 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        enqueue s l None;
+        (match propagate s with Some _ -> s.ok <- false | None -> ())
+      | l0 :: l1 :: _ ->
+        let arr = Array.of_list lits in
+        ignore l0;
+        ignore l1;
+        let cl =
+          { lits = arr; activity = 0.; learnt = false; deleted = false;
+            lbd = 0 }
+        in
+        attach s cl;
+        Vec.push s.clauses cl;
+        s.jw_ready <- false
+    end
+  end
+
+let create ?(config = Types.default) formula =
+  let n = Cnf.Formula.nvars formula in
+  let cap = max n 1 in
+  let s =
+    {
+      cfg = config;
+      stats = Types.mk_stats ();
+      rng = Rng.create config.Types.random_seed;
+      nvars = 0;
+      ok = true;
+      clauses = Vec.create ~dummy:dummy_clause ();
+      learnts = Vec.create ~dummy:dummy_clause ();
+      watches = Array.init (2 * cap) (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_clause ());
+      assign = Array.make cap (-1);
+      level = Array.make cap (-1);
+      reason = Array.make cap None;
+      phase = Array.make cap false;
+      activity = Array.make cap 0.;
+      var_inc = 1.;
+      cla_inc = 1.;
+      heap = Heap.create ~score:(fun _ -> 0.) cap;
+      trail = Vec.create ~dummy:0 ();
+      trail_lim = Vec.create ~dummy:0 ();
+      qhead = 0;
+      seen = Array.make cap false;
+      jw_weight = [||];
+      jw_ready = false;
+      plugin = no_plugin;
+      model = [||];
+      partial = None;
+      max_learnts = 100;
+      assumptions = [||];
+      proof = [];
+    }
+  in
+  (* tie the heap's score to the record so array growth stays visible *)
+  s.heap <- Heap.create ~score:(fun v -> s.activity.(v)) cap;
+  for _ = 1 to n do
+    ignore (new_var s)
+  done;
+  Cnf.Formula.iter_clauses formula (fun c -> add_clause s (Cnf.Clause.to_list c));
+  s.max_learnts <- max 100 (Vec.size s.clauses / 3);
+  s
+
+(* --- search --------------------------------------------------------------- *)
+
+type step = Continue | Done of Types.outcome
+
+let extract_model s =
+  let m = Array.make s.nvars false in
+  for v = 0 to s.nvars - 1 do
+    m.(v) <- (if s.assign.(v) >= 0 then s.assign.(v) = 1 else s.phase.(v))
+  done;
+  s.model <- m;
+  s.partial <- Some (Array.sub s.assign 0 s.nvars);
+  Types.Sat m
+
+let handle_conflict s confl =
+  s.stats.conflicts <- s.stats.conflicts + 1;
+  if decision_level s = 0 then begin
+    s.ok <- false;
+    Done Types.Unsat
+  end
+  else begin
+    let lits, bj = analyze s confl in
+    let target =
+      (* chronological mode still sends unit learned clauses to the root:
+         a reasonless literal inside a level would corrupt later conflict
+         analysis *)
+      match lits with
+      | [ _ ] -> bj
+      | _ ->
+        if s.cfg.chronological then max bj (decision_level s - 1) else bj
+    in
+    if target < decision_level s - 1 then begin
+      s.stats.nonchrono_backjumps <- s.stats.nonchrono_backjumps + 1;
+      s.stats.skipped_levels <-
+        s.stats.skipped_levels + (decision_level s - 1 - target)
+    end;
+    cancel_until s target;
+    ignore (record_learnt s lits);
+    decay_activities s;
+    if not s.ok then Done Types.Unsat else Continue
+  end
+
+let budget_exceeded s =
+  (match s.cfg.max_conflicts with
+   | Some m when s.stats.conflicts >= m -> true
+   | Some _ | None -> false)
+  ||
+  match s.cfg.max_decisions with
+  | Some m when s.stats.decisions >= m -> true
+  | Some _ | None -> false
+
+let decide_step s =
+  (* assumption literals occupy the lowest decision levels *)
+  if decision_level s < Array.length s.assumptions then begin
+    let p = s.assumptions.(decision_level s) in
+    match value s p with
+    | 1 ->
+      new_decision_level s;
+      Continue
+    | 0 -> Done (Types.Unsat_assuming (analyze_final s p))
+    | _ ->
+      new_decision_level s;
+      enqueue s p None;
+      Continue
+  end
+  else if s.plugin.is_complete () then Done (extract_model s)
+  else begin
+    let next =
+      match s.plugin.decide () with
+      | Some l -> Some l
+      | None -> default_decide s
+    in
+    match next with
+    | None -> Done (extract_model s)
+    | Some l ->
+      assert (value s l < 0);
+      s.stats.decisions <- s.stats.decisions + 1;
+      new_decision_level s;
+      s.stats.max_level <- max s.stats.max_level (decision_level s);
+      enqueue s l None;
+      Continue
+  end
+
+let solve ?(assumptions = []) s =
+  if not s.ok then Types.Unsat
+  else begin
+    (* assumptions may mention variables no clause ever did *)
+    List.iter
+      (fun l ->
+         while Lit.var l >= s.nvars do
+           ignore (new_var s)
+         done)
+      assumptions;
+    s.assumptions <- Array.of_list assumptions;
+    s.partial <- None;
+    let restart_num = ref 0 in
+    let conflicts_here = ref 0 in
+    let limit = ref (restart_limit s 0) in
+    let result = ref None in
+    while !result = None do
+      match propagate s with
+      | Some confl -> begin
+          incr conflicts_here;
+          match handle_conflict s confl with
+          | Done r -> result := Some r
+          | Continue ->
+            maybe_reduce s;
+            if budget_exceeded s then result := Some (Types.Unknown "budget")
+            else if !conflicts_here >= !limit then begin
+              (* randomized restart (Sec. 6) *)
+              incr restart_num;
+              s.stats.restarts_done <- s.stats.restarts_done + 1;
+              conflicts_here := 0;
+              limit := restart_limit s !restart_num;
+              cancel_until s 0
+            end
+        end
+      | None -> begin
+          if budget_exceeded s then result := Some (Types.Unknown "budget")
+          else
+            match decide_step s with
+            | Done r -> result := Some r
+            | Continue -> ()
+        end
+    done;
+    cancel_until s 0;
+    s.assumptions <- [||];
+    Option.get !result
+  end
+
+let learned_clauses s =
+  Vec.to_list s.learnts
+  |> List.filter (fun c -> not c.deleted)
+  |> List.map (fun c -> Cnf.Clause.of_list (Array.to_list c.lits))
+
+let last_partial_assignment s = s.partial
+let proof s = List.rev s.proof

@@ -1,0 +1,82 @@
+(** Conflict-driven clause-learning SAT solver.
+
+    This is the generic backtrack-search algorithm of Figure 2 of the paper
+    with the "key properties" of modern solvers (Sec. 4.1): conflict
+    analysis with clause recording, non-chronological backtracking,
+    relevance-based (and other) clause-deletion policies, branching
+    heuristics, randomized restarts (Sec. 6), and incremental solving under
+    assumptions (Sec. 6).
+
+    Two-literal watching is used for Boolean constraint propagation
+    ([Deduce]); 1-UIP conflict analysis implements [Diagnose]; the asserted
+    UIP literal at the backjump level realises GRASP's conflict-induced
+    necessary assignments.
+
+    A {!plugin} lets a client layer observe assignments and override the
+    decision procedure and the satisfiability test — the mechanism by which
+    {!module:Csat} adds the circuit structural layer of Section 5 without
+    touching the solver's data structures. *)
+
+type t
+
+type plugin = {
+  on_assign : Cnf.Lit.t -> unit;
+      (** called after every assignment (decision or implication) *)
+  on_unassign : Cnf.Lit.t -> unit;
+      (** called as assignments are undone during backtracking *)
+  decide : unit -> Cnf.Lit.t option;
+      (** consulted before the built-in heuristic; must return an
+          unassigned literal or [None] to fall through *)
+  is_complete : unit -> bool;
+      (** when it returns [true] the current (possibly partial) assignment
+          is declared satisfying and the search stops — the paper's
+          "empty justification frontier" termination test *)
+}
+
+val no_plugin : plugin
+
+val create : ?config:Types.config -> Cnf.Formula.t -> t
+(** Builds a solver over a snapshot of the formula's clauses.  Later
+    clauses added to the [Formula.t] are not seen; use {!add_clause}. *)
+
+val config : t -> Types.config
+val set_plugin : t -> plugin -> unit
+
+val nvars : t -> int
+val new_var : t -> int
+
+val add_clause : t -> Cnf.Lit.t list -> unit
+(** Adds a clause at decision level 0 (the solver must not be
+    mid-search).  Adding a falsified clause makes the instance
+    unsatisfiable. *)
+
+val solve : ?assumptions:Cnf.Lit.t list -> t -> Types.outcome
+(** Runs the search.  The solver backtracks to level 0 afterwards and can
+    be reused incrementally: learned clauses persist across calls. *)
+
+val stats : t -> Types.stats
+(** Cumulative across [solve] calls. *)
+
+val value : t -> Cnf.Lit.t -> int
+(** Current assignment of a literal: 1 true, 0 false, -1 unassigned.
+    Intended for plugins during search. *)
+
+val value_var : t -> int -> int
+
+val decision_level : t -> int
+
+val learned_clauses : t -> Cnf.Clause.t list
+(** The currently recorded (non-deleted) learned clauses — each an
+    implicate of the original formula. *)
+
+val proof : t -> Cnf.Clause.t list
+(** Learned clauses in derivation order (requires
+    [config.proof_logging]); each is reverse-unit-propagation derivable
+    from the input clauses plus the earlier entries — see
+    {!module:Proof}. *)
+
+val last_partial_assignment : t -> int array option
+(** Snapshot of the variable assignment (1/0/-1) at the moment the last
+    [solve] declared satisfiability — before the automatic backtrack.
+    With an early-terminating plugin this exposes the don't-cares of the
+    computed solution (overspecification analysis, Sec. 5). *)

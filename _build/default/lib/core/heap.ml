@@ -1,0 +1,86 @@
+type t = {
+  score : int -> float;
+  mutable heap : int array;
+  mutable size : int;
+  mutable pos : int array; (* element -> heap index, or -1 *)
+}
+
+let create ~score n =
+  { score; heap = Array.make (max n 1) (-1); size = 0; pos = Array.make (max n 1) (-1) }
+
+let grow h n =
+  if n > Array.length h.pos then begin
+    let pos = Array.make n (-1) in
+    Array.blit h.pos 0 pos 0 (Array.length h.pos);
+    h.pos <- pos;
+    let heap = Array.make n (-1) in
+    Array.blit h.heap 0 heap 0 h.size;
+    h.heap <- heap
+  end
+
+let mem h x = x < Array.length h.pos && h.pos.(x) >= 0
+let is_empty h = h.size = 0
+let swap h i j =
+  let a = h.heap.(i) and b = h.heap.(j) in
+  h.heap.(i) <- b;
+  h.heap.(j) <- a;
+  h.pos.(b) <- i;
+  h.pos.(a) <- j
+
+let rec up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.score h.heap.(i) > h.score h.heap.(parent) then begin
+      swap h i parent;
+      up h parent
+    end
+  end
+
+let rec down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.size && h.score h.heap.(l) > h.score h.heap.(!best) then best := l;
+  if r < h.size && h.score h.heap.(r) > h.score h.heap.(!best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    down h !best
+  end
+
+let insert h x =
+  grow h (x + 1);
+  if not (mem h x) then begin
+    if h.size = Array.length h.heap then begin
+      let heap = Array.make (2 * h.size) (-1) in
+      Array.blit h.heap 0 heap 0 h.size;
+      h.heap <- heap
+    end;
+    h.heap.(h.size) <- x;
+    h.pos.(x) <- h.size;
+    h.size <- h.size + 1;
+    up h h.pos.(x)
+  end
+
+let pop_max h =
+  if h.size = 0 then raise Not_found;
+  let top = h.heap.(0) in
+  h.size <- h.size - 1;
+  h.pos.(top) <- -1;
+  if h.size > 0 then begin
+    h.heap.(0) <- h.heap.(h.size);
+    h.pos.(h.heap.(0)) <- 0;
+    down h 0
+  end;
+  top
+
+let update h x =
+  if mem h x then begin
+    up h h.pos.(x);
+    down h h.pos.(x)
+  end
+
+let rebuild h xs =
+  for i = 0 to h.size - 1 do
+    h.pos.(h.heap.(i)) <- -1
+  done;
+  h.size <- 0;
+  List.iter (insert h) xs

@@ -1,0 +1,31 @@
+(** Indexed binary max-heap over variable indices, ordered by a mutable
+    external score (VSIDS activity).
+
+    When a score changes, call {!update} to restore heap order for that
+    element. *)
+
+type t
+
+val create : score:(int -> float) -> int -> t
+(** [create ~score n] builds an empty heap admitting elements
+    [0 .. n-1]. *)
+
+val grow : t -> int -> unit
+(** [grow h n] extends the admissible element range to [0 .. n-1]. *)
+
+val insert : t -> int -> unit
+(** No-op when the element is already present. *)
+
+val mem : t -> int -> bool
+val is_empty : t -> bool
+
+val pop_max : t -> int
+(** Removes and returns the element with the highest score.  Raises
+    [Not_found] when empty. *)
+
+val update : t -> int -> unit
+(** Re-establishes heap order after the element's score changed.  No-op
+    when the element is absent. *)
+
+val rebuild : t -> int list -> unit
+(** Clears the heap and inserts the given elements. *)

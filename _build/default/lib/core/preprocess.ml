@@ -1,0 +1,265 @@
+module Lit = Cnf.Lit
+module Clause = Cnf.Clause
+
+type stats = {
+  mutable units : int;
+  mutable pures : int;
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable failed_literals : int;
+  mutable rounds : int;
+}
+
+type simplified = {
+  formula : Cnf.Formula.t;
+  fix : (int * bool) list;
+  stats : stats;
+}
+
+type result = Unsat | Simplified of simplified
+
+exception Found_unsat
+
+type state = {
+  nvars : int;
+  mutable clauses : Clause.t list;
+  assign : int array; (* var -> -1/0/1 *)
+  mutable fix : (int * bool) list;
+  st : stats;
+}
+
+let lit_value s l =
+  let a = s.assign.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let fix_lit s reason l =
+  let v = Lit.var l in
+  match lit_value s l with
+  | 1 -> ()
+  | 0 -> raise Found_unsat
+  | _ ->
+    s.assign.(v) <- (if Lit.is_pos l then 1 else 0);
+    s.fix <- (v, Lit.is_pos l) :: s.fix;
+    (match reason with
+     | `Unit -> s.st.units <- s.st.units + 1
+     | `Pure -> s.st.pures <- s.st.pures + 1
+     | `Failed -> s.st.failed_literals <- s.st.failed_literals + 1)
+
+(* Remove satisfied clauses and false literals; fix unit clauses.
+   Returns true when anything changed. *)
+let simplify_clauses s =
+  let changed = ref false in
+  let rec stable () =
+    let local = ref false in
+    let keep c =
+      let lits = Clause.to_list c in
+      if List.exists (fun l -> lit_value s l = 1) lits then begin
+        local := true;
+        None
+      end
+      else
+        let free = List.filter (fun l -> lit_value s l <> 0) lits in
+        match free with
+        | [] -> raise Found_unsat
+        | [ l ] ->
+          fix_lit s `Unit l;
+          local := true;
+          None
+        | _ ->
+          if List.length free < List.length lits then local := true;
+          Some (Clause.of_list free)
+    in
+    s.clauses <- List.filter_map keep s.clauses;
+    if !local then begin
+      changed := true;
+      stable ()
+    end
+  in
+  stable ();
+  !changed
+
+let pure_literals s =
+  let occ = Array.make (2 * max 1 s.nvars) 0 in
+  List.iter
+    (fun c -> List.iter (fun l -> occ.(l) <- occ.(l) + 1) (Clause.to_list c))
+    s.clauses;
+  let changed = ref false in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) < 0 then begin
+      let p = occ.(Lit.pos v) and q = occ.(Lit.neg_of_var v) in
+      if p > 0 && q = 0 then begin
+        fix_lit s `Pure (Lit.pos v);
+        changed := true
+      end
+      else if q > 0 && p = 0 then begin
+        fix_lit s `Pure (Lit.neg_of_var v);
+        changed := true
+      end
+    end
+  done;
+  !changed
+
+let occurrence_table s =
+  let occ = Array.make (2 * max 1 s.nvars) [] in
+  List.iteri
+    (fun ci c -> List.iter (fun l -> occ.(l) <- ci :: occ.(l)) (Clause.to_list c))
+    s.clauses;
+  occ
+
+let subsume_pass s =
+  let arr = Array.of_list s.clauses in
+  let alive = Array.make (Array.length arr) true in
+  let occ = occurrence_table s in
+  let changed = ref false in
+  Array.iteri
+    (fun ci c ->
+       if alive.(ci) then begin
+         (* candidates share c's rarest literal *)
+         let rare =
+           Clause.to_list c
+           |> List.fold_left
+                (fun best l ->
+                   match best with
+                   | Some b when List.length occ.(b) <= List.length occ.(l) -> best
+                   | Some _ | None -> Some l)
+                None
+         in
+         match rare with
+         | None -> ()
+         | Some l ->
+           List.iter
+             (fun cj ->
+                if cj <> ci && alive.(cj) && Clause.size c <= Clause.size arr.(cj)
+                   && Clause.subsumes c arr.(cj)
+                then begin
+                  alive.(cj) <- false;
+                  s.st.subsumed <- s.st.subsumed + 1;
+                  changed := true
+                end)
+             occ.(l)
+       end)
+    arr;
+  s.clauses <-
+    Array.to_list arr
+    |> List.filteri (fun i _ -> alive.(i));
+  !changed
+
+(* self-subsuming resolution: if d contains (c \ {l}) and ~l, drop ~l
+   from d — the resolvent of c and d on l strengthens d *)
+let strengthen_pass s =
+  let arr = Array.of_list s.clauses |> Array.map (fun c -> ref c) in
+  let occ = Array.make (2 * max 1 s.nvars) [] in
+  Array.iteri
+    (fun ci rc ->
+       List.iter (fun l -> occ.(l) <- ci :: occ.(l)) (Clause.to_list !rc))
+    arr;
+  let changed = ref false in
+  Array.iteri
+    (fun ci rc ->
+       List.iter
+         (fun l ->
+            let rest =
+              List.filter (fun m -> not (Lit.equal m l)) (Clause.to_list !rc)
+            in
+            List.iter
+              (fun cj ->
+                 if cj <> ci then begin
+                   let d = !(arr.(cj)) in
+                   if Clause.mem (Lit.negate l) d
+                      && List.for_all (fun m -> Clause.mem m d) rest
+                   then begin
+                     let d' =
+                       Clause.of_list
+                         (List.filter
+                            (fun m -> not (Lit.equal m (Lit.negate l)))
+                            (Clause.to_list d))
+                     in
+                     arr.(cj) := d';
+                     s.st.strengthened <- s.st.strengthened + 1;
+                     changed := true
+                   end
+                 end)
+              occ.(Lit.negate l))
+         (Clause.to_list !rc))
+    arr;
+  s.clauses <- Array.to_list arr |> List.map ( ! );
+  !changed
+
+let probe s =
+  let f = Cnf.Formula.of_clauses ~nvars:s.nvars s.clauses in
+  let bcp = Bcp.create f in
+  if not (Bcp.is_consistent bcp) then raise Found_unsat;
+  let changed = ref false in
+  for v = 0 to s.nvars - 1 do
+    if s.assign.(v) < 0 && Bcp.value_var bcp v < 0 then begin
+      let mark = Bcp.checkpoint bcp in
+      let pos_ok =
+        match Bcp.assume bcp (Lit.pos v) with
+        | Some _ ->
+          Bcp.backtrack bcp mark;
+          true
+        | None -> false
+      in
+      let neg_ok =
+        match Bcp.assume bcp (Lit.neg_of_var v) with
+        | Some _ ->
+          Bcp.backtrack bcp mark;
+          true
+        | None -> false
+      in
+      match pos_ok, neg_ok with
+      | false, false -> raise Found_unsat
+      | false, true ->
+        fix_lit s `Failed (Lit.neg_of_var v);
+        ignore (Bcp.add_unit bcp (Lit.neg_of_var v));
+        if not (Bcp.is_consistent bcp) then raise Found_unsat;
+        changed := true
+      | true, false ->
+        fix_lit s `Failed (Lit.pos v);
+        ignore (Bcp.add_unit bcp (Lit.pos v));
+        if not (Bcp.is_consistent bcp) then raise Found_unsat;
+        changed := true
+      | true, true -> ()
+    end
+  done;
+  !changed
+
+let run ?(subsumption = true) ?(strengthen = true)
+    ?(probe_failed_literals = false) f =
+  let st =
+    { units = 0; pures = 0; subsumed = 0; strengthened = 0;
+      failed_literals = 0; rounds = 0 }
+  in
+  let s =
+    {
+      nvars = Cnf.Formula.nvars f;
+      clauses = Array.to_list (Cnf.Formula.clauses f);
+      assign = Array.make (max 1 (Cnf.Formula.nvars f)) (-1);
+      fix = [];
+      st;
+    }
+  in
+  let subsumption_on = subsumption in
+  try
+    let continue = ref true in
+    while !continue do
+      st.rounds <- st.rounds + 1;
+      let c1 = simplify_clauses s in
+      let c2 = pure_literals s in
+      let c3 = if subsumption_on then subsume_pass s else false in
+      let c4 = if strengthen then strengthen_pass s else false in
+      let c5 = if probe_failed_literals then probe s else false in
+      continue := (c1 || c2 || c3 || c4 || c5) && st.rounds < 20
+    done;
+    Simplified
+      {
+        formula = Cnf.Formula.of_clauses ~nvars:s.nvars s.clauses;
+        fix = List.rev s.fix;
+        stats = st;
+      }
+  with Found_unsat -> Unsat
+
+let complete_model (simp : simplified) model =
+  let m = Array.copy model in
+  List.iter (fun (v, b) -> m.(v) <- b) simp.fix;
+  m

@@ -1,0 +1,39 @@
+(** CNF preprocessing — the [Preprocess()] step of Figure 2.
+
+    Passes: unit propagation, pure-literal elimination, clause
+    subsumption, self-subsuming resolution (clause strengthening), and
+    optional failed-literal probing.  Variable numbering is preserved;
+    eliminated variables are recorded with the value that any model must
+    (or may safely) give them. *)
+
+type stats = {
+  mutable units : int;
+  mutable pures : int;
+  mutable subsumed : int;
+  mutable strengthened : int;
+  mutable failed_literals : int;
+  mutable rounds : int;
+}
+
+type simplified = {
+  formula : Cnf.Formula.t;
+      (** simplified clause set over the same variables *)
+  fix : (int * bool) list;
+      (** values for variables the preprocessor decided (units, pures,
+          failed literals) *)
+  stats : stats;
+}
+
+type result = Unsat | Simplified of simplified
+
+val run :
+  ?subsumption:bool ->
+  ?strengthen:bool ->
+  ?probe_failed_literals:bool ->
+  Cnf.Formula.t ->
+  result
+(** Defaults: subsumption and strengthening on, probing off. *)
+
+val complete_model : simplified -> bool array -> bool array
+(** Patches a model of the simplified formula into a model of the
+    original. *)

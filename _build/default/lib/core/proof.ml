@@ -1,0 +1,44 @@
+module Lit = Cnf.Lit
+
+type verdict =
+  | Valid_refutation
+  | Valid_derivation
+  | Invalid_step of int
+
+(* A clause is RUP iff asserting the negations of its literals conflicts
+   under unit propagation over the current clause set. *)
+let rup bcp clause =
+  let mark = Bcp.checkpoint bcp in
+  let rec refute = function
+    | [] -> false (* all negations stood: not RUP *)
+    | l :: rest -> (
+        match Bcp.assume bcp (Lit.negate l) with
+        | None -> true
+        | Some _ -> refute rest)
+  in
+  let result = refute (Cnf.Clause.to_list clause) in
+  Bcp.backtrack bcp mark;
+  result
+
+let check formula proof =
+  let bcp = Bcp.create formula in
+  let rec steps i = function
+    | [] -> if Bcp.is_consistent bcp then Valid_derivation else Valid_refutation
+    | c :: rest ->
+      if not (Bcp.is_consistent bcp) then Valid_refutation
+      else if Cnf.Clause.is_empty c then
+        (* an explicit empty clause must itself be RUP *)
+        if rup bcp c then Valid_refutation else Invalid_step i
+      else if rup bcp c then begin
+        Bcp.add_clause bcp c;
+        steps (i + 1) rest
+      end
+      else Invalid_step i
+  in
+  steps 0 proof
+
+let solve_certified ?(config = Types.default) formula =
+  let config = { config with Types.proof_logging = true } in
+  let solver = Cdcl.create ~config formula in
+  let outcome = Cdcl.solve solver in
+  (outcome, check formula (Cdcl.proof solver))

@@ -1,0 +1,31 @@
+(** Reverse-unit-propagation (RUP) proof checking.
+
+    A CDCL run with [proof_logging] emits its learned clauses in
+    derivation order.  Each learned clause C is {e RUP} with respect to
+    the clauses known before it: asserting the negation of every literal
+    of C and unit-propagating yields a conflict.  Replaying the sequence
+    therefore verifies, independently of the solver's internals, that
+    every recorded clause is an implicate — and an [UNSAT] answer is
+    certified when the accumulated clause set propagates to a root
+    conflict.
+
+    This is the certification mechanism modern solvers grew out of the
+    clause-recording idea the paper describes in Sec. 4.1. *)
+
+type verdict =
+  | Valid_refutation
+      (** all steps RUP and the final clause set is root-inconsistent:
+          the formula is certified unsatisfiable *)
+  | Valid_derivation
+      (** all steps RUP, no final conflict (the run ended SAT or the
+          proof is a partial derivation) *)
+  | Invalid_step of int
+      (** the clause at this index (0-based) is not RUP *)
+
+val check : Cnf.Formula.t -> Cnf.Clause.t list -> verdict
+
+val solve_certified :
+  ?config:Types.config -> Cnf.Formula.t -> Types.outcome * verdict
+(** Convenience: solve with proof logging forced on and check the
+    emitted proof.  An [Unsat] outcome paired with anything but
+    [Valid_refutation] indicates a solver defect. *)

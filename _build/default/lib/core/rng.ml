@@ -1,0 +1,25 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let s = Int64.of_int seed in
+  { state = (if Int64.equal s 0L then 0x9E3779B97F4A7C15L else s) }
+
+let next rng =
+  let x = rng.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  rng.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int rng bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let r = Int64.to_int (next rng) land max_int in
+  r mod bound
+
+let float rng =
+  let r = Int64.to_int (next rng) land max_int in
+  float_of_int r /. float_of_int max_int
+
+let bool rng = Int64.to_int (next rng) land 1 = 1
+let copy rng = { state = rng.state }

@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (xorshift64-star).
+
+    All randomization in the solver family flows through this module so
+    experiments are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; any seed is accepted (0 is
+    remapped internally). *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val copy : t -> t

@@ -1,0 +1,121 @@
+type engine =
+  | Cdcl of Types.config
+  | Dpll of Types.config
+  | Walksat of Local_search.config
+
+type pipeline = {
+  preprocess : bool;
+  probe_failed_literals : bool;
+  equivalence : bool;
+  recursive_learning : int;
+}
+
+let no_pipeline =
+  { preprocess = false; probe_failed_literals = false; equivalence = false;
+    recursive_learning = 0 }
+
+let full_pipeline =
+  { preprocess = true; probe_failed_literals = false; equivalence = true;
+    recursive_learning = 1 }
+
+type report = {
+  outcome : Types.outcome;
+  solver_stats : Types.stats option;
+  preprocess_stats : Preprocess.stats option;
+  equivalence_merged : int;
+  recursive_learning_implicates : int;
+  time_seconds : float;
+}
+
+let run_engine engine f =
+  match engine with
+  | Cdcl cfg ->
+    let s = Cdcl.create ~config:cfg f in
+    let outcome = Cdcl.solve s in
+    (outcome, Some (Cdcl.stats s))
+  | Dpll cfg ->
+    let outcome, st = Dpll.solve ~config:cfg f in
+    (outcome, Some st)
+  | Walksat cfg ->
+    let r = Local_search.solve ~config:cfg f in
+    (r.outcome, None)
+
+let solve ?(engine = Cdcl Types.default) ?(pipeline = no_pipeline) f =
+  let t0 = Unix.gettimeofday () in
+  let preprocess_stats = ref None in
+  let equivalence_merged = ref 0 in
+  let rl_implicates = ref 0 in
+  (* each stage yields the formula to solve plus a model-lifting step *)
+  let lift0 m = m in
+  let stage_preprocess (f, lift) =
+    if not pipeline.preprocess then `Go (f, lift)
+    else
+      match
+        Preprocess.run
+          ~probe_failed_literals:pipeline.probe_failed_literals f
+      with
+      | Preprocess.Unsat -> `Unsat
+      | Preprocess.Simplified simp ->
+        preprocess_stats := Some simp.Preprocess.stats;
+        `Go
+          ( simp.Preprocess.formula,
+            fun m -> lift (Preprocess.complete_model simp m) )
+  in
+  let stage_equivalence (f, lift) =
+    if not pipeline.equivalence then `Go (f, lift)
+    else
+      match Equivalence.detect f with
+      | Equivalence.Unsat_equiv -> `Unsat
+      | Equivalence.Reduced red ->
+        equivalence_merged := red.Equivalence.merged;
+        `Go
+          ( red.Equivalence.formula,
+            fun m ->
+              lift (Equivalence.complete_model ~rep:red.Equivalence.rep m) )
+  in
+  let stage_rl (f, lift) =
+    if pipeline.recursive_learning <= 0 then `Go (f, lift)
+    else begin
+      let g, r =
+        Recursive_learning.strengthen ~depth:pipeline.recursive_learning f
+      in
+      rl_implicates := List.length r.Recursive_learning.implicates;
+      if r.Recursive_learning.unsat then `Unsat else `Go (g, lift)
+    end
+  in
+  let finish outcome solver_stats =
+    {
+      outcome;
+      solver_stats;
+      preprocess_stats = !preprocess_stats;
+      equivalence_merged = !equivalence_merged;
+      recursive_learning_implicates = !rl_implicates;
+      time_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  let ( >>= ) x k = match x with `Unsat -> `Unsat | `Go y -> k y in
+  let staged =
+    stage_preprocess (f, lift0)
+    >>= fun x -> stage_equivalence x
+    >>= fun x -> stage_rl x
+  in
+  match staged with
+  | `Unsat -> finish Types.Unsat None
+  | `Go (g, lift) ->
+    let outcome, st = run_engine engine g in
+    let outcome =
+      match outcome with
+      | Types.Sat m ->
+        (* pad in case simplification dropped trailing variables *)
+        let n = Cnf.Formula.nvars f in
+        let padded =
+          Array.init (max n (Array.length m)) (fun v ->
+              if v < Array.length m then m.(v) else false)
+        in
+        Types.Sat (lift padded)
+      | (Types.Unsat | Types.Unsat_assuming _ | Types.Unknown _) as o -> o
+    in
+    finish outcome st
+
+let solve_dimacs ?engine ?pipeline text =
+  solve ?engine ?pipeline (Cnf.Dimacs.parse_string text)

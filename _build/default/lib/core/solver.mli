@@ -1,0 +1,37 @@
+(** Unified solving front-end: preprocessing pipeline + engine choice +
+    model reconstruction.
+
+    This is the paper's overall recipe — [Preprocess()] followed by
+    backtrack search — packaged so applications and experiments choose
+    techniques declaratively. *)
+
+type engine =
+  | Cdcl of Types.config
+  | Dpll of Types.config
+  | Walksat of Local_search.config
+
+type pipeline = {
+  preprocess : bool;           (** unit/pure/subsumption/strengthening *)
+  probe_failed_literals : bool;
+  equivalence : bool;          (** equivalency reasoning (Sec. 6) *)
+  recursive_learning : int;    (** recursion depth; 0 disables (Sec. 4.2) *)
+}
+
+val no_pipeline : pipeline
+val full_pipeline : pipeline
+
+type report = {
+  outcome : Types.outcome;
+  solver_stats : Types.stats option;  (** absent for local search *)
+  preprocess_stats : Preprocess.stats option;
+  equivalence_merged : int;
+  recursive_learning_implicates : int;
+  time_seconds : float;
+}
+
+val solve : ?engine:engine -> ?pipeline:pipeline -> Cnf.Formula.t -> report
+(** Models returned in [outcome] are models of the {e original}
+    formula. *)
+
+val solve_dimacs : ?engine:engine -> ?pipeline:pipeline -> string -> report
+(** Convenience: parse DIMACS text and solve. *)

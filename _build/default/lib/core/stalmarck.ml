@@ -1,0 +1,88 @@
+module Lit = Cnf.Lit
+
+type result =
+  | Refuted of int
+  | Saturated of Cnf.Lit.t list
+
+exception Contradiction
+
+(* One depth-k saturation round over every variable; returns true when
+   some new literal was asserted.  Raises [Contradiction] when both
+   branches of some split conflict. *)
+let rec round bcp ~depth =
+  let progress = ref false in
+  for v = 0 to Bcp.nvars bcp - 1 do
+    if Bcp.value_var bcp v < 0 then begin
+      let branch l =
+        let mark = Bcp.checkpoint bcp in
+        match Bcp.assume bcp l with
+        | None -> None
+        | Some implied ->
+          let implied =
+            if depth <= 1 then implied
+            else begin
+              (* saturate recursively inside the branch *)
+              (try
+                 while round bcp ~depth:(depth - 1) do
+                   ()
+                 done
+               with Contradiction ->
+                 Bcp.backtrack bcp mark;
+                 raise Exit);
+              (* everything implied since the split *)
+              List.filteri (fun i _ -> i >= mark) (Bcp.trail bcp)
+            end
+          in
+          Bcp.backtrack bcp mark;
+          Some implied
+      in
+      let pos = (try branch (Lit.pos v) with Exit -> None) in
+      let neg = (try branch (Lit.neg_of_var v) with Exit -> None) in
+      match pos, neg with
+      | None, None -> raise Contradiction
+      | None, Some _ ->
+        if not (Bcp.add_unit bcp (Lit.neg_of_var v)) then raise Contradiction;
+        progress := true
+      | Some _, None ->
+        if not (Bcp.add_unit bcp (Lit.pos v)) then raise Contradiction;
+        progress := true
+      | Some il, Some ir ->
+        (* dilemma: assignments implied by both branches are necessary *)
+        let common = List.filter (fun l -> List.mem l ir) il in
+        List.iter
+          (fun l ->
+             if Bcp.value bcp l < 0 then begin
+               if not (Bcp.add_unit bcp l) then raise Contradiction;
+               progress := true
+             end)
+          common
+    end
+  done;
+  !progress
+
+let saturate ?(depth = 1) f =
+  let bcp = Bcp.create f in
+  if not (Bcp.is_consistent bcp) then Refuted 0
+  else begin
+    let rec try_depth d =
+      if d > depth then
+        Saturated (Bcp.trail bcp)
+      else
+        match
+          (try
+             while round bcp ~depth:d do
+               ()
+             done;
+             `Saturated
+           with Contradiction -> `Refuted)
+        with
+        | `Refuted -> Refuted d
+        | `Saturated -> try_depth (d + 1)
+    in
+    try_depth 1
+  end
+
+let prove_unsat ?depth f =
+  match saturate ?depth f with
+  | Refuted _ -> true
+  | Saturated _ -> false

@@ -1,0 +1,104 @@
+type heuristic = Vsids | Dlis | Moms | Jeroslow_wang | Fixed_order | Random_order
+
+type restart_policy = No_restarts | Luby of int | Geometric of int * float
+
+type deletion_policy =
+  | No_deletion
+  | Size_bounded of int
+  | Relevance of int * int
+  | Lbd_bounded of int
+  | Activity_halving
+
+type config = {
+  heuristic : heuristic;
+  restarts : restart_policy;
+  deletion : deletion_policy;
+  minimize_learned : bool;
+  phase_saving : bool;
+  chronological : bool;
+  random_seed : int;
+  random_decision_freq : float;
+  max_conflicts : int option;
+  max_decisions : int option;
+  proof_logging : bool;
+}
+
+let default =
+  {
+    heuristic = Vsids;
+    restarts = Luby 100;
+    deletion = Activity_halving;
+    minimize_learned = true;
+    phase_saving = true;
+    chronological = false;
+    random_seed = 91648253;
+    random_decision_freq = 0.0;
+    max_conflicts = None;
+    max_decisions = None;
+    proof_logging = false;
+  }
+
+let grasp_like =
+  {
+    default with
+    heuristic = Dlis;
+    restarts = No_restarts;
+    deletion = Relevance (20, 5);
+    phase_saving = false;
+  }
+
+type stats = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable restarts_done : int;
+  mutable learned : int;
+  mutable learned_literals : int;
+  mutable deleted : int;
+  mutable max_level : int;
+  mutable nonchrono_backjumps : int;
+  mutable skipped_levels : int;
+}
+
+let mk_stats () =
+  {
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts_done = 0;
+    learned = 0;
+    learned_literals = 0;
+    deleted = 0;
+    max_level = 0;
+    nonchrono_backjumps = 0;
+    skipped_levels = 0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "decisions=%d propagations=%d conflicts=%d restarts=%d learned=%d \
+     deleted=%d max_level=%d nonchrono=%d skipped=%d"
+    s.decisions s.propagations s.conflicts s.restarts_done s.learned s.deleted
+    s.max_level s.nonchrono_backjumps s.skipped_levels
+
+type outcome =
+  | Sat of bool array
+  | Unsat
+  | Unsat_assuming of Cnf.Lit.t list
+  | Unknown of string
+
+let pp_outcome ppf = function
+  | Sat _ -> Format.pp_print_string ppf "SATISFIABLE"
+  | Unsat -> Format.pp_print_string ppf "UNSATISFIABLE"
+  | Unsat_assuming core ->
+    Format.fprintf ppf "UNSAT under assumptions %a"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space Cnf.Lit.pp)
+      core
+  | Unknown why -> Format.fprintf ppf "UNKNOWN (%s)" why
+
+let is_sat = function Sat _ -> true | Unsat | Unsat_assuming _ | Unknown _ -> false
+
+let model_exn = function
+  | Sat m -> m
+  | Unsat | Unsat_assuming _ | Unknown _ ->
+    invalid_arg "Types.model_exn: not a satisfiable outcome"

@@ -1,0 +1,96 @@
+(** Shared types for the solver family: configuration knobs, statistics,
+    and outcomes.
+
+    Every technique named in Sections 4 and 6 of the paper is a
+    configuration value here, so experiment ablations are pure config
+    changes. *)
+
+type heuristic =
+  | Vsids          (** conflict-driven variable activity (default) *)
+  | Dlis           (** dynamic largest individual sum *)
+  | Moms           (** maximum occurrences in minimum-size clauses *)
+  | Jeroslow_wang  (** static 2^-|c| literal weights *)
+  | Fixed_order    (** lowest-index unassigned variable *)
+  | Random_order   (** uniformly random unassigned variable *)
+
+type restart_policy =
+  | No_restarts
+  | Luby of int               (** Luby sequence scaled by the base *)
+  | Geometric of int * float  (** first limit, growth factor *)
+
+type deletion_policy =
+  | No_deletion
+  | Size_bounded of int
+      (** delete learned clauses larger than the bound *)
+  | Relevance of int * int
+      (** [Relevance (size_bound, r)]: delete learned clauses larger than
+          [size_bound] once more than [r] of their literals are unassigned
+          (relevance-based learning, Sec. 4.1 property 3) *)
+  | Lbd_bounded of int
+      (** keep only "glue" clauses whose literal-block distance (number
+          of distinct decision levels at learning time) is within the
+          bound — the modern refinement of relevance-based deletion *)
+  | Activity_halving
+      (** periodically delete the less active half (modern default) *)
+
+type config = {
+  heuristic : heuristic;
+  restarts : restart_policy;
+  deletion : deletion_policy;
+  minimize_learned : bool;   (** conflict-clause minimization *)
+  phase_saving : bool;
+  chronological : bool;
+      (** force chronological backtracking (ablation of Sec. 4.1
+          property 1); learned clauses remain asserting *)
+  random_seed : int;
+  random_decision_freq : float;
+      (** probability of a random decision (randomization, Sec. 6) *)
+  max_conflicts : int option;  (** budget; exceeded -> [Unknown] *)
+  max_decisions : int option;
+  proof_logging : bool;
+      (** record every learned clause so {!module:Proof} can replay the
+          derivation as a reverse-unit-propagation (RUP) proof *)
+}
+
+val default : config
+(** Modern defaults: VSIDS, Luby 100 restarts, activity-based deletion,
+    minimization, phase saving, no randomness. *)
+
+val grasp_like : config
+(** A GRASP-style configuration: DLIS-flavoured decisions, geometric
+    restarts off, relevance-based deletion. *)
+
+type stats = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable restarts_done : int;
+  mutable learned : int;
+  mutable learned_literals : int;
+  mutable deleted : int;
+  mutable max_level : int;
+  mutable nonchrono_backjumps : int;
+      (** conflicts whose backjump skipped at least one level *)
+  mutable skipped_levels : int;
+      (** total decision levels skipped by non-chronological backtracking *)
+}
+
+val mk_stats : unit -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type outcome =
+  | Sat of bool array
+      (** satisfying assignment, indexed by variable; unconstrained
+          variables default to [false] *)
+  | Unsat
+  | Unsat_assuming of Cnf.Lit.t list
+      (** unsatisfiable under the given assumptions; carries a subset of
+          the assumptions sufficient for the conflict *)
+  | Unknown of string
+      (** resource budget exhausted (the argument says which) *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val is_sat : outcome -> bool
+val model_exn : outcome -> bool array
+(** Raises [Invalid_argument] when the outcome is not [Sat]. *)

@@ -1,0 +1,31 @@
+(** Growable arrays, the workhorse container of the solver's mutable
+    state (trail, watch lists, clause database). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused slots; it is never observable through the API. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Removes and returns the last element.  Raises [Invalid_argument] when
+    empty. *)
+
+val last : 'a t -> 'a
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates to the first [n] elements. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keeps only elements satisfying the predicate, preserving order. *)
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit

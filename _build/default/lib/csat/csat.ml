@@ -1,0 +1,275 @@
+module N = Circuit.Netlist
+module G = Circuit.Gate
+module Lit = Cnf.Lit
+
+type result = {
+  outcome : Sat.Types.outcome;
+  stats : Sat.Types.stats;
+  pattern : (N.node_id * bool) list;
+  total_inputs : int;
+  specified_inputs : int;
+}
+
+(* Table 2: thresholds on the number of suitably assigned inputs needed
+   to justify value v on the gate output. *)
+let thresholds g ~fanins =
+  match g with
+  | G.And -> (1, fanins)
+  | G.Nand -> (fanins, 1)
+  | G.Or -> (fanins, 1)
+  | G.Nor -> (1, fanins)
+  | G.Xor | G.Xnor -> (fanins, fanins)
+  | G.Not | G.Buf -> (1, 1)
+
+(* Table 3: counters incremented on the gate output when one of its
+   inputs is assigned v; XOR-type gates bump both. *)
+let counter_update g v =
+  match g with
+  | G.And -> if v then (false, true) else (true, false)
+  | G.Nand -> if v then (true, false) else (false, true)
+  | G.Or -> if v then (false, true) else (true, false)
+  | G.Nor -> if v then (true, false) else (false, true)
+  | G.Xor | G.Xnor -> (true, true)
+  | G.Buf -> if v then (false, true) else (true, false)
+  | G.Not -> if v then (true, false) else (false, true)
+
+type layer = {
+  circuit : N.t;
+  node_of_var : int array; (* formula var -> node id, or -1 *)
+  lit_of_node : N.node_id -> Lit.t;
+  gate : G.t option array; (* per node *)
+  u0 : int array;
+  u1 : int array;
+  t0 : int array;
+  t1 : int array;
+  unjustified : bool array;
+  mutable frontier_size : int;
+  solver : Sat.Cdcl.t;
+}
+
+let node_value layer x =
+  Sat.Cdcl.value layer.solver (layer.lit_of_node x)
+
+(* frontier membership for node [x]: assigned gate output whose
+   justification counter has not reached the threshold *)
+let refresh_status layer x =
+  let should =
+    match layer.gate.(x) with
+    | None -> false
+    | Some _ -> (
+        match node_value layer x with
+        | 1 -> layer.t1.(x) < layer.u1.(x)
+        | 0 -> layer.t0.(x) < layer.u0.(x)
+        | _ -> false)
+  in
+  if should && not layer.unjustified.(x) then begin
+    layer.unjustified.(x) <- true;
+    layer.frontier_size <- layer.frontier_size + 1
+  end
+  else if (not should) && layer.unjustified.(x) then begin
+    layer.unjustified.(x) <- false;
+    layer.frontier_size <- layer.frontier_size - 1
+  end
+
+let on_event layer ~assigned l =
+  let v = Lit.var l in
+  if v < Array.length layer.node_of_var then begin
+    let x = layer.node_of_var.(v) in
+    if x >= 0 then begin
+      let value = Lit.is_pos l in
+      (* Table 3 updates on every fanout gate of [x] *)
+      List.iter
+        (fun y ->
+           match layer.gate.(y) with
+           | None -> ()
+           | Some g ->
+             let d0, d1 = counter_update g value in
+             let delta = if assigned then 1 else -1 in
+             if d0 then layer.t0.(y) <- layer.t0.(y) + delta;
+             if d1 then layer.t1.(y) <- layer.t1.(y) + delta;
+             refresh_status layer y)
+        (N.fanouts layer.circuit x);
+      refresh_status layer x
+    end
+  end
+
+(* Which value to request on an unassigned fanin so the gate output can
+   take [want]: a controlling input when [want] is the controlled output
+   value, a non-controlling one otherwise; XOR-family fanins are free. *)
+let fanin_request g want =
+  match G.controlling g, G.controlled_output g with
+  | Some c, Some co -> if want = co then c else not c
+  | Some _, None | None, Some _ -> assert false
+  | None, None -> (
+      match g with
+      | G.Not -> not want
+      | G.Buf -> want
+      | G.Xor | G.Xnor -> false
+      | G.And | G.Or | G.Nand | G.Nor -> assert false)
+
+let first_unjustified layer =
+  let rec find x =
+    if x >= Array.length layer.unjustified then None
+    else if layer.unjustified.(x) then Some x
+    else find (x + 1)
+  in
+  find 0
+
+(* one justification step: an unassigned fanin of [x] and the value that
+   helps justify [x]'s current value *)
+let justification_step layer x =
+  match N.node layer.circuit x with
+  | N.Input | N.Const _ -> None
+  | N.Gate (g, fs) -> (
+      match List.filter (fun f -> node_value layer f < 0) fs with
+      | [] -> None (* fully assigned; the consistency clauses decide *)
+      | w :: _ -> Some (w, fanin_request g (node_value layer x = 1)))
+
+(* Backtracing (Sec. 5 / [1]): from an unjustified node, walk fanins
+   towards an unassigned primary input, requesting justifying values. *)
+let backtrace_decision layer =
+  match first_unjustified layer with
+  | None -> None
+  | Some start ->
+    let rec descend x want =
+      match N.node layer.circuit x with
+      | N.Input | N.Const _ ->
+        Some (Lit.of_var (Lit.var (layer.lit_of_node x)) want)
+      | N.Gate (g, fs) -> (
+          match List.filter (fun f -> node_value layer f < 0) fs with
+          | [] -> None
+          | w :: _ -> descend w (fanin_request g want))
+    in
+    (match justification_step layer start with
+     | None -> None
+     | Some (w, want) -> descend w want)
+
+(* single-step variant: decide directly on the unassigned fanin *)
+let frontier_decision layer =
+  match first_unjustified layer with
+  | None -> None
+  | Some x -> (
+      match justification_step layer x with
+      | None -> None
+      | Some (w, want) ->
+        Some (Lit.of_var (Lit.var (layer.lit_of_node w)) want))
+
+let solve ?(config = Sat.Types.default) ?(use_layer = true)
+    ?(backtrace = true) ~objectives circuit =
+  let enc = Circuit.Encode.encode circuit in
+  let f = enc.Circuit.Encode.formula in
+  List.iter
+    (fun (x, v) ->
+       Circuit.Encode.assert_output f (enc.Circuit.Encode.lit_of_node x) v)
+    objectives;
+  let solver = Sat.Cdcl.create ~config f in
+  let n = N.num_nodes circuit in
+  let inputs = N.inputs circuit in
+  let total_inputs = List.length inputs in
+  let finish outcome pattern =
+    {
+      outcome;
+      stats = Sat.Cdcl.stats solver;
+      pattern;
+      total_inputs;
+      specified_inputs = List.length pattern;
+    }
+  in
+  if use_layer then begin
+    let node_of_var = Array.make (max 1 (Cnf.Formula.nvars f)) (-1) in
+    let gate = Array.make (max 1 n) None in
+    let u0 = Array.make (max 1 n) 0 and u1 = Array.make (max 1 n) 0 in
+    for x = 0 to n - 1 do
+      node_of_var.(Lit.var (enc.Circuit.Encode.lit_of_node x)) <- x;
+      match N.node circuit x with
+      | N.Gate (g, fs) ->
+        gate.(x) <- Some g;
+        let a, b = thresholds g ~fanins:(List.length fs) in
+        u0.(x) <- a;
+        u1.(x) <- b
+      | N.Input | N.Const _ -> ()
+    done;
+    let layer =
+      {
+        circuit;
+        node_of_var;
+        lit_of_node = enc.Circuit.Encode.lit_of_node;
+        gate;
+        u0;
+        u1;
+        t0 = Array.make (max 1 n) 0;
+        t1 = Array.make (max 1 n) 0;
+        unjustified = Array.make (max 1 n) false;
+        frontier_size = 0;
+        solver;
+      }
+    in
+    Sat.Cdcl.set_plugin solver
+      {
+        Sat.Cdcl.on_assign = (fun l -> on_event layer ~assigned:true l);
+        on_unassign = (fun l -> on_event layer ~assigned:false l);
+        decide =
+          (fun () ->
+             if backtrace then backtrace_decision layer
+             else frontier_decision layer);
+        is_complete = (fun () -> layer.frontier_size = 0);
+      };
+    (* level-0 propagation (objectives, constants) happened before the
+       plugin existed; replay those assignments into the layer *)
+    for x = 0 to n - 1 do
+      let v = Lit.var (enc.Circuit.Encode.lit_of_node x) in
+      match Sat.Cdcl.value_var solver v with
+      | -1 -> ()
+      | value -> on_event layer ~assigned:true (Lit.of_var v (value = 1))
+    done;
+    match Sat.Cdcl.solve solver with
+    | Sat.Types.Sat _ ->
+      (* read the partial pattern off the pre-backtrack snapshot, then
+         verify by simulation with don't-cares set to 0 *)
+      let partial =
+        match Sat.Cdcl.last_partial_assignment solver with
+        | Some a -> a
+        | None -> [||]
+      in
+      let pattern =
+        List.filter_map
+          (fun x ->
+             let v = Lit.var (enc.Circuit.Encode.lit_of_node x) in
+             if v < Array.length partial && partial.(v) >= 0 then
+               Some (x, partial.(v) = 1)
+             else None)
+          inputs
+      in
+      let in_values =
+        List.map
+          (fun x ->
+             match List.assoc_opt x pattern with
+             | Some b -> b
+             | None -> false)
+          inputs
+        |> Array.of_list
+      in
+      let values = Circuit.Simulate.eval_all circuit in_values in
+      let consistent =
+        List.for_all (fun (x, v) -> values.(x) = v) objectives
+      in
+      if not consistent then
+        failwith "Csat.solve: structural layer produced inconsistent pattern";
+      let model = Array.make (Cnf.Formula.nvars f) false in
+      for x = 0 to n - 1 do
+        model.(Lit.var (enc.Circuit.Encode.lit_of_node x)) <- values.(x)
+      done;
+      finish (Sat.Types.Sat model) pattern
+    | other -> finish other []
+  end
+  else begin
+    match Sat.Cdcl.solve solver with
+    | Sat.Types.Sat m ->
+      let pattern =
+        List.map
+          (fun x -> (x, m.(Lit.var (enc.Circuit.Encode.lit_of_node x))))
+          inputs
+      in
+      finish (Sat.Types.Sat m) pattern
+    | other -> finish other []
+  end

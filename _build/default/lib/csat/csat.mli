@@ -1,0 +1,51 @@
+(** Solving SAT on combinational circuits with a structural layer
+    (Section 5 of the paper).
+
+    A generic CDCL solver is augmented — through its plugin interface,
+    with {e no} change to the solver's data structures — with
+    circuit-derived information:
+
+    - per-node justification thresholds [u_v(x)] (Table 2) and
+      justification counters [t_v(x)] (Table 3), maintained as the solver
+      assigns and unassigns variables;
+    - a justification frontier: the set of assigned but not-yet-justified
+      gate outputs;
+    - a termination test that declares satisfiability as soon as the
+      frontier is empty — yielding {e partial} input patterns (the
+      overspecification fix the paper advertises);
+    - an optional backtracing decision procedure that walks from an
+      unjustified node to an unassigned primary input. *)
+
+type result = {
+  outcome : Sat.Types.outcome;
+      (** [Sat model] is a full, simulation-verified assignment of every
+          circuit node (don't-care inputs completed with [false]) *)
+  stats : Sat.Types.stats;
+  pattern : (Circuit.Netlist.node_id * bool) list;
+      (** the partial input pattern actually decided (empty unless SAT) *)
+  total_inputs : int;
+  specified_inputs : int;  (** = [List.length pattern] when SAT *)
+}
+
+val solve :
+  ?config:Sat.Types.config ->
+  ?use_layer:bool ->
+  ?backtrace:bool ->
+  objectives:(Circuit.Netlist.node_id * bool) list ->
+  Circuit.Netlist.t ->
+  result
+(** Satisfies the circuit's consistency function together with the
+    objective values ([(C, o)] in the paper's notation).
+
+    [use_layer] (default true) enables the structural layer; with it off
+    the solve degenerates to plain CNF SAT and the pattern specifies
+    every input (the baseline for experiment E5).  [backtrace] (default
+    true) additionally replaces the decision heuristic by backtracing;
+    it only matters while the layer is on. *)
+
+val thresholds : Circuit.Gate.t -> fanins:int -> int * int
+(** [(u0, u1)] per Table 2. *)
+
+val counter_update : Circuit.Gate.t -> bool -> bool * bool
+(** [counter_update g v] = which of [(t0, t1)] of the gate output are
+    incremented when one of its inputs is assigned [v] (Table 3). *)

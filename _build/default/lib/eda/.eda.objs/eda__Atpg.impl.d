@@ -1,0 +1,1 @@
+lib/eda/atpg.ml: Array Circuit Cnf Csat Format Hashtbl List Sat Unix

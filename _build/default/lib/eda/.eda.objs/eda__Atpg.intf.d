@@ -1,0 +1,1 @@
+lib/eda/atpg.mli: Circuit Format Sat

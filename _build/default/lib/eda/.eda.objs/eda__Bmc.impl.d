@@ -1,0 +1,1 @@
+lib/eda/bmc.ml: Array Circuit Cnf Hashtbl List Option Sat Unix

@@ -1,0 +1,1 @@
+lib/eda/bmc.mli: Circuit Sat

@@ -1,0 +1,1 @@
+lib/eda/compaction.ml: Array Atpg Covering Hashtbl List Sat

@@ -1,0 +1,1 @@
+lib/eda/compaction.mli: Circuit Sat

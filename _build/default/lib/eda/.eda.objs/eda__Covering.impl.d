@@ -1,0 +1,1 @@
+lib/eda/covering.ml: Array Cnf Fun List Option Sat

@@ -1,0 +1,1 @@
+lib/eda/covering.mli: Sat

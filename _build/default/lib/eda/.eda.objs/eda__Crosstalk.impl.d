@@ -1,0 +1,1 @@
+lib/eda/crosstalk.ml: Array Circuit Cnf Delay List Sat

@@ -1,0 +1,1 @@
+lib/eda/crosstalk.mli: Circuit Sat

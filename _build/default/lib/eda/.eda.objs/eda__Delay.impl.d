@@ -1,0 +1,1 @@
+lib/eda/delay.ml: Array Circuit Cnf Hashtbl List Sat

@@ -1,0 +1,1 @@
+lib/eda/delay.mli: Circuit Cnf Sat

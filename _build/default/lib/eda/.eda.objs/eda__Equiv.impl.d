@@ -1,0 +1,1 @@
+lib/eda/equiv.ml: Aig Array Bdd Circuit Cnf List Sat Unix

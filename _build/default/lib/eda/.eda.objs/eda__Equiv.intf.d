@@ -1,0 +1,1 @@
+lib/eda/equiv.mli: Circuit Sat

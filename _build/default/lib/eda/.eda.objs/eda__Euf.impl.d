@@ -1,0 +1,1 @@
+lib/eda/euf.ml: Cnf Hashtbl List Sat

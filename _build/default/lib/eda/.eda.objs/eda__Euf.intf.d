@@ -1,0 +1,1 @@
+lib/eda/euf.mli: Sat

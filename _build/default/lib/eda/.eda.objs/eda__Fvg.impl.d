@@ -1,0 +1,1 @@
+lib/eda/fvg.ml: Array Circuit Cnf Hashtbl List Sat Unix

@@ -1,0 +1,1 @@
+lib/eda/fvg.mli: Circuit Sat

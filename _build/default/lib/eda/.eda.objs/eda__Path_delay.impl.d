@@ -1,0 +1,1 @@
+lib/eda/path_delay.ml: Array Circuit Cnf Int List Sat Unix

@@ -1,0 +1,1 @@
+lib/eda/path_delay.mli: Circuit Sat

@@ -1,0 +1,1 @@
+lib/eda/prime.ml: Array Cnf Fun List Sat

@@ -1,0 +1,1 @@
+lib/eda/prime.mli: Cnf Sat

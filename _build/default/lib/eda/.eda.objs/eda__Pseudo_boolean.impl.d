@@ -1,0 +1,1 @@
+lib/eda/pseudo_boolean.ml: Array Cnf Covering List Option Sat

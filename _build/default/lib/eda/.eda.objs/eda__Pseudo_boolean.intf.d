@@ -1,0 +1,1 @@
+lib/eda/pseudo_boolean.mli: Cnf Covering

@@ -1,0 +1,1 @@
+lib/eda/redundancy.ml: Array Atpg Circuit List Sat

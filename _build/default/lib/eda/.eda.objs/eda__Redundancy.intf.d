@@ -1,0 +1,1 @@
+lib/eda/redundancy.mli: Atpg Circuit Sat

@@ -1,0 +1,1 @@
+lib/eda/routing.ml: Array Cnf Hashtbl Int List Option Sat

@@ -1,0 +1,1 @@
+lib/eda/seq_equiv.ml: Array Bmc Circuit Hashtbl List Printf Sat

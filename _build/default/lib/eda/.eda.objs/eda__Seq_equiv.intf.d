@@ -1,0 +1,1 @@
+lib/eda/seq_equiv.mli: Circuit Sat

@@ -1,0 +1,1 @@
+lib/eda/sweep.ml: Array Circuit Cnf Equiv Hashtbl List Option Printf Sat Unix

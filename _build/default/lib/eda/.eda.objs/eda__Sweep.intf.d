@@ -1,0 +1,1 @@
+lib/eda/sweep.mli: Circuit Equiv Sat

@@ -1,0 +1,80 @@
+(** Automatic test pattern generation for single stuck-at faults
+    (Sec. 3; Larrabee [20], Stephan et al. [38], Marques-Silva &
+    Sakallah [25]).
+
+    A fault instance is built as a circuit: the fault-free circuit and
+    the faulty fanout cone share the primary inputs; the fault site is
+    replaced by a constant in the faulty copy; a [diff] output compares
+    the affected primary outputs.  The instance is satisfiable — the
+    [diff] objective reachable — iff the fault is testable, and a model
+    is a test vector.  Untestable faults are redundant. *)
+
+type fault = { node : Circuit.Netlist.node_id; stuck_at : bool }
+
+val pp_fault : Circuit.Netlist.t -> Format.formatter -> fault -> unit
+
+val fault_list : Circuit.Netlist.t -> fault list
+(** Both polarities on every input and gate output (uncollapsed). *)
+
+val instance :
+  Circuit.Netlist.t -> fault ->
+  Circuit.Netlist.t * (Circuit.Netlist.node_id * bool) list
+(** The test-generation circuit and its objectives (fault activation +
+    difference observation).  The instance circuit's inputs correspond
+    positionally to the original circuit's inputs. *)
+
+type test_outcome =
+  | Test of bool array  (** input vector, in input order *)
+  | Redundant
+  | Aborted of string
+
+val generate_test :
+  ?config:Sat.Types.config ->
+  ?use_structural:bool ->
+  Circuit.Netlist.t -> fault -> test_outcome * Sat.Types.stats
+(** [use_structural] (default false) solves through the Section 5 layer
+    ({!Csat}); don't-care inputs of the pattern are then completed with
+    [false]. *)
+
+type summary = {
+  total : int;
+  detected : int;
+  redundant : int;
+  aborted : int;
+  vectors : bool array list;     (** the collected test set *)
+  sat_calls : int;
+  dropped_by_simulation : int;   (** faults covered without a SAT call *)
+  decisions : int;               (** summed over SAT calls *)
+  conflicts : int;
+  time_seconds : float;
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val run :
+  ?config:Sat.Types.config ->
+  ?use_structural:bool ->
+  ?fault_simulation:bool ->
+  ?random_patterns:int ->
+  Circuit.Netlist.t -> summary
+(** Full flow over the fault list; with [fault_simulation] (default
+    true) each new vector is simulated against the remaining faults and
+    detected ones are dropped.  [random_patterns] (default 0) words of
+    random vectors run first — the classical two-phase flow where
+    random-pattern-testable faults never reach the deterministic
+    stage. *)
+
+val run_incremental :
+  ?config:Sat.Types.config -> Circuit.Netlist.t -> summary
+(** Iterated-SAT formulation (Sec. 6, [18] [25]): a single incremental
+    solver holds the fault-free circuit clauses once; each fault adds
+    its faulty-cone clauses guarded by an activation literal and is
+    solved under assumptions, so learned clauses about the fault-free
+    logic are reused across the whole fault list.  No fault simulation,
+    so the SAT-call count is comparable with
+    [run ~fault_simulation:false]. *)
+
+val fault_simulate :
+  Circuit.Netlist.t -> fault list -> bool array list -> fault list
+(** Faults of the list detected by at least one of the vectors
+    (bit-parallel simulation of the faulty cones). *)

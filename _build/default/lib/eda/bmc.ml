@@ -1,0 +1,162 @@
+module N = Circuit.Netlist
+module S = Circuit.Sequential
+module Lit = Cnf.Lit
+
+type result =
+  | Counterexample of bool array list
+  | No_counterexample
+
+type report = {
+  result : result;
+  bound_reached : int;
+  per_bound_conflicts : (int * int) list;
+  time_seconds : float;
+}
+
+(* Each frame is encoded into a scratch formula whose variables are then
+   remapped into the live solver; state inputs are bound to the previous
+   frame's next-state literals. *)
+let encode_frame solver seq state_lits =
+  let comb = seq.S.comb in
+  let scratch = Cnf.Formula.create () in
+  let pre_table = Hashtbl.create 16 in
+  List.iter2
+    (fun node l -> Hashtbl.replace pre_table node l)
+    seq.S.state_inputs state_lits;
+  let remap = Hashtbl.create 64 in
+  let lit_of_scratch l =
+    let v = Lit.var l in
+    let nv =
+      match Hashtbl.find_opt remap v with
+      | Some nv -> nv
+      | None ->
+        let nv = Sat.Cdcl.new_var solver in
+        Hashtbl.replace remap v nv;
+        nv
+    in
+    if Lit.is_pos l then Lit.pos nv else Lit.neg_of_var nv
+  in
+  let pre id =
+    match Hashtbl.find_opt pre_table id with
+    | Some solver_lit ->
+      (* a scratch var bound to the (positive) solver literal *)
+      let sv = Cnf.Formula.fresh_var scratch in
+      Hashtbl.replace remap sv (Lit.var solver_lit);
+      assert (Lit.is_pos solver_lit);
+      Some (Lit.pos sv)
+    | None -> None
+  in
+  let lit_of = Circuit.Encode.encode_into scratch ~pre comb in
+  Cnf.Formula.iter_clauses scratch (fun cl ->
+      Sat.Cdcl.add_clause solver
+        (List.map lit_of_scratch (Cnf.Clause.to_list cl)));
+  fun id -> lit_of_scratch (lit_of id)
+
+let bad_node_of seq bad_output =
+  match
+    List.find_opt (fun (n, _) -> n = bad_output) (N.outputs seq.S.comb)
+  with
+  | Some (_, id) -> id
+  | None -> invalid_arg ("Bmc.check: no output named " ^ bad_output)
+
+let check ?(config = Sat.Types.default) ?(bad_output = "bad") ~max_bound seq =
+  S.validate seq;
+  let t0 = Unix.gettimeofday () in
+  let bad_node = bad_node_of seq bad_output in
+  let f = Cnf.Formula.create () in
+  let solver = Sat.Cdcl.create ~config f in
+  (* frame 0 state: constants from init *)
+  let init_lits =
+    List.map
+      (fun b ->
+         let v = Sat.Cdcl.new_var solver in
+         Sat.Cdcl.add_clause solver
+           [ (if b then Lit.pos v else Lit.neg_of_var v) ];
+         Lit.pos v)
+      seq.S.init
+  in
+  let frames : (N.node_id -> Lit.t) list ref = ref [] in
+  let encode_frame state_lits = encode_frame solver seq state_lits in
+  let per_bound = ref [] in
+  let result = ref None in
+  let state = ref init_lits in
+  let k = ref 0 in
+  while !result = None && !k < max_bound do
+    let frame = encode_frame !state in
+    frames := frame :: !frames;
+    let bad_lit = frame bad_node in
+    let conflicts_before = (Sat.Cdcl.stats solver).Sat.Types.conflicts in
+    (match Sat.Cdcl.solve ~assumptions:[ bad_lit ] solver with
+     | Sat.Types.Sat m ->
+       let inputs_per_frame =
+         List.rev_map
+           (fun fr ->
+              List.map
+                (fun pi ->
+                   let l = fr pi in
+                   let v = m.(Lit.var l) in
+                   if Lit.is_pos l then v else not v)
+                seq.S.primary_inputs
+              |> Array.of_list)
+           !frames
+       in
+       result := Some (Counterexample inputs_per_frame)
+     | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
+     | Sat.Types.Unknown _ -> result := Some No_counterexample);
+    per_bound :=
+      (!k, (Sat.Cdcl.stats solver).Sat.Types.conflicts - conflicts_before)
+      :: !per_bound;
+    state := List.map frame seq.S.next_state;
+    incr k
+  done;
+  {
+    result = Option.value ~default:No_counterexample !result;
+    bound_reached = !k;
+    per_bound_conflicts = List.rev !per_bound;
+    time_seconds = Unix.gettimeofday () -. t0;
+  }
+
+type induction_result =
+  | Proved of int
+  | Refuted of bool array list
+  | Bound_reached
+
+(* Simple k-induction (no uniqueness constraints): sound for proving,
+   incomplete.  Base: no counterexample within k steps of the initial
+   state.  Step: from any state, k consecutive good cycles force a good
+   (k+1)-th. *)
+let prove_inductive ?(config = Sat.Types.default) ?(bad_output = "bad")
+    ?(max_k = 8) seq =
+  S.validate seq;
+  let bad_node = bad_node_of seq bad_output in
+  let step_holds k =
+    let f = Cnf.Formula.create () in
+    let solver = Sat.Cdcl.create ~config f in
+    (* arbitrary starting state: free variables *)
+    let state =
+      ref (List.map (fun _ -> Lit.pos (Sat.Cdcl.new_var solver)) seq.S.init)
+    in
+    let last_bad = ref None in
+    for i = 0 to k do
+      let frame = encode_frame solver seq !state in
+      let bad = frame bad_node in
+      if i < k then Sat.Cdcl.add_clause solver [ Lit.negate bad ]
+      else last_bad := Some bad;
+      state := List.map frame seq.S.next_state
+    done;
+    match !last_bad with
+    | None -> false
+    | Some bad -> (
+        match Sat.Cdcl.solve ~assumptions:[ bad ] solver with
+        | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> true
+        | Sat.Types.Sat _ | Sat.Types.Unknown _ -> false)
+  in
+  let rec attempt k =
+    if k > max_k then Bound_reached
+    else
+      match (check ~config ~bad_output ~max_bound:k seq).result with
+      | Counterexample frames -> Refuted frames
+      | No_counterexample ->
+        if step_holds k then Proved k else attempt (k + 1)
+  in
+  attempt 1

@@ -1,0 +1,51 @@
+(** Bounded model checking of sequential circuits (Sec. 3, Biere et
+    al. [5]).
+
+    The transition relation is unrolled frame by frame into one
+    incremental SAT solver; the safety property ("output [bad] never
+    rises") is queried per bound under an assumption, so frames are
+    shared across bounds and learned clauses persist. *)
+
+type result =
+  | Counterexample of bool array list
+      (** primary-input vector per frame, frame 0 first; the property
+          fails in the last frame *)
+  | No_counterexample
+      (** up to the requested bound *)
+
+type report = {
+  result : result;
+  bound_reached : int;
+  per_bound_conflicts : (int * int) list;  (** (k, conflicts spent at k) *)
+  time_seconds : float;
+}
+
+val check :
+  ?config:Sat.Types.config ->
+  ?bad_output:string ->
+  max_bound:int ->
+  Circuit.Sequential.t ->
+  report
+(** [bad_output] (default ["bad"]) names the property output in the
+    sequential circuit's combinational part. *)
+
+type induction_result =
+  | Proved of int
+      (** the property holds at every depth; the argument is the
+          induction length k that closed the proof *)
+  | Refuted of bool array list
+      (** a real counterexample (input vectors per frame) *)
+  | Bound_reached
+      (** neither proved nor refuted within [max_k] *)
+
+val prove_inductive :
+  ?config:Sat.Types.config ->
+  ?bad_output:string ->
+  ?max_k:int ->
+  Circuit.Sequential.t ->
+  induction_result
+(** Simple k-induction (sound, incomplete: no state-uniqueness
+    constraints).  Where bounded checking can only say "no
+    counterexample up to k", an inductive property is certified for
+    {e all} depths — the natural unbounded extension of the BMC usage
+    the paper surveys. *)

@@ -1,0 +1,51 @@
+type result = {
+  original : int;
+  compacted : bool array list;
+  faults_covered : int;
+  optimal : bool;
+}
+
+let compact ?(config = Sat.Types.default) ?(optimal = true) c vectors =
+  let faults = Atpg.fault_list c in
+  let vector_arr = Array.of_list vectors in
+  (* detection matrix: which faults each vector detects *)
+  let detected_by =
+    Array.map (fun v -> Atpg.fault_simulate c faults [ v ]) vector_arr
+  in
+  let fault_key (f : Atpg.fault) = (f.Atpg.node, f.Atpg.stuck_at) in
+  let covered = Hashtbl.create 64 in
+  Array.iter
+    (fun fs -> List.iter (fun f -> Hashtbl.replace covered (fault_key f) ()) fs)
+    detected_by;
+  let fault_ids = Hashtbl.create 64 in
+  let n_faults = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+       Hashtbl.replace fault_ids k !n_faults;
+       incr n_faults)
+    covered;
+  let instance =
+    {
+      Covering.nelems = !n_faults;
+      sets =
+        Array.map
+          (fun fs ->
+             List.map (fun f -> Hashtbl.find fault_ids (fault_key f)) fs)
+          detected_by;
+      cost = Array.make (Array.length vector_arr) 1;
+    }
+  in
+  let chosen, optimal_used =
+    if !n_faults = 0 then ([], optimal)
+    else if optimal then
+      match Covering.sat_optimal ~config instance with
+      | Some sol -> (sol, true)
+      | None -> (Covering.greedy instance, false)
+    else (Covering.greedy instance, false)
+  in
+  {
+    original = Array.length vector_arr;
+    compacted = List.map (fun j -> vector_arr.(j)) chosen;
+    faults_covered = !n_faults;
+    optimal = optimal_used;
+  }

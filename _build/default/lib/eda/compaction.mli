@@ -1,0 +1,21 @@
+(** Static test-set compaction: selecting a minimum subset of generated
+    vectors that keeps fault coverage is exactly the covering problem the
+    paper lists among SAT's optimization applications (Sec. 3, [9, 23]).
+
+    The fault/vector detection matrix comes from bit-parallel fault
+    simulation; the minimum cover comes from {!Covering.sat_optimal}. *)
+
+type result = {
+  original : int;
+  compacted : bool array list;
+  faults_covered : int;
+  optimal : bool;  (** [false] when the greedy fallback was used *)
+}
+
+val compact :
+  ?config:Sat.Types.config ->
+  ?optimal:bool ->
+  Circuit.Netlist.t -> bool array list -> result
+(** [compact c vectors] keeps coverage of every fault of [c] detected by
+    [vectors].  With [optimal] (default true) the minimum subset is
+    computed by SAT; otherwise greedy covering is used. *)

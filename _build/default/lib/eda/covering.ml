@@ -1,0 +1,188 @@
+module Lit = Cnf.Lit
+
+type instance = {
+  nelems : int;
+  sets : int list array;
+  cost : int array;
+}
+
+let random_instance ~seed ~nelems ~nsets ~density =
+  let rng = Sat.Rng.create seed in
+  let members = Array.make nsets [] in
+  let covered = Array.make nelems false in
+  for j = 0 to nsets - 1 do
+    for e = 0 to nelems - 1 do
+      if Sat.Rng.float rng < density then begin
+        members.(j) <- e :: members.(j);
+        covered.(e) <- true
+      end
+    done
+  done;
+  (* guarantee coverage of stragglers *)
+  Array.iteri
+    (fun e got ->
+       if not got then begin
+         let j = Sat.Rng.int rng nsets in
+         members.(j) <- e :: members.(j)
+       end)
+    covered;
+  { nelems; sets = members; cost = Array.make nsets 1 }
+
+let is_cover inst chosen =
+  let hit = Array.make inst.nelems false in
+  List.iter
+    (fun j -> List.iter (fun e -> hit.(e) <- true) inst.sets.(j))
+    chosen;
+  Array.for_all Fun.id hit
+
+let cover_cost inst chosen =
+  List.fold_left (fun acc j -> acc + inst.cost.(j)) 0 chosen
+
+let greedy inst =
+  let covered = Array.make inst.nelems false in
+  let remaining () =
+    Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 covered
+  in
+  let chosen = ref [] in
+  let continue = ref true in
+  while remaining () > 0 && !continue do
+    let best = ref (-1) and best_ratio = ref 0. in
+    Array.iteri
+      (fun j elems ->
+         let gain =
+           List.fold_left
+             (fun acc e -> if covered.(e) then acc else acc + 1)
+             0 elems
+         in
+         let ratio = float_of_int gain /. float_of_int (max 1 inst.cost.(j)) in
+         if gain > 0 && ratio > !best_ratio then begin
+           best := j;
+           best_ratio := ratio
+         end)
+      inst.sets;
+    if !best < 0 then continue := false
+    else begin
+      chosen := !best :: !chosen;
+      List.iter (fun e -> covered.(e) <- true) inst.sets.(!best)
+    end
+  done;
+  List.rev !chosen
+
+let encode inst =
+  let nsets = Array.length inst.sets in
+  let f = Cnf.Formula.create ~nvars:nsets () in
+  (* element e must be covered by a chosen set *)
+  let covering_sets = Array.make inst.nelems [] in
+  Array.iteri
+    (fun j elems ->
+       List.iter (fun e -> covering_sets.(e) <- Lit.pos j :: covering_sets.(e)) elems)
+    inst.sets;
+  Array.iter (fun lits -> Cnf.Formula.add_clause_l f lits) covering_sets;
+  f
+
+let solve_with_bound config inst k =
+  let f = encode inst in
+  let nsets = Array.length inst.sets in
+  let selectors = List.init nsets Lit.pos in
+  Cnf.Cardinality.at_most f selectors k;
+  match Sat.Cdcl.solve (Sat.Cdcl.create ~config f) with
+  | Sat.Types.Sat m ->
+    let chosen = ref [] in
+    for j = nsets - 1 downto 0 do
+      if m.(j) then chosen := j :: !chosen
+    done;
+    Some !chosen
+  | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> None
+
+let sat_optimal ?(config = Sat.Types.default) inst =
+  if Array.exists (fun c -> c <> 1) inst.cost then
+    invalid_arg "Covering.sat_optimal: unit costs only";
+  let nsets = Array.length inst.sets in
+  match solve_with_bound config inst nsets with
+  | None -> None
+  | Some initial ->
+    (* binary search the smallest feasible k *)
+    let best = ref initial in
+    let lo = ref 0 and hi = ref (List.length initial) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      match solve_with_bound config inst mid with
+      | Some sol ->
+        best := sol;
+        hi := List.length sol
+      | None -> lo := mid + 1
+    done;
+    Some !best
+
+(* Branch-and-bound for unate covering.  The lower bound is the classic
+   maximal-independent-set bound: greedily pick uncovered elements no
+   remaining set covers twice; each needs a distinct set. *)
+let branch_and_bound ?(max_nodes = 1_000_000) inst =
+  if Array.exists (fun c -> c <> 1) inst.cost then
+    invalid_arg "Covering.branch_and_bound: unit costs only";
+  let nsets = Array.length inst.sets in
+  let covering_sets = Array.make inst.nelems [] in
+  Array.iteri
+    (fun j elems -> List.iter (fun e -> covering_sets.(e) <- j :: covering_sets.(e)) elems)
+    inst.sets;
+  if Array.exists (fun l -> l = []) covering_sets then None
+  else begin
+    let best_cost = ref (nsets + 1) in
+    let best_sol = ref None in
+    let nodes = ref 0 in
+    let covered = Array.make inst.nelems 0 in
+    let banned = Array.make nsets false in
+    let lower_bound () =
+      (* greedy independent elements among the uncovered ones *)
+      let used = Array.make nsets false in
+      let lb = ref 0 in
+      for e = 0 to inst.nelems - 1 do
+        if covered.(e) = 0
+           && List.for_all (fun j -> banned.(j) || not used.(j)) covering_sets.(e)
+           && List.exists (fun j -> not banned.(j)) covering_sets.(e)
+        then begin
+          incr lb;
+          List.iter (fun j -> used.(j) <- true) covering_sets.(e)
+        end
+      done;
+      !lb
+    in
+    let rec explore chosen depth =
+      incr nodes;
+      if !nodes <= max_nodes then begin
+        let uncovered =
+          let rec find e =
+            if e >= inst.nelems then None
+            else if covered.(e) = 0 then Some e
+            else find (e + 1)
+          in
+          find 0
+        in
+        match uncovered with
+        | None ->
+          if depth < !best_cost then begin
+            best_cost := depth;
+            best_sol := Some (List.rev chosen)
+          end
+        | Some e ->
+          if depth + lower_bound () < !best_cost then begin
+            (* branch on the sets covering the first uncovered element *)
+            let candidates =
+              List.filter (fun j -> not banned.(j)) covering_sets.(e)
+            in
+            List.iter
+              (fun j ->
+                 List.iter (fun x -> covered.(x) <- covered.(x) + 1) inst.sets.(j);
+                 explore (j :: chosen) (depth + 1);
+                 List.iter (fun x -> covered.(x) <- covered.(x) - 1) inst.sets.(j);
+                 (* left-to-right exclusion keeps branches disjoint *)
+                 banned.(j) <- true)
+              candidates;
+            List.iter (fun j -> banned.(j) <- false) candidates
+          end
+      end
+    in
+    explore [] 0;
+    if !nodes > max_nodes then None
+    else Option.map (fun sol -> (sol, !nodes)) !best_sol
+  end

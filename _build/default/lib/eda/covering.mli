@@ -1,0 +1,40 @@
+(** Covering problems (Sec. 3, Coudert [9], Manquinho & Marques-Silva
+    [23]).
+
+    Unate covering: choose a minimum-cost subset of sets whose union is
+    the whole element universe.  The SAT-based optimum encodes "cost at
+    most k" with cardinality constraints and binary-searches k; the
+    greedy baseline is the classical log-factor approximation. *)
+
+type instance = {
+  nelems : int;
+  sets : int list array;   (** sets.(j) = elements covered by set j *)
+  cost : int array;        (** per-set cost (uniform 1 is standard) *)
+}
+
+val random_instance :
+  seed:int -> nelems:int -> nsets:int -> density:float -> instance
+(** Each (element, set) membership drawn with probability [density];
+    every element is guaranteed at least one covering set.  Unit
+    costs. *)
+
+val is_cover : instance -> int list -> bool
+val cover_cost : instance -> int list -> int
+
+val greedy : instance -> int list
+(** Repeatedly picks the set with the best uncovered-elements per cost
+    ratio. *)
+
+val sat_optimal :
+  ?config:Sat.Types.config -> instance -> int list option
+(** Minimum-cost cover via SAT + binary search on the cardinality bound
+    (unit costs required; raises [Invalid_argument] otherwise — use
+    {!Pseudo_boolean} for weighted instances).  [None] if the instance
+    is uncoverable (impossible for {!random_instance}). *)
+
+val branch_and_bound : ?max_nodes:int -> instance -> (int list * int) option
+(** Classical covering branch-and-bound with an independent-set lower
+    bound, pruning as in the SAT-based covering work the paper cites
+    ([23]).  Returns the optimal cover and the number of search nodes
+    explored, or [None] when the node budget (default 1_000_000) is
+    exhausted or the instance is uncoverable.  Unit costs. *)

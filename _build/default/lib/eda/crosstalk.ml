@@ -1,0 +1,73 @@
+module N = Circuit.Netlist
+module Lit = Cnf.Lit
+
+type query = {
+  victim : N.node_id;
+  aggressor : N.node_id;
+  window : int * int;
+}
+
+type verdict =
+  | Noise of bool array * bool array * int
+  | Safe
+  | Unknown of string
+
+let analyze ?(config = Sat.Types.default) c q =
+  (* copy 1: the settled pre-transition vector; copy 2: the stability
+     encoding of the post-transition vector *)
+  let enc2 = Delay.encode_stability c in
+  let f = enc2.Delay.formula in
+  let lit1 = Circuit.Encode.encode_into f c in
+  let lit2 = enc2.Delay.value_lit in
+  (* opposite switching: victim rises, aggressor falls *)
+  Cnf.Formula.add_clause_l f [ Lit.negate (lit1 q.victim) ];
+  Cnf.Formula.add_clause_l f [ lit2 q.victim ];
+  Cnf.Formula.add_clause_l f [ lit1 q.aggressor ];
+  Cnf.Formula.add_clause_l f [ Lit.negate (lit2 q.aggressor) ];
+  let solver = Sat.Cdcl.create ~config f in
+  let lo, hi = q.window in
+  let lo = max lo 0 in
+  let hi = min hi enc2.Delay.horizon in
+  let extract m lit =
+    List.map
+      (fun id ->
+         let l = lit id in
+         let v = m.(Lit.var l) in
+         if Lit.is_pos l then v else not v)
+      (N.inputs c)
+    |> Array.of_list
+  in
+  (* overlap at t: neither net stable by t under vector 2 *)
+  let rec scan t =
+    if t > hi then Safe
+    else
+      match
+        Sat.Cdcl.solve
+          ~assumptions:
+            [ Lit.negate (enc2.Delay.stable_by q.victim t);
+              Lit.negate (enc2.Delay.stable_by q.aggressor t) ]
+          solver
+      with
+      | Sat.Types.Sat m -> Noise (extract m lit1, extract m lit2, t)
+      | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> scan (t + 1)
+      | Sat.Types.Unknown why -> Unknown why
+  in
+  scan lo
+
+let coupled_pairs c ~max_level_gap =
+  let gates = ref [] in
+  for id = N.num_nodes c - 1 downto 0 do
+    match N.node c id with
+    | N.Gate _ -> gates := id :: !gates
+    | N.Input | N.Const _ -> ()
+  done;
+  let gs = !gates in
+  List.concat_map
+    (fun a ->
+       List.filter_map
+         (fun b ->
+            if a < b && abs (N.level c a - N.level c b) <= max_level_gap
+            then Some (a, b)
+            else None)
+         gs)
+    gs

@@ -1,0 +1,33 @@
+(** Crosstalk noise analysis (Sec. 3, Chen & Keutzer [8]), simplified.
+
+    A victim/aggressor pair is noise-critical when some input transition
+    makes the two nets switch in opposite directions with overlapping
+    switching windows.  Both conditions are SAT queries over a two-copy
+    (vector pair) encoding; switching windows reuse the floating-mode
+    stability variables of {!Delay} on the second vector: the nets
+    overlap at time [t] when neither is stable by [t].
+
+    This preserves the cited work's code path — a timed CNF encoding
+    queried by a SAT solver — with a synthetic coupling model in place
+    of extracted parasitics (see DESIGN.md substitutions). *)
+
+type query = {
+  victim : Circuit.Netlist.node_id;
+  aggressor : Circuit.Netlist.node_id;
+  window : int * int;  (** inclusive time window of coupling, in gate delays *)
+}
+
+type verdict =
+  | Noise of bool array * bool array * int
+      (** (v1, v2, t): vectors and an overlap time witnessing opposite
+          simultaneous switching *)
+  | Safe
+  | Unknown of string
+
+val analyze :
+  ?config:Sat.Types.config -> Circuit.Netlist.t -> query -> verdict
+
+val coupled_pairs :
+  Circuit.Netlist.t -> max_level_gap:int -> (Circuit.Netlist.node_id * Circuit.Netlist.node_id) list
+(** Heuristic synthetic coupling candidates: distinct gate-output pairs
+    at similar circuit levels (stand-in for layout adjacency). *)

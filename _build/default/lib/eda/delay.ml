@@ -1,0 +1,133 @@
+module N = Circuit.Netlist
+module Gate = Circuit.Gate
+module Lit = Cnf.Lit
+
+type encoding = {
+  formula : Cnf.Formula.t;
+  value_lit : N.node_id -> Lit.t;
+  stable_by : N.node_id -> int -> Lit.t;
+  horizon : int;
+}
+
+let weighted_levels ~gate_delay c =
+  let levels = Array.make (max 1 (N.num_nodes c)) 0 in
+  for id = 0 to N.num_nodes c - 1 do
+    levels.(id) <-
+      (match N.node c id with
+       | N.Input | N.Const _ -> 0
+       | N.Gate (g, fs) ->
+         let d = gate_delay g in
+         if d < 1 then invalid_arg "Delay: gate delays must be positive";
+         d + List.fold_left (fun m f -> max m levels.(f)) 0 fs)
+  done;
+  levels
+
+let weighted_level ?(gate_delay = fun _ -> 1) c x =
+  (weighted_levels ~gate_delay c).(x)
+
+let encode_stability ?(gate_delay = fun _ -> 1) c =
+  let f = Cnf.Formula.create () in
+  let value_lit = Circuit.Encode.encode_into f c in
+  let const_true = Lit.pos (Cnf.Formula.fresh_var f) in
+  Cnf.Formula.add_clause_l f [ const_true ];
+  let const_false = Lit.negate const_true in
+  let levels = weighted_levels ~gate_delay c in
+  let horizon =
+    List.fold_left (fun m (_, o) -> max m levels.(o)) 0 (N.outputs c)
+  in
+  let memo : (int * int, Lit.t) Hashtbl.t = Hashtbl.create 256 in
+  let fresh () = Lit.pos (Cnf.Formula.fresh_var f) in
+  let define out ins g =
+    List.iter (Cnf.Formula.add_clause f) (Circuit.Encode.gate_clauses ~out ~ins g)
+  in
+  let rec stable_by x t =
+    match N.node c x with
+    | N.Input | N.Const _ -> if t >= 0 then const_true else const_false
+    | N.Gate (g, fs) ->
+      let lvl = levels.(x) in
+      if t >= lvl then const_true
+      else if t < gate_delay g then const_false
+      else (
+        match Hashtbl.find_opt memo (x, t) with
+        | Some l -> l
+        | None ->
+          let s = fresh () in
+          Hashtbl.add memo (x, t) s;
+          let d = gate_delay g in
+          let ins_stable = List.map (fun w -> stable_by w (t - d)) fs in
+          let all =
+            match ins_stable with
+            | [ one ] -> one
+            | many ->
+              let a = fresh () in
+              define a many Gate.And;
+              a
+          in
+          let ctrl_terms =
+            match Gate.controlling g with
+            | None -> []
+            | Some cval ->
+              List.map2
+                (fun w sw ->
+                   let vw = value_lit w in
+                   let want = if cval then vw else Lit.negate vw in
+                   let term = fresh () in
+                   define term [ sw; want ] Gate.And;
+                   term)
+                fs ins_stable
+          in
+          (match all :: ctrl_terms with
+           | [ only ] ->
+             (* s <-> only *)
+             define s [ only ] Gate.Buf
+           | terms -> define s terms Gate.Or);
+          s)
+  in
+  (* materialise every stability variable now: solvers snapshot the
+     formula, so nothing may be allocated lazily afterwards *)
+  for x = 0 to N.num_nodes c - 1 do
+    for t = 0 to levels.(x) do
+      ignore (stable_by x t)
+    done
+  done;
+  { formula = f; value_lit; stable_by; horizon }
+
+let topological_delay c x = N.level c x
+
+let true_delay ?(config = Sat.Types.default) ?(gate_delay = fun _ -> 1) c o =
+  let enc = encode_stability ~gate_delay c in
+  let solver = Sat.Cdcl.create ~config enc.formula in
+  let lvl = weighted_level ~gate_delay c o in
+  let calls = ref 0 in
+  (* largest T with some vector leaving o unstable at T-1 *)
+  let rec search t =
+    if t < 1 then 0
+    else begin
+      incr calls;
+      match
+        Sat.Cdcl.solve ~assumptions:[ Lit.negate (enc.stable_by o (t - 1)) ]
+          solver
+      with
+      | Sat.Types.Sat _ -> t
+      | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> search (t - 1)
+      | Sat.Types.Unknown _ -> t (* conservative: report the bound *)
+    end
+  in
+  let result = search lvl in
+  (result, !calls)
+
+type output_report = {
+  output : string;
+  topological : int;
+  true_floating : int;
+  false_path : bool;
+}
+
+let report ?(config = Sat.Types.default) c =
+  List.map
+    (fun (name, o) ->
+       let topo = topological_delay c o in
+       let tru, _ = true_delay ~config c o in
+       { output = name; topological = topo; true_floating = tru;
+         false_path = tru < topo })
+    (N.outputs c)

@@ -1,0 +1,51 @@
+(** SAT-based circuit delay computation (Sec. 3; McGeer et al. [28],
+    Silva et al. [36]).
+
+    Unit gate delays, floating mode: an input vector is applied at time 0
+    with unknown previous state; a gate output is {e stable by} time [t]
+    when all its inputs are stable by [t-1], or some input with a
+    controlling final value is.  The {e true delay} of an output [o] is
+    the largest [T] such that some vector leaves [o] unstable at [T-1] —
+    at most, and on false-path circuits strictly below, the topological
+    delay. *)
+
+type encoding = {
+  formula : Cnf.Formula.t;
+  value_lit : Circuit.Netlist.node_id -> Cnf.Lit.t;
+      (** final (settled) value of a node *)
+  stable_by : Circuit.Netlist.node_id -> int -> Cnf.Lit.t;
+      (** [stable_by x t]: node [x] stable at its final value by time
+          [t]; constant-true beyond the node's level, constant-false for
+          gates at [t <= 0] *)
+  horizon : int;  (** circuit depth *)
+}
+
+val encode_stability :
+  ?gate_delay:(Circuit.Gate.t -> int) -> Circuit.Netlist.t -> encoding
+(** [gate_delay] maps each gate type to a positive integer delay
+    (default: 1 for every gate — the paper's unit-delay model). *)
+
+val weighted_level :
+  ?gate_delay:(Circuit.Gate.t -> int) ->
+  Circuit.Netlist.t -> Circuit.Netlist.node_id -> int
+(** Longest weighted path from an input. *)
+
+val topological_delay : Circuit.Netlist.t -> Circuit.Netlist.node_id -> int
+(** The node's level — the classical (pessimistic) delay bound. *)
+
+val true_delay :
+  ?config:Sat.Types.config ->
+  ?gate_delay:(Circuit.Gate.t -> int) ->
+  Circuit.Netlist.t -> Circuit.Netlist.node_id -> int * int
+(** [(delay, sat_calls)] — queries decreasing thresholds on one
+    incremental solver. *)
+
+type output_report = {
+  output : string;
+  topological : int;
+  true_floating : int;
+  false_path : bool;  (** [true_floating < topological] *)
+}
+
+val report :
+  ?config:Sat.Types.config -> Circuit.Netlist.t -> output_report list

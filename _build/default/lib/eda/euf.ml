@@ -1,0 +1,158 @@
+module Expr = Cnf.Expr
+
+type term =
+  | Var of string
+  | App of string * term list
+  | Ite of formula * term * term
+
+and formula =
+  | Eq of term * term
+  | True
+  | False
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Imp of formula * formula
+  | Iff of formula * formula
+
+let ( === ) a b = Eq (a, b)
+let fn name args = App (name, args)
+let var name = Var name
+
+type result = {
+  satisfiable : bool;
+  term_constants : int;
+  equality_vars : int;
+  sat_stats : Sat.Types.stats;
+}
+
+type const_key =
+  | Kvar of string
+  | Kapp of string * int list
+  | Kite of formula * int * int
+
+let solve ?(config = Sat.Types.default) input =
+  let ids : (const_key, int) Hashtbl.t = Hashtbl.create 32 in
+  let next_id = ref 0 in
+  let apps = ref [] (* (symbol, arg ids, result id) *)
+  and ites = ref [] (* (condition, then id, else id, result id) *) in
+  let intern key on_fresh =
+    match Hashtbl.find_opt ids key with
+    | Some i -> i
+    | None ->
+      let i = !next_id in
+      incr next_id;
+      Hashtbl.add ids key i;
+      on_fresh i;
+      i
+  in
+  (* Ackermann flattening: every subterm becomes a constant id *)
+  let rec term_id = function
+    | Var s -> intern (Kvar s) (fun _ -> ())
+    | App (f, args) ->
+      let arg_ids = List.map term_id args in
+      intern
+        (Kapp (f, arg_ids))
+        (fun i -> apps := (f, arg_ids, i) :: !apps)
+    | Ite (c, a, b) ->
+      let ia = term_id a in
+      let ib = term_id b in
+      intern (Kite (c, ia, ib)) (fun i -> ites := (c, ia, ib, i) :: !ites)
+  in
+  (* first pass interns every term (including those inside ite guards) *)
+  let rec scan = function
+    | Eq (a, b) ->
+      ignore (term_id a);
+      ignore (term_id b)
+    | True | False -> ()
+    | Not f -> scan f
+    | And fs | Or fs -> List.iter scan fs
+    | Imp (a, b) | Iff (a, b) ->
+      scan a;
+      scan b
+  in
+  scan input;
+  (* ite guards may contain further terms (and further ites): drain *)
+  let scanned = ref 0 in
+  let rec drain () =
+    let all = List.rev !ites in
+    let total = List.length all in
+    if total > !scanned then begin
+      let fresh = List.filteri (fun idx _ -> idx >= !scanned) all in
+      scanned := total;
+      List.iter (fun (c, _, _, _) -> scan c) fresh;
+      drain ()
+    end
+  in
+  drain ();
+  let n = !next_id in
+  (* equality atom e_{i,j} (i < j) maps to expression atom i*n + j *)
+  let eq_atom i j =
+    if i = j then Expr.True
+    else
+      let a = min i j and b = max i j in
+      Expr.atom ((a * n) + b)
+  in
+  let rec translate = function
+    | Eq (a, b) -> eq_atom (term_id a) (term_id b)
+    | True -> Expr.True
+    | False -> Expr.False
+    | Not f -> Expr.Not (translate f)
+    | And fs -> Expr.And (List.map translate fs)
+    | Or fs -> Expr.Or (List.map translate fs)
+    | Imp (a, b) -> Expr.Imp (translate a, translate b)
+    | Iff (a, b) -> Expr.Iff (translate a, translate b)
+  in
+  let ctx = Cnf.Tseitin.create () in
+  Cnf.Tseitin.assert_expr ctx (translate input);
+  (* functional consistency: equal arguments force equal results *)
+  let rec consistency = function
+    | [] -> ()
+    | (f1, args1, r1) :: rest ->
+      List.iter
+        (fun (f2, args2, r2) ->
+           if f1 = f2 && List.length args1 = List.length args2 && r1 <> r2
+           then
+             Cnf.Tseitin.assert_expr ctx
+               (Expr.Imp
+                  ( Expr.And (List.map2 eq_atom args1 args2),
+                    eq_atom r1 r2 )))
+        rest;
+      consistency rest
+  in
+  consistency !apps;
+  (* ite semantics *)
+  List.iter
+    (fun (c, ia, ib, i) ->
+       let c' = translate c in
+       Cnf.Tseitin.assert_expr ctx (Expr.Imp (c', eq_atom i ia));
+       Cnf.Tseitin.assert_expr ctx (Expr.Imp (Expr.Not c', eq_atom i ib)))
+    !ites;
+  (* transitivity over every triple of term constants *)
+  let g = Cnf.Tseitin.formula ctx in
+  let lit i j = Cnf.Tseitin.lit_of_atom ctx ((min i j * n) + max i j) in
+  let neg = Cnf.Lit.negate in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        let eij = lit i j and ejk = lit j k and eik = lit i k in
+        Cnf.Formula.add_clause_l g [ neg eij; neg ejk; eik ];
+        Cnf.Formula.add_clause_l g [ neg eij; neg eik; ejk ];
+        Cnf.Formula.add_clause_l g [ neg ejk; neg eik; eij ]
+      done
+    done
+  done;
+  let solver = Sat.Cdcl.create ~config g in
+  let outcome = Sat.Cdcl.solve solver in
+  {
+    satisfiable =
+      (match outcome with
+       | Sat.Types.Sat _ -> true
+       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> false
+       | Sat.Types.Unknown why -> failwith ("Euf.solve: " ^ why));
+    term_constants = n;
+    equality_vars = n * (n - 1) / 2;
+    sat_stats = Sat.Cdcl.stats solver;
+  }
+
+let valid ?config f = not (solve ?config (Not f)).satisfiable

@@ -1,0 +1,44 @@
+(** Equality with uninterpreted functions, reduced to SAT (Sec. 3,
+    Velev & Bryant [6]).
+
+    Processor verification abstracts datapath blocks (ALUs, memories)
+    into uninterpreted function symbols; correctness becomes validity of
+    a formula over equalities between terms.  The reduction here is the
+    classical one: Ackermann expansion replaces each function
+    application by a fresh constant plus functional-consistency
+    constraints, equalities become propositional variables, and
+    transitivity over every triple of term constants closes the
+    theory — leaving a plain SAT instance. *)
+
+type term =
+  | Var of string
+  | App of string * term list
+  | Ite of formula * term * term
+      (** term-level if-then-else (multiplexers, bypass paths) *)
+
+and formula =
+  | Eq of term * term
+  | True
+  | False
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Imp of formula * formula
+  | Iff of formula * formula
+
+val ( === ) : term -> term -> formula
+val fn : string -> term list -> term
+val var : string -> term
+
+type result = {
+  satisfiable : bool;
+  term_constants : int;   (** distinct term constants after Ackermann *)
+  equality_vars : int;
+  sat_stats : Sat.Types.stats;
+}
+
+val solve : ?config:Sat.Types.config -> formula -> result
+(** Satisfiability of the formula modulo EUF. *)
+
+val valid : ?config:Sat.Types.config -> formula -> bool
+(** [valid f] iff [Not f] is EUF-unsatisfiable. *)

@@ -1,0 +1,30 @@
+(** Functional test vector generation (Sec. 3, Fallah et al. [13]).
+
+    Coverage objectives are (node, value) pairs — e.g. both-polarity
+    toggle coverage of every gate output.  One incremental solver holds
+    the circuit clauses; each uncovered objective is queried under an
+    assumption, and every generated vector is simulated against all
+    remaining objectives (coverage dropping), the iterative SAT usage
+    pattern of Sec. 6. *)
+
+type objective = Circuit.Netlist.node_id * bool
+
+val toggle_objectives : Circuit.Netlist.t -> objective list
+(** Both values on every gate output. *)
+
+type report = {
+  objectives : int;
+  covered : int;
+  unreachable : int;   (** objectives proven unsatisfiable *)
+  vectors : bool array list;
+  sat_calls : int;
+  dropped_by_simulation : int;
+  time_seconds : float;
+}
+
+val generate :
+  ?config:Sat.Types.config ->
+  ?random_warmup:int ->
+  Circuit.Netlist.t -> objective list -> report
+(** [random_warmup] (default 2) words of random patterns are simulated
+    first to knock out easy objectives before any SAT call. *)

@@ -1,0 +1,48 @@
+(** Path delay fault test generation (Sec. 3, Chen & Gupta [7]) and its
+    incremental formulation (Sec. 6, Kim et al. [18]).
+
+    A path delay fault is tested by a two-vector pair (v1, v2): v1
+    initialises, v2 launches a transition at the path input that must
+    propagate along every path gate.  The encoding holds two copies of
+    the circuit (one per vector); robustness uses the standard
+    restricted conditions — side inputs of AND/NAND gates steady at 1
+    for an on-path rising transition and non-controlling in v2 for a
+    falling one (dually for OR/NOR), XOR side inputs steady — plus exact
+    launch/propagation values along the path. *)
+
+type path = Circuit.Netlist.node_id list
+(** Input-to-output, consecutive nodes connected by fanin edges. *)
+
+val enumerate_paths : Circuit.Netlist.t -> limit:int -> path list
+(** Structurally longest-first depth-first enumeration, up to [limit]. *)
+
+val validate_path : Circuit.Netlist.t -> path -> bool
+
+type outcome =
+  | Test of bool array * bool array  (** (v1, v2) in input order *)
+  | Untestable
+  | Aborted of string
+
+val robust_test :
+  ?config:Sat.Types.config ->
+  Circuit.Netlist.t -> path:path -> rising:bool -> outcome
+
+type summary = {
+  paths : int;
+  testable : int;
+  untestable : int;
+  aborted : int;
+  decisions : int;
+  conflicts : int;
+  time_seconds : float;
+}
+
+val test_paths :
+  ?config:Sat.Types.config ->
+  ?incremental:bool ->
+  Circuit.Netlist.t -> path list -> summary
+(** With [incremental] (default true) one solver holds the two circuit
+    copies; per-path constraints are clauses guarded by an activation
+    literal and solved under assumptions, reusing learned clauses across
+    the path list.  With it off, each path gets a fresh solver over a
+    fresh encoding. *)

@@ -1,0 +1,64 @@
+module Lit = Cnf.Lit
+
+type term = (int * bool) list
+
+let is_implicant f term =
+  let sat_clause c =
+    List.exists
+      (fun (v, b) -> Cnf.Clause.mem (Lit.of_var v b) c)
+      term
+  in
+  let ok = ref true in
+  Cnf.Formula.iter_clauses f (fun c -> if not (sat_clause c) then ok := false);
+  !ok
+
+(* selector variables: p_v = 2v chooses literal v, n_v = 2v+1 chooses ~v *)
+let minimum_prime_implicant ?(config = Sat.Types.default) f =
+  match Sat.Cdcl.solve (Sat.Cdcl.create ~config f) with
+  | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> None
+  | Sat.Types.Sat _ ->
+    let n = Cnf.Formula.nvars f in
+    let g = Cnf.Formula.create ~nvars:(2 * n) () in
+    let p v = Lit.pos (2 * v) and q v = Lit.pos ((2 * v) + 1) in
+    for v = 0 to n - 1 do
+      (* a variable appears with at most one polarity *)
+      Cnf.Formula.add_clause_l g [ Lit.negate (p v); Lit.negate (q v) ]
+    done;
+    Cnf.Formula.iter_clauses f (fun c ->
+        let sel =
+          List.map
+            (fun l -> if Lit.is_pos l then p (Lit.var l) else q (Lit.var l))
+            (Cnf.Clause.to_list c)
+        in
+        Cnf.Formula.add_clause_l g sel);
+    let selectors = List.concat_map (fun v -> [ p v; q v ]) (List.init n Fun.id) in
+    let extract m =
+      List.filter_map
+        (fun v ->
+           if m.(2 * v) then Some (v, true)
+           else if m.((2 * v) + 1) then Some (v, false)
+           else None)
+        (List.init n Fun.id)
+    in
+    let solve_bound k =
+      let h = Cnf.Formula.copy g in
+      Cnf.Cardinality.at_most h selectors k;
+      match Sat.Cdcl.solve (Sat.Cdcl.create ~config h) with
+      | Sat.Types.Sat m -> Some (extract m)
+      | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ ->
+        None
+    in
+    (match solve_bound n with
+     | None -> None (* cannot happen for satisfiable f with total terms *)
+     | Some initial ->
+       let best = ref initial in
+       let lo = ref 0 and hi = ref (List.length initial) in
+       while !lo < !hi do
+         let mid = (!lo + !hi) / 2 in
+         match solve_bound mid with
+         | Some sol ->
+           best := sol;
+           hi := List.length sol
+         | None -> lo := mid + 1
+       done;
+       Some !best)

@@ -1,0 +1,17 @@
+(** Minimum-size prime implicants (Sec. 3, Manquinho et al. [22]).
+
+    For a function given in CNF, a term t implies the function iff every
+    clause contains a literal of t, so the search for a minimum-size
+    implicant is a covering problem over literal selectors; a
+    minimum-size implicant is necessarily prime. *)
+
+type term = (int * bool) list
+(** Variable/value pairs, e.g. [[(0, true); (3, false)]] for x0 ~x3. *)
+
+val is_implicant : Cnf.Formula.t -> term -> bool
+(** Syntactic check: every clause touched (sound for CNF inputs). *)
+
+val minimum_prime_implicant :
+  ?config:Sat.Types.config -> Cnf.Formula.t -> term option
+(** [None] when the formula is unsatisfiable.  The result has minimum
+    literal count over all implicants. *)

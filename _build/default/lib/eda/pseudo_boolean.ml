@@ -1,0 +1,296 @@
+module Lit = Cnf.Lit
+
+type term = { coeff : int; lit : Lit.t }
+
+type linear = term list
+
+type problem = {
+  nvars : int;
+  constraints : (linear * int) list;
+  objective : linear;
+}
+
+let of_clause c =
+  (List.map (fun l -> { coeff = 1; lit = l }) (Cnf.Clause.to_list c), 1)
+
+let eval_linear value terms =
+  List.fold_left
+    (fun acc t ->
+       let v = value (Lit.var t.lit) in
+       let lit_true = if Lit.is_pos t.lit then v else not v in
+       if lit_true then acc + t.coeff else acc)
+    0 terms
+
+type result =
+  | Optimal of bool array * int
+  | Infeasible
+  | Unknown of string
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  improvements : int;
+}
+
+(* normal form: positive coefficients *)
+let normalize (terms, bound) =
+  List.fold_left
+    (fun (ts, b) t ->
+       if t.coeff = 0 then (ts, b)
+       else if t.coeff > 0 then (t :: ts, b)
+       else ({ coeff = -t.coeff; lit = Lit.negate t.lit } :: ts, b - t.coeff))
+    ([], bound) terms
+
+exception Conflict
+
+type engine = {
+  nvars : int;
+  cons : (int array * int array) array; (* coeffs, lits (parallel) *)
+  slack : int array;
+  occ_false : (int * int) list array;   (* literal -> (constraint, coeff)
+                                           entries where the literal's
+                                           negation occurs *)
+  assign : int array;
+  trail : int Sat.Vec.t;
+  decisions : (int * int * bool) Sat.Vec.t; (* trail mark, lit, flipped *)
+  mutable st_decisions : int;
+  mutable st_propagations : int;
+  mutable st_conflicts : int;
+}
+
+let value e l =
+  let a = e.assign.(Lit.var l) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let mk_engine nvars constraints =
+  let cons =
+    List.map
+      (fun (terms, bound) ->
+         let ts, b = normalize (terms, bound) in
+         let coeffs = Array.of_list (List.map (fun t -> t.coeff) ts) in
+         let lits = Array.of_list (List.map (fun t -> t.lit) ts) in
+         ((coeffs, lits), b))
+      constraints
+  in
+  let e =
+    {
+      nvars;
+      cons = Array.of_list (List.map fst cons);
+      slack = Array.of_list
+          (List.map
+             (fun (((coeffs, _), b) : (int array * int array) * int) ->
+                Array.fold_left ( + ) 0 coeffs - b)
+             cons);
+      occ_false = Array.make (max 1 (2 * nvars)) [];
+      assign = Array.make (max 1 nvars) (-1);
+      trail = Sat.Vec.create ~dummy:0 ();
+      decisions = Sat.Vec.create ~dummy:(0, 0, false) ();
+      st_decisions = 0;
+      st_propagations = 0;
+      st_conflicts = 0;
+    }
+  in
+  Array.iteri
+    (fun ci (coeffs, lits) ->
+       Array.iteri
+         (fun k l ->
+            (* when [negate l] becomes true, l is false: slack drops *)
+            e.occ_false.(Lit.negate l) <- (ci, coeffs.(k)) :: e.occ_false.(Lit.negate l))
+         lits)
+    e.cons;
+  e
+
+(* assign l true; update every slack first (so unassignment stays exact),
+   then raise Conflict on violation *)
+let assign_lit e l =
+  e.assign.(Lit.var l) <- (if Lit.is_pos l then 1 else 0);
+  Sat.Vec.push e.trail l;
+  let violated = ref false in
+  List.iter
+    (fun (ci, coeff) ->
+       e.slack.(ci) <- e.slack.(ci) - coeff;
+       if e.slack.(ci) < 0 then violated := true)
+    e.occ_false.(l);
+  if !violated then raise Conflict
+
+let unassign_to e mark =
+  while Sat.Vec.size e.trail > mark do
+    let l = Sat.Vec.pop e.trail in
+    e.assign.(Lit.var l) <- -1;
+    List.iter
+      (fun (ci, coeff) -> e.slack.(ci) <- e.slack.(ci) + coeff)
+      e.occ_false.(l)
+  done
+
+(* slack propagation: any literal with coeff > slack must be true *)
+let propagate e =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun ci (coeffs, lits) ->
+         if e.slack.(ci) >= 0 then
+           Array.iteri
+             (fun k l ->
+                if coeffs.(k) > e.slack.(ci) && value e l < 0 then begin
+                  e.st_propagations <- e.st_propagations + 1;
+                  assign_lit e l;
+                  changed := true
+                end)
+             lits)
+      e.cons
+  done
+
+let rec backtrack e =
+  if Sat.Vec.is_empty e.decisions then false
+  else begin
+    let mark, lit, flipped = Sat.Vec.pop e.decisions in
+    unassign_to e mark;
+    if flipped then backtrack e
+    else begin
+      Sat.Vec.push e.decisions (mark, Lit.negate lit, true);
+      match assign_lit e (Lit.negate lit) with
+      | () -> true
+      | exception Conflict ->
+        e.st_conflicts <- e.st_conflicts + 1;
+        backtrack e
+    end
+  end
+
+let decide e objective =
+  (* prefer turning objective literals off *)
+  let rec from_objective = function
+    | [] -> None
+    | t :: rest ->
+      if e.assign.(Lit.var t.lit) < 0 then Some (Lit.negate t.lit)
+      else from_objective rest
+  in
+  match from_objective objective with
+  | Some l -> Some l
+  | None ->
+    let rec scan v =
+      if v >= e.nvars then None
+      else if e.assign.(v) < 0 then Some (Lit.neg_of_var v)
+      else scan (v + 1)
+    in
+    scan 0
+
+let solve_decision e objective max_decisions =
+  let result = ref None in
+  if Array.exists (fun s -> s < 0) e.slack then result := Some `Unsat;
+  (try
+     if !result = None then (try propagate e with Conflict -> raise Exit);
+     while !result = None do
+       if e.st_decisions > max_decisions then result := Some `Budget
+       else
+         match decide e objective with
+         | None -> result := Some `Sat
+         | Some l ->
+           e.st_decisions <- e.st_decisions + 1;
+           Sat.Vec.push e.decisions (Sat.Vec.size e.trail, l, false);
+           let ok =
+             match assign_lit e l with
+             | () -> (try propagate e; true with Conflict -> false)
+             | exception Conflict -> false
+           in
+           if not ok then begin
+             e.st_conflicts <- e.st_conflicts + 1;
+             (* flip the deepest open decision and re-propagate until a
+                consistent state is restored (or the tree is exhausted) *)
+             let rec settle () =
+               if not (backtrack e) then result := Some `Unsat
+               else
+                 match propagate e with
+                 | () -> ()
+                 | exception Conflict ->
+                   e.st_conflicts <- e.st_conflicts + 1;
+                   settle ()
+             in
+             settle ()
+           end
+     done
+   with Exit -> result := Some `Unsat);
+  Option.get !result
+
+let solve ?(max_decisions = 1_000_000) problem =
+  List.iter
+    (fun t ->
+       if t.coeff < 0 then
+         invalid_arg "Pseudo_boolean.solve: objective coefficients >= 0")
+    problem.objective;
+  let totals = ref { decisions = 0; propagations = 0; conflicts = 0; improvements = 0 } in
+  let add_stats e =
+    totals :=
+      {
+        decisions = !totals.decisions + e.st_decisions;
+        propagations = !totals.propagations + e.st_propagations;
+        conflicts = !totals.conflicts + e.st_conflicts;
+        improvements = !totals.improvements;
+      }
+  in
+  (* linear search on the objective: each solution adds "strictly
+     better" (over negated literals, to stay in >= form) and re-solves *)
+  let best = ref None in
+  let constraints = ref problem.constraints in
+  let finished = ref false in
+  let outcome = ref (Unknown "not started") in
+  while not !finished do
+    let e = mk_engine problem.nvars !constraints in
+    (match solve_decision e problem.objective max_decisions with
+     | `Budget ->
+       add_stats e;
+       outcome :=
+         (match !best with
+          | Some _ -> Unknown "budget before optimality proof"
+          | None -> Unknown "decision budget");
+       finished := true
+     | `Unsat ->
+       add_stats e;
+       outcome :=
+         (match !best with
+          | Some (m, v) -> Optimal (m, v)
+          | None -> Infeasible);
+       finished := true
+     | `Sat ->
+       add_stats e;
+       let model = Array.init problem.nvars (fun v -> e.assign.(v) = 1) in
+       let v = eval_linear (fun x -> model.(x)) problem.objective in
+       totals := { !totals with improvements = !totals.improvements + 1 };
+       best := Some (model, v);
+       if v = 0 then begin
+         outcome := Optimal (model, 0);
+         finished := true
+       end
+       else begin
+         let total =
+           List.fold_left (fun acc t -> acc + t.coeff) 0 problem.objective
+         in
+         let flipped =
+           List.map
+             (fun t -> { coeff = t.coeff; lit = Lit.negate t.lit })
+             problem.objective
+         in
+         constraints := (flipped, total - v + 1) :: !constraints
+       end)
+  done;
+  (!outcome, !totals)
+
+let covering_problem (inst : Covering.instance) =
+  let nsets = Array.length inst.Covering.sets in
+  let covering_sets = Array.make inst.Covering.nelems [] in
+  Array.iteri
+    (fun j elems ->
+       List.iter
+         (fun e ->
+            covering_sets.(e) <-
+              { coeff = 1; lit = Lit.pos j } :: covering_sets.(e))
+         elems)
+    inst.Covering.sets;
+  {
+    nvars = nsets;
+    constraints = Array.to_list covering_sets |> List.map (fun ts -> (ts, 1));
+    objective =
+      List.init nsets (fun j ->
+          { coeff = inst.Covering.cost.(j); lit = Lit.pos j });
+  }

@@ -1,0 +1,40 @@
+(** Linear pseudo-Boolean optimization (Sec. 3, Barth [3]).
+
+    A Davis-Putnam-style enumeration over PB constraints
+    [sum a_i * l_i >= b]: slack-based propagation (a literal whose
+    coefficient exceeds the slack is forced), chronological backtracking,
+    and linear search on the objective — each solution adds the
+    constraint "strictly better", until infeasibility proves
+    optimality. *)
+
+type term = { coeff : int; lit : Cnf.Lit.t }
+
+type linear = term list
+
+type problem = {
+  nvars : int;
+  constraints : (linear * int) list;  (** (terms, lower bound) *)
+  objective : linear;                 (** minimised; coefficients >= 0 *)
+}
+
+val of_clause : Cnf.Clause.t -> linear * int
+(** A CNF clause as the PB constraint [sum l_i >= 1]. *)
+
+val eval_linear : (int -> bool) -> linear -> int
+
+type result =
+  | Optimal of bool array * int  (** model and objective value *)
+  | Infeasible
+  | Unknown of string
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  improvements : int;  (** solutions found during the descent *)
+}
+
+val solve : ?max_decisions:int -> problem -> result * stats
+
+val covering_problem : Covering.instance -> problem
+(** Weighted covering as PB minimisation. *)

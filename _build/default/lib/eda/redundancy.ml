@@ -1,0 +1,63 @@
+module N = Circuit.Netlist
+
+let identify ?(config = Sat.Types.default) c =
+  Atpg.fault_list c
+  |> List.filter (fun f ->
+      match Atpg.generate_test ~config c f with
+      | Atpg.Redundant, _ -> true
+      | (Atpg.Test _ | Atpg.Aborted _), _ -> false)
+
+type removal = {
+  result : Circuit.Netlist.t;
+  removed_faults : int;
+  rounds : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+(* replace the fault site by its stuck value and fold constants *)
+let apply_redundancy c (f : Atpg.fault) =
+  let d = N.create () in
+  let map = Array.make (max 1 (N.num_nodes c)) (-1) in
+  for id = 0 to N.num_nodes c - 1 do
+    map.(id) <-
+      (if id = f.Atpg.node then N.add_const d f.Atpg.stuck_at
+       else
+         match N.node c id with
+         | N.Input -> N.add_input ~name:(N.name c id) d
+         | N.Const b -> N.add_const d b
+         | N.Gate (g, fs) -> N.add_gate d g (List.map (fun x -> map.(x)) fs))
+  done;
+  (* inputs must survive replacement to preserve the interface *)
+  List.iter (fun (n, o) -> N.set_output ~name:n d map.(o)) (N.outputs c);
+  Circuit.Transform.simplify d
+
+let remove ?(config = Sat.Types.default) ?(max_rounds = 10) c =
+  let gates_before = N.gate_count c in
+  let rec go c removed rounds =
+    if rounds >= max_rounds then (c, removed, rounds)
+    else
+      let redundant =
+        (* first redundant fault on a gate output, if any *)
+        Atpg.fault_list c
+        |> List.find_opt (fun f ->
+            (match N.node c f.Atpg.node with
+             | N.Gate _ -> true
+             | N.Input | N.Const _ -> false)
+            &&
+            match Atpg.generate_test ~config c f with
+            | Atpg.Redundant, _ -> true
+            | (Atpg.Test _ | Atpg.Aborted _), _ -> false)
+      in
+      match redundant with
+      | None -> (c, removed, rounds)
+      | Some f -> go (apply_redundancy c f) (removed + 1) (rounds + 1)
+  in
+  let result, removed_faults, rounds = go c 0 0 in
+  {
+    result;
+    removed_faults;
+    rounds;
+    gates_before;
+    gates_after = N.gate_count result;
+  }

@@ -1,0 +1,25 @@
+(** Redundancy identification and removal (Sec. 3, [17]).
+
+    A stuck-at fault that no input vector can detect is redundant: the
+    faulty and fault-free circuits are indistinguishable, so the fault
+    site can be replaced by the stuck value without changing any output.
+    Iterating identification and replacement (with constant folding)
+    shrinks the circuit. *)
+
+val identify :
+  ?config:Sat.Types.config -> Circuit.Netlist.t -> Atpg.fault list
+(** All redundant faults of the (uncollapsed) fault list. *)
+
+type removal = {
+  result : Circuit.Netlist.t;
+  removed_faults : int;   (** redundancies applied across all rounds *)
+  rounds : int;
+  gates_before : int;
+  gates_after : int;
+}
+
+val remove : ?config:Sat.Types.config -> ?max_rounds:int -> Circuit.Netlist.t -> removal
+(** Applies one redundancy at a time (replacement can create or destroy
+    other redundancies), folding constants after each round; stops at a
+    fixpoint or after [max_rounds] (default 10).  The result is
+    functionally equivalent to the input. *)

@@ -1,0 +1,152 @@
+module Lit = Cnf.Lit
+
+type net = { src : int * int; dst : int * int }
+
+type instance = {
+  width : int;
+  height : int;
+  tracks : int;
+  nets : net list;
+}
+
+type route = {
+  net_index : int;
+  vertical_first : bool;
+  track : int;
+}
+
+type result =
+  | Routed of route list
+  | Unroutable
+  | Unknown of string
+
+(* channel segments used by an L-shaped route: horizontal steps are
+   (`H, x, y) edges from (x,y) to (x+1,y); vertical steps (`V, x, y) from
+   (x,y) to (x,y+1) *)
+let segments_of (n : net) ~vertical_first =
+  let x0, y0 = n.src and x1, y1 = n.dst in
+  let horiz y =
+    let lo = min x0 x1 and hi = max x0 x1 in
+    List.init (hi - lo) (fun i -> (`H, lo + i, y))
+  in
+  let vert x =
+    let lo = min y0 y1 and hi = max y0 y1 in
+    List.init (hi - lo) (fun i -> (`V, x, lo + i))
+  in
+  if vertical_first then vert x0 @ horiz y1 else horiz y0 @ vert x1
+
+let route ?(config = Sat.Types.default) inst =
+  let f = Cnf.Formula.create () in
+  let nets = Array.of_list inst.nets in
+  let var = Hashtbl.create 256 in
+  (* x_{net, vertical_first, track} *)
+  let lit n vf t =
+    match Hashtbl.find_opt var (n, vf, t) with
+    | Some l -> l
+    | None ->
+      let l = Lit.pos (Cnf.Formula.fresh_var f) in
+      Hashtbl.add var (n, vf, t) l;
+      l
+  in
+  let resource_users = Hashtbl.create 256 in
+  Array.iteri
+    (fun n net ->
+       let options = ref [] in
+       List.iter
+         (fun vf ->
+            let segs = segments_of net ~vertical_first:vf in
+            for t = 0 to inst.tracks - 1 do
+              let l = lit n vf t in
+              options := l :: !options;
+              List.iter
+                (fun seg ->
+                   let key = (seg, t) in
+                   let cur =
+                     Option.value ~default:[]
+                       (Hashtbl.find_opt resource_users key)
+                   in
+                   Hashtbl.replace resource_users key (l :: cur))
+                segs
+            done)
+         [ false; true ];
+       (* at least one realisation per net *)
+       Cnf.Formula.add_clause_l f !options;
+       (* at most one realisation per net *)
+       Cnf.Cardinality.at_most_one_pairwise f !options)
+    nets;
+  (* capacity 1 per (segment, track) *)
+  Hashtbl.iter
+    (fun _ users ->
+       match users with
+       | [] | [ _ ] -> ()
+       | us -> Cnf.Cardinality.at_most_one_pairwise f us)
+    resource_users;
+  let solver = Sat.Cdcl.create ~config f in
+  let outcome = Sat.Cdcl.solve solver in
+  let result =
+    match outcome with
+    | Sat.Types.Sat m ->
+      let routes = ref [] in
+      Array.iteri
+        (fun n _ ->
+           List.iter
+             (fun vf ->
+                for t = 0 to inst.tracks - 1 do
+                  match Hashtbl.find_opt var (n, vf, t) with
+                  | Some l when m.(Lit.var l) ->
+                    routes :=
+                      { net_index = n; vertical_first = vf; track = t }
+                      :: !routes
+                  | Some _ | None -> ()
+                done)
+             [ false; true ])
+        nets;
+      Routed (List.rev !routes)
+    | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> Unroutable
+    | Sat.Types.Unknown why -> Unknown why
+  in
+  (result, Sat.Cdcl.stats solver)
+
+let random_instance ~seed ~width ~height ~tracks ~nets =
+  let rng = Sat.Rng.create seed in
+  let cell () = (Sat.Rng.int rng width, Sat.Rng.int rng height) in
+  let rec mk_net tries =
+    let s = cell () and d = cell () in
+    if s <> d || tries > 20 then { src = s; dst = d } else mk_net (tries + 1)
+  in
+  {
+    width;
+    height;
+    tracks;
+    nets = List.init nets (fun _ -> mk_net 0);
+  }
+
+let check_routes inst routes =
+  let nets = Array.of_list inst.nets in
+  let used = Hashtbl.create 64 in
+  List.length routes = Array.length nets
+  && List.for_all
+       (fun r ->
+          r.net_index >= 0
+          && r.net_index < Array.length nets
+          && r.track >= 0
+          && r.track < inst.tracks
+          &&
+          let segs =
+            segments_of nets.(r.net_index) ~vertical_first:r.vertical_first
+          in
+          List.for_all
+            (fun seg ->
+               let key = (seg, r.track) in
+               if Hashtbl.mem used key then false
+               else begin
+                 Hashtbl.add used key ();
+                 true
+               end)
+            segs)
+       routes
+  &&
+  let distinct =
+    List.sort_uniq Int.compare (List.map (fun r -> r.net_index) routes)
+  in
+  List.length distinct = Array.length nets

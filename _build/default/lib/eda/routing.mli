@@ -1,0 +1,38 @@
+(** SAT-based FPGA detailed routing (Sec. 3, Nam et al. [29, 30]).
+
+    Track/segment model: a [width] x [height] grid of logic cells with
+    horizontal and vertical routing channels of [tracks] parallel tracks.
+    Each two-pin net is realised by one of its two L-shaped candidate
+    routes, on one uniform track.  Variables select (net, route, track);
+    each channel segment-track pair carries at most one net.  The
+    instance is satisfiable iff the netlist is routable at that channel
+    width — sweeping [tracks] reproduces the routability crossover. *)
+
+type net = { src : int * int; dst : int * int }
+
+type instance = {
+  width : int;
+  height : int;
+  tracks : int;
+  nets : net list;
+}
+
+type route = {
+  net_index : int;
+  vertical_first : bool;
+  track : int;
+}
+
+type result =
+  | Routed of route list
+  | Unroutable
+  | Unknown of string
+
+val route : ?config:Sat.Types.config -> instance -> result * Sat.Types.stats
+
+val random_instance :
+  seed:int -> width:int -> height:int -> tracks:int -> nets:int -> instance
+(** Random distinct-endpoint two-pin nets on the grid. *)
+
+val check_routes : instance -> route list -> bool
+(** Independently verifies exclusivity and completeness of a routing. *)

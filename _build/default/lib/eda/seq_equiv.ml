@@ -1,0 +1,93 @@
+module N = Circuit.Netlist
+module S = Circuit.Sequential
+module Gate = Circuit.Gate
+
+type result =
+  | Equivalent of int
+  | Bounded_equivalent of int
+  | Different of bool array list
+
+(* the product machine; [match_states] adds state-correspondence to the
+   property (requires equal state counts) *)
+let product ?(match_states = false) s1 s2 =
+  let m = N.create () in
+  let pis =
+    List.mapi (fun i _ -> N.add_input ~name:(Printf.sprintf "pi%d" i) m)
+      s1.S.primary_inputs
+  in
+  let st1 =
+    List.mapi (fun i _ -> N.add_input ~name:(Printf.sprintf "l%d" i) m)
+      s1.S.state_inputs
+  in
+  let st2 =
+    List.mapi (fun i _ -> N.add_input ~name:(Printf.sprintf "r%d" i) m)
+      s2.S.state_inputs
+  in
+  let import seq sts =
+    let table = Hashtbl.create 16 in
+    List.iter2 (fun src dst -> Hashtbl.replace table src dst)
+      seq.S.primary_inputs pis;
+    List.iter2 (fun src dst -> Hashtbl.replace table src dst)
+      seq.S.state_inputs sts;
+    N.import seq.S.comb ~into:m ~map_node:(Hashtbl.find_opt table)
+  in
+  let map1 = import s1 st1 in
+  let map2 = import s2 st2 in
+  let mismatches =
+    List.map2
+      (fun a b -> N.add_gate m Gate.Xor [ map1.(a); map2.(b) ])
+      (N.output_ids s1.S.comb) (N.output_ids s2.S.comb)
+  in
+  let state_mismatches =
+    if match_states then
+      List.map2 (fun a b -> N.add_gate m Gate.Xor [ a; b ]) st1 st2
+    else []
+  in
+  let bad =
+    match mismatches @ state_mismatches with
+    | [ one ] -> N.add_gate ~name:"bad" m Gate.Buf [ one ]
+    | many -> N.add_gate ~name:"bad" m Gate.Or many
+  in
+  N.set_output m bad;
+  {
+    S.comb = m;
+    primary_inputs = pis;
+    state_inputs = st1 @ st2;
+    next_state =
+      List.map (fun x -> map1.(x)) s1.S.next_state
+      @ List.map (fun x -> map2.(x)) s2.S.next_state;
+    init = s1.S.init @ s2.S.init;
+  }
+
+let check ?(config = Sat.Types.default) ?(max_k = 4) ?(bound = 16) s1 s2 =
+  S.validate s1;
+  S.validate s2;
+  if List.length s1.S.primary_inputs <> List.length s2.S.primary_inputs then
+    invalid_arg "Seq_equiv.check: primary input counts differ";
+  if List.length (N.outputs s1.S.comb) <> List.length (N.outputs s2.S.comb)
+  then invalid_arg "Seq_equiv.check: output counts differ";
+  let same_state_count =
+    List.length s1.S.state_inputs = List.length s2.S.state_inputs
+  in
+  (* try the strengthened (register-correspondence) induction first *)
+  let inductive_attempt =
+    if not same_state_count then None
+    else
+      match
+        Bmc.prove_inductive ~config ~max_k (product ~match_states:true s1 s2)
+      with
+      | Bmc.Proved k -> Some (Equivalent k)
+      | Bmc.Refuted _ | Bmc.Bound_reached -> None
+  in
+  match inductive_attempt with
+  | Some r -> r
+  | None -> (
+      (* outputs-only property: refute with BMC, or try plain induction *)
+      let prod = product ~match_states:false s1 s2 in
+      match Bmc.prove_inductive ~config ~max_k prod with
+      | Bmc.Proved k -> Equivalent k
+      | Bmc.Refuted frames -> Different frames
+      | Bmc.Bound_reached -> (
+          match (Bmc.check ~config ~max_bound:bound prod).Bmc.result with
+          | Bmc.Counterexample frames -> Different frames
+          | Bmc.No_counterexample -> Bounded_equivalent bound))

@@ -1,0 +1,26 @@
+(** Sequential equivalence checking on the product machine — the natural
+    composition of the paper's CEC (Sec. 3) and BMC ([5]) applications.
+
+    Both machines run in lockstep over shared primary inputs; the product
+    property says the outputs (and, when the state encodings correspond,
+    the states) agree.  With register correspondence the property is
+    1-inductive whenever the next-state logic is combinationally
+    equivalent, giving an unbounded proof; otherwise the checker falls
+    back to bounded exploration. *)
+
+type result =
+  | Equivalent of int
+      (** proven for all input sequences (k-induction closed at k) *)
+  | Bounded_equivalent of int
+      (** no difference within the bound; not proven beyond it *)
+  | Different of bool array list
+      (** a distinguishing input sequence (one vector per cycle) *)
+
+val check :
+  ?config:Sat.Types.config ->
+  ?max_k:int ->
+  ?bound:int ->
+  Circuit.Sequential.t -> Circuit.Sequential.t -> result
+(** [max_k] (default 4) bounds the induction attempt; [bound]
+    (default 16) the fallback bounded search.  Raises
+    [Invalid_argument] when primary-input or output counts differ. *)

@@ -1,0 +1,222 @@
+module N = Circuit.Netlist
+module Lit = Cnf.Lit
+
+type stats = {
+  simulation_words : int;
+  candidate_pairs : int;
+  proved : int;
+  refuted : int;
+  sat_calls : int;
+  decisions : int;
+  conflicts : int;
+}
+
+type report = {
+  verdict : Equiv.verdict;
+  stats : stats;
+  time_seconds : float;
+}
+
+let mask = (1 lsl Circuit.Simulate.word_width) - 1
+
+(* the merged (two circuits, shared inputs) netlist plus the original
+   output correspondences *)
+let merge c1 c2 =
+  let m = N.create () in
+  let shared =
+    List.mapi (fun i _ -> N.add_input ~name:(Printf.sprintf "pi%d" i) m)
+      (N.inputs c1)
+  in
+  let input_map ins =
+    let table = Hashtbl.create 16 in
+    List.iter2 (fun src dst -> Hashtbl.replace table src dst) ins shared;
+    fun id -> Hashtbl.find_opt table id
+  in
+  let map1 = N.import c1 ~into:m ~map_node:(input_map (N.inputs c1)) in
+  let map2 = N.import c2 ~into:m ~map_node:(input_map (N.inputs c2)) in
+  let pairs =
+    List.map2
+      (fun a b -> (map1.(a), map2.(b)))
+      (N.output_ids c1) (N.output_ids c2)
+  in
+  (m, pairs)
+
+(* signatures: packed simulation words per node, newest first; the
+   canonical key complements so that a node and its inverse collide *)
+let canonical sig_ =
+  match sig_ with
+  | [] -> ([], false)
+  | w :: _ ->
+    if w land 1 = 1 then (List.map (fun x -> lnot x land mask) sig_, true)
+    else (sig_, false)
+
+let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77) c1 c2 =
+  let t0 = Unix.gettimeofday () in
+  let fail_stats =
+    { simulation_words = 0; candidate_pairs = 0; proved = 0; refuted = 0;
+      sat_calls = 0; decisions = 0; conflicts = 0 }
+  in
+  if List.length (N.inputs c1) <> List.length (N.inputs c2)
+     || List.length (N.outputs c1) <> List.length (N.outputs c2)
+  then
+    { verdict = Equiv.Inequivalent [||]; stats = fail_stats;
+      time_seconds = Unix.gettimeofday () -. t0 }
+  else begin
+    let m, out_pairs = merge c1 c2 in
+    let n = N.num_nodes m in
+    let enc = Circuit.Encode.encode m in
+    let lit x = enc.Circuit.Encode.lit_of_node x in
+    let solver = Sat.Cdcl.create ~config enc.Circuit.Encode.formula in
+    let n_inputs = List.length (N.inputs m) in
+    (* initial random simulation *)
+    let rng = Sat.Rng.create seed in
+    let sigs = Array.make (max 1 n) [] in
+    let sim_words = ref 0 in
+    let add_simulation node_bits =
+      incr sim_words;
+      for x = 0 to n - 1 do
+        sigs.(x) <- node_bits x :: sigs.(x)
+      done
+    in
+    for _ = 1 to words do
+      let ws = Circuit.Simulate.random_words rng n_inputs in
+      let values = Circuit.Simulate.parallel_all m ws in
+      add_simulation (fun x -> values.(x))
+    done;
+    (* union-find with complementation phases *)
+    let parent = Array.init (max 1 n) (fun x -> x) in
+    let phase = Array.make (max 1 n) false in
+    let rec find x =
+      if parent.(x) = x then (x, false)
+      else begin
+        let r, p = find parent.(x) in
+        parent.(x) <- r;
+        phase.(x) <- phase.(x) <> p;
+        (r, phase.(x))
+      end
+    in
+    let proved = ref 0 and refuted = ref 0 and pairs_tried = ref 0 in
+    let sat_calls = ref 0 in
+    (* one implication direction: rep=a-val forces n=b-val *)
+    let unsat_under assumptions =
+      incr sat_calls;
+      match Sat.Cdcl.solve ~assumptions solver with
+      | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> `Unsat
+      | Sat.Types.Sat model -> `Sat model
+      | Sat.Types.Unknown _ -> `Unknown
+    in
+    let prove_pair rep x pol =
+      (* conjecture: x = rep xor pol *)
+      let lr = lit rep and lx = lit x in
+      let lx' = if pol then Lit.negate lx else lx in
+      incr pairs_tried;
+      match unsat_under [ lr; Lit.negate lx' ] with
+      | `Sat model -> `Refuted model
+      | `Unknown -> `Unknown
+      | `Unsat -> (
+          match unsat_under [ Lit.negate lr; lx' ] with
+          | `Sat model -> `Refuted model
+          | `Unknown -> `Unknown
+          | `Unsat ->
+            Sat.Cdcl.add_clause solver [ Lit.negate lr; lx' ];
+            Sat.Cdcl.add_clause solver [ lr; Lit.negate lx' ];
+            `Proved)
+    in
+    let refine_with_model model =
+      (* a counterexample distinguishes many pairs at once: fold the
+         model in as one more signature bit-pattern *)
+      add_simulation (fun x ->
+          let l = lit x in
+          let v = model.(Lit.var l) in
+          if (if Lit.is_pos l then v else not v) then mask else 0)
+    in
+    let round () =
+      let classes = Hashtbl.create 64 in
+      for x = n - 1 downto 0 do
+        let key, _ = canonical sigs.(x) in
+        Hashtbl.replace classes key (x :: Option.value ~default:[]
+                                       (Hashtbl.find_opt classes key))
+      done;
+      let progress = ref false in
+      Hashtbl.iter
+        (fun _ members ->
+           match members with
+           | [] | [ _ ] -> ()
+           | rep0 :: rest ->
+             List.iter
+               (fun x ->
+                  let r_rep, p_rep = find rep0 in
+                  let r_x, p_x = find x in
+                  if r_rep <> r_x then begin
+                    (* recheck signatures: a counterexample from earlier
+                       in this round may already distinguish them *)
+                    let _, comp_rep = canonical sigs.(rep0) in
+                    let _, comp_x = canonical sigs.(x) in
+                    let key_rep, _ = canonical sigs.(rep0) in
+                    let key_x, _ = canonical sigs.(x) in
+                    if key_rep = key_x then begin
+                      let pol = comp_rep <> comp_x in
+                      (* polarity between the union-find roots *)
+                      let root_pol = pol <> p_rep <> p_x in
+                      match prove_pair r_rep r_x root_pol with
+                      | `Proved ->
+                        parent.(r_x) <- r_rep;
+                        phase.(r_x) <- root_pol;
+                        incr proved;
+                        progress := true
+                      | `Refuted model ->
+                        refine_with_model model;
+                        incr refuted;
+                        progress := true
+                      | `Unknown -> ()
+                    end
+                  end)
+               rest)
+        classes;
+      !progress
+    in
+    let rounds = ref 0 in
+    while round () && !rounds < 20 do
+      incr rounds
+    done;
+    (* final output comparison *)
+    let rec outputs_equal = function
+      | [] -> Equiv.Equivalent
+      | (a, b) :: rest ->
+        let r_a, p_a = find a and r_b, p_b = find b in
+        if r_a = r_b && p_a = p_b then outputs_equal rest
+        else begin
+          let la = lit a and lb = lit b in
+          let cex model =
+            Array.init n_inputs (fun i ->
+                let l = lit i in
+                let v = model.(Cnf.Lit.var l) in
+                if Cnf.Lit.is_pos l then v else not v)
+          in
+          match unsat_under [ la; Lit.negate lb ] with
+          | `Sat model -> Equiv.Inequivalent (cex model)
+          | `Unknown -> Equiv.Inconclusive "budget"
+          | `Unsat -> (
+              match unsat_under [ Lit.negate la; lb ] with
+              | `Sat model -> Equiv.Inequivalent (cex model)
+              | `Unknown -> Equiv.Inconclusive "budget"
+              | `Unsat -> outputs_equal rest)
+        end
+    in
+    let verdict = outputs_equal out_pairs in
+    let st = Sat.Cdcl.stats solver in
+    {
+      verdict;
+      stats =
+        {
+          simulation_words = !sim_words;
+          candidate_pairs = !pairs_tried;
+          proved = !proved;
+          refuted = !refuted;
+          sat_calls = !sat_calls;
+          decisions = st.Sat.Types.decisions;
+          conflicts = st.Sat.Types.conflicts;
+        };
+      time_seconds = Unix.gettimeofday () -. t0;
+    }
+  end

@@ -1,0 +1,36 @@
+(** SAT sweeping: equivalence checking through simulation-guided
+    incremental equivalence proofs (Sec. 3 / Sec. 6 — the combination of
+    structural methods with an incrementally-used SAT solver behind
+    [16, 25]).
+
+    Both circuits are merged over shared inputs; random bit-parallel
+    simulation partitions the nodes into candidate-equivalence classes
+    (up to complementation).  Working from the inputs outward, each
+    candidate is proven or refuted with a SAT call on one incremental
+    solver; proven equivalences are added as clauses, strengthening all
+    later queries, and refuting counterexamples refine the candidate
+    classes.  The output pair falls out as one final (usually trivial)
+    query. *)
+
+type stats = {
+  simulation_words : int;
+  candidate_pairs : int;
+  proved : int;
+  refuted : int;
+  sat_calls : int;
+  decisions : int;
+  conflicts : int;
+}
+
+type report = {
+  verdict : Equiv.verdict;
+  stats : stats;
+  time_seconds : float;
+}
+
+val check :
+  ?config:Sat.Types.config ->
+  ?words:int ->
+  ?seed:int ->
+  Circuit.Netlist.t -> Circuit.Netlist.t -> report
+(** [words] (default 4) simulation words seed the candidate classes. *)

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Circuit Cnf List Sat Th

@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Circuit Eda Format List String Th

@@ -1,0 +1,1 @@
+test/test_bcp.ml: Alcotest Cnf List Sat Th

@@ -1,0 +1,1 @@
+test/test_bench_format.ml: Alcotest Array Circuit Eda List Th

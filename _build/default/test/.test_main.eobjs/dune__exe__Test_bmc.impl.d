@@ -1,0 +1,1 @@
+test/test_bmc.ml: Alcotest Array Circuit Eda List Th

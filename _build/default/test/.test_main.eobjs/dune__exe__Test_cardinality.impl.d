@@ -1,0 +1,1 @@
+test/test_cardinality.ml: Alcotest Array Cnf Fun List QCheck Sat Th

@@ -1,0 +1,1 @@
+test/test_clause.ml: Alcotest Cnf QCheck Th

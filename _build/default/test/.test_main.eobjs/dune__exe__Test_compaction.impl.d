@@ -1,0 +1,1 @@
+test/test_compaction.ml: Alcotest Circuit Eda List Th

@@ -1,0 +1,1 @@
+test/test_covering.ml: Alcotest Array Eda Fun List Th

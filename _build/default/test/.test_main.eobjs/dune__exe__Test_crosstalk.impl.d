@@ -1,0 +1,1 @@
+test/test_crosstalk.ml: Alcotest Array Circuit Eda List Th

@@ -1,0 +1,1 @@
+test/test_csat.ml: Alcotest Array Circuit Csat List Option Printf Sat Th

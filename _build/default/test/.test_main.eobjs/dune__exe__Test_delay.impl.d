@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Circuit Cnf Eda List Sat Th

@@ -1,0 +1,1 @@
+test/test_dpll.ml: Alcotest Array Cnf List QCheck Sat Th

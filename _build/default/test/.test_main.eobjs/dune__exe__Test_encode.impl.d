@@ -1,0 +1,1 @@
+test/test_encode.ml: Alcotest Array Circuit Cnf List Option QCheck Sat Th

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Circuit Eda List Sat Th

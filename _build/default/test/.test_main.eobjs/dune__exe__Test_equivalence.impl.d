@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Circuit Cnf List QCheck Sat Th

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Cnf Format Int List QCheck Sat Th

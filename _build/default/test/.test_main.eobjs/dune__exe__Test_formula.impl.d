@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Array Cnf QCheck Sat Th

@@ -1,0 +1,1 @@
+test/test_fvg.ml: Alcotest Array Circuit Eda Hashtbl List Th

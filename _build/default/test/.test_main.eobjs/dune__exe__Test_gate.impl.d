@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Circuit List Th

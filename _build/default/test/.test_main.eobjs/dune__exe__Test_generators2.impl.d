@@ -1,0 +1,1 @@
+test/test_generators2.ml: Alcotest Array Circuit Eda List Sat Th

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Circuit Cnf Csat Eda Filename Format List Sat String Sys Th

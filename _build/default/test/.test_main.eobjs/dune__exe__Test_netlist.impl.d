@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Circuit Hashtbl List Option Printf Th

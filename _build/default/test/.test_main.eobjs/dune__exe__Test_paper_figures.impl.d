@@ -1,0 +1,1 @@
+test/test_paper_figures.ml: Alcotest Array Circuit Cnf Csat List Option Sat Th

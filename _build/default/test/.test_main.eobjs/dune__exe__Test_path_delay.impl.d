@@ -1,0 +1,1 @@
+test/test_path_delay.ml: Alcotest Array Circuit Eda List Th

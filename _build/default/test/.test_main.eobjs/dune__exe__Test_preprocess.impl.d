@@ -1,0 +1,1 @@
+test/test_preprocess.ml: Alcotest Array Cnf QCheck Sat Th

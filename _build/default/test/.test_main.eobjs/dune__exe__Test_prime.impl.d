@@ -1,0 +1,1 @@
+test/test_prime.ml: Alcotest Cnf Eda Fun Int List Sat Th

@@ -1,0 +1,1 @@
+test/test_properties.ml: Aig Array Circuit Eda List QCheck Sat Th

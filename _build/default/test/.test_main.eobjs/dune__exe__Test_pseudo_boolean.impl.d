@@ -1,0 +1,1 @@
+test/test_pseudo_boolean.ml: Alcotest Array Cnf Eda Fun List QCheck Sat Th

@@ -1,0 +1,1 @@
+test/test_recursive_learning.ml: Alcotest Cnf List QCheck Sat Th

@@ -1,0 +1,1 @@
+test/test_redundancy.ml: Alcotest Circuit Eda List Th

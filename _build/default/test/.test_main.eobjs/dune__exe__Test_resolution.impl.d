@@ -1,0 +1,1 @@
+test/test_resolution.ml: Alcotest Cnf Gen List QCheck Th

@@ -1,0 +1,1 @@
+test/test_seq_equiv.ml: Alcotest Circuit Eda Th

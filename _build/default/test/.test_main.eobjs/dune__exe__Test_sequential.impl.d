@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Array Circuit List Th

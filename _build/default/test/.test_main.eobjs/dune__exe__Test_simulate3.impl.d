@@ -1,0 +1,1 @@
+test/test_simulate3.ml: Alcotest Array Circuit Csat Eda List Sat Th

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Circuit Cnf List Sat Th

@@ -1,0 +1,1 @@
+test/test_stalmarck.ml: Alcotest Circuit Cnf List Sat Th

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Circuit Eda List Sat Th

@@ -1,0 +1,1 @@
+test/test_vec_heap_rng.ml: Alcotest Array Int List Sat Th

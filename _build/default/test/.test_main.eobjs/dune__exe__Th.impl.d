@@ -1,0 +1,1 @@
+test/th.ml: Alcotest Array Circuit Cnf List QCheck_alcotest Sat

@@ -1,0 +1,127 @@
+module A = Aig
+module N = Circuit.Netlist
+
+let constants_and_identities () =
+  let m = A.create () in
+  let a = A.add_input m in
+  Alcotest.(check bool) "a & true = a" true (A.and_ m a A.const_true = a);
+  Alcotest.(check bool) "a & false = false" true
+    (A.and_ m a A.const_false = A.const_false);
+  Alcotest.(check bool) "a & a = a" true (A.and_ m a a = a);
+  Alcotest.(check bool) "a & ~a = false" true
+    (A.and_ m a (A.neg a) = A.const_false);
+  Alcotest.(check bool) "double negation" true (A.neg (A.neg a) = a)
+
+let hash_consing () =
+  let m = A.create () in
+  let a = A.add_input m in
+  let b = A.add_input m in
+  let g1 = A.and_ m a b in
+  let g2 = A.and_ m b a in
+  Alcotest.(check bool) "commutative sharing" true (g1 = g2);
+  Alcotest.(check int) "one AND node" 1 (A.num_ands m);
+  let x1 = A.xor m a b in
+  let x2 = A.xor m a b in
+  Alcotest.(check bool) "xor shared" true (x1 = x2)
+
+let eval_semantics () =
+  let m = A.create () in
+  let a = A.add_input m in
+  let b = A.add_input m in
+  let f = A.mux m a (A.xor m a b) (A.or_ m a b) in
+  for mask = 0 to 3 do
+    let ins = [| mask land 1 <> 0; mask land 2 <> 0 |] in
+    let expected = if ins.(0) then ins.(0) <> ins.(1) else ins.(0) || ins.(1) in
+    Alcotest.(check bool) "mux/xor/or eval" expected (A.eval m ins f)
+  done
+
+let netlist_roundtrip () =
+  List.iter
+    (fun c ->
+       let m, outs = A.of_netlist c in
+       let back = A.to_netlist m ~outputs:outs in
+       Th.assert_equivalent ~msg:"aig roundtrip" c back;
+       (* AIG evaluation matches circuit simulation *)
+       let rng = Sat.Rng.create 3 in
+       for _ = 1 to 30 do
+         let ins =
+           Array.init (List.length (N.inputs c)) (fun _ -> Sat.Rng.bool rng)
+         in
+         let sim = Circuit.Simulate.eval_outputs c ins in
+         List.iteri
+           (fun i (_, e) ->
+              Alcotest.(check bool) "aig eval" sim.(i) (A.eval m ins e))
+           outs
+       done)
+    [
+      Circuit.Generators.c17 ();
+      Circuit.Generators.ripple_adder ~bits:3;
+      Circuit.Generators.multiplier ~bits:3;
+      Circuit.Generators.parity ~bits:5;
+      Circuit.Generators.random_circuit ~inputs:6 ~gates:30 ~seed:9;
+    ]
+
+let merge_shares_structure () =
+  let c = Circuit.Generators.ripple_adder ~bits:4 in
+  let m_single, _ = A.of_netlist c in
+  let m_double, pairs = A.merge_netlists c (N.copy c) in
+  (* an identical copy adds no AND nodes at all *)
+  Alcotest.(check int) "full sharing" (A.num_ands m_single)
+    (A.num_ands m_double);
+  List.iter
+    (fun (a, b) -> Alcotest.(check bool) "outputs collapse" true (a = b))
+    pairs
+
+let cnf_translation () =
+  let rng = Sat.Rng.create 21 in
+  for seed = 1 to 15 do
+    let c = Circuit.Generators.random_circuit ~inputs:5 ~gates:25 ~seed:(seed + 40) in
+    let m, outs = A.of_netlist c in
+    let f, lit_of = A.to_cnf m in
+    let ins = Array.init 5 (fun _ -> Sat.Rng.bool rng) in
+    (* constrain the inputs through fresh input edges *)
+    let g = Cnf.Formula.copy f in
+    List.iteri
+      (fun i _ ->
+         let l = lit_of (A.input m i) in
+         Cnf.Formula.add_clause_l g
+           [ (if ins.(i) then l else Cnf.Lit.negate l) ])
+      (N.inputs c);
+    match Th.solve_cdcl g with
+    | Sat.Types.Sat model ->
+      List.iteri
+        (fun i (_, e) ->
+           let l = lit_of e in
+           let v = model.(Cnf.Lit.var l) in
+           let v = if Cnf.Lit.is_pos l then v else not v in
+           Alcotest.(check bool) "cnf model matches simulation"
+             (Circuit.Simulate.eval_outputs c ins).(i) v)
+        outs
+    | _ -> Alcotest.fail "inputs fixed: sat expected"
+  done
+
+let aig_based_cec () =
+  (* merged-manager equivalence check: miter over shared-structure AIG *)
+  let c1 = Circuit.Generators.multiplier ~bits:3 in
+  let c2 = Circuit.Transform.rewrite_xor c1 in
+  let m, pairs = A.merge_netlists c1 c2 in
+  let diff =
+    List.fold_left
+      (fun acc (a, b) -> A.or_ m acc (A.xor m a b))
+      A.const_false pairs
+  in
+  let f, lit_of = A.to_cnf m in
+  Cnf.Formula.add_clause_l f [ lit_of diff ];
+  Alcotest.(check bool) "equivalent via AIG miter" false
+    (Th.outcome_sat (Th.solve_cdcl f))
+
+let suite =
+  [
+    Th.case "constants" constants_and_identities;
+    Th.case "hash consing" hash_consing;
+    Th.case "eval" eval_semantics;
+    Th.case "netlist roundtrip" netlist_roundtrip;
+    Th.case "merge sharing" merge_shares_structure;
+    Th.case "cnf translation" cnf_translation;
+    Th.case "aig cec" aig_based_cec;
+  ]

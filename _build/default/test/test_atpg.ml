@@ -1,0 +1,113 @@
+module A = Eda.Atpg
+module N = Circuit.Netlist
+
+let c17_full_coverage () =
+  let c = Circuit.Generators.c17 () in
+  let s = A.run c in
+  Alcotest.(check int) "22 faults" 22 s.A.total;
+  Alcotest.(check int) "all detected" 22 s.A.detected;
+  Alcotest.(check int) "no redundancy in c17" 0 s.A.redundant;
+  Alcotest.(check int) "no aborts" 0 s.A.aborted;
+  Alcotest.(check bool) "simulation dropped faults" true
+    (s.A.dropped_by_simulation > 0)
+
+let vectors_actually_detect () =
+  let c = Circuit.Generators.ripple_adder ~bits:2 in
+  List.iter
+    (fun f ->
+       match A.generate_test c f with
+       | A.Test v, _ ->
+         (* the vector distinguishes good and faulty circuits *)
+         let good = Circuit.Simulate.eval_all c v in
+         let inst, _ = A.instance c f in
+         let n_inputs = List.length (N.inputs c) in
+         ignore n_inputs;
+         let diff_out = List.hd (N.output_ids inst) in
+         let inst_vals = Circuit.Simulate.eval_all inst v in
+         Alcotest.(check bool) "diff raised" true inst_vals.(diff_out);
+         ignore good
+       | A.Redundant, _ -> ()
+       | A.Aborted _, _ -> Alcotest.fail "aborted")
+    (A.fault_list c)
+
+let structural_and_incremental_agree () =
+  let c = Circuit.Transform.add_redundancy ~seed:5 (Circuit.Generators.majority3 ()) in
+  let plain = A.run ~fault_simulation:false c in
+  let struct_ = A.run ~use_structural:true ~fault_simulation:false c in
+  let incr = A.run_incremental c in
+  Alcotest.(check int) "structural detected" plain.A.detected struct_.A.detected;
+  Alcotest.(check int) "structural redundant" plain.A.redundant struct_.A.redundant;
+  Alcotest.(check int) "incremental detected" plain.A.detected incr.A.detected;
+  Alcotest.(check int) "incremental redundant" plain.A.redundant incr.A.redundant
+
+let redundant_faults_on_injected_logic () =
+  let c = Circuit.Transform.add_redundancy ~seed:3 (Circuit.Generators.ripple_adder ~bits:2) in
+  let s = A.run ~fault_simulation:false c in
+  Alcotest.(check bool) "redundancies exist" true (s.A.redundant > 0)
+
+let fault_simulation_consistent () =
+  (* every fault reported detected by a vector must be detected by
+     fault_simulate on that vector set *)
+  let c = Circuit.Generators.c17 () in
+  let s = A.run c in
+  let all = A.fault_list c in
+  let detected = A.fault_simulate c all s.A.vectors in
+  Alcotest.(check int) "fault simulation confirms coverage" s.A.detected
+    (List.length detected)
+
+let unobservable_fault_redundant () =
+  (* a gate with no path to any output: fault undetectable *)
+  let c = N.create () in
+  let a = N.add_input c in
+  let b = N.add_input c in
+  let dead = N.add_gate c Circuit.Gate.And [ a; b ] in
+  let live = N.add_gate c Circuit.Gate.Or [ a; b ] in
+  N.set_output c live;
+  (match A.generate_test c { A.node = dead; stuck_at = true } with
+   | A.Redundant, _ -> ()
+   | _ -> Alcotest.fail "dead logic fault must be redundant")
+
+let coverage_on_families () =
+  List.iter
+    (fun c ->
+       let s = A.run c in
+       Alcotest.(check int) "full accounting" s.A.total
+         (s.A.detected + s.A.redundant + s.A.aborted);
+       Alcotest.(check int) "no aborts" 0 s.A.aborted)
+    [
+      Circuit.Generators.parity ~bits:4;
+      Circuit.Generators.comparator ~bits:3;
+      Circuit.Generators.mux_tree ~select_bits:2;
+    ]
+
+let random_pattern_phase () =
+  let c = Circuit.Generators.ripple_adder ~bits:5 in
+  let two_phase = A.run ~random_patterns:2 c in
+  let plain = A.run c in
+  Alcotest.(check int) "same coverage" plain.A.detected two_phase.A.detected;
+  Alcotest.(check int) "same redundancy" plain.A.redundant two_phase.A.redundant;
+  Alcotest.(check bool) "fewer SAT calls" true
+    (two_phase.A.sat_calls <= plain.A.sat_calls);
+  (* the final vector set still covers everything detected *)
+  let all = A.fault_list c in
+  Alcotest.(check int) "vectors witness coverage" two_phase.A.detected
+    (List.length (A.fault_simulate c all two_phase.A.vectors))
+
+let summary_printer () =
+  let c = Circuit.Generators.majority3 () in
+  let s = A.run c in
+  let text = Format.asprintf "%a" A.pp_summary s in
+  Alcotest.(check bool) "printable" true (String.length text > 0)
+
+let suite =
+  [
+    Th.case "c17 full coverage" c17_full_coverage;
+    Th.case "vectors detect" vectors_actually_detect;
+    Th.case "structural/incremental agree" structural_and_incremental_agree;
+    Th.case "injected redundancy" redundant_faults_on_injected_logic;
+    Th.case "fault simulation consistent" fault_simulation_consistent;
+    Th.case "unobservable fault" unobservable_fault_redundant;
+    Th.case "coverage accounting" coverage_on_families;
+    Th.case "random-pattern phase" random_pattern_phase;
+    Th.case "summary printer" summary_printer;
+  ]

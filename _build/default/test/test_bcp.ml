@@ -1,0 +1,91 @@
+module B = Sat.Bcp
+
+let chain_formula () = Th.formula_of [ [ -1; 2 ]; [ -2; 3 ]; [ -3; 4 ] ]
+
+let propagation_chain () =
+  let b = B.create (chain_formula ()) in
+  Alcotest.(check bool) "consistent" true (B.is_consistent b);
+  match B.assume b (Th.lit 1) with
+  | Some implied ->
+    Alcotest.(check int) "chain length" 4 (List.length implied);
+    Alcotest.(check int) "x4 true" 1 (B.value b (Th.lit 4))
+  | None -> Alcotest.fail "no conflict expected"
+
+let conflict_detection () =
+  let f = Th.formula_of [ [ -1; 2 ]; [ -1; -2 ] ] in
+  let b = B.create f in
+  (match B.assume b (Th.lit 1) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "conflict expected");
+  (* engine must have rolled back *)
+  Alcotest.(check int) "rolled back" (-1) (B.value b (Th.lit 1));
+  Alcotest.(check bool) "still consistent" true (B.is_consistent b)
+
+let checkpoints_restore () =
+  let b = B.create (chain_formula ()) in
+  let mark = B.checkpoint b in
+  (match B.assume b (Th.lit 1) with Some _ -> () | None -> Alcotest.fail "sat");
+  B.backtrack b mark;
+  Alcotest.(check int) "x2 cleared" (-1) (B.value b (Th.lit 2));
+  (* re-assume works identically *)
+  match B.assume b (Th.lit 1) with
+  | Some implied -> Alcotest.(check int) "again 4" 4 (List.length implied)
+  | None -> Alcotest.fail "sat 2"
+
+let root_units () =
+  let f = Th.formula_of [ [ 1 ]; [ -1; 2 ] ] in
+  let b = B.create f in
+  Alcotest.(check int) "unit propagated" 1 (B.value b (Th.lit 2));
+  Alcotest.(check int) "trail" 2 (List.length (B.trail b))
+
+let root_conflict () =
+  let f = Th.formula_of [ [ 1 ]; [ -1 ] ] in
+  let b = B.create f in
+  Alcotest.(check bool) "inconsistent" false (B.is_consistent b)
+
+let add_unit_behaviour () =
+  let b = B.create (chain_formula ()) in
+  Alcotest.(check bool) "ok" true (B.add_unit b (Th.lit 1));
+  Alcotest.(check int) "propagated" 1 (B.value b (Th.lit 4));
+  Alcotest.(check bool) "conflicting unit" false (B.add_unit b (Th.lit (-4)))
+
+let reason_and_support () =
+  (* z=1, u=0 imply x=1 through (u + x + ~w) after w forced by (w + ~z) *)
+  let f = Th.formula_of [ [ 1; 2; -3 ]; [ 3; -4 ] ] in
+  (* vars: 1=u 2=x 3=w 4=z *)
+  let b = B.create f in
+  ignore (B.add_unit b (Th.lit 4));
+  let mark = B.checkpoint b in
+  ignore (B.add_unit b (Th.lit (-1)));
+  (* w forced by z through (3 -4) *)
+  Alcotest.(check int) "w forced" 1 (B.value b (Th.lit 3));
+  (match B.reason b (Cnf.Lit.var (Th.lit 2)) with
+   | Some c ->
+     Alcotest.(check bool) "x reason clause" true
+       (Cnf.Clause.equal c (Cnf.Clause.of_dimacs_list [ 1; 2; -3 ]))
+   | None -> Alcotest.fail "x should be implied with a reason");
+  (* x's implication (after [mark]) rests on w, which predates [mark];
+     the post-mark assumption ~u is excluded by design *)
+  let sup = B.support b ~since:mark (Th.lit 2) in
+  Alcotest.(check bool) "w in support" true (List.mem (Th.lit 3) sup)
+
+let trail_position_tracking () =
+  let b = B.create (chain_formula ()) in
+  ignore (B.add_unit b (Th.lit 1));
+  Alcotest.(check int) "pos of first" 0 (B.trail_position b 0);
+  Alcotest.(check bool) "later greater" true
+    (B.trail_position b 3 > B.trail_position b 0);
+  let fresh = B.create (chain_formula ()) in
+  Alcotest.(check int) "unassigned" (-1) (B.trail_position fresh 2)
+
+let suite =
+  [
+    Th.case "propagation chain" propagation_chain;
+    Th.case "conflict detection" conflict_detection;
+    Th.case "checkpoints restore" checkpoints_restore;
+    Th.case "root units" root_units;
+    Th.case "root conflict" root_conflict;
+    Th.case "add_unit" add_unit_behaviour;
+    Th.case "reason and support" reason_and_support;
+    Th.case "trail positions" trail_position_tracking;
+  ]

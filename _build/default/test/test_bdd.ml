@@ -1,0 +1,139 @@
+let truth_tables () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let check name f expected =
+    for mask = 0 to 3 do
+      let env v = mask land (1 lsl v) <> 0 in
+      Alcotest.(check bool) name (expected (env 0) (env 1)) (Bdd.eval f env)
+    done
+  in
+  check "and" (Bdd.and_ m x y) ( && );
+  check "or" (Bdd.or_ m x y) ( || );
+  check "xor" (Bdd.xor m x y) ( <> );
+  check "iff" (Bdd.iff m x y) ( = );
+  check "imp" (Bdd.imp m x y) (fun a b -> (not a) || b);
+  check "not x" (Bdd.not_ m x) (fun a _ -> not a)
+
+let canonicity () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check bool) "commutative and" true
+    (Bdd.equal (Bdd.and_ m x y) (Bdd.and_ m y x));
+  Alcotest.(check bool) "de morgan" true
+    (Bdd.equal
+       (Bdd.not_ m (Bdd.and_ m x y))
+       (Bdd.or_ m (Bdd.not_ m x) (Bdd.not_ m y)));
+  Alcotest.(check bool) "double negation" true
+    (Bdd.equal x (Bdd.not_ m (Bdd.not_ m x)));
+  Alcotest.(check bool) "x and ~x is zero" true
+    (Bdd.is_zero (Bdd.and_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x or ~x is one" true
+    (Bdd.is_one (Bdd.or_ m x (Bdd.not_ m x)))
+
+let ite_cases () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  let f = Bdd.ite m x y z in
+  for mask = 0 to 7 do
+    let env v = mask land (1 lsl v) <> 0 in
+    Alcotest.(check bool) "ite semantics"
+      (if env 0 then env 1 else env 2)
+      (Bdd.eval f env)
+  done
+
+let restrict_exists () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.xor m x y in
+  Alcotest.(check bool) "restrict x=1" true
+    (Bdd.equal (Bdd.restrict m f 0 true) (Bdd.not_ m y));
+  Alcotest.(check bool) "exists x" true (Bdd.is_one (Bdd.exists m [ 0 ] f));
+  Alcotest.(check bool) "exists both" true (Bdd.is_one (Bdd.exists m [ 0; 1 ] f))
+
+let sat_count () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check (float 0.001)) "xor has 2 models" 2.
+    (Bdd.sat_count m ~nvars:2 (Bdd.xor m x y));
+  Alcotest.(check (float 0.001)) "and has 1" 1.
+    (Bdd.sat_count m ~nvars:2 (Bdd.and_ m x y));
+  Alcotest.(check (float 0.001)) "one over 3 vars" 8.
+    (Bdd.sat_count m ~nvars:3 (Bdd.one m));
+  Alcotest.(check (float 0.001)) "var over 3 vars" 4.
+    (Bdd.sat_count m ~nvars:3 (Bdd.var m 1))
+
+let any_sat_support () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and z = Bdd.var m 2 in
+  let f = Bdd.and_ m x (Bdd.not_ m z) in
+  (match Bdd.any_sat f with
+   | Some assignment ->
+     Alcotest.(check bool) "assignment correct" true
+       (List.mem (0, true) assignment && List.mem (2, false) assignment)
+   | None -> Alcotest.fail "satisfiable");
+  Alcotest.(check bool) "zero has no sat" true (Bdd.any_sat (Bdd.zero m) = None);
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Bdd.support f)
+
+let node_limit () =
+  let m = Bdd.manager ~node_limit:10 () in
+  Alcotest.check_raises "limit" Bdd.Node_limit (fun () ->
+      (* parity of 12 variables needs > 10 nodes *)
+      let rec build acc v =
+        if v >= 12 then acc else build (Bdd.xor m acc (Bdd.var m v)) (v + 1)
+      in
+      ignore (build (Bdd.zero m) 0))
+
+let prop_bdd_matches_eval =
+  QCheck.Test.make ~name:"bdd of random expression matches evaluation"
+    ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 41) in
+       let f = Th.random_cnf rng 6 12 3 in
+       let m = Bdd.manager () in
+       (* CNF -> BDD *)
+       let clause_bdd c =
+         Cnf.Clause.to_list c
+         |> List.map (fun l ->
+             let v = Bdd.var m (Cnf.Lit.var l) in
+             if Cnf.Lit.is_pos l then v else Bdd.not_ m v)
+         |> List.fold_left (Bdd.or_ m) (Bdd.zero m)
+       in
+       let whole =
+         Array.fold_left
+           (fun acc c -> Bdd.and_ m acc (clause_bdd c))
+           (Bdd.one m) (Cnf.Formula.clauses f)
+       in
+       let ok = ref true in
+       for mask = 0 to 63 do
+         let env v = mask land (1 lsl v) <> 0 in
+         if Bdd.eval whole env <> Cnf.Formula.eval env f then ok := false
+       done;
+       !ok
+       && Bdd.sat_count m ~nvars:6 whole
+          = float_of_int (Sat.Brute.count_models f))
+
+let prop_size_positive =
+  QCheck.Test.make ~name:"size counts internal nodes" ~count:50
+    QCheck.(int_range 1 10)
+    (fun n ->
+       let m = Bdd.manager () in
+       let rec parity acc v =
+         if v >= n then acc else parity (Bdd.xor m acc (Bdd.var m v)) (v + 1)
+       in
+       let f = parity (Bdd.zero m) 0 in
+       (* the parity function's BDD has exactly 2n - 1 internal nodes *)
+       Bdd.size f = (2 * n) - 1)
+
+let suite =
+  [
+    Th.case "truth tables" truth_tables;
+    Th.case "canonicity" canonicity;
+    Th.case "ite" ite_cases;
+    Th.case "restrict/exists" restrict_exists;
+    Th.case "sat_count" sat_count;
+    Th.case "any_sat/support" any_sat_support;
+    Th.case "node limit" node_limit;
+    Th.qcheck prop_bdd_matches_eval;
+    Th.qcheck prop_size_positive;
+  ]

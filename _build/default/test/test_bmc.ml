@@ -1,0 +1,120 @@
+module B = Eda.Bmc
+module S = Circuit.Sequential
+
+let correct_counter_depth () =
+  let c = S.counter ~bits:3 ~buggy_at:None in
+  match (B.check ~max_bound:12 c).B.result with
+  | B.Counterexample frames ->
+    (* count reaches 7 after 7 enabled increments; bad observed in the
+       8th frame *)
+    Alcotest.(check int) "depth" 8 (List.length frames);
+    let outs = S.simulate c ~inputs:frames in
+    Alcotest.(check bool) "replay reaches bad" true
+      (List.exists (fun o -> o.(0)) outs)
+  | B.No_counterexample -> Alcotest.fail "counter must reach bad"
+
+let buggy_counter_shallower () =
+  let c = S.counter ~bits:3 ~buggy_at:(Some 2) in
+  match (B.check ~max_bound:12 c).B.result with
+  | B.Counterexample frames ->
+    Alcotest.(check int) "shortcut depth" 4 (List.length frames);
+    let outs = S.simulate c ~inputs:frames in
+    Alcotest.(check bool) "replay" true (List.exists (fun o -> o.(0)) outs)
+  | B.No_counterexample -> Alcotest.fail "buggy counter must fail earlier"
+
+let bound_too_small () =
+  let c = S.counter ~bits:4 ~buggy_at:None in
+  let r = B.check ~max_bound:5 c in
+  (match r.B.result with
+   | B.No_counterexample -> ()
+   | B.Counterexample _ -> Alcotest.fail "bad unreachable within 5 steps");
+  Alcotest.(check int) "bound reached" 5 r.B.bound_reached
+
+let counterexample_is_minimal () =
+  (* BMC explores increasing bounds, so the cex has minimal length *)
+  let c = S.counter ~bits:2 ~buggy_at:None in
+  match (B.check ~max_bound:10 c).B.result with
+  | B.Counterexample frames ->
+    Alcotest.(check int) "minimal" 4 (List.length frames);
+    (* shorter prefixes never reach bad *)
+    let outs = S.simulate c ~inputs:frames in
+    List.iteri
+      (fun i o ->
+         if i < List.length outs - 1 then
+           Alcotest.(check bool) "not earlier" false o.(0))
+      outs
+  | B.No_counterexample -> Alcotest.fail "expected cex"
+
+let enable_can_be_held_low () =
+  (* the solver must choose to enable on every stepping frame (the final
+     frame's input is a don't-care: [bad] reads the current state) *)
+  let c = S.counter ~bits:2 ~buggy_at:None in
+  match (B.check ~max_bound:6 c).B.result with
+  | B.Counterexample frames ->
+    let stepping = List.filteri (fun i _ -> i < List.length frames - 1) frames in
+    Alcotest.(check bool) "every stepping frame enabled" true
+      (List.for_all (fun f -> f.(0)) stepping)
+  | B.No_counterexample -> Alcotest.fail "expected cex"
+
+let per_bound_stats () =
+  let c = S.counter ~bits:2 ~buggy_at:None in
+  let r = B.check ~max_bound:6 c in
+  Alcotest.(check int) "stats rows" r.B.bound_reached
+    (List.length r.B.per_bound_conflicts)
+
+let missing_bad_output () =
+  let c = S.lfsr ~bits:3 ~taps:[ 1; 2 ] in
+  Alcotest.check_raises "no bad output"
+    (Invalid_argument "Bmc.check: no output named bad") (fun () ->
+        ignore (B.check ~max_bound:2 c))
+
+let custom_property_name () =
+  let c = S.lfsr ~bits:3 ~taps:[ 1; 2 ] in
+  (* tap0 starts at 1: 'property' tap0 fails at frame 0 *)
+  match (B.check ~bad_output:"tap0" ~max_bound:3 c).B.result with
+  | B.Counterexample frames -> Alcotest.(check int) "frame 0" 1 (List.length frames)
+  | B.No_counterexample -> Alcotest.fail "tap0 is initially 1"
+
+let induction_proves_ring_counter () =
+  let ring = S.ring_counter ~bits:5 in
+  (* bounded checking alone cannot conclude *)
+  (match (B.check ~max_bound:12 ring).B.result with
+   | B.No_counterexample -> ()
+   | B.Counterexample _ -> Alcotest.fail "ring counter is safe");
+  match B.prove_inductive ~max_k:3 ring with
+  | B.Proved k -> Alcotest.(check bool) "small induction depth" true (k <= 2)
+  | B.Refuted _ -> Alcotest.fail "safe design refuted"
+  | B.Bound_reached -> Alcotest.fail "one-hot invariant is 1-inductive"
+
+let induction_refutes_buggy () =
+  let c = S.counter ~bits:3 ~buggy_at:None in
+  (* bad IS reachable: induction must report the counterexample *)
+  match B.prove_inductive ~max_k:10 c with
+  | B.Refuted frames -> Alcotest.(check int) "depth" 8 (List.length frames)
+  | B.Proved _ -> Alcotest.fail "reachable bad state proved safe?!"
+  | B.Bound_reached -> Alcotest.fail "cex lies within the bound"
+
+let induction_gives_up_honestly () =
+  (* the plain counter's bad state is reachable only at depth 8; with
+     max_k below that, neither a proof (not inductive) nor a cex fits *)
+  let c = S.counter ~bits:3 ~buggy_at:None in
+  match B.prove_inductive ~max_k:3 c with
+  | B.Bound_reached -> ()
+  | B.Proved _ -> Alcotest.fail "non-inductive property proved"
+  | B.Refuted frames ->
+    Alcotest.failf "cex of %d frames within k=3?" (List.length frames)
+
+let suite =
+  [
+    Th.case "induction proves ring counter" induction_proves_ring_counter;
+    Th.case "induction refutes buggy" induction_refutes_buggy;
+    Th.case "induction bound reached" induction_gives_up_honestly;
+    Th.case "correct counter depth" correct_counter_depth;
+    Th.case "buggy counter shallower" buggy_counter_shallower;
+    Th.case "bound too small" bound_too_small;
+    Th.case "minimal counterexample" counterexample_is_minimal;
+    Th.case "enable chosen" enable_can_be_held_low;
+    Th.case "per-bound stats" per_bound_stats;
+    Th.case "missing bad output" missing_bad_output;
+    Th.case "custom property" custom_property_name;
+  ]

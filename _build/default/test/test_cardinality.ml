@@ -1,0 +1,95 @@
+let count_true model lits =
+  List.fold_left
+    (fun acc l ->
+       let v = model.(Cnf.Lit.var l) in
+       let t = if Cnf.Lit.is_pos l then v else not v in
+       if t then acc + 1 else acc)
+    0 lits
+
+(* check both soundness (every model obeys the bound) and completeness
+   (every base assignment obeying the bound extends to a model of the
+   encoding) by brute-force over the base variables *)
+let check_encoding ~n ~k ~build ~ok_count =
+  let lits = List.init n Cnf.Lit.pos in
+  let f = Cnf.Formula.create ~nvars:n () in
+  build f lits k;
+  for mask = 0 to (1 lsl n) - 1 do
+    let g = Cnf.Formula.copy f in
+    for v = 0 to n - 1 do
+      Cnf.Formula.add_clause_l g
+        [ (if mask land (1 lsl v) <> 0 then Cnf.Lit.pos v else Cnf.Lit.neg_of_var v) ]
+    done;
+    let cnt =
+      List.length (List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id))
+    in
+    let sat = Th.outcome_sat (Th.solve_cdcl g) in
+    if sat <> ok_count cnt then
+      Alcotest.failf "n=%d k=%d mask=%d: sat=%b count=%d" n k mask sat cnt
+  done
+
+let at_most_exhaustive () =
+  for n = 1 to 5 do
+    for k = 0 to n do
+      check_encoding ~n ~k ~build:Cnf.Cardinality.at_most
+        ~ok_count:(fun c -> c <= k)
+    done
+  done
+
+let at_least_exhaustive () =
+  for n = 1 to 5 do
+    for k = 0 to n + 1 do
+      check_encoding ~n ~k ~build:Cnf.Cardinality.at_least
+        ~ok_count:(fun c -> c >= k)
+    done
+  done
+
+let exactly_exhaustive () =
+  for n = 1 to 5 do
+    for k = 0 to n do
+      check_encoding ~n ~k ~build:Cnf.Cardinality.exactly
+        ~ok_count:(fun c -> c = k)
+    done
+  done
+
+let pairwise_amo () =
+  check_encoding ~n:5 ~k:1
+    ~build:(fun f lits _ -> Cnf.Cardinality.at_most_one_pairwise f lits)
+    ~ok_count:(fun c -> c <= 1)
+
+let negative_literals () =
+  (* bounds over mixed-polarity literals *)
+  let f = Cnf.Formula.create ~nvars:4 () in
+  let lits = [ Cnf.Lit.pos 0; Cnf.Lit.neg_of_var 1; Cnf.Lit.pos 2; Cnf.Lit.neg_of_var 3 ] in
+  Cnf.Cardinality.at_most f lits 2;
+  for mask = 0 to 15 do
+    let g = Cnf.Formula.copy f in
+    for v = 0 to 3 do
+      Cnf.Formula.add_clause_l g
+        [ (if mask land (1 lsl v) <> 0 then Cnf.Lit.pos v else Cnf.Lit.neg_of_var v) ]
+    done;
+    let model = Array.init 4 (fun v -> mask land (1 lsl v) <> 0) in
+    let cnt = count_true model lits in
+    let sat = Th.outcome_sat (Th.solve_cdcl g) in
+    Alcotest.(check bool) "mixed polarity" (cnt <= 2) sat
+  done
+
+let prop_unit_propagation_bound_zero =
+  QCheck.Test.make ~name:"k=0 forces all literals false" ~count:50
+    QCheck.(int_range 1 8)
+    (fun n ->
+       let f = Cnf.Formula.create ~nvars:n () in
+       let lits = List.init n Cnf.Lit.pos in
+       Cnf.Cardinality.at_most f lits 0;
+       match Th.solve_cdcl f with
+       | Sat.Types.Sat m -> Array.for_all not (Array.sub m 0 n)
+       | _ -> false)
+
+let suite =
+  [
+    Th.case "at_most exhaustive" at_most_exhaustive;
+    Th.case "at_least exhaustive" at_least_exhaustive;
+    Th.case "exactly exhaustive" exactly_exhaustive;
+    Th.case "pairwise amo" pairwise_amo;
+    Th.case "negative literals" negative_literals;
+    Th.qcheck prop_unit_propagation_bound_zero;
+  ]

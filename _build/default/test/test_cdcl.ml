@@ -1,0 +1,195 @@
+module T = Sat.Types
+
+let php n m =
+  (* pigeonhole: n pigeons, m holes; UNSAT iff n > m *)
+  let v i j = (i * m) + j + 1 in
+  let cls = ref [] in
+  for i = 0 to n - 1 do
+    cls := List.init m (fun j -> v i j) :: !cls
+  done;
+  for j = 0 to m - 1 do
+    for i1 = 0 to n - 1 do
+      for i2 = i1 + 1 to n - 1 do
+        cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+      done
+    done
+  done;
+  Th.formula_of !cls
+
+let basic_outcomes () =
+  Alcotest.(check bool) "sat" true
+    (Th.outcome_sat (Th.solve_cdcl (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ])));
+  Alcotest.(check bool) "unsat" false
+    (Th.outcome_sat
+       (Th.solve_cdcl (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ])));
+  Alcotest.(check bool) "empty formula sat" true
+    (Th.outcome_sat (Th.solve_cdcl (Cnf.Formula.create ())));
+  Alcotest.(check bool) "empty clause unsat" false
+    (Th.outcome_sat (Th.solve_cdcl (Th.formula_of [ [] ])))
+
+let pigeonhole () =
+  Alcotest.(check bool) "php 6 5 unsat" false (Th.outcome_sat (Th.solve_cdcl (php 6 5)));
+  Alcotest.(check bool) "php 5 5 sat" true (Th.outcome_sat (Th.solve_cdcl (php 5 5)))
+
+let model_validity () =
+  let rng = Sat.Rng.create 17 in
+  for _ = 1 to 50 do
+    let f = Th.random_cnf rng 10 30 4 in
+    match Th.solve_cdcl f with
+    | T.Sat m ->
+      Alcotest.(check bool) "model satisfies" true
+        (Cnf.Formula.eval (fun v -> m.(v)) f)
+    | T.Unsat -> ()
+    | T.Unsat_assuming _ | T.Unknown _ -> Alcotest.fail "unexpected"
+  done
+
+let assumptions () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let s = Sat.Cdcl.create f in
+  (match Sat.Cdcl.solve ~assumptions:[ Th.lit (-2) ] s with
+   | T.Unsat_assuming core ->
+     Alcotest.(check bool) "core mentions -2" true
+       (List.mem (Th.lit (-2)) core)
+   | _ -> Alcotest.fail "expected unsat under -2");
+  (match Sat.Cdcl.solve ~assumptions:[ Th.lit 2 ] s with
+   | T.Sat _ -> ()
+   | _ -> Alcotest.fail "expected sat under 2");
+  (* solver is reusable without assumptions afterwards *)
+  Alcotest.(check bool) "still sat" true (Th.outcome_sat (Sat.Cdcl.solve s))
+
+let assumption_core_subset () =
+  (* assumptions a, b, c where only a, b conflict: core excludes c *)
+  let f = Th.formula_of [ [ -1; -2 ] ] in
+  let s = Sat.Cdcl.create f in
+  (* ensure var 3 exists *)
+  Sat.Cdcl.add_clause s [ Th.lit 3; Th.lit (-3) ];
+  match
+    Sat.Cdcl.solve ~assumptions:[ Th.lit 3; Th.lit 1; Th.lit 2 ] s
+  with
+  | T.Unsat_assuming core ->
+    Alcotest.(check bool) "core omits 3" false (List.mem (Th.lit 3) core);
+    Alcotest.(check bool) "core small" true (List.length core <= 2)
+  | _ -> Alcotest.fail "expected failure"
+
+let incremental () =
+  let f = Th.formula_of [ [ 1; 2 ] ] in
+  let s = Sat.Cdcl.create f in
+  Alcotest.(check bool) "sat initially" true (Th.outcome_sat (Sat.Cdcl.solve s));
+  Sat.Cdcl.add_clause s [ Th.lit (-1) ];
+  Sat.Cdcl.add_clause s [ Th.lit (-2) ];
+  Alcotest.(check bool) "unsat after additions" false
+    (Th.outcome_sat (Sat.Cdcl.solve s));
+  (* further solves stay unsat *)
+  Alcotest.(check bool) "sticky" false (Th.outcome_sat (Sat.Cdcl.solve s))
+
+let new_vars_mid_flight () =
+  let s = Sat.Cdcl.create (Cnf.Formula.create ()) in
+  let v = Sat.Cdcl.new_var s in
+  Sat.Cdcl.add_clause s [ Cnf.Lit.pos v ];
+  match Sat.Cdcl.solve s with
+  | T.Sat m -> Alcotest.(check bool) "new var true" true m.(v)
+  | _ -> Alcotest.fail "sat expected"
+
+let budget () =
+  let cfg = { T.default with T.max_conflicts = Some 1 } in
+  match Sat.Cdcl.solve (Sat.Cdcl.create ~config:cfg (php 7 6)) with
+  | T.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected budget exhaustion"
+
+let learned_clauses_are_implicates () =
+  let rng = Sat.Rng.create 23 in
+  for _ = 1 to 20 do
+    let f = Th.random_cnf rng 8 25 3 in
+    let s = Sat.Cdcl.create f in
+    ignore (Sat.Cdcl.solve s);
+    List.iter
+      (fun c ->
+         Alcotest.(check bool) "learned clause is implicate" true
+           (Cnf.Resolution.is_implicate f c))
+      (Sat.Cdcl.learned_clauses s)
+  done
+
+let nonchronological_backtracking_observed () =
+  let s = Sat.Cdcl.create (php 7 6) in
+  ignore (Sat.Cdcl.solve s);
+  let st = Sat.Cdcl.stats s in
+  Alcotest.(check bool) "conflicts happened" true (st.T.conflicts > 0);
+  Alcotest.(check bool) "learning happened" true (st.T.learned > 0)
+
+let chronological_config_sound () =
+  let cfg = { T.default with T.chronological = true } in
+  Alcotest.(check bool) "php unsat chrono" false
+    (Th.outcome_sat (Sat.Cdcl.solve (Sat.Cdcl.create ~config:cfg (php 5 4))));
+  let rng = Sat.Rng.create 31 in
+  for _ = 1 to 30 do
+    let f = Th.random_cnf rng 8 25 4 in
+    let a = Th.outcome_sat (Th.solve_cdcl f) in
+    let b = Th.outcome_sat (Sat.Cdcl.solve (Sat.Cdcl.create ~config:cfg f)) in
+    Alcotest.(check bool) "chrono agrees" a b
+  done
+
+let all_heuristics_differential () =
+  let rng = Sat.Rng.create 47 in
+  let heuristics =
+    [ T.Vsids; T.Dlis; T.Moms; T.Jeroslow_wang; T.Fixed_order; T.Random_order ]
+  in
+  for _ = 1 to 25 do
+    let f = Th.random_cnf rng 9 30 4 in
+    let expected = Th.outcome_sat (Sat.Brute.solve f) in
+    List.iter
+      (fun h ->
+         let cfg = { T.default with T.heuristic = h } in
+         let got = Th.outcome_sat (Sat.Cdcl.solve (Sat.Cdcl.create ~config:cfg f)) in
+         Alcotest.(check bool) "heuristic agrees with brute force" expected got)
+      heuristics
+  done
+
+let deletion_policies_sound () =
+  let policies =
+    [ T.No_deletion; T.Size_bounded 4; T.Relevance (4, 2);
+      T.Lbd_bounded 3; T.Activity_halving ]
+  in
+  List.iter
+    (fun d ->
+       let cfg = { T.default with T.deletion = d } in
+       Alcotest.(check bool) "php unsat under deletion policy" false
+         (Th.outcome_sat (Sat.Cdcl.solve (Sat.Cdcl.create ~config:cfg (php 6 5)))))
+    policies
+
+let restart_policies_sound () =
+  let policies = [ T.No_restarts; T.Luby 10; T.Geometric (5, 1.3) ] in
+  List.iter
+    (fun r ->
+       let cfg = { T.default with T.restarts = r; T.random_decision_freq = 0.2 } in
+       Alcotest.(check bool) "php unsat under restarts" false
+         (Th.outcome_sat (Sat.Cdcl.solve (Sat.Cdcl.create ~config:cfg (php 6 5)))))
+    policies
+
+let prop_differential_vs_brute =
+  QCheck.Test.make ~name:"cdcl agrees with brute force" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 1) in
+       let nv = 3 + Sat.Rng.int rng 9 in
+       let nc = 3 + Sat.Rng.int rng 40 in
+       let f = Th.random_cnf rng nv nc 4 in
+       Th.outcome_sat (Th.solve_cdcl f) = Th.outcome_sat (Sat.Brute.solve f))
+
+let suite =
+  [
+    Th.case "basic outcomes" basic_outcomes;
+    Th.case "pigeonhole" pigeonhole;
+    Th.case "model validity" model_validity;
+    Th.case "assumptions" assumptions;
+    Th.case "assumption core subset" assumption_core_subset;
+    Th.case "incremental" incremental;
+    Th.case "new vars" new_vars_mid_flight;
+    Th.case "budget" budget;
+    Th.case "learned clauses are implicates" learned_clauses_are_implicates;
+    Th.case "conflict analysis engaged" nonchronological_backtracking_observed;
+    Th.case "chronological config" chronological_config_sound;
+    Th.case "all heuristics" all_heuristics_differential;
+    Th.case "deletion policies" deletion_policies_sound;
+    Th.case "restart policies" restart_policies_sound;
+    Th.qcheck prop_differential_vs_brute;
+  ]

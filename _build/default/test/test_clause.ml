@@ -1,0 +1,90 @@
+module Clause = Cnf.Clause
+
+let clause ints = Clause.of_dimacs_list ints
+
+let normalisation () =
+  Alcotest.(check int) "dedup" 2 (Clause.size (clause [ 1; 2; 1; 2 ]));
+  Alcotest.(check bool) "sorted equal" true
+    (Clause.equal (clause [ 2; 1 ]) (clause [ 1; 2 ]));
+  Alcotest.(check bool) "empty" true (Clause.is_empty (clause []))
+
+let tautology () =
+  Alcotest.(check bool) "x or ~x" true (Clause.is_tautology (clause [ 1; -1 ]));
+  Alcotest.(check bool) "mixed" true
+    (Clause.is_tautology (clause [ 3; 2; -2; 1 ]));
+  Alcotest.(check bool) "no taut" false (Clause.is_tautology (clause [ 1; 2; 3 ]))
+
+let membership () =
+  Alcotest.(check bool) "mem" true (Clause.mem (Th.lit 2) (clause [ 1; 2 ]));
+  Alcotest.(check bool) "mem neg" false
+    (Clause.mem (Th.lit (-2)) (clause [ 1; 2 ]))
+
+let subsumption () =
+  Alcotest.(check bool) "subset" true
+    (Clause.subsumes (clause [ 1 ]) (clause [ 1; 2 ]));
+  Alcotest.(check bool) "not subset" false
+    (Clause.subsumes (clause [ 1; 3 ]) (clause [ 1; 2 ]));
+  Alcotest.(check bool) "self" true
+    (Clause.subsumes (clause [ 1; 2 ]) (clause [ 1; 2 ]))
+
+let eval () =
+  let c = clause [ 1; -2 ] in
+  Alcotest.(check bool) "sat by pos" true
+    (Clause.eval (fun v -> v = 0) c);
+  Alcotest.(check bool) "sat by neg" true
+    (Clause.eval (fun _ -> false) c);
+  Alcotest.(check bool) "unsat" false
+    (Clause.eval (fun v -> v = 1) c)
+
+let map_vars () =
+  let c = clause [ 1; -2 ] in
+  let mapped = Clause.map_vars (fun v -> Cnf.Lit.pos (v + 10)) c in
+  Alcotest.(check bool) "shifted" true
+    (Clause.equal mapped (Clause.of_list [ Cnf.Lit.pos 10; Cnf.Lit.neg_of_var 11 ]))
+
+let lit_gen = QCheck.map (fun (v, p) -> Cnf.Lit.of_var v p)
+    QCheck.(pair (int_bound 10) bool)
+
+let clause_gen = QCheck.list_of_size (QCheck.Gen.int_range 0 8) lit_gen
+
+let prop_subsumes_semantics =
+  (* if c subsumes d then every assignment satisfying c satisfies d *)
+  QCheck.Test.make ~name:"subsumption implies entailment" ~count:300
+    QCheck.(pair clause_gen clause_gen)
+    (fun (ls1, ls2) ->
+       let c = Clause.of_list ls1 and d = Clause.of_list ls2 in
+       if not (Clause.subsumes c d) then true
+       else
+         let n = 11 in
+         let ok = ref true in
+         for mask = 0 to (1 lsl n) - 1 do
+           let value v = mask land (1 lsl v) <> 0 in
+           if Clause.eval value c && not (Clause.eval value d) then ok := false
+         done;
+         !ok)
+
+let prop_tautology_always_true =
+  QCheck.Test.make ~name:"tautologies satisfied everywhere" ~count:300
+    clause_gen
+    (fun ls ->
+       let c = Clause.of_list ls in
+       if not (Clause.is_tautology c) then true
+       else
+         let ok = ref true in
+         for mask = 0 to (1 lsl 11) - 1 do
+           if not (Clause.eval (fun v -> mask land (1 lsl v) <> 0) c) then
+             ok := false
+         done;
+         !ok)
+
+let suite =
+  [
+    Th.case "normalisation" normalisation;
+    Th.case "tautology" tautology;
+    Th.case "membership" membership;
+    Th.case "subsumption" subsumption;
+    Th.case "eval" eval;
+    Th.case "map_vars" map_vars;
+    Th.qcheck prop_subsumes_semantics;
+    Th.qcheck prop_tautology_always_true;
+  ]

@@ -1,0 +1,44 @@
+module C = Eda.Compaction
+
+let coverage_preserved () =
+  List.iter
+    (fun circuit ->
+       let s = Eda.Atpg.run circuit in
+       let r = C.compact circuit s.Eda.Atpg.vectors in
+       Alcotest.(check bool) "no growth" true
+         (List.length r.C.compacted <= r.C.original);
+       (* the compacted set detects exactly the same faults *)
+       let faults = Eda.Atpg.fault_list circuit in
+       let before = Eda.Atpg.fault_simulate circuit faults s.Eda.Atpg.vectors in
+       let after = Eda.Atpg.fault_simulate circuit faults r.C.compacted in
+       Alcotest.(check int) "coverage preserved" (List.length before)
+         (List.length after);
+       Alcotest.(check int) "matrix agrees" (List.length before)
+         r.C.faults_covered)
+    [
+      Circuit.Generators.c17 ();
+      Circuit.Generators.ripple_adder ~bits:4;
+      Circuit.Generators.alu ~bits:2;
+    ]
+
+let optimal_not_worse_than_greedy () =
+  let circuit = Circuit.Generators.carry_skip_adder ~bits:4 ~block:2 in
+  let s = Eda.Atpg.run circuit in
+  let opt = C.compact ~optimal:true circuit s.Eda.Atpg.vectors in
+  let grd = C.compact ~optimal:false circuit s.Eda.Atpg.vectors in
+  Alcotest.(check bool) "optimal <= greedy" true
+    (List.length opt.C.compacted <= List.length grd.C.compacted);
+  Alcotest.(check bool) "flag" true opt.C.optimal
+
+let empty_vector_set () =
+  let circuit = Circuit.Generators.majority3 () in
+  let r = C.compact circuit [] in
+  Alcotest.(check int) "nothing to keep" 0 (List.length r.C.compacted);
+  Alcotest.(check int) "nothing covered" 0 r.C.faults_covered
+
+let suite =
+  [
+    Th.case "coverage preserved" coverage_preserved;
+    Th.case "optimal vs greedy" optimal_not_worse_than_greedy;
+    Th.case "empty set" empty_vector_set;
+  ]

@@ -1,0 +1,87 @@
+module C = Eda.Covering
+
+(* brute-force minimum cover for small instances *)
+let brute_optimal inst =
+  let nsets = Array.length inst.C.sets in
+  let best = ref None in
+  for mask = 0 to (1 lsl nsets) - 1 do
+    let chosen =
+      List.filter (fun j -> mask land (1 lsl j) <> 0) (List.init nsets Fun.id)
+    in
+    if C.is_cover inst chosen then
+      let cost = C.cover_cost inst chosen in
+      match !best with
+      | Some b when b <= cost -> ()
+      | Some _ | None -> best := Some cost
+  done;
+  !best
+
+let greedy_covers () =
+  for seed = 1 to 10 do
+    let inst = C.random_instance ~seed ~nelems:25 ~nsets:12 ~density:0.25 in
+    Alcotest.(check bool) "greedy covers" true (C.is_cover inst (C.greedy inst))
+  done
+
+let sat_optimal_is_optimal () =
+  for seed = 1 to 10 do
+    let inst = C.random_instance ~seed ~nelems:15 ~nsets:10 ~density:0.25 in
+    match C.sat_optimal inst with
+    | Some sol ->
+      Alcotest.(check bool) "covers" true (C.is_cover inst sol);
+      (match brute_optimal inst with
+       | Some b -> Alcotest.(check int) "matches brute force" b (C.cover_cost inst sol)
+       | None -> Alcotest.fail "brute found no cover")
+    | None -> Alcotest.fail "instance is coverable by construction"
+  done
+
+let sat_never_worse_than_greedy () =
+  for seed = 11 to 25 do
+    let inst = C.random_instance ~seed ~nelems:30 ~nsets:14 ~density:0.2 in
+    let g = C.greedy inst in
+    match C.sat_optimal inst with
+    | Some sol ->
+      Alcotest.(check bool) "opt <= greedy" true
+        (C.cover_cost inst sol <= C.cover_cost inst g)
+    | None -> Alcotest.fail "coverable"
+  done
+
+let weighted_rejected () =
+  let inst =
+    { C.nelems = 2; sets = [| [ 0 ]; [ 1 ] |]; cost = [| 2; 1 |] }
+  in
+  Alcotest.check_raises "unit costs only"
+    (Invalid_argument "Covering.sat_optimal: unit costs only") (fun () ->
+        ignore (C.sat_optimal inst))
+
+let is_cover_checks () =
+  let inst = { C.nelems = 3; sets = [| [ 0; 1 ]; [ 2 ] |]; cost = [| 1; 1 |] } in
+  Alcotest.(check bool) "full" true (C.is_cover inst [ 0; 1 ]);
+  Alcotest.(check bool) "partial" false (C.is_cover inst [ 0 ]);
+  Alcotest.(check int) "cost" 2 (C.cover_cost inst [ 0; 1 ])
+
+let branch_and_bound_matches () =
+  for seed = 1 to 12 do
+    let inst = C.random_instance ~seed ~nelems:15 ~nsets:10 ~density:0.25 in
+    match C.branch_and_bound inst, brute_optimal inst with
+    | Some (sol, nodes), Some b ->
+      Alcotest.(check bool) "bnb covers" true (C.is_cover inst sol);
+      Alcotest.(check int) "bnb optimal" b (C.cover_cost inst sol);
+      Alcotest.(check bool) "nodes counted" true (nodes > 0)
+    | None, _ -> Alcotest.fail "budget should suffice"
+    | _, None -> Alcotest.fail "coverable by construction"
+  done
+
+let branch_and_bound_uncoverable () =
+  let inst = { C.nelems = 2; sets = [| [ 0 ] |]; cost = [| 1 |] } in
+  Alcotest.(check bool) "uncoverable" true (C.branch_and_bound inst = None)
+
+let suite =
+  [
+    Th.case "branch and bound" branch_and_bound_matches;
+    Th.case "bnb uncoverable" branch_and_bound_uncoverable;
+    Th.case "greedy covers" greedy_covers;
+    Th.case "sat optimal" sat_optimal_is_optimal;
+    Th.case "sat <= greedy" sat_never_worse_than_greedy;
+    Th.case "weighted rejected" weighted_rejected;
+    Th.case "is_cover" is_cover_checks;
+  ]

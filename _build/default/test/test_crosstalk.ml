@@ -1,0 +1,68 @@
+module X = Eda.Crosstalk
+module N = Circuit.Netlist
+
+let witness_vectors_switch_oppositely () =
+  let c = Circuit.Generators.ripple_adder ~bits:3 in
+  let pairs = X.coupled_pairs c ~max_level_gap:1 in
+  Alcotest.(check bool) "pairs exist" true (pairs <> []);
+  let checked = ref 0 in
+  List.iteri
+    (fun i (a, b) ->
+       if i < 5 then begin
+         let q = { X.victim = a; aggressor = b; window = (1, 6) } in
+         match X.analyze c q with
+         | X.Noise (v1, v2, t) ->
+           incr checked;
+           let o1 = Circuit.Simulate.eval_all c v1 in
+           let o2 = Circuit.Simulate.eval_all c v2 in
+           Alcotest.(check bool) "victim rises" true (not o1.(a) && o2.(a));
+           Alcotest.(check bool) "aggressor falls" true (o1.(b) && not o2.(b));
+           Alcotest.(check bool) "time in window" true (t >= 1 && t <= 6)
+         | X.Safe -> ()
+         | X.Unknown why -> Alcotest.failf "unknown: %s" why
+       end)
+    pairs;
+  ignore !checked
+
+let impossible_switching_safe () =
+  (* two copies of the same node cannot switch in opposite directions *)
+  let c = N.create () in
+  let a = N.add_input c in
+  let g = N.add_gate c Circuit.Gate.Buf [ a ] in
+  let h = N.add_gate c Circuit.Gate.Buf [ a ] in
+  N.set_output c g;
+  N.set_output c h;
+  let q = { X.victim = g; aggressor = h; window = (0, 4) } in
+  match X.analyze c q with
+  | X.Safe -> ()
+  | X.Noise _ -> Alcotest.fail "same-signal nets cannot oppose"
+  | X.Unknown why -> Alcotest.failf "unknown: %s" why
+
+let window_beyond_horizon_safe () =
+  let c = Circuit.Generators.majority3 () in
+  let g = List.hd (N.output_ids c) in
+  let pairs = X.coupled_pairs c ~max_level_gap:2 in
+  match pairs with
+  | (a, b) :: _ ->
+    ignore g;
+    let q = { X.victim = a; aggressor = b; window = (50, 60) } in
+    (match X.analyze c q with
+     | X.Safe -> ()
+     | _ -> Alcotest.fail "nothing is unstable past the horizon")
+  | [] -> Alcotest.fail "pairs expected"
+
+let level_gap_respected () =
+  let c = Circuit.Generators.ripple_adder ~bits:4 in
+  List.iter
+    (fun (a, b) ->
+       Alcotest.(check bool) "gap" true
+         (abs (N.level c a - N.level c b) <= 1))
+    (X.coupled_pairs c ~max_level_gap:1)
+
+let suite =
+  [
+    Th.case "witness vectors" witness_vectors_switch_oppositely;
+    Th.case "impossible switching" impossible_switching_safe;
+    Th.case "beyond horizon" window_beyond_horizon_safe;
+    Th.case "level gap" level_gap_respected;
+  ]

@@ -1,0 +1,159 @@
+module G = Circuit.Gate
+
+(* Table 2 of the paper *)
+let thresholds_table2 () =
+  let check g fanins expected =
+    Alcotest.(check (pair int int)) (G.to_string g) expected
+      (Csat.thresholds g ~fanins)
+  in
+  check G.And 3 (1, 3);
+  check G.Or 3 (3, 1);
+  check G.Nand 3 (3, 1);
+  check G.Nor 3 (1, 3);
+  check G.Xor 3 (3, 3);
+  check G.Xnor 2 (2, 2);
+  check G.Not 1 (1, 1);
+  check G.Buf 1 (1, 1)
+
+(* Table 3 of the paper *)
+let counters_table3 () =
+  let check g v expected =
+    Alcotest.(check (pair bool bool))
+      (Printf.sprintf "%s w=%b" (G.to_string g) v)
+      expected (Csat.counter_update g v)
+  in
+  check G.And false (true, false);
+  check G.And true (false, true);
+  check G.Or false (true, false);
+  check G.Or true (false, true);
+  check G.Nand false (false, true);
+  check G.Nand true (true, false);
+  check G.Nor false (false, true);
+  check G.Nor true (true, false);
+  check G.Xor false (true, true);
+  check G.Xor true (true, true);
+  check G.Xnor true (true, true)
+
+(* consistency of Tables 2+3 with gate semantics: a value v on the output
+   is justified by t_v suitably-assigned inputs iff those inputs force v *)
+let tables_consistent_with_semantics () =
+  List.iter
+    (fun g ->
+       let k = 3 in
+       if G.arity_ok g k then begin
+         let u0, u1 = Csat.thresholds g ~fanins:k in
+         (* minimal justifying sets: check that u_v inputs with the
+            counting polarity indeed force the output *)
+         List.iter
+           (fun v ->
+              let u = if v then u1 else u0 in
+              if u = 1 then begin
+                (* one input with the right value decides the output *)
+                let w =
+                  (* find the input value whose counter matches v *)
+                  let d0, d1 = Csat.counter_update g false in
+                  if (if v then d1 else d0) then false else true
+                in
+                (* output = v for any values of the remaining inputs *)
+                for rest = 0 to 3 do
+                  let ins = [ w; rest land 1 <> 0; rest land 2 <> 0 ] in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s one input justifies %b" (G.to_string g) v)
+                    v (G.eval g ins)
+                done
+              end)
+           [ false; true ]
+       end)
+    [ G.And; G.Or; G.Nand; G.Nor ]
+
+let solve_agrees_with_plain () =
+  let rng = Sat.Rng.create 61 in
+  for seed = 1 to 30 do
+    let c = Circuit.Generators.random_circuit ~inputs:6 ~gates:30 ~seed:(seed + 500) in
+    let outs = Circuit.Netlist.output_ids c in
+    let obj = List.nth outs (Sat.Rng.int rng (List.length outs)) in
+    let v = Sat.Rng.bool rng in
+    let plain = Csat.solve ~use_layer:false ~objectives:[ (obj, v) ] c in
+    let layered = Csat.solve ~use_layer:true ~objectives:[ (obj, v) ] c in
+    let single = Csat.solve ~use_layer:true ~backtrace:false ~objectives:[ (obj, v) ] c in
+    Alcotest.(check bool) "layer agrees"
+      (Th.outcome_sat plain.Csat.outcome)
+      (Th.outcome_sat layered.Csat.outcome);
+    Alcotest.(check bool) "single-step agrees"
+      (Th.outcome_sat plain.Csat.outcome)
+      (Th.outcome_sat single.Csat.outcome)
+  done
+
+let pattern_dont_cares_are_real () =
+  let rng = Sat.Rng.create 67 in
+  for seed = 1 to 25 do
+    let c = Circuit.Generators.random_circuit ~inputs:7 ~gates:30 ~seed:(seed + 900) in
+    let outs = Circuit.Netlist.output_ids c in
+    let obj = List.nth outs 0 in
+    let v = Sat.Rng.bool rng in
+    let r = Csat.solve ~objectives:[ (obj, v) ] c in
+    if Th.outcome_sat r.Csat.outcome then begin
+      (* any completion of the partial pattern meets the objective *)
+      List.iter
+        (fun default ->
+           let ins =
+             List.map
+               (fun id ->
+                  match List.assoc_opt id r.Csat.pattern with
+                  | Some b -> b
+                  | None -> default)
+               (Circuit.Netlist.inputs c)
+             |> Array.of_list
+           in
+           let values = Circuit.Simulate.eval_all c ins in
+           Alcotest.(check bool) "objective holds under completion" v
+             values.(obj))
+        [ false; true ]
+    end
+  done
+
+let overspecification_reduced () =
+  (* aggregate: the layer must leave some inputs unassigned somewhere *)
+  let total_plain = ref 0 and total_layer = ref 0 in
+  for seed = 1 to 15 do
+    let c = Circuit.Generators.random_circuit ~inputs:8 ~gates:35 ~seed:(seed + 40) in
+    let obj = List.nth (Circuit.Netlist.output_ids c) 0 in
+    let plain = Csat.solve ~use_layer:false ~objectives:[ (obj, true) ] c in
+    let layer = Csat.solve ~use_layer:true ~objectives:[ (obj, true) ] c in
+    if Th.outcome_sat plain.Csat.outcome then begin
+      total_plain := !total_plain + plain.Csat.specified_inputs;
+      total_layer := !total_layer + layer.Csat.specified_inputs
+    end
+  done;
+  Alcotest.(check bool) "fewer specified inputs" true (!total_layer < !total_plain)
+
+let unsat_objectives () =
+  (* AND output 1 with an input forced 0 *)
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input c in
+  let zero = Circuit.Netlist.add_const c false in
+  let g = Circuit.Netlist.add_gate c G.And [ a; zero ] in
+  Circuit.Netlist.set_output c g;
+  let r = Csat.solve ~objectives:[ (g, true) ] c in
+  Alcotest.(check bool) "unsat" false (Th.outcome_sat r.Csat.outcome);
+  Alcotest.(check (list (pair int bool))) "no pattern" [] r.Csat.pattern
+
+let early_termination_on_fig1 () =
+  (* Figure 1 with objective z = 0: one input at 0 suffices *)
+  let c = Circuit.Generators.fig1 () in
+  let z = Option.get (Circuit.Netlist.find_by_name c "z") in
+  let r = Csat.solve ~objectives:[ (z, false) ] c in
+  Alcotest.(check bool) "sat" true (Th.outcome_sat r.Csat.outcome);
+  Alcotest.(check bool) "partial pattern" true (r.Csat.specified_inputs <= 1)
+
+let suite =
+  [
+    Th.case "table 2" thresholds_table2;
+    Th.case "table 3" counters_table3;
+    Th.case "tables consistent" tables_consistent_with_semantics;
+    Th.case "agrees with plain CNF" solve_agrees_with_plain;
+    Th.case "don't-cares are real" pattern_dont_cares_are_real;
+    Th.case "overspecification reduced" overspecification_reduced;
+    Th.case "unsat objectives" unsat_objectives;
+    Th.case "figure 1 early termination" early_termination_on_fig1;
+  ]

@@ -1,0 +1,128 @@
+module D = Eda.Delay
+module N = Circuit.Netlist
+
+let out_named c name = List.assoc name (N.outputs c)
+
+let ripple_no_false_path () =
+  let c = Circuit.Generators.ripple_adder ~bits:6 in
+  let cout = out_named c "cout" in
+  let tru, calls = D.true_delay c cout in
+  Alcotest.(check int) "ripple true = topo" (D.topological_delay c cout) tru;
+  Alcotest.(check bool) "one query suffices" true (calls >= 1)
+
+let carry_skip_false_path () =
+  let c = Circuit.Generators.carry_skip_adder ~bits:8 ~block:4 in
+  let cout = out_named c "cout" in
+  let tru, _ = D.true_delay c cout in
+  Alcotest.(check bool) "false path detected" true
+    (tru < D.topological_delay c cout)
+
+let true_delay_bounded () =
+  let rng = Sat.Rng.create 73 in
+  for seed = 1 to 10 do
+    let c = Circuit.Generators.random_circuit ~inputs:5 ~gates:20 ~seed:(seed + 70) in
+    List.iter
+      (fun (_, o) ->
+         let tru, _ = D.true_delay c o in
+         Alcotest.(check bool) "0 <= true <= topo" true
+           (tru >= 0 && tru <= D.topological_delay c o))
+      (N.outputs c);
+    ignore (Sat.Rng.int rng 2)
+  done
+
+let input_output_zero_delay () =
+  let c = N.create () in
+  let a = N.add_input ~name:"a" c in
+  N.set_output ~name:"z" c a;
+  let tru, _ = D.true_delay c a in
+  Alcotest.(check int) "PI delay 0" 0 tru
+
+let single_gate_delay_one () =
+  let c = N.create () in
+  let a = N.add_input c in
+  let b = N.add_input c in
+  let g = N.add_gate c Circuit.Gate.And [ a; b ] in
+  N.set_output ~name:"z" c g;
+  let tru, _ = D.true_delay c g in
+  Alcotest.(check int) "one gate, delay 1" 1 tru
+
+let xor_never_early () =
+  (* XOR chains have no controlling values: true delay = topological *)
+  let c = Circuit.Generators.parity ~bits:8 in
+  let o = out_named c "par" in
+  let tru, _ = D.true_delay c o in
+  Alcotest.(check int) "parity exact" (D.topological_delay c o) tru
+
+let and_chain_can_be_early () =
+  (* a long AND chain stabilises in 1 step when the side input is 0 *)
+  let c = N.create () in
+  let a = N.add_input c in
+  let prev = ref a in
+  for _ = 1 to 5 do
+    let b = N.add_input c in
+    prev := N.add_gate c Circuit.Gate.And [ !prev; b ]
+  done;
+  N.set_output ~name:"z" c !prev;
+  let tru, _ = D.true_delay c !prev in
+  (* the last gate's controlling input still needs its own arrival: the
+     chain can't settle before depth... but the output CAN still be late:
+     true delay equals topological here because the all-ones vector
+     sensitises the full chain *)
+  Alcotest.(check int) "and chain worst case" (D.topological_delay c !prev) tru
+
+let report_shape () =
+  let c = Circuit.Generators.carry_skip_adder ~bits:6 ~block:3 in
+  let rows = D.report c in
+  Alcotest.(check int) "one row per output" (List.length (N.outputs c))
+    (List.length rows);
+  List.iter
+    (fun r ->
+       Alcotest.(check bool) "flag consistent" r.D.false_path
+         (r.D.true_floating < r.D.topological))
+    rows
+
+let encoding_stability_vars_monotone () =
+  (* semantic monotonicity: stable_by o t=horizon is constant true *)
+  let c = Circuit.Generators.ripple_adder ~bits:3 in
+  let enc = D.encode_stability c in
+  let o = out_named c "cout" in
+  let s = Sat.Cdcl.create enc.D.formula in
+  (match Sat.Cdcl.solve ~assumptions:[ Cnf.Lit.negate (enc.D.stable_by o enc.D.horizon) ] s with
+   | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
+   | _ -> Alcotest.fail "never unstable past the horizon")
+
+let weighted_delays () =
+  (* XOR costs 3, everything else 1 *)
+  let gate_delay = function Circuit.Gate.Xor | Circuit.Gate.Xnor -> 3 | _ -> 1 in
+  (* parity tree of 8: three XOR levels -> weighted depth 9, exact *)
+  let p = Circuit.Generators.parity ~bits:8 in
+  let o = out_named p "par" in
+  Alcotest.(check int) "weighted level" 9 (D.weighted_level ~gate_delay p o);
+  let tru, _ = D.true_delay ~gate_delay p o in
+  Alcotest.(check int) "weighted parity exact" 9 tru;
+  (* unit model unchanged *)
+  let tru_unit, _ = D.true_delay p o in
+  Alcotest.(check int) "unit model" 3 tru_unit;
+  (* carry-skip false paths survive the weighted model *)
+  let c = Circuit.Generators.carry_skip_adder ~bits:6 ~block:3 in
+  let cout = out_named c "cout" in
+  let w_topo = D.weighted_level ~gate_delay c cout in
+  let w_true, _ = D.true_delay ~gate_delay c cout in
+  Alcotest.(check bool) "weighted false path" true (w_true < w_topo);
+  Alcotest.check_raises "delays positive"
+    (Invalid_argument "Delay: gate delays must be positive") (fun () ->
+        ignore (D.weighted_level ~gate_delay:(fun _ -> 0) c cout))
+
+let suite =
+  [
+    Th.case "weighted delays" weighted_delays;
+    Th.case "ripple exact" ripple_no_false_path;
+    Th.case "carry-skip false path" carry_skip_false_path;
+    Th.case "bounded" true_delay_bounded;
+    Th.case "PI zero" input_output_zero_delay;
+    Th.case "single gate" single_gate_delay_one;
+    Th.case "xor exact" xor_never_early;
+    Th.case "and chain" and_chain_can_be_early;
+    Th.case "report" report_shape;
+    Th.case "horizon stability" encoding_stability_vars_monotone;
+  ]

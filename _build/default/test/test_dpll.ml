@@ -1,0 +1,100 @@
+module T = Sat.Types
+
+let solve ?config f = fst (Sat.Dpll.solve ?config f)
+
+let basics () =
+  Alcotest.(check bool) "sat" true
+    (Th.outcome_sat (solve (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ])));
+  Alcotest.(check bool) "unsat" false
+    (Th.outcome_sat
+       (solve (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ])));
+  Alcotest.(check bool) "empty clause" false
+    (Th.outcome_sat (solve (Th.formula_of [ [] ])));
+  Alcotest.(check bool) "trivial" true
+    (Th.outcome_sat (solve (Cnf.Formula.create ())))
+
+let unit_chains () =
+  let o, st = Sat.Dpll.solve (Th.formula_of [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ]) in
+  Alcotest.(check bool) "sat" true (Th.outcome_sat o);
+  Alcotest.(check int) "no decisions needed" 0 st.T.decisions
+
+let model_validity () =
+  let rng = Sat.Rng.create 3 in
+  for _ = 1 to 40 do
+    let f = Th.random_cnf rng 9 28 4 in
+    match solve f with
+    | T.Sat m ->
+      Alcotest.(check bool) "model ok" true (Cnf.Formula.eval (fun v -> m.(v)) f)
+    | T.Unsat -> ()
+    | T.Unsat_assuming _ | T.Unknown _ -> Alcotest.fail "unexpected"
+  done
+
+let assumptions () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ] in
+  (match Sat.Dpll.solve ~assumptions:[ Th.lit (-2) ] f with
+   | T.Unsat_assuming _, _ -> ()
+   | _ -> Alcotest.fail "expected unsat under -2");
+  match Sat.Dpll.solve ~assumptions:[ Th.lit 2 ] f with
+  | T.Sat _, _ -> ()
+  | _ -> Alcotest.fail "expected sat"
+
+let budget () =
+  let php =
+    Th.formula_of
+      (let v i j = (i * 5) + j + 1 in
+       let cls = ref [] in
+       for i = 0 to 5 do
+         cls := List.init 5 (fun j -> v i j) :: !cls
+       done;
+       for j = 0 to 4 do
+         for i1 = 0 to 5 do
+           for i2 = i1 + 1 to 5 do
+             cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+           done
+         done
+       done;
+       !cls)
+  in
+  let cfg = { T.default with T.max_decisions = Some 3 } in
+  match solve ~config:cfg php with
+  | T.Unknown _ -> ()
+  | _ -> Alcotest.fail "expected budget"
+
+let heuristics_differential () =
+  let rng = Sat.Rng.create 81 in
+  let hs = [ T.Fixed_order; T.Dlis; T.Moms; T.Jeroslow_wang; T.Random_order ] in
+  for _ = 1 to 25 do
+    let f = Th.random_cnf rng 9 30 4 in
+    let expected = Th.outcome_sat (Sat.Brute.solve f) in
+    List.iter
+      (fun h ->
+         let got = Th.outcome_sat (solve ~config:{ T.default with T.heuristic = h } f) in
+         Alcotest.(check bool) "dpll heuristic agrees" expected got)
+      hs
+  done
+
+let stats_meaningful () =
+  (* DPLL on an unsat instance must conflict at least once *)
+  let _, st = Sat.Dpll.solve (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ]) in
+  Alcotest.(check bool) "conflicts counted" true (st.T.conflicts > 0);
+  Alcotest.(check bool) "propagations counted" true (st.T.propagations > 0)
+
+let prop_differential =
+  QCheck.Test.make ~name:"dpll agrees with brute force" ~count:120
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 11) in
+       let f = Th.random_cnf rng (3 + Sat.Rng.int rng 8) (3 + Sat.Rng.int rng 35) 4 in
+       Th.outcome_sat (solve f) = Th.outcome_sat (Sat.Brute.solve f))
+
+let suite =
+  [
+    Th.case "basics" basics;
+    Th.case "unit chains" unit_chains;
+    Th.case "model validity" model_validity;
+    Th.case "assumptions" assumptions;
+    Th.case "budget" budget;
+    Th.case "heuristics" heuristics_differential;
+    Th.case "stats" stats_meaningful;
+    Th.qcheck prop_differential;
+  ]

@@ -1,0 +1,142 @@
+module E = Circuit.Encode
+module G = Circuit.Gate
+
+(* Table 1 check: for each gate type, the clause set admits exactly the
+   consistent input/output assignments. *)
+let table1_exact () =
+  let gates2 = [ G.And; G.Or; G.Nand; G.Nor; G.Xor; G.Xnor ] in
+  let test g arity =
+    let out = Cnf.Lit.pos 0 in
+    let ins = List.init arity (fun i -> Cnf.Lit.pos (i + 1)) in
+    let clauses = E.gate_clauses ~out ~ins g in
+    for mask = 0 to (1 lsl (arity + 1)) - 1 do
+      let value v = mask land (1 lsl v) <> 0 in
+      let consistent =
+        value 0 = G.eval g (List.init arity (fun i -> value (i + 1)))
+      in
+      let satisfied = List.for_all (Cnf.Clause.eval value) clauses in
+      if consistent <> satisfied then
+        Alcotest.failf "Table 1 mismatch for %s arity %d mask %d"
+          (G.to_string g) arity mask
+    done
+  in
+  List.iter
+    (fun g ->
+       test g 2;
+       match g with
+       | G.Xor | G.Xnor -> () (* n-ary handled by decomposition *)
+       | G.And | G.Or | G.Nand | G.Nor -> test g 3
+       | G.Not | G.Buf -> ())
+    gates2;
+  test G.Not 1;
+  test G.Buf 1
+
+let nary_xor_rejected () =
+  Alcotest.check_raises "xor3 direct"
+    (Invalid_argument "Encode.gate_clauses: n-ary XOR/XNOR must be decomposed")
+    (fun () ->
+       ignore
+         (E.gate_clauses ~out:(Cnf.Lit.pos 0)
+            ~ins:[ Cnf.Lit.pos 1; Cnf.Lit.pos 2; Cnf.Lit.pos 3 ]
+            G.Xor))
+
+let nary_xor_decomposition () =
+  (* n-ary XOR through encode_into must match simulation *)
+  let c = Circuit.Netlist.create () in
+  let ins = List.init 4 (fun _ -> Circuit.Netlist.add_input c) in
+  let x = Circuit.Netlist.add_gate c G.Xor ins in
+  let y = Circuit.Netlist.add_gate c G.Xnor ins in
+  Circuit.Netlist.set_output c x;
+  Circuit.Netlist.set_output c y;
+  let enc = E.encode c in
+  for mask = 0 to 15 do
+    let iv = Array.init 4 (fun i -> mask land (1 lsl i) <> 0) in
+    let g = Cnf.Formula.copy enc.E.formula in
+    List.iteri
+      (fun i id ->
+         let l = enc.E.lit_of_node id in
+         Cnf.Formula.add_clause_l g
+           [ (if iv.(i) then l else Cnf.Lit.negate l) ])
+      (Circuit.Netlist.inputs c);
+    match Th.solve_cdcl g with
+    | Sat.Types.Sat m ->
+      let values = Circuit.Simulate.eval_all c iv in
+      List.iter
+        (fun node ->
+           let l = enc.E.lit_of_node node in
+           Alcotest.(check bool) "xor chain value" values.(node)
+             (m.(Cnf.Lit.var l)))
+        [ x; y ]
+    | _ -> Alcotest.fail "inputs fixed: must be sat"
+  done
+
+let constants_encoded () =
+  let c = Circuit.Netlist.create () in
+  let k = Circuit.Netlist.add_const c true in
+  let a = Circuit.Netlist.add_input c in
+  let g = Circuit.Netlist.add_gate c G.And [ k; a ] in
+  Circuit.Netlist.set_output c g;
+  let enc = E.encode c in
+  E.assert_output enc.E.formula (enc.E.lit_of_node g) true;
+  match Th.solve_cdcl enc.E.formula with
+  | Sat.Types.Sat m ->
+    Alcotest.(check bool) "input forced true" true
+      m.(Cnf.Lit.var (enc.E.lit_of_node a))
+  | _ -> Alcotest.fail "sat expected"
+
+let figure1_circuit () =
+  (* the paper's Figure 1: property z = 0 forces at least one of w1, w2
+     to 0, making x or y rise *)
+  let c = Circuit.Generators.fig1 () in
+  let enc = E.encode c in
+  let z = Option.get (Circuit.Netlist.find_by_name c "z") in
+  let x = Option.get (Circuit.Netlist.find_by_name c "x") in
+  let y = Option.get (Circuit.Netlist.find_by_name c "y") in
+  E.assert_output enc.E.formula (enc.E.lit_of_node z) false;
+  match Th.solve_cdcl enc.E.formula with
+  | Sat.Types.Sat m ->
+    let value n =
+      m.(Cnf.Lit.var (enc.E.lit_of_node n))
+    in
+    Alcotest.(check bool) "z is 0" false (value z);
+    Alcotest.(check bool) "x or y is 1" true (value x || value y)
+  | _ -> Alcotest.fail "z=0 must be reachable"
+
+let prop_encode_matches_simulation =
+  QCheck.Test.make ~name:"circuit CNF has exactly the simulation models"
+    ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let c =
+         Circuit.Generators.random_circuit ~inputs:5 ~gates:20 ~seed:(seed + 3)
+       in
+       let enc = E.encode c in
+       let rng = Sat.Rng.create (seed + 4) in
+       let iv = Array.init 5 (fun _ -> Sat.Rng.bool rng) in
+       let g = Cnf.Formula.copy enc.E.formula in
+       List.iteri
+         (fun i id ->
+            let l = enc.E.lit_of_node id in
+            Cnf.Formula.add_clause_l g
+              [ (if iv.(i) then l else Cnf.Lit.negate l) ])
+         (Circuit.Netlist.inputs c);
+       match Th.solve_cdcl g with
+       | Sat.Types.Sat m ->
+         let values = Circuit.Simulate.eval_all c iv in
+         let ok = ref true in
+         for id = 0 to Circuit.Netlist.num_nodes c - 1 do
+           let l = enc.E.lit_of_node id in
+           if m.(Cnf.Lit.var l) <> values.(id) then ok := false
+         done;
+         !ok
+       | _ -> false)
+
+let suite =
+  [
+    Th.case "table 1 exact" table1_exact;
+    Th.case "n-ary xor rejected" nary_xor_rejected;
+    Th.case "n-ary xor decomposition" nary_xor_decomposition;
+    Th.case "constants" constants_encoded;
+    Th.case "figure 1" figure1_circuit;
+    Th.qcheck prop_encode_matches_simulation;
+  ]

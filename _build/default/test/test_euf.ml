@@ -1,0 +1,96 @@
+module E = Eda.Euf
+open Eda.Euf
+
+let x = var "x"
+let y = var "y"
+let z = var "z"
+let f t = fn "f" [ t ]
+let g t = fn "g" [ t ]
+
+let congruence_valid () =
+  Alcotest.(check bool) "x=y => f(x)=f(y)" true
+    (E.valid (Imp (x === y, f x === f y)));
+  Alcotest.(check bool) "nested congruence" true
+    (E.valid (Imp (And [ x === y; y === z ], f (g x) === f (g z))));
+  Alcotest.(check bool) "binary congruence" true
+    (E.valid
+       (Imp
+          ( And [ x === y; var "u" === var "v" ],
+            fn "h" [ x; var "u" ] === fn "h" [ y; var "v" ] )))
+
+let non_injectivity () =
+  Alcotest.(check bool) "f(x)=f(y) does not force x=y" false
+    (E.valid (Imp (f x === f y, x === y)));
+  Alcotest.(check bool) "x=y satisfiable" true
+    (E.solve (x === y)).E.satisfiable;
+  Alcotest.(check bool) "x<>x unsatisfiable" false
+    (E.solve (Not (x === x))).E.satisfiable
+
+let transitivity () =
+  Alcotest.(check bool) "equality chains" true
+    (E.valid
+       (Imp (And [ x === y; y === z; z === var "w" ], x === var "w")));
+  Alcotest.(check bool) "broken chain invalid" false
+    (E.valid (Imp (And [ x === y; z === var "w" ], x === var "w")))
+
+(* the classic EUF benchmark: f^3(x) = x and f^5(x) = x force f(x) = x *)
+let iterate k t =
+  let rec go acc n = if n = 0 then acc else go (f acc) (n - 1) in
+  go t k
+
+let function_cycles () =
+  Alcotest.(check bool) "f3=x & f5=x => f(x)=x" true
+    (E.valid
+       (Imp (And [ iterate 3 x === x; iterate 5 x === x ], f x === x)));
+  (* coprime powers needed: f2 and f4 do not suffice *)
+  Alcotest.(check bool) "f2=x & f4=x do not force f(x)=x" false
+    (E.valid
+       (Imp (And [ iterate 2 x === x; iterate 4 x === x ], f x === x)))
+
+let ite_terms () =
+  (* mux pull-through: ite(c, f(x), f(y)) = f(ite(c, x, y)) *)
+  let c = x === y in
+  Alcotest.(check bool) "ite congruence" true
+    (E.valid (Ite (c, f x, f y) === f (Ite (c, x, y))));
+  Alcotest.(check bool) "ite true branch" true
+    (E.valid (Imp (x === y, Ite (x === y, f x, f y) === f x)));
+  Alcotest.(check bool) "ite branches differ" true
+    (E.solve (Not (Ite (x === y, x, y) === x))).E.satisfiable
+
+(* a miniature forwarding-path check in the style of the cited processor
+   verification work: a bypass mux must produce exactly what the
+   specification computes *)
+let bypass_correctness () =
+  let regval = var "regval" in
+  let bus = var "bus" in
+  let dest = var "dest" in
+  let src = var "src" in
+  let alu a b = fn "alu" [ a; b ] in
+  (* spec: operand = if src = dest then bus else regval *)
+  let spec_operand = Ite (src === dest, bus, regval) in
+  (* impl: the same mux, but built the other way around *)
+  let impl_operand = Ite (Not (src === dest), regval, bus) in
+  Alcotest.(check bool) "bypass operands agree" true
+    (E.valid (spec_operand === impl_operand));
+  Alcotest.(check bool) "alu results agree" true
+    (E.valid (alu spec_operand (var "op2") === alu impl_operand (var "op2")));
+  (* a broken bypass (polarity swapped) is caught *)
+  let broken = Ite (src === dest, regval, bus) in
+  Alcotest.(check bool) "broken bypass caught" false
+    (E.valid (spec_operand === broken))
+
+let stats_populated () =
+  let r = E.solve (Imp (x === y, f x === f y)) in
+  Alcotest.(check bool) "constants counted" true (r.E.term_constants >= 4);
+  Alcotest.(check bool) "equality vars" true (r.E.equality_vars > 0)
+
+let suite =
+  [
+    Th.case "congruence" congruence_valid;
+    Th.case "non-injectivity" non_injectivity;
+    Th.case "transitivity" transitivity;
+    Th.case "function cycles" function_cycles;
+    Th.case "ite terms" ite_terms;
+    Th.case "bypass correctness" bypass_correctness;
+    Th.case "stats" stats_populated;
+  ]

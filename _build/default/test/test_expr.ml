@@ -1,0 +1,117 @@
+module E = Cnf.Expr
+
+let rec expr_gen_sized n =
+  let open QCheck.Gen in
+  if n <= 0 then
+    oneof [ map E.atom (int_bound 5); return E.True; return E.False ]
+  else
+    let sub = expr_gen_sized (n / 2) in
+    oneof
+      [
+        map E.atom (int_bound 5);
+        map (fun e -> E.Not e) sub;
+        map2 (fun a b -> E.And [ a; b ]) sub sub;
+        map2 (fun a b -> E.Or [ a; b ]) sub sub;
+        map2 (fun a b -> E.Xor (a, b)) sub sub;
+        map2 (fun a b -> E.Iff (a, b)) sub sub;
+        map2 (fun a b -> E.Imp (a, b)) sub sub;
+        ( sub >>= fun a ->
+          sub >>= fun b ->
+          sub >>= fun c -> return (E.Ite (a, b, c)) );
+      ]
+
+let expr_gen =
+  QCheck.make
+    ~print:(Format.asprintf "%a" E.pp)
+    (QCheck.Gen.sized_size (QCheck.Gen.int_bound 5) expr_gen_sized)
+
+let eval_cases () =
+  let x = E.atom 0 and y = E.atom 1 in
+  let env0 _ = false and env1 _ = true in
+  Alcotest.(check bool) "and" false (E.eval env0 E.(x &&& y));
+  Alcotest.(check bool) "or" true (E.eval env1 E.(x ||| y));
+  Alcotest.(check bool) "xor" false (E.eval env1 E.(x ^^^ y));
+  Alcotest.(check bool) "imp false ante" true (E.eval env0 E.(x ==> y));
+  Alcotest.(check bool) "iff" true (E.eval env0 E.(x <=> y));
+  Alcotest.(check bool) "ite" true (E.eval env1 (E.Ite (x, y, E.False)));
+  Alcotest.(check bool) "empty and" true (E.eval env0 (E.And []));
+  Alcotest.(check bool) "empty or" false (E.eval env1 (E.Or []))
+
+let atoms () =
+  let e = E.(atom 3 &&& (atom 1 ||| atom 3)) in
+  Alcotest.(check (list int)) "atoms sorted unique" [ 1; 3 ] (E.atoms e)
+
+(* Tseitin correctness: for every assignment of the original atoms, the
+   CNF is satisfiable with that atom assignment iff the expression is
+   true under it. *)
+let prop_tseitin_equisatisfiable =
+  QCheck.Test.make ~name:"tseitin preserves the function" ~count:200 expr_gen
+    (fun e ->
+       let f, lit_of_atom = Cnf.Tseitin.cnf_of_expr e in
+       let atoms = E.atoms e in
+       let ok = ref true in
+       let n_assignments = 1 lsl List.length atoms in
+       for mask = 0 to n_assignments - 1 do
+         let env a =
+           match List.find_index (Int.equal a) atoms with
+           | Some i -> mask land (1 lsl i) <> 0
+           | None -> false
+         in
+         let expected = E.eval env e in
+         (* constrain atom values, ask the solver *)
+         let g = Cnf.Formula.copy f in
+         List.iter
+           (fun a ->
+              let l = lit_of_atom a in
+              Cnf.Formula.add_clause_l g
+                [ (if env a then l else Cnf.Lit.negate l) ])
+           atoms;
+         let sat = Th.outcome_sat (Th.solve_cdcl g) in
+         if sat <> expected then ok := false
+       done;
+       !ok)
+
+let prop_tseitin_models_project =
+  QCheck.Test.make ~name:"tseitin models satisfy the expression" ~count:200
+    expr_gen
+    (fun e ->
+       let f, lit_of_atom = Cnf.Tseitin.cnf_of_expr e in
+       match Th.solve_cdcl f with
+       | Sat.Types.Sat m ->
+         let env a =
+           let l = lit_of_atom a in
+           if Cnf.Lit.is_pos l then m.(Cnf.Lit.var l)
+           else not m.(Cnf.Lit.var l)
+         in
+         E.eval env e
+       | Sat.Types.Unsat ->
+         (* expression must be unsatisfiable over its atoms *)
+         let atoms = E.atoms e in
+         let any = ref false in
+         for mask = 0 to (1 lsl List.length atoms) - 1 do
+           let env a =
+             match List.find_index (Int.equal a) atoms with
+             | Some i -> mask land (1 lsl i) <> 0
+             | None -> false
+           in
+           if E.eval env e then any := true
+         done;
+         not !any
+       | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> false)
+
+let assert_expr_shallow () =
+  (* shallow disjunctions of literals become single clauses *)
+  let ctx = Cnf.Tseitin.create () in
+  Cnf.Tseitin.assert_expr ctx
+    Cnf.Expr.(Or [ atom 0; Not (atom 1); atom 2 ]);
+  Alcotest.(check int) "one clause" 1
+    (Cnf.Formula.nclauses (Cnf.Tseitin.formula ctx))
+
+let suite =
+  [
+    Th.case "eval cases" eval_cases;
+    Th.case "atoms" atoms;
+    Th.case "shallow assert" assert_expr_shallow;
+    Th.qcheck prop_tseitin_equisatisfiable;
+    Th.qcheck prop_tseitin_models_project;
+  ]

@@ -1,0 +1,78 @@
+module F = Cnf.Formula
+
+let building () =
+  let f = F.create () in
+  Alcotest.(check int) "empty vars" 0 (F.nvars f);
+  let v = F.fresh_var f in
+  Alcotest.(check int) "fresh" 0 v;
+  F.add_dimacs f [ 1; -3 ];
+  Alcotest.(check int) "vars grow with clauses" 3 (F.nvars f);
+  Alcotest.(check int) "one clause" 1 (F.nclauses f);
+  F.add_dimacs f [ 2; -2 ];
+  Alcotest.(check int) "tautology dropped" 1 (F.nclauses f)
+
+let eval () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ] in
+  Alcotest.(check bool) "x2 true sat" true (F.eval (fun v -> v = 1) f);
+  Alcotest.(check bool) "all false unsat" false (F.eval (fun _ -> false) f)
+
+let snapshot_order () =
+  let f = Th.formula_of [ [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let cls = F.clauses f in
+  Alcotest.(check int) "count" 3 (Array.length cls);
+  Alcotest.(check bool) "insertion order" true
+    (Cnf.Clause.equal cls.(0) (Cnf.Clause.of_dimacs_list [ 1 ]))
+
+let copy_independent () =
+  let f = Th.formula_of [ [ 1; 2 ] ] in
+  let g = F.copy f in
+  F.add_dimacs g [ 3 ];
+  Alcotest.(check int) "copy grew" 2 (F.nclauses g);
+  Alcotest.(check int) "original unchanged" 1 (F.nclauses f)
+
+let literals_count () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1 ] ] in
+  Alcotest.(check int) "num_literals" 3 (F.num_literals f)
+
+let dimacs_roundtrip () =
+  let f = Th.formula_of [ [ 1; -2; 3 ]; [ -3 ]; [ 2; 1 ] ] in
+  let g = Cnf.Dimacs.parse_string (Cnf.Dimacs.to_string f) in
+  Alcotest.(check int) "vars" (F.nvars f) (F.nvars g);
+  Alcotest.(check int) "clauses" (F.nclauses f) (F.nclauses g)
+
+let dimacs_parsing () =
+  let f = Cnf.Dimacs.parse_string "c comment\np cnf 4 2\n1 -2 0\n3 4 0\n" in
+  Alcotest.(check int) "header vars" 4 (F.nvars f);
+  Alcotest.(check int) "clauses" 2 (F.nclauses f);
+  (* clause spanning lines, missing trailing zero *)
+  let g = Cnf.Dimacs.parse_string "1 2\n3 0\n-1 -2" in
+  Alcotest.(check int) "multiline + trailing" 2 (F.nclauses g);
+  Alcotest.check_raises "garbage" (Cnf.Dimacs.Parse_error "bad token \"xyz\"")
+    (fun () -> ignore (Cnf.Dimacs.parse_string "1 xyz 0"))
+
+let prop_dimacs_roundtrip_random =
+  QCheck.Test.make ~name:"dimacs roundtrip on random formulas" ~count:100
+    QCheck.(int_bound 1000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 1) in
+       let f = Th.random_cnf rng 8 15 4 in
+       let g = Cnf.Dimacs.parse_string (Cnf.Dimacs.to_string f) in
+       (* same models *)
+       let same = ref true in
+       for mask = 0 to 255 do
+         let value v = mask land (1 lsl v) <> 0 in
+         if F.eval value f <> F.eval value g then same := false
+       done;
+       !same && F.nvars f = F.nvars g)
+
+let suite =
+  [
+    Th.case "building" building;
+    Th.case "eval" eval;
+    Th.case "snapshot order" snapshot_order;
+    Th.case "copy independent" copy_independent;
+    Th.case "literal count" literals_count;
+    Th.case "dimacs roundtrip" dimacs_roundtrip;
+    Th.case "dimacs parsing" dimacs_parsing;
+    Th.qcheck prop_dimacs_roundtrip_random;
+  ]

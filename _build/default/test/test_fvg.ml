@@ -1,0 +1,53 @@
+module F = Eda.Fvg
+
+let full_coverage_accounting () =
+  let c = Circuit.Generators.alu ~bits:2 in
+  let objs = F.toggle_objectives c in
+  let r = F.generate c objs in
+  Alcotest.(check int) "accounting" r.F.objectives
+    (r.F.covered + r.F.unreachable);
+  Alcotest.(check bool) "objectives exist" true (r.F.objectives > 0)
+
+let vectors_witness_coverage () =
+  (* simulating the returned vectors must hit every covered objective *)
+  let c = Circuit.Generators.comparator ~bits:3 in
+  let objs = F.toggle_objectives c in
+  let r = F.generate c objs in
+  let hit = Hashtbl.create 64 in
+  List.iter
+    (fun vec ->
+       let values = Circuit.Simulate.eval_all c vec in
+       List.iter
+         (fun (node, v) ->
+            if values.(node) = v then Hashtbl.replace hit (node, v) ())
+         objs)
+    r.F.vectors;
+  let witnessed = Hashtbl.length hit in
+  Alcotest.(check int) "all covered objectives witnessed" r.F.covered witnessed
+
+let unreachable_detected () =
+  (* x AND ~x can never be 1 *)
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input c in
+  let na = Circuit.Netlist.add_gate c Circuit.Gate.Not [ a ] in
+  let z = Circuit.Netlist.add_gate c Circuit.Gate.And [ a; na ] in
+  Circuit.Netlist.set_output c z;
+  let r = F.generate ~random_warmup:0 c [ (z, true); (z, false) ] in
+  Alcotest.(check int) "one unreachable" 1 r.F.unreachable;
+  Alcotest.(check int) "one covered" 1 r.F.covered
+
+let warmup_reduces_sat_calls () =
+  let c = Circuit.Generators.parity ~bits:6 in
+  let objs = F.toggle_objectives c in
+  let with_warmup = F.generate ~random_warmup:2 c objs in
+  let without = F.generate ~random_warmup:0 c objs in
+  Alcotest.(check bool) "warmup drops objectives" true
+    (with_warmup.F.sat_calls <= without.F.sat_calls)
+
+let suite =
+  [
+    Th.case "accounting" full_coverage_accounting;
+    Th.case "vectors witness coverage" vectors_witness_coverage;
+    Th.case "unreachable" unreachable_detected;
+    Th.case "warmup" warmup_reduces_sat_calls;
+  ]

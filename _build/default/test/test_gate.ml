@@ -1,0 +1,90 @@
+module G = Circuit.Gate
+
+let eval_truth_tables () =
+  let cases =
+    [
+      (G.And, [ true; true ], true);
+      (G.And, [ true; false ], false);
+      (G.Or, [ false; false ], false);
+      (G.Or, [ false; true ], true);
+      (G.Nand, [ true; true ], false);
+      (G.Nand, [ false; true ], true);
+      (G.Nor, [ false; false ], true);
+      (G.Nor, [ true; false ], false);
+      (G.Xor, [ true; false ], true);
+      (G.Xor, [ true; true ], false);
+      (G.Xnor, [ true; true ], true);
+      (G.Xnor, [ true; false ], false);
+      (G.Not, [ true ], false);
+      (G.Buf, [ true ], true);
+    ]
+  in
+  List.iter
+    (fun (g, ins, expected) ->
+       Alcotest.(check bool) (G.to_string g) expected (G.eval g ins))
+    cases
+
+let nary () =
+  Alcotest.(check bool) "and3" true (G.eval G.And [ true; true; true ]);
+  Alcotest.(check bool) "or4" true (G.eval G.Or [ false; false; false; true ]);
+  Alcotest.(check bool) "xor3 parity" true (G.eval G.Xor [ true; true; true ]);
+  Alcotest.(check bool) "xnor3" false (G.eval G.Xnor [ true; true; true ])
+
+let arity () =
+  Alcotest.(check bool) "not unary only" false (G.arity_ok G.Not 2);
+  Alcotest.(check bool) "and needs 2" false (G.arity_ok G.And 1);
+  Alcotest.check_raises "eval arity" (Invalid_argument "Gate.eval: arity")
+    (fun () -> ignore (G.eval G.Not [ true; false ]))
+
+let controlling_semantics () =
+  (* a controlling input determines the output: check against eval *)
+  List.iter
+    (fun g ->
+       match G.controlling g, G.controlled_output g with
+       | Some c, Some out ->
+         Alcotest.(check bool)
+           (G.to_string g ^ " controlled")
+           out
+           (G.eval g [ c; not c ]);
+         Alcotest.(check bool)
+           (G.to_string g ^ " controlled 2")
+           out
+           (G.eval g [ not c; c ])
+       | None, None -> ()
+       | Some _, None | None, Some _ ->
+         Alcotest.fail "controlling/controlled_output inconsistent")
+    G.all
+
+let inverting_semantics () =
+  (* inverting gates complement their base counterpart *)
+  let base = [ (G.Nand, G.And); (G.Nor, G.Or); (G.Xnor, G.Xor) ] in
+  List.iter
+    (fun (inv, pos) ->
+       Alcotest.(check bool) "inverting flag" true (G.inverting inv);
+       for mask = 0 to 3 do
+         let ins = [ mask land 1 <> 0; mask land 2 <> 0 ] in
+         Alcotest.(check bool) "complement" (not (G.eval pos ins))
+           (G.eval inv ins)
+       done)
+    base;
+  Alcotest.(check bool) "not inverting buf" false (G.inverting G.Buf)
+
+let string_roundtrip () =
+  List.iter
+    (fun g ->
+       Alcotest.(check bool) "roundtrip" true
+         (G.of_string (G.to_string g) = Some g))
+    G.all;
+  Alcotest.(check bool) "bench BUFF" true (G.of_string "BUFF" = Some G.Buf);
+  Alcotest.(check bool) "lowercase" true (G.of_string "nand" = Some G.Nand);
+  Alcotest.(check bool) "unknown" true (G.of_string "MAJ" = None)
+
+let suite =
+  [
+    Th.case "truth tables" eval_truth_tables;
+    Th.case "n-ary" nary;
+    Th.case "arity" arity;
+    Th.case "controlling" controlling_semantics;
+    Th.case "inverting" inverting_semantics;
+    Th.case "strings" string_roundtrip;
+  ]

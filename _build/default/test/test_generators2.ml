@@ -1,0 +1,126 @@
+(* Tests for the second wave of circuit generators. *)
+module G = Circuit.Generators
+module S = Circuit.Simulate
+
+let kogge_stone_arithmetic () =
+  List.iter
+    (fun bits ->
+       let c = G.kogge_stone_adder ~bits in
+       let rng = Sat.Rng.create bits in
+       for _ = 1 to 150 do
+         let a = Sat.Rng.int rng (1 lsl bits) in
+         let b = Sat.Rng.int rng (1 lsl bits) in
+         let cin = Sat.Rng.bool rng in
+         let ins =
+           Array.concat [ Th.bits_of a bits; Th.bits_of b bits; [| cin |] ]
+         in
+         Alcotest.(check int) "ks sum"
+           (a + b + if cin then 1 else 0)
+           (Th.int_of_bits (S.eval_outputs c ins))
+       done)
+    [ 2; 3; 4; 5; 8 ]
+
+let kogge_stone_vs_ripple_cec () =
+  List.iter
+    (fun bits ->
+       Th.assert_equivalent ~msg:"ks = ripple"
+         (G.ripple_adder ~bits)
+         (G.kogge_stone_adder ~bits))
+    [ 3; 4; 6 ]
+
+let kogge_stone_log_depth () =
+  let d8 = Circuit.Netlist.depth (G.kogge_stone_adder ~bits:8) in
+  let r8 = Circuit.Netlist.depth (G.ripple_adder ~bits:8) in
+  Alcotest.(check bool) "shallower than ripple" true (d8 < r8)
+
+let wallace_arithmetic () =
+  List.iter
+    (fun bits ->
+       let c = G.wallace_multiplier ~bits in
+       let rng = Sat.Rng.create (bits * 3) in
+       for _ = 1 to 150 do
+         let a = Sat.Rng.int rng (1 lsl bits) in
+         let b = Sat.Rng.int rng (1 lsl bits) in
+         let ins = Array.append (Th.bits_of a bits) (Th.bits_of b bits) in
+         Alcotest.(check int) "wallace product" (a * b)
+           (Th.int_of_bits (S.eval_outputs c ins))
+       done)
+    [ 2; 3; 4; 5 ]
+
+let wallace_vs_array_cec () =
+  List.iter
+    (fun bits ->
+       Th.assert_equivalent ~msg:"wallace = array"
+         (G.multiplier ~bits)
+         (G.wallace_multiplier ~bits))
+    [ 2; 3; 4 ]
+
+let wallace_shallower () =
+  let w = Circuit.Netlist.depth (G.wallace_multiplier ~bits:6) in
+  let a = Circuit.Netlist.depth (G.multiplier ~bits:6) in
+  Alcotest.(check bool) "tree beats array" true (w < a)
+
+let barrel_semantics () =
+  let bits = 8 in
+  let c = G.barrel_shifter ~bits in
+  let rng = Sat.Rng.create 9 in
+  for _ = 1 to 200 do
+    let d = Sat.Rng.int rng 256 in
+    let sh = Sat.Rng.int rng 8 in
+    let ins = Array.append (Th.bits_of d bits) (Th.bits_of sh 3) in
+    Alcotest.(check int) "shift" ((d lsl sh) land 255)
+      (Th.int_of_bits (S.eval_outputs c ins))
+  done;
+  Alcotest.check_raises "power of two"
+    (Invalid_argument "barrel_shifter: power-of-two width required")
+    (fun () -> ignore (G.barrel_shifter ~bits:6))
+
+let decoder_one_hot () =
+  let c = G.decoder ~select_bits:3 in
+  for sel = 0 to 7 do
+    let outs = S.eval_outputs c (Th.bits_of sel 3) in
+    Array.iteri
+      (fun i v -> Alcotest.(check bool) "one-hot" (i = sel) v)
+      outs
+  done
+
+let priority_encoder_semantics () =
+  let bits = 6 in
+  let c = G.priority_encoder ~bits in
+  for mask = 0 to (1 lsl bits) - 1 do
+    let outs = S.eval_outputs c (Th.bits_of mask bits) in
+    let n_out = Array.length outs in
+    let valid = outs.(n_out - 1) in
+    Alcotest.(check bool) "valid" (mask <> 0) valid;
+    if mask <> 0 then begin
+      let expected =
+        let rec first i = if mask land (1 lsl i) <> 0 then i else first (i + 1) in
+        first 0
+      in
+      let index = Th.int_of_bits (Array.sub outs 0 (n_out - 1)) in
+      Alcotest.(check int) "highest priority index" expected index
+    end
+  done
+
+let new_families_roundtrip_and_atpg () =
+  (* the new generators compose with the rest of the stack *)
+  let c = G.kogge_stone_adder ~bits:3 in
+  let c2 = Circuit.Bench_format.parse_string (Circuit.Bench_format.to_string c) in
+  Th.assert_equivalent ~msg:"bench roundtrip" c c2;
+  let s = Eda.Atpg.run (G.decoder ~select_bits:2) in
+  Alcotest.(check int) "decoder fully testable" s.Eda.Atpg.total
+    s.Eda.Atpg.detected
+
+let suite =
+  [
+    Th.case "kogge-stone arithmetic" kogge_stone_arithmetic;
+    Th.case "kogge-stone vs ripple" kogge_stone_vs_ripple_cec;
+    Th.case "kogge-stone depth" kogge_stone_log_depth;
+    Th.case "wallace arithmetic" wallace_arithmetic;
+    Th.case "wallace vs array" wallace_vs_array_cec;
+    Th.case "wallace depth" wallace_shallower;
+    Th.case "barrel shifter" barrel_semantics;
+    Th.case "decoder" decoder_one_hot;
+    Th.case "priority encoder" priority_encoder_semantics;
+    Th.case "integration" new_families_roundtrip_and_atpg;
+  ]

@@ -1,0 +1,53 @@
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let basics () =
+  check_int "pos var" 0 (Cnf.Lit.pos 0);
+  check_int "neg var" 1 (Cnf.Lit.neg_of_var 0);
+  check_int "pos 3" 6 (Cnf.Lit.pos 3);
+  check_int "var of pos" 3 (Cnf.Lit.var (Cnf.Lit.pos 3));
+  check_int "var of neg" 3 (Cnf.Lit.var (Cnf.Lit.neg_of_var 3));
+  check_bool "is_pos" true (Cnf.Lit.is_pos (Cnf.Lit.pos 5));
+  check_bool "is_neg" true (Cnf.Lit.is_neg (Cnf.Lit.neg_of_var 5));
+  check_int "negate pos" (Cnf.Lit.neg_of_var 4) (Cnf.Lit.negate (Cnf.Lit.pos 4))
+
+let dimacs () =
+  check_int "of_dimacs 1" (Cnf.Lit.pos 0) (Cnf.Lit.of_dimacs 1);
+  check_int "of_dimacs -1" (Cnf.Lit.neg_of_var 0) (Cnf.Lit.of_dimacs (-1));
+  check_int "to_dimacs" (-7) (Cnf.Lit.to_dimacs (Cnf.Lit.neg_of_var 6));
+  Alcotest.check_raises "zero rejected" (Invalid_argument "Lit.of_dimacs: zero")
+    (fun () -> ignore (Cnf.Lit.of_dimacs 0))
+
+let invalid () =
+  Alcotest.check_raises "negative var"
+    (Invalid_argument "Lit.of_var: negative variable") (fun () ->
+        ignore (Cnf.Lit.of_var (-1) true))
+
+let prop_negate_involution =
+  QCheck.Test.make ~name:"negate is an involution" ~count:500
+    QCheck.(int_bound 10_000)
+    (fun l -> Cnf.Lit.negate (Cnf.Lit.negate l) = l)
+
+let prop_dimacs_roundtrip =
+  QCheck.Test.make ~name:"dimacs roundtrip" ~count:500
+    QCheck.(int_range (-500) 500)
+    (fun i ->
+       QCheck.assume (i <> 0);
+       Cnf.Lit.to_dimacs (Cnf.Lit.of_dimacs i) = i)
+
+let prop_negate_flips_polarity =
+  QCheck.Test.make ~name:"negate flips polarity, keeps var" ~count:500
+    QCheck.(int_bound 10_000)
+    (fun l ->
+       let n = Cnf.Lit.negate l in
+       Cnf.Lit.var n = Cnf.Lit.var l && Cnf.Lit.is_pos n <> Cnf.Lit.is_pos l)
+
+let suite =
+  [
+    Th.case "basics" basics;
+    Th.case "dimacs" dimacs;
+    Th.case "invalid" invalid;
+    Th.qcheck prop_negate_involution;
+    Th.qcheck prop_dimacs_roundtrip;
+    Th.qcheck prop_negate_flips_polarity;
+  ]

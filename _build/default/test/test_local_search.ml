@@ -1,0 +1,61 @@
+module L = Sat.Local_search
+
+let finds_easy_models () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 3 ] ] in
+  let r = L.solve f in
+  match r.L.outcome with
+  | Sat.Types.Sat m ->
+    Alcotest.(check bool) "model valid" true (Cnf.Formula.eval (fun v -> m.(v)) f)
+  | _ -> Alcotest.fail "walksat should find this"
+
+let never_claims_unsat () =
+  let f = Th.formula_of [ [ 1 ]; [ -1 ] ] in
+  let cfg = { L.default with L.max_flips = 200; L.max_tries = 2 } in
+  match (L.solve ~config:cfg f).L.outcome with
+  | Sat.Types.Unknown _ -> ()
+  | Sat.Types.Sat _ -> Alcotest.fail "claimed sat on unsat instance"
+  | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
+    Alcotest.fail "local search cannot prove unsat"
+
+let gsat_works () =
+  let rng = Sat.Rng.create 3 in
+  let found = ref 0 and total = ref 0 in
+  for seed = 1 to 20 do
+    let f = Th.random_cnf rng 8 18 3 in
+    if Th.outcome_sat (Sat.Brute.solve f) then begin
+      incr total;
+      let cfg = { L.algorithm = L.Gsat; max_flips = 3000; max_tries = 5; seed } in
+      match (L.solve ~config:cfg f).L.outcome with
+      | Sat.Types.Sat m ->
+        incr found;
+        Alcotest.(check bool) "gsat model valid" true
+          (Cnf.Formula.eval (fun v -> m.(v)) f)
+      | _ -> ()
+    end
+  done;
+  Alcotest.(check bool) "gsat finds most" true (!found * 10 >= !total * 7)
+
+let counters_progress () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; -2 ] ] in
+  let r = L.solve f in
+  Alcotest.(check bool) "tries counted" true (r.L.tries >= 1)
+
+let prop_walksat_models_valid =
+  QCheck.Test.make ~name:"walksat models satisfy the formula" ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 5) in
+       let f = Th.random_cnf rng 8 20 3 in
+       let cfg = { L.default with L.max_flips = 5000; L.seed = seed + 1 } in
+       match (L.solve ~config:cfg f).L.outcome with
+       | Sat.Types.Sat m -> Cnf.Formula.eval (fun v -> m.(v)) f
+       | _ -> true)
+
+let suite =
+  [
+    Th.case "finds easy models" finds_easy_models;
+    Th.case "never claims unsat" never_claims_unsat;
+    Th.case "gsat" gsat_works;
+    Th.case "counters" counters_progress;
+    Th.qcheck prop_walksat_models_valid;
+  ]

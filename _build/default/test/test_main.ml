@@ -1,0 +1,55 @@
+(* Aggregated alcotest runner: one suite per module. *)
+
+let () =
+  Alcotest.run "satreda"
+    [
+      ("lit", Test_lit.suite);
+      ("clause", Test_clause.suite);
+      ("formula+dimacs", Test_formula.suite);
+      ("expr+tseitin", Test_expr.suite);
+      ("cardinality", Test_cardinality.suite);
+      ("resolution", Test_resolution.suite);
+      ("vec+heap+rng", Test_vec_heap_rng.suite);
+      ("bcp", Test_bcp.suite);
+      ("cdcl", Test_cdcl.suite);
+      ("proof", Test_proof.suite);
+      ("dpll", Test_dpll.suite);
+      ("local-search", Test_local_search.suite);
+      ("stalmarck", Test_stalmarck.suite);
+      ("preprocess", Test_preprocess.suite);
+      ("equivalence-reasoning", Test_equivalence.suite);
+      ("recursive-learning", Test_recursive_learning.suite);
+      ("solver", Test_solver.suite);
+      ("bdd", Test_bdd.suite);
+      ("aig", Test_aig.suite);
+      ("gate", Test_gate.suite);
+      ("netlist", Test_netlist.suite);
+      ("simulate", Test_simulate.suite);
+      ("simulate-ternary", Test_simulate3.suite);
+      ("encode", Test_encode.suite);
+      ("bench-format", Test_bench_format.suite);
+      ("transform", Test_transform.suite);
+      ("generators-2", Test_generators2.suite);
+      ("sequential", Test_sequential.suite);
+      ("miter", Test_miter.suite);
+      ("csat", Test_csat.suite);
+      ("atpg", Test_atpg.suite);
+      ("compaction", Test_compaction.suite);
+      ("redundancy", Test_redundancy.suite);
+      ("equiv-checking", Test_equiv.suite);
+      ("sat-sweeping", Test_sweep.suite);
+      ("delay", Test_delay.suite);
+      ("path-delay", Test_path_delay.suite);
+      ("bmc", Test_bmc.suite);
+      ("euf", Test_euf.suite);
+      ("seq-equiv", Test_seq_equiv.suite);
+      ("fvg", Test_fvg.suite);
+      ("routing", Test_routing.suite);
+      ("covering", Test_covering.suite);
+      ("prime-implicants", Test_prime.suite);
+      ("pseudo-boolean", Test_pseudo_boolean.suite);
+      ("crosstalk", Test_crosstalk.suite);
+      ("misc-robustness", Test_misc.suite);
+      ("cross-module-properties", Test_properties.suite);
+      ("paper-figures", Test_paper_figures.suite);
+    ]

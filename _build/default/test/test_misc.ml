@@ -1,0 +1,141 @@
+(* Cross-cutting robustness: determinism, solver reuse, printers, and
+   edge cases that don't belong to a single module. *)
+
+let solver_determinism () =
+  (* same seed, same instance -> identical statistics *)
+  let f = Th.random_cnf (Sat.Rng.create 5) 40 170 3 in
+  let run () =
+    let s = Sat.Cdcl.create f in
+    ignore (Sat.Cdcl.solve s);
+    let st = Sat.Cdcl.stats s in
+    (st.Sat.Types.decisions, st.Sat.Types.conflicts, st.Sat.Types.propagations)
+  in
+  Alcotest.(check bool) "deterministic" true (run () = run ());
+  (* randomized configs are deterministic per seed too *)
+  let run_seeded seed =
+    let cfg =
+      { Sat.Types.default with Sat.Types.random_decision_freq = 0.3;
+        random_seed = seed }
+    in
+    let s = Sat.Cdcl.create ~config:cfg f in
+    ignore (Sat.Cdcl.solve s);
+    (Sat.Cdcl.stats s).Sat.Types.decisions
+  in
+  Alcotest.(check int) "seeded determinism" (run_seeded 7) (run_seeded 7)
+
+let solver_reuse_many_solves () =
+  let s = Sat.Cdcl.create (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ]) in
+  for i = 1 to 50 do
+    let a = if i mod 2 = 0 then Th.lit 1 else Th.lit (-1) in
+    match Sat.Cdcl.solve ~assumptions:[ a ] s with
+    | Sat.Types.Sat m ->
+      Alcotest.(check bool) "assumption honoured" true
+        (m.(0) = (i mod 2 = 0))
+    | _ -> Alcotest.fail "sat expected"
+  done
+
+let outcome_accessors () =
+  Alcotest.(check bool) "is_sat" true
+    (Sat.Types.is_sat (Sat.Types.Sat [||]));
+  Alcotest.(check bool) "is_sat unsat" false (Sat.Types.is_sat Sat.Types.Unsat);
+  Alcotest.check_raises "model_exn"
+    (Invalid_argument "Types.model_exn: not a satisfiable outcome")
+    (fun () -> ignore (Sat.Types.model_exn Sat.Types.Unsat))
+
+let printers_smoke () =
+  let non_empty s = Alcotest.(check bool) "printed" true (String.length s > 0) in
+  non_empty (Format.asprintf "%a" Cnf.Lit.pp (Th.lit (-3)));
+  non_empty (Format.asprintf "%a" Cnf.Clause.pp (Cnf.Clause.of_dimacs_list [ 1; -2 ]));
+  non_empty (Format.asprintf "%a" Cnf.Formula.pp (Th.formula_of [ [ 1; 2 ] ]));
+  non_empty (Format.asprintf "%a" Cnf.Expr.pp Cnf.Expr.(atom 0 &&& Not (atom 1)));
+  non_empty (Format.asprintf "%a" Sat.Types.pp_stats (Sat.Types.mk_stats ()));
+  non_empty (Format.asprintf "%a" Sat.Types.pp_outcome Sat.Types.Unsat);
+  non_empty (Format.asprintf "%a" Circuit.Gate.pp Circuit.Gate.Nand);
+  non_empty
+    (Format.asprintf "%a" Circuit.Netlist.pp_stats (Circuit.Generators.c17 ()))
+
+let csat_multiple_objectives () =
+  let c = Circuit.Generators.ripple_adder ~bits:3 in
+  let out n = List.assoc n (Circuit.Netlist.outputs c) in
+  let s0 = out "s0" in
+  let s2 = out "s2" in
+  let cout = out "cout" in
+  let r =
+    Csat.solve ~objectives:[ (s0, true); (s2, false); (cout, true) ] c
+  in
+  Alcotest.(check bool) "multi-objective sat" true (Th.outcome_sat r.Csat.outcome);
+  (* the pattern meets all three objectives under any completion *)
+  List.iter
+    (fun default ->
+       let ins =
+         List.map
+           (fun id ->
+              match List.assoc_opt id r.Csat.pattern with
+              | Some b -> b
+              | None -> default)
+           (Circuit.Netlist.inputs c)
+         |> Array.of_list
+       in
+       let v = Circuit.Simulate.eval_all c ins in
+       Alcotest.(check bool) "objectives hold" true
+         (v.(s0) && (not v.(s2)) && v.(cout)))
+    [ false; true ]
+
+let csat_objective_on_input () =
+  let c = Circuit.Generators.majority3 () in
+  let i0 = List.hd (Circuit.Netlist.inputs c) in
+  let r = Csat.solve ~objectives:[ (i0, true) ] c in
+  Alcotest.(check bool) "input objective" true (Th.outcome_sat r.Csat.outcome);
+  Alcotest.(check bool) "input constrained" true
+    (List.assoc_opt i0 r.Csat.pattern = Some true)
+
+let dimacs_file_roundtrip () =
+  let f = Th.random_cnf (Sat.Rng.create 3) 10 25 4 in
+  let path = Filename.temp_file "satreda" ".cnf" in
+  Cnf.Dimacs.write_file path f;
+  let g = Cnf.Dimacs.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int) "clauses survive" (Cnf.Formula.nclauses f)
+    (Cnf.Formula.nclauses g)
+
+let bench_file_roundtrip () =
+  let c = Circuit.Generators.alu ~bits:2 in
+  let path = Filename.temp_file "satreda" ".bench" in
+  Circuit.Bench_format.write_file path c;
+  let c2 = Circuit.Bench_format.parse_file path in
+  Sys.remove path;
+  Th.assert_equivalent ~msg:"file roundtrip" c c2
+
+let pb_empty_objective () =
+  (* pure feasibility through the PB engine *)
+  let open Eda.Pseudo_boolean in
+  let p =
+    { nvars = 2;
+      constraints = [ ([ { coeff = 1; lit = Th.lit 1 };
+                         { coeff = 1; lit = Th.lit 2 } ], 2) ];
+      objective = [] }
+  in
+  match solve p with
+  | Optimal (m, 0), _ -> Alcotest.(check bool) "both true" true (m.(0) && m.(1))
+  | _ -> Alcotest.fail "feasible with empty objective"
+
+let empty_circuit_edge_cases () =
+  let c = Circuit.Netlist.create () in
+  Alcotest.(check int) "depth of empty" 0 (Circuit.Netlist.depth c);
+  let enc = Circuit.Encode.encode c in
+  Alcotest.(check int) "no clauses" 0
+    (Cnf.Formula.nclauses enc.Circuit.Encode.formula)
+
+let suite =
+  [
+    Th.case "solver determinism" solver_determinism;
+    Th.case "solver reuse" solver_reuse_many_solves;
+    Th.case "outcome accessors" outcome_accessors;
+    Th.case "printers" printers_smoke;
+    Th.case "csat multiple objectives" csat_multiple_objectives;
+    Th.case "csat objective on input" csat_objective_on_input;
+    Th.case "dimacs file roundtrip" dimacs_file_roundtrip;
+    Th.case "bench file roundtrip" bench_file_roundtrip;
+    Th.case "pb empty objective" pb_empty_objective;
+    Th.case "empty circuit" empty_circuit_edge_cases;
+  ]

@@ -1,0 +1,53 @@
+module M = Circuit.Miter
+
+let unsat_on_equal () =
+  let c = Circuit.Generators.ripple_adder ~bits:2 in
+  Th.assert_equivalent c (Circuit.Netlist.copy c)
+
+let sat_on_different () =
+  let c1 = Circuit.Generators.parity ~bits:3 in
+  (* parity vs AND of the same inputs *)
+  let c2 = Circuit.Netlist.create () in
+  let ins = List.init 3 (fun _ -> Circuit.Netlist.add_input c2) in
+  let g = Circuit.Netlist.add_gate c2 Circuit.Gate.And ins in
+  Circuit.Netlist.set_output c2 g;
+  let f, lit_of = M.to_cnf c1 c2 in
+  match Th.solve_cdcl f with
+  | Sat.Types.Sat m ->
+    (* the model's input vector must distinguish the circuits *)
+    let vec =
+      Array.init 3 (fun i ->
+          let l = lit_of i in
+          if Cnf.Lit.is_pos l then m.(Cnf.Lit.var l)
+          else not m.(Cnf.Lit.var l))
+    in
+    let o1 = Circuit.Simulate.eval_outputs c1 vec in
+    let o2 = Circuit.Simulate.eval_outputs c2 vec in
+    Alcotest.(check bool) "distinguishing vector" true (o1 <> o2)
+  | _ -> Alcotest.fail "expected inequivalence"
+
+let interface_mismatch () =
+  let c1 = Circuit.Generators.parity ~bits:3 in
+  let c2 = Circuit.Generators.parity ~bits:4 in
+  Alcotest.check_raises "inputs" (Invalid_argument "Miter.build: input counts differ")
+    (fun () -> ignore (M.build c1 c2))
+
+let multi_output_miters () =
+  let c1 = Circuit.Generators.ripple_adder ~bits:3 in
+  let c2 = Circuit.Transform.demorgan ~seed:9 c1 in
+  Th.assert_equivalent c1 c2;
+  (* single-bit output corruption caught across multiple outputs *)
+  let buggy, _ = Circuit.Transform.inject_bug ~seed:2 c1 in
+  let f, _ = M.to_cnf c1 buggy in
+  match Th.solve_cdcl f with
+  | Sat.Types.Sat _ -> ()
+  | Sat.Types.Unsat -> () (* rare benign mutation *)
+  | _ -> Alcotest.fail "unexpected"
+
+let suite =
+  [
+    Th.case "unsat on equal" unsat_on_equal;
+    Th.case "sat on different" sat_on_different;
+    Th.case "interface mismatch" interface_mismatch;
+    Th.case "multi-output" multi_output_miters;
+  ]

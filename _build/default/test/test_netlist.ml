@@ -1,0 +1,91 @@
+module N = Circuit.Netlist
+
+let builder () =
+  let c = N.create () in
+  let a = N.add_input ~name:"a" c in
+  let b = N.add_input ~name:"b" c in
+  let g = N.add_gate ~name:"g" c Circuit.Gate.And [ a; b ] in
+  N.set_output c g;
+  Alcotest.(check int) "nodes" 3 (N.num_nodes c);
+  Alcotest.(check int) "inputs" 2 (List.length (N.inputs c));
+  Alcotest.(check int) "gates" 1 (N.gate_count c);
+  Alcotest.(check string) "name" "g" (N.name c g);
+  let k = N.add_const c false in
+  Alcotest.(check string) "default name" (Printf.sprintf "n%d" k) (N.name c k);
+  Alcotest.(check (option int)) "find" (Some a) (N.find_by_name c "a");
+  Alcotest.(check (list int)) "fanins" [ a; b ] (N.fanins c g);
+  Alcotest.(check (list int)) "fanouts of a" [ g ] (N.fanouts c a)
+
+let validation () =
+  let c = N.create () in
+  let a = N.add_input c in
+  Alcotest.check_raises "arity" (Invalid_argument "Netlist.add_gate: arity")
+    (fun () -> ignore (N.add_gate c Circuit.Gate.And [ a ]));
+  Alcotest.check_raises "dangling"
+    (Invalid_argument "Netlist.add_gate: dangling fanin") (fun () ->
+        ignore (N.add_gate c Circuit.Gate.Not [ 99 ]));
+  ignore (N.add_input ~name:"x" c);
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Netlist: duplicate name x") (fun () ->
+        ignore (N.add_input ~name:"x" c))
+
+let levels () =
+  let c = N.create () in
+  let a = N.add_input c in
+  let n1 = N.add_gate c Circuit.Gate.Not [ a ] in
+  let n2 = N.add_gate c Circuit.Gate.Not [ n1 ] in
+  let n3 = N.add_gate c Circuit.Gate.And [ a; n2 ] in
+  N.set_output c n3;
+  Alcotest.(check int) "input level" 0 (N.level c a);
+  Alcotest.(check int) "chain level" 2 (N.level c n2);
+  Alcotest.(check int) "and level" 3 (N.level c n3);
+  Alcotest.(check int) "depth" 3 (N.depth c)
+
+let transitive () =
+  let c = Circuit.Generators.c17 () in
+  let outs = N.output_ids c in
+  let o1 = List.nth outs 0 in
+  let tfi = N.transitive_fanin c o1 in
+  Alcotest.(check bool) "tfi includes self" true (List.mem o1 tfi);
+  let i1 = Option.get (N.find_by_name c "i1") in
+  Alcotest.(check bool) "tfi includes i1" true (List.mem i1 tfi);
+  let tfo = N.transitive_fanout c i1 in
+  Alcotest.(check bool) "tfo includes o1" true (List.mem o1 tfo)
+
+let copy_and_import () =
+  let c = Circuit.Generators.majority3 () in
+  let d = N.copy c in
+  Th.assert_equivalent c d;
+  (* import with shared inputs *)
+  let m = N.create () in
+  let shared = List.map (fun _ -> N.add_input m) (N.inputs c) in
+  let table = Hashtbl.create 4 in
+  List.iter2 (fun s t -> Hashtbl.replace table s t) (N.inputs c) shared;
+  let map = N.import c ~into:m ~map_node:(Hashtbl.find_opt table) in
+  Alcotest.(check bool) "imported nodes exist" true
+    (Array.for_all (fun x -> x >= 0) map)
+
+let import_unmapped_input_fails () =
+  let c = Circuit.Generators.majority3 () in
+  let m = N.create () in
+  Alcotest.check_raises "unmapped"
+    (Invalid_argument "Netlist.import: unmapped input") (fun () ->
+        ignore (N.import c ~into:m ~map_node:(fun _ -> None)))
+
+let output_marking () =
+  let c = N.create () in
+  let a = N.add_input ~name:"a" c in
+  N.set_output ~name:"out_a" c a;
+  Alcotest.(check (list (pair string int))) "outputs" [ ("out_a", a) ]
+    (N.outputs c)
+
+let suite =
+  [
+    Th.case "builder" builder;
+    Th.case "validation" validation;
+    Th.case "levels" levels;
+    Th.case "transitive closures" transitive;
+    Th.case "copy and import" copy_and_import;
+    Th.case "unmapped import" import_unmapped_input_fails;
+    Th.case "output marking" output_marking;
+  ]

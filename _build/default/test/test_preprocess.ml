@@ -1,0 +1,92 @@
+module P = Sat.Preprocess
+
+let run ?subsumption ?strengthen ?probe_failed_literals f =
+  P.run ?subsumption ?strengthen ?probe_failed_literals f
+
+let units_propagated () =
+  match run (Th.formula_of [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ 3; 4 ] ]) with
+  | P.Simplified s ->
+    Alcotest.(check int) "units" 3 s.P.stats.P.units;
+    Alcotest.(check int) "everything satisfied" 0
+      (Cnf.Formula.nclauses s.P.formula);
+    let m = P.complete_model s (Array.make 4 false) in
+    Alcotest.(check bool) "fix applies" true (m.(0) && m.(1) && m.(2))
+  | P.Unsat -> Alcotest.fail "not unsat"
+
+let unsat_detected () =
+  (match run (Th.formula_of [ [ 1 ]; [ -1 ] ]) with
+   | P.Unsat -> ()
+   | P.Simplified _ -> Alcotest.fail "expected unsat");
+  match run (Th.formula_of [ [ 1 ]; [ -1; 2 ]; [ -2 ] ]) with
+  | P.Unsat -> ()
+  | P.Simplified _ -> Alcotest.fail "expected chained unsat"
+
+let pure_literals () =
+  (* x1 appears only positively *)
+  match run (Th.formula_of [ [ 1; 2 ]; [ 1; -2; 3 ]; [ 3; -2 ] ]) with
+  | P.Simplified s ->
+    Alcotest.(check bool) "pures found" true (s.P.stats.P.pures > 0)
+  | P.Unsat -> Alcotest.fail "not unsat"
+
+let subsumption_removes () =
+  (* (~1 2) subsumes the longer clauses; mixed polarities keep the pure-
+     literal pass from consuming everything before subsumption counts *)
+  match
+    run ~strengthen:false
+      (Th.formula_of [ [ -1; 2 ]; [ -1; 2; 3 ]; [ -1; 2; 4 ]; [ 1; -2 ] ])
+  with
+  | P.Simplified s ->
+    Alcotest.(check int) "subsumed" 2 s.P.stats.P.subsumed
+  | P.Unsat -> Alcotest.fail "not unsat"
+
+let strengthening_fires () =
+  (* (1 2) strengthens (-1 2 3) to (2 3), which then subsumes (2 3 4) *)
+  match run (Th.formula_of [ [ 1; 2 ]; [ -1; 2; 3 ]; [ 2; 3; 4 ] ]) with
+  | P.Simplified s ->
+    Alcotest.(check bool) "strengthened" true (s.P.stats.P.strengthened > 0)
+  | P.Unsat -> Alcotest.fail "not unsat"
+
+let probing_finds_failed_literals () =
+  (* assuming -1 propagates a conflict through (1 2)(1 -2), forcing 1;
+     every variable occurs in both polarities so pure literals can't
+     pre-empt the probe *)
+  match
+    run ~probe_failed_literals:true
+      (Th.formula_of [ [ 1; 2 ]; [ 1; -2 ]; [ -1; 3; 4 ]; [ -3; -4 ] ])
+  with
+  | P.Simplified s ->
+    Alcotest.(check bool) "failed literal" true
+      (s.P.stats.P.failed_literals + s.P.stats.P.units > 0);
+    let m = P.complete_model s (Array.make 4 false) in
+    Alcotest.(check bool) "x1 fixed true" true m.(0)
+  | P.Unsat -> Alcotest.fail "unexpected unsat"
+
+let prop_equisatisfiable_and_model_complete =
+  QCheck.Test.make ~name:"preprocessing preserves satisfiability" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 3) in
+       let f = Th.random_cnf rng (3 + Sat.Rng.int rng 8) (3 + Sat.Rng.int rng 30) 4 in
+       let expected = Th.outcome_sat (Sat.Brute.solve f) in
+       match run ~probe_failed_literals:(seed mod 2 = 0) f with
+       | P.Unsat -> not expected
+       | P.Simplified s -> (
+           match Th.solve_cdcl s.P.formula with
+           | Sat.Types.Sat m ->
+             expected
+             &&
+             let full = P.complete_model s m in
+             Cnf.Formula.eval (fun v -> full.(v)) f
+           | Sat.Types.Unsat -> not expected
+           | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> false))
+
+let suite =
+  [
+    Th.case "units" units_propagated;
+    Th.case "unsat detection" unsat_detected;
+    Th.case "pure literals" pure_literals;
+    Th.case "subsumption" subsumption_removes;
+    Th.case "strengthening" strengthening_fires;
+    Th.case "failed literal probing" probing_finds_failed_literals;
+    Th.qcheck prop_equisatisfiable_and_model_complete;
+  ]

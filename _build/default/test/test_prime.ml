@@ -1,0 +1,117 @@
+module P = Eda.Prime
+
+(* brute-force check: is term a minimum-size implicant of f? *)
+let brute_min_implicant_size f =
+  let n = Cnf.Formula.nvars f in
+  let best = ref None in
+  (* enumerate terms as (subset, polarity) pairs *)
+  let rec terms chosen v =
+    if v = n then begin
+      if chosen <> [] || true then begin
+        let term = chosen in
+        (* implicant test: every completion satisfies f *)
+        let free =
+          List.filter (fun x -> not (List.mem_assoc x term)) (List.init n Fun.id)
+        in
+        let implies = ref true in
+        let k = List.length free in
+        for mask = 0 to (1 lsl k) - 1 do
+          let value v =
+            match List.assoc_opt v term with
+            | Some b -> b
+            | None ->
+              (match List.find_index (Int.equal v) free with
+               | Some i -> mask land (1 lsl i) <> 0
+               | None -> false)
+          in
+          if not (Cnf.Formula.eval value f) then implies := false
+        done;
+        if !implies then
+          match !best with
+          | Some b when b <= List.length term -> ()
+          | Some _ | None -> best := Some (List.length term)
+      end
+    end
+    else begin
+      terms chosen (v + 1);
+      terms ((v, true) :: chosen) (v + 1);
+      terms ((v, false) :: chosen) (v + 1)
+    end
+  in
+  terms [] 0;
+  !best
+
+let minimality_vs_brute () =
+  let rng = Sat.Rng.create 91 in
+  for _ = 1 to 15 do
+    let f = Th.random_cnf rng 5 8 3 in
+    match P.minimum_prime_implicant f with
+    | Some term ->
+      Alcotest.(check bool) "is implicant" true (P.is_implicant f term);
+      (match brute_min_implicant_size f with
+       | Some b -> Alcotest.(check int) "minimum size" b (List.length term)
+       | None -> Alcotest.fail "brute disagrees about satisfiability")
+    | None ->
+      Alcotest.(check bool) "unsat confirmed" false
+        (Th.outcome_sat (Sat.Brute.solve f))
+  done
+
+let minimal_implicants_are_prime () =
+  (* a minimum implicant cannot shrink: dropping any literal breaks it *)
+  let rng = Sat.Rng.create 97 in
+  for _ = 1 to 10 do
+    let f = Th.random_cnf rng 5 8 3 in
+    match P.minimum_prime_implicant f with
+    | Some term when List.length term > 0 ->
+      List.iter
+        (fun (v, _) ->
+           let shrunk = List.filter (fun (w, _) -> w <> v) term in
+           (* the shrunk term must not be an implicant semantically *)
+           let n = Cnf.Formula.nvars f in
+           let free =
+             List.filter (fun x -> not (List.mem_assoc x shrunk)) (List.init n Fun.id)
+           in
+           let still = ref true in
+           for mask = 0 to (1 lsl List.length free) - 1 do
+             let value x =
+               match List.assoc_opt x shrunk with
+               | Some b -> b
+               | None ->
+                 (match List.find_index (Int.equal x) free with
+                  | Some i -> mask land (1 lsl i) <> 0
+                  | None -> false)
+             in
+             if not (Cnf.Formula.eval value f) then still := false
+           done;
+           Alcotest.(check bool) "shrunk term not implicant" false !still)
+        term
+    | Some _ | None -> ()
+  done
+
+let tautology_gives_empty_term () =
+  (* a formula with no clauses is the constant 1: the empty term works *)
+  let f = Cnf.Formula.create ~nvars:3 () in
+  match P.minimum_prime_implicant f with
+  | Some term -> Alcotest.(check int) "empty term" 0 (List.length term)
+  | None -> Alcotest.fail "constant one has implicants"
+
+let unsat_gives_none () =
+  let f = Th.formula_of [ [ 1 ]; [ -1 ] ] in
+  Alcotest.(check bool) "none" true (P.minimum_prime_implicant f = None)
+
+let single_literal_function () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ 1; 3 ]; [ 1; -4 ] ] in
+  match P.minimum_prime_implicant f with
+  | Some term ->
+    Alcotest.(check int) "x1 alone" 1 (List.length term);
+    Alcotest.(check bool) "it is x1=true" true (List.mem (0, true) term)
+  | None -> Alcotest.fail "satisfiable"
+
+let suite =
+  [
+    Th.case "minimality vs brute force" minimality_vs_brute;
+    Th.case "minimal implies prime" minimal_implicants_are_prime;
+    Th.case "tautology" tautology_gives_empty_term;
+    Th.case "unsat" unsat_gives_none;
+    Th.case "single literal" single_literal_function;
+  ]

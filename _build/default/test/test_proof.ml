@@ -1,0 +1,104 @@
+module P = Sat.Proof
+
+let certified_unsat () =
+  let f =
+    Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ]
+  in
+  match P.solve_certified f with
+  | Sat.Types.Unsat, P.Valid_refutation -> ()
+  | Sat.Types.Unsat, _ -> Alcotest.fail "UNSAT but proof did not certify"
+  | _ -> Alcotest.fail "expected UNSAT"
+
+let certified_pigeonhole () =
+  let v i j = (i * 4) + j + 1 in
+  let cls = ref [] in
+  for i = 0 to 4 do
+    cls := List.init 4 (fun j -> v i j) :: !cls
+  done;
+  for j = 0 to 3 do
+    for i1 = 0 to 4 do
+      for i2 = i1 + 1 to 4 do
+        cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+      done
+    done
+  done;
+  match P.solve_certified (Th.formula_of !cls) with
+  | Sat.Types.Unsat, P.Valid_refutation -> ()
+  | _ -> Alcotest.fail "php(5,4) must certify"
+
+let sat_runs_give_valid_derivations () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 3; -2 ] ] in
+  match P.solve_certified f with
+  | Sat.Types.Sat _, (P.Valid_derivation | P.Valid_refutation) -> ()
+  | Sat.Types.Sat _, P.Invalid_step i -> Alcotest.failf "invalid step %d" i
+  | _ -> Alcotest.fail "expected SAT"
+
+let corrupted_proof_rejected () =
+  (* a clause that is not an implicate cannot be RUP *)
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let bogus = [ Cnf.Clause.of_dimacs_list [ 1 ] ] in
+  (match P.check f bogus with
+   | P.Invalid_step 0 -> ()
+   | _ -> Alcotest.fail "bogus step accepted");
+  (* a valid step followed by a bogus one *)
+  let mixed =
+    [ Cnf.Clause.of_dimacs_list [ 2 ]; Cnf.Clause.of_dimacs_list [ -1 ] ]
+  in
+  match P.check f mixed with
+  | P.Invalid_step 1 -> ()
+  | _ -> Alcotest.fail "second step should fail"
+
+let empty_proof_of_sat () =
+  let f = Th.formula_of [ [ 1 ] ] in
+  match P.check f [] with
+  | P.Valid_derivation -> ()
+  | _ -> Alcotest.fail "empty proof is a valid derivation"
+
+let inconsistent_formula_trivially_refuted () =
+  let f = Th.formula_of [ [ 1 ]; [ -1 ] ] in
+  match P.check f [] with
+  | P.Valid_refutation -> ()
+  | _ -> Alcotest.fail "root conflict is already a refutation"
+
+let prop_unsat_always_certifiable =
+  QCheck.Test.make ~name:"every UNSAT run certifies" ~count:120
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 51) in
+       let f =
+         Th.random_cnf rng (4 + Sat.Rng.int rng 8) (10 + Sat.Rng.int rng 40) 3
+       in
+       match P.solve_certified f with
+       | Sat.Types.Unsat, v -> v = P.Valid_refutation
+       | Sat.Types.Sat m, v ->
+         Cnf.Formula.eval (fun x -> m.(x)) f
+         && (match v with
+             | P.Valid_derivation | P.Valid_refutation -> true
+             | P.Invalid_step _ -> false)
+       | (Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _), _ -> false)
+
+let prop_deletion_policies_still_certify =
+  QCheck.Test.make ~name:"proofs survive clause deletion" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 61) in
+       let f = Th.random_cnf rng 9 45 3 in
+       let config =
+         { Sat.Types.default with Sat.Types.deletion = Sat.Types.Size_bounded 3 }
+       in
+       match P.solve_certified ~config f with
+       | Sat.Types.Unsat, v -> v = P.Valid_refutation
+       | Sat.Types.Sat _, P.Invalid_step _ -> false
+       | _ -> true)
+
+let suite =
+  [
+    Th.case "certified unsat" certified_unsat;
+    Th.case "certified pigeonhole" certified_pigeonhole;
+    Th.case "sat derivations" sat_runs_give_valid_derivations;
+    Th.case "corrupted proofs rejected" corrupted_proof_rejected;
+    Th.case "empty proof" empty_proof_of_sat;
+    Th.case "trivial refutation" inconsistent_formula_trivially_refuted;
+    Th.qcheck prop_unsat_always_certifiable;
+    Th.qcheck prop_deletion_policies_still_certify;
+  ]

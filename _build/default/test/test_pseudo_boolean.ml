@@ -1,0 +1,163 @@
+module PB = Eda.Pseudo_boolean
+
+let lit = Cnf.Lit.pos
+
+let term c v = { PB.coeff = c; lit = lit v }
+
+let feasibility_basic () =
+  (* x0 + x1 >= 1, minimize x0 + x1 -> value 1 *)
+  let p =
+    {
+      PB.nvars = 2;
+      constraints = [ ([ term 1 0; term 1 1 ], 1) ];
+      objective = [ term 1 0; term 1 1 ];
+    }
+  in
+  match PB.solve p with
+  | PB.Optimal (m, v), _ ->
+    Alcotest.(check int) "optimum 1" 1 v;
+    Alcotest.(check int) "model consistent" 1
+      (PB.eval_linear (fun x -> m.(x)) p.PB.objective)
+  | _ -> Alcotest.fail "feasible"
+
+let weighted_objective () =
+  (* cover element with set A (cost 5) or B (cost 1): optimum 1 *)
+  let p =
+    {
+      PB.nvars = 2;
+      constraints = [ ([ term 1 0; term 1 1 ], 1) ];
+      objective = [ term 5 0; term 1 1 ];
+    }
+  in
+  match PB.solve p with
+  | PB.Optimal (m, v), _ ->
+    Alcotest.(check int) "picks cheap set" 1 v;
+    Alcotest.(check bool) "B chosen" true m.(1)
+  | _ -> Alcotest.fail "feasible"
+
+let coefficients_matter () =
+  (* 3 x0 + 2 x1 + 2 x2 >= 4: x0 alone insufficient *)
+  let p =
+    {
+      PB.nvars = 3;
+      constraints = [ ([ term 3 0; term 2 1; term 2 2 ], 4) ];
+      objective = [ term 1 0; term 1 1; term 1 2 ];
+    }
+  in
+  match PB.solve p with
+  | PB.Optimal (m, v), _ ->
+    Alcotest.(check int) "needs two" 2 v;
+    Alcotest.(check int) "constraint met" 4
+      (min 4 (PB.eval_linear (fun x -> m.(x)) [ term 3 0; term 2 1; term 2 2 ]))
+  | _ -> Alcotest.fail "feasible"
+
+let infeasible () =
+  (* x0 >= 1 and ~x0 >= 1 *)
+  let p =
+    {
+      PB.nvars = 1;
+      constraints =
+        [ ([ term 1 0 ], 1);
+          ([ { PB.coeff = 1; lit = Cnf.Lit.neg_of_var 0 } ], 1) ];
+      objective = [];
+    }
+  in
+  match PB.solve p with
+  | PB.Infeasible, _ -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let negative_coefficients_normalised () =
+  (* -2 x0 >= -1  <=>  x0 = 0 allowed, x0 = 1 violates *)
+  let p =
+    {
+      PB.nvars = 1;
+      constraints = [ ([ { PB.coeff = -2; lit = lit 0 } ], -1) ];
+      objective = [];
+    }
+  in
+  match PB.solve p with
+  | PB.Optimal (m, _), _ -> Alcotest.(check bool) "x0 false" false m.(0)
+  | _ -> Alcotest.fail "feasible"
+
+let clause_conversion () =
+  let c = Cnf.Clause.of_dimacs_list [ 1; -2 ] in
+  let terms, bound = PB.of_clause c in
+  Alcotest.(check int) "bound 1" 1 bound;
+  Alcotest.(check int) "two terms" 2 (List.length terms)
+
+let agrees_with_sat_covering () =
+  for seed = 1 to 8 do
+    let inst =
+      Eda.Covering.random_instance ~seed ~nelems:12 ~nsets:8 ~density:0.3
+    in
+    let p = PB.covering_problem inst in
+    match PB.solve p, Eda.Covering.sat_optimal inst with
+    | (PB.Optimal (_, v), _), Some sol ->
+      Alcotest.(check int) "pb matches cardinality search"
+        (Eda.Covering.cover_cost inst sol) v
+    | _ -> Alcotest.fail "both must solve"
+  done
+
+let propagation_counted () =
+  let p =
+    {
+      PB.nvars = 3;
+      constraints = [ ([ term 3 0; term 1 1; term 1 2 ], 3) ];
+      objective = [];
+    }
+  in
+  (* x0 is forced: coeff 3 > slack 2 *)
+  match PB.solve p with
+  | PB.Optimal (m, _), st ->
+    Alcotest.(check bool) "x0 forced" true m.(0);
+    Alcotest.(check bool) "propagations counted" true (st.PB.propagations > 0)
+  | _ -> Alcotest.fail "feasible"
+
+let objective_sign_guard () =
+  let p =
+    { PB.nvars = 1; constraints = []; objective = [ { PB.coeff = -1; lit = lit 0 } ] }
+  in
+  Alcotest.check_raises "negative objective"
+    (Invalid_argument "Pseudo_boolean.solve: objective coefficients >= 0")
+    (fun () -> ignore (PB.solve p))
+
+let prop_optimum_matches_brute_force =
+  QCheck.Test.make ~name:"pb optimum equals brute-force optimum" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+       let inst =
+         Eda.Covering.random_instance ~seed:(seed + 1) ~nelems:10 ~nsets:8
+           ~density:0.3
+       in
+       let rng = Sat.Rng.create (seed + 2) in
+       let inst =
+         { inst with
+           Eda.Covering.cost =
+             Array.map (fun _ -> 1 + Sat.Rng.int rng 4) inst.Eda.Covering.cost }
+       in
+       let nsets = Array.length inst.Eda.Covering.sets in
+       let brute = ref max_int in
+       for mask = 0 to (1 lsl nsets) - 1 do
+         let chosen =
+           List.filter (fun j -> mask land (1 lsl j) <> 0) (List.init nsets Fun.id)
+         in
+         if Eda.Covering.is_cover inst chosen then
+           brute := min !brute (Eda.Covering.cover_cost inst chosen)
+       done;
+       match PB.solve (PB.covering_problem inst) with
+       | PB.Optimal (_, v), _ -> v = !brute
+       | _ -> false)
+
+let suite =
+  [
+    Th.qcheck prop_optimum_matches_brute_force;
+    Th.case "basic" feasibility_basic;
+    Th.case "weighted" weighted_objective;
+    Th.case "coefficients" coefficients_matter;
+    Th.case "infeasible" infeasible;
+    Th.case "normalisation" negative_coefficients_normalised;
+    Th.case "clause conversion" clause_conversion;
+    Th.case "agrees with covering" agrees_with_sat_covering;
+    Th.case "propagation" propagation_counted;
+    Th.case "objective guard" objective_sign_guard;
+  ]

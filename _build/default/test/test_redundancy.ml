@@ -1,0 +1,45 @@
+module R = Eda.Redundancy
+
+let identify_on_injected () =
+  let base = Circuit.Generators.majority3 () in
+  let red = Circuit.Transform.add_redundancy ~seed:2 base in
+  let found = R.identify red in
+  Alcotest.(check bool) "redundant faults found" true (found <> [])
+
+let identify_clean_circuit () =
+  (* c17 famously has no redundant faults *)
+  let c = Circuit.Generators.c17 () in
+  Alcotest.(check int) "c17 irredundant" 0 (List.length (R.identify c))
+
+let removal_preserves_function () =
+  List.iter
+    (fun seed ->
+       let base = Circuit.Generators.ripple_adder ~bits:2 in
+       let red = Circuit.Transform.add_redundancy ~seed base in
+       let r = R.remove red in
+       Th.assert_equivalent ~msg:"removal equivalence" red r.R.result;
+       Th.assert_equivalent ~msg:"matches original" base r.R.result;
+       Alcotest.(check bool) "no growth" true
+         (r.R.gates_after <= r.R.gates_before))
+    [ 1; 2; 3 ]
+
+let removal_shrinks_injected () =
+  let base = Circuit.Generators.parity ~bits:4 in
+  let red = Circuit.Transform.add_redundancy ~seed:7 ~count:3 base in
+  let r = R.remove red in
+  Alcotest.(check bool) "faults removed" true (r.R.removed_faults > 0);
+  Alcotest.(check bool) "gates reduced" true (r.R.gates_after < r.R.gates_before)
+
+let fixpoint_terminates () =
+  let c = Circuit.Generators.majority3 () in
+  let r = R.remove ~max_rounds:3 c in
+  Alcotest.(check bool) "bounded rounds" true (r.R.rounds <= 3)
+
+let suite =
+  [
+    Th.case "identify injected" identify_on_injected;
+    Th.case "c17 irredundant" identify_clean_circuit;
+    Th.case "removal preserves function" removal_preserves_function;
+    Th.case "removal shrinks" removal_shrinks_injected;
+    Th.case "fixpoint" fixpoint_terminates;
+  ]

@@ -1,0 +1,66 @@
+module R = Cnf.Resolution
+module Clause = Cnf.Clause
+
+let clause = Clause.of_dimacs_list
+
+let resolve_basic () =
+  (match R.resolve (clause [ 1; 2 ]) (clause [ -1; 3 ]) 0 with
+   | Some r -> Alcotest.(check bool) "resolvent" true (Clause.equal r (clause [ 2; 3 ]))
+   | None -> Alcotest.fail "expected resolvent");
+  Alcotest.(check bool) "no clash" true
+    (R.resolve (clause [ 1; 2 ]) (clause [ 1; 3 ]) 0 = None);
+  (* tautological resolvent suppressed *)
+  Alcotest.(check bool) "taut suppressed" true
+    (R.resolve (clause [ 1; 2 ]) (clause [ -1; -2 ]) 0 = None)
+
+let resolvable_cases () =
+  Alcotest.(check (option int)) "single clash" (Some 0)
+    (R.resolvable (clause [ 1; 2 ]) (clause [ -1; 3 ]));
+  Alcotest.(check (option int)) "double clash" None
+    (R.resolvable (clause [ 1; 2 ]) (clause [ -1; -2 ]));
+  Alcotest.(check (option int)) "no clash" None
+    (R.resolvable (clause [ 1; 2 ]) (clause [ 1; 3 ]))
+
+let self_subsumption () =
+  (* (1 2) with (-1 2 3): resolvent (2 3) subsumes (-1 2 3) by dropping -1 *)
+  (match R.self_subsumes (clause [ 1; 2 ]) (clause [ -1; 2; 3 ]) with
+   | Some dropped ->
+     Alcotest.(check int) "drops -1" (Cnf.Lit.of_dimacs (-1)) dropped
+   | None -> Alcotest.fail "expected self-subsumption");
+  Alcotest.(check bool) "no strengthening" true
+    (R.self_subsumes (clause [ 1; 4 ]) (clause [ -1; 2; 3 ]) = None)
+
+let is_implicate_cases () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ] in
+  Alcotest.(check bool) "x2 implied" true (R.is_implicate f (clause [ 2 ]));
+  Alcotest.(check bool) "x1 not implied" false (R.is_implicate f (clause [ 1 ]));
+  Alcotest.(check bool) "weaker clause implied" true
+    (R.is_implicate f (clause [ 1; 2; 3 ]))
+
+let prop_resolvent_is_implicate =
+  (* the resolvent of two clauses is an implicate of their conjunction *)
+  QCheck.Test.make ~name:"resolvents are implicates" ~count:300
+    QCheck.(pair (list_of_size (Gen.int_range 1 5) (int_range 1 6))
+              (list_of_size (Gen.int_range 1 5) (int_range 1 6)))
+    (fun (raw1, raw2) ->
+       let signed rng_seed l =
+         List.mapi (fun i x -> if (i + rng_seed) mod 2 = 0 then x else -x) l
+       in
+       let c = clause (signed 0 raw1) and d = clause (signed 1 raw2) in
+       match R.resolvable c d with
+       | None -> true
+       | Some v -> (
+           match R.resolve c d v with
+           | None -> true
+           | Some r ->
+             let f = Cnf.Formula.of_clauses ~nvars:7 [ c; d ] in
+             R.is_implicate f r))
+
+let suite =
+  [
+    Th.case "resolve" resolve_basic;
+    Th.case "resolvable" resolvable_cases;
+    Th.case "self-subsumption" self_subsumption;
+    Th.case "is_implicate" is_implicate_cases;
+    Th.qcheck prop_resolvent_is_implicate;
+  ]

@@ -1,0 +1,91 @@
+module R = Eda.Routing
+
+let routable_instances_verified () =
+  for seed = 1 to 8 do
+    let inst =
+      R.random_instance ~seed ~width:4 ~height:4 ~tracks:4 ~nets:6
+    in
+    match fst (R.route inst) with
+    | R.Routed routes ->
+      Alcotest.(check bool) "routes check out" true (R.check_routes inst routes)
+    | R.Unroutable -> () (* possible but rare at 4 tracks *)
+    | R.Unknown why -> Alcotest.failf "unknown: %s" why
+  done
+
+let forced_conflict_unroutable () =
+  (* two nets over the same single horizontal segment, one track *)
+  let inst =
+    {
+      R.width = 2;
+      height = 1;
+      tracks = 1;
+      nets = [ { R.src = (0, 0); dst = (1, 0) }; { R.src = (0, 0); dst = (1, 0) } ];
+    }
+  in
+  match fst (R.route inst) with
+  | R.Unroutable -> ()
+  | R.Routed _ -> Alcotest.fail "capacity violated"
+  | R.Unknown _ -> Alcotest.fail "unknown"
+
+let two_tracks_resolve_conflict () =
+  let inst =
+    {
+      R.width = 2;
+      height = 1;
+      tracks = 2;
+      nets = [ { R.src = (0, 0); dst = (1, 0) }; { R.src = (0, 0); dst = (1, 0) } ];
+    }
+  in
+  match fst (R.route inst) with
+  | R.Routed routes ->
+    Alcotest.(check bool) "valid" true (R.check_routes inst routes);
+    (* distinct tracks *)
+    (match routes with
+     | [ a; b ] -> Alcotest.(check bool) "different tracks" true (a.R.track <> b.R.track)
+     | _ -> Alcotest.fail "two routes expected")
+  | _ -> Alcotest.fail "routable at 2 tracks"
+
+let monotone_in_tracks () =
+  for seed = 20 to 26 do
+    let base = R.random_instance ~seed ~width:4 ~height:4 ~tracks:1 ~nets:7 in
+    let routable t =
+      match fst (R.route { base with R.tracks = t }) with
+      | R.Routed _ -> true
+      | R.Unroutable -> false
+      | R.Unknown _ -> Alcotest.fail "unknown"
+    in
+    let prev = ref false in
+    for t = 1 to 4 do
+      let now = routable t in
+      if !prev && not now then Alcotest.fail "routability not monotone";
+      prev := now
+    done;
+    Alcotest.(check bool) "eventually routable" true !prev
+  done
+
+let l_shapes_matter () =
+  (* a diagonal net has two L options; blocking one leaves the other *)
+  let inst =
+    {
+      R.width = 2;
+      height = 2;
+      tracks = 1;
+      nets =
+        [
+          { R.src = (0, 0); dst = (1, 1) };
+          { R.src = (0, 0); dst = (1, 0) } (* blocks the horizontal-first row 0 *);
+        ];
+    }
+  in
+  match fst (R.route inst) with
+  | R.Routed routes -> Alcotest.(check bool) "valid" true (R.check_routes inst routes)
+  | _ -> Alcotest.fail "the vertical-first option must save this"
+
+let suite =
+  [
+    Th.case "random instances" routable_instances_verified;
+    Th.case "forced conflict" forced_conflict_unroutable;
+    Th.case "two tracks" two_tracks_resolve_conflict;
+    Th.case "monotone in width" monotone_in_tracks;
+    Th.case "L-shape choice" l_shapes_matter;
+  ]

@@ -1,0 +1,76 @@
+module S = Circuit.Sequential
+
+let counter_counts () =
+  let c = S.counter ~bits:4 ~buggy_at:None in
+  S.validate c;
+  let state = ref c.S.init in
+  for expected = 0 to 20 do
+    (* state should encode expected mod 16 *)
+    let value =
+      List.mapi (fun i b -> if b then 1 lsl i else 0) !state
+      |> List.fold_left ( + ) 0
+    in
+    Alcotest.(check int) "count" (expected mod 16) value;
+    let next, outs = S.step c ~state:!state ~inputs:[| true |] in
+    Alcotest.(check bool) "bad iff 15" (expected mod 16 = 15) outs.(0);
+    state := next
+  done
+
+let counter_respects_enable () =
+  let c = S.counter ~bits:3 ~buggy_at:None in
+  let next, _ = S.step c ~state:c.S.init ~inputs:[| false |] in
+  Alcotest.(check (list bool)) "disabled holds" c.S.init next
+
+let buggy_counter_jumps () =
+  let c = S.counter ~bits:3 ~buggy_at:(Some 2) in
+  (* 0 -> 1 -> 2 -> 7 *)
+  let s0 = c.S.init in
+  let s1, _ = S.step c ~state:s0 ~inputs:[| true |] in
+  let s2, _ = S.step c ~state:s1 ~inputs:[| true |] in
+  let s3, _ = S.step c ~state:s2 ~inputs:[| true |] in
+  let to_int s =
+    List.mapi (fun i b -> if b then 1 lsl i else 0) s |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "jumped to 7" 7 (to_int s3)
+
+let lfsr_period () =
+  (* 3-bit maximal LFSR with taps [1; 2] cycles through 7 states *)
+  let l = S.lfsr ~bits:3 ~taps:[ 1; 2 ] in
+  S.validate l;
+  let rec iterate state n =
+    if n = 0 then state
+    else
+      let next, _ = S.step l ~state ~inputs:[||] in
+      iterate next (n - 1)
+  in
+  let back = iterate l.S.init 7 in
+  Alcotest.(check (list bool)) "period 7" l.S.init back;
+  (* and not earlier *)
+  for k = 1 to 6 do
+    if iterate l.S.init k = l.S.init then Alcotest.fail "period too short"
+  done
+
+let simulate_collects_outputs () =
+  let c = S.counter ~bits:2 ~buggy_at:None in
+  let outs = S.simulate c ~inputs:(List.init 5 (fun _ -> [| true |])) in
+  Alcotest.(check int) "five cycles" 5 (List.length outs);
+  let bads = List.map (fun o -> o.(0)) outs in
+  Alcotest.(check (list bool)) "bad at count 3" [ false; false; false; true; false ]
+    bads
+
+let validation_errors () =
+  let c = S.counter ~bits:2 ~buggy_at:None in
+  let broken = { c with S.init = [ true ] } in
+  Alcotest.check_raises "init length"
+    (Invalid_argument "Sequential: init length mismatch") (fun () ->
+        S.validate broken)
+
+let suite =
+  [
+    Th.case "counter counts" counter_counts;
+    Th.case "enable" counter_respects_enable;
+    Th.case "buggy jump" buggy_counter_jumps;
+    Th.case "lfsr period" lfsr_period;
+    Th.case "simulate" simulate_collects_outputs;
+    Th.case "validation" validation_errors;
+  ]

@@ -1,0 +1,112 @@
+(* Three-valued simulation and its agreement with the structural layer's
+   partial patterns. *)
+module S = Circuit.Simulate
+
+let controlling_values_decide () =
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input c in
+  let b = Circuit.Netlist.add_input c in
+  let g_and = Circuit.Netlist.add_gate c Circuit.Gate.And [ a; b ] in
+  let g_or = Circuit.Netlist.add_gate c Circuit.Gate.Or [ a; b ] in
+  let g_xor = Circuit.Netlist.add_gate c Circuit.Gate.Xor [ a; b ] in
+  Circuit.Netlist.set_output c g_and;
+  Circuit.Netlist.set_output c g_or;
+  Circuit.Netlist.set_output c g_xor;
+  let case ins expected =
+    Alcotest.(check bool) "ternary row" true
+      (S.eval3_outputs c ins = expected)
+  in
+  case [| S.F; S.X |] [| S.F; S.X; S.X |];  (* AND killed by 0 *)
+  case [| S.T; S.X |] [| S.X; S.T; S.X |];  (* OR decided by 1 *)
+  case [| S.X; S.X |] [| S.X; S.X; S.X |];
+  case [| S.T; S.F |] [| S.F; S.T; S.T |]   (* definite inputs: classic *)
+
+let refines_boolean_simulation () =
+  (* with no X inputs, ternary equals Boolean simulation *)
+  let rng = Sat.Rng.create 31 in
+  for seed = 1 to 20 do
+    let c = Circuit.Generators.random_circuit ~inputs:6 ~gates:25 ~seed:(seed + 700) in
+    let ins = Array.init 6 (fun _ -> Sat.Rng.bool rng) in
+    let tern = Array.map (fun b -> if b then S.T else S.F) ins in
+    let bools = S.eval_all c ins in
+    let terns = S.eval3_all c tern in
+    Array.iteri
+      (fun i b ->
+         Alcotest.(check bool) "agrees" true
+           (terns.(i) = if b then S.T else S.F))
+      bools
+  done
+
+let monotone_refinement () =
+  (* a definite ternary output stays identical under any X completion *)
+  let rng = Sat.Rng.create 37 in
+  for seed = 1 to 20 do
+    let c = Circuit.Generators.random_circuit ~inputs:6 ~gates:25 ~seed:(seed + 800) in
+    let tern =
+      Array.init 6 (fun _ ->
+          match Sat.Rng.int rng 3 with 0 -> S.F | 1 -> S.T | _ -> S.X)
+    in
+    let t_out = S.eval3_outputs c tern in
+    for _ = 1 to 5 do
+      let completion =
+        Array.map
+          (function S.X -> Sat.Rng.bool rng | S.T -> true | S.F -> false)
+          tern
+      in
+      let b_out = S.eval_outputs c completion in
+      Array.iteri
+        (fun i t ->
+           match t with
+           | S.X -> ()
+           | S.T -> Alcotest.(check bool) "definite T" true b_out.(i)
+           | S.F -> Alcotest.(check bool) "definite F" false b_out.(i))
+        t_out
+    done
+  done
+
+let csat_patterns_justify_ternarily () =
+  (* the structural layer's partial patterns must already determine the
+     objective under ternary simulation — no luck involved *)
+  let rng = Sat.Rng.create 41 in
+  for seed = 1 to 25 do
+    let c = Circuit.Generators.random_circuit ~inputs:8 ~gates:40 ~seed:(seed + 900) in
+    let obj = List.hd (Circuit.Netlist.output_ids c) in
+    let v = Sat.Rng.bool rng in
+    let r = Csat.solve ~objectives:[ (obj, v) ] c in
+    if Sat.Types.is_sat r.Csat.outcome then begin
+      let tern = S.ternary_of_pattern c r.Csat.pattern in
+      let values = S.eval3_all c tern in
+      Alcotest.(check bool) "objective definite under X-simulation" true
+        (values.(obj) = if v then S.T else S.F)
+    end
+  done
+
+let atpg_patterns_from_structural_layer () =
+  (* structural-layer ATPG patterns propagate the fault difference even
+     with every unspecified input left X *)
+  let c = Circuit.Generators.ripple_adder ~bits:3 in
+  List.iteri
+    (fun i fault ->
+       if i < 12 then begin
+         let inst, objectives = Eda.Atpg.instance c fault in
+         let r = Csat.solve ~objectives inst in
+         if Sat.Types.is_sat r.Csat.outcome then begin
+           let tern = S.ternary_of_pattern inst r.Csat.pattern in
+           let values = S.eval3_all inst tern in
+           List.iter
+             (fun (node, v) ->
+                Alcotest.(check bool) "objective justified" true
+                  (values.(node) = if v then S.T else S.F))
+             objectives
+         end
+       end)
+    (Eda.Atpg.fault_list c)
+
+let suite =
+  [
+    Th.case "controlling values" controlling_values_decide;
+    Th.case "refines boolean" refines_boolean_simulation;
+    Th.case "monotone refinement" monotone_refinement;
+    Th.case "csat patterns ternary-justified" csat_patterns_justify_ternarily;
+    Th.case "atpg patterns ternary-justified" atpg_patterns_from_structural_layer;
+  ]

@@ -1,0 +1,74 @@
+module S = Sat.Solver
+
+let engines =
+  [
+    ("cdcl", S.Cdcl Sat.Types.default);
+    ("dpll", S.Dpll Sat.Types.default);
+    ("grasp-like", S.Cdcl Sat.Types.grasp_like);
+  ]
+
+let pipelines =
+  [
+    ("none", S.no_pipeline);
+    ("full", S.full_pipeline);
+    ("probe", { S.full_pipeline with S.probe_failed_literals = true });
+    ("rl2", { S.no_pipeline with S.recursive_learning = 2 });
+    ("equiv-only", { S.no_pipeline with S.equivalence = true });
+  ]
+
+let differential () =
+  let rng = Sat.Rng.create 57 in
+  for _ = 1 to 20 do
+    let f = Th.random_cnf rng 8 25 4 in
+    let expected = Th.outcome_sat (Sat.Brute.solve f) in
+    List.iter
+      (fun (en, engine) ->
+         List.iter
+           (fun (pn, pipeline) ->
+              let r = S.solve ~engine ~pipeline f in
+              (match r.S.outcome with
+               | Sat.Types.Sat m ->
+                 if not expected then
+                   Alcotest.failf "%s/%s claims SAT on UNSAT" en pn;
+                 if not (Cnf.Formula.eval (fun v -> m.(v)) f) then
+                   Alcotest.failf "%s/%s returned a bad model" en pn
+               | Sat.Types.Unsat ->
+                 if expected then Alcotest.failf "%s/%s claims UNSAT on SAT" en pn
+               | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ ->
+                 Alcotest.failf "%s/%s inconclusive" en pn))
+           pipelines)
+      engines
+  done
+
+let walksat_engine () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let r = S.solve ~engine:(S.Walksat Sat.Local_search.default) f in
+  Alcotest.(check bool) "walksat engine sat" true (Th.outcome_sat r.S.outcome)
+
+let report_fields () =
+  let c = Circuit.Generators.parity ~bits:4 in
+  let c2 = Circuit.Transform.double_invert ~seed:1 c in
+  let f, _ = Circuit.Miter.to_cnf c c2 in
+  let r = S.solve ~pipeline:S.full_pipeline f in
+  Alcotest.(check bool) "unsat miter" false (Th.outcome_sat r.S.outcome);
+  Alcotest.(check bool) "equivalences found" true (r.S.equivalence_merged > 0);
+  Alcotest.(check bool) "preprocess ran" true (r.S.preprocess_stats <> None);
+  Alcotest.(check bool) "time recorded" true (r.S.time_seconds >= 0.)
+
+let solve_dimacs_front () =
+  let r = S.solve_dimacs "p cnf 2 2\n1 2 0\n-1 2 0\n" in
+  Alcotest.(check bool) "dimacs front-end" true (Th.outcome_sat r.S.outcome)
+
+let pipeline_detects_unsat_alone () =
+  (* preprocessing alone proves this one *)
+  let r = S.solve ~pipeline:S.full_pipeline (Th.formula_of [ [ 1 ]; [ -1 ] ]) in
+  Alcotest.(check bool) "unsat via pipeline" false (Th.outcome_sat r.S.outcome)
+
+let suite =
+  [
+    Th.case "differential engines x pipelines" differential;
+    Th.case "walksat engine" walksat_engine;
+    Th.case "report fields" report_fields;
+    Th.case "dimacs front-end" solve_dimacs_front;
+    Th.case "pipeline-only unsat" pipeline_detects_unsat_alone;
+  ]

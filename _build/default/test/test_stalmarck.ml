@@ -1,0 +1,101 @@
+module S = Sat.Stalmarck
+
+let simple_refutations () =
+  Alcotest.(check bool) "empty clause" true
+    (S.prove_unsat (Th.formula_of [ [] ]));
+  Alcotest.(check bool) "unit clash" true
+    (S.prove_unsat (Th.formula_of [ [ 1 ]; [ -1 ] ]));
+  (* all four 2-clauses over two variables: depth-1 dilemma closes it *)
+  Alcotest.(check bool) "2-var complete" true
+    (S.prove_unsat (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ]))
+
+let never_wrong_on_sat () =
+  let rng = Sat.Rng.create 7 in
+  for _ = 1 to 60 do
+    let f = Th.random_cnf rng 8 20 3 in
+    if Th.outcome_sat (Sat.Brute.solve f) then
+      Alcotest.(check bool) "no false refutation" false
+        (S.prove_unsat ~depth:2 f)
+  done
+
+let dilemma_derives_common_assignments () =
+  (* both values of x1 force x2 *)
+  let f = Th.formula_of [ [ -1; 2 ]; [ 1; 2 ]; [ 3; 4 ] ] in
+  match S.saturate f with
+  | S.Saturated forced ->
+    Alcotest.(check bool) "x2 forced" true (List.mem (Th.lit 2) forced)
+  | S.Refuted _ -> Alcotest.fail "satisfiable"
+
+let forced_literals_are_backbones () =
+  (* every literal reported forced must hold in every model *)
+  let rng = Sat.Rng.create 13 in
+  for _ = 1 to 40 do
+    let f = Th.random_cnf rng 7 16 3 in
+    match S.saturate ~depth:2 f with
+    | S.Refuted _ ->
+      Alcotest.(check bool) "refutations sound" false
+        (Th.outcome_sat (Sat.Brute.solve f))
+    | S.Saturated forced ->
+      List.iter
+        (fun l ->
+           let g = Cnf.Formula.copy f in
+           Cnf.Formula.add_clause_l g [ Cnf.Lit.negate l ];
+           Alcotest.(check bool) "backbone literal" false
+             (Th.outcome_sat (Sat.Brute.solve g)))
+        forced
+  done
+
+let depth_hierarchy () =
+  (* php(3,2) needs more than plain BCP; saturation refutes it *)
+  let php n m =
+    let v i j = (i * m) + j + 1 in
+    let cls = ref [] in
+    for i = 0 to n - 1 do
+      cls := List.init m (fun j -> v i j) :: !cls
+    done;
+    for j = 0 to m - 1 do
+      for i1 = 0 to n - 1 do
+        for i2 = i1 + 1 to n - 1 do
+          cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+        done
+      done
+    done;
+    Th.formula_of !cls
+  in
+  Alcotest.(check bool) "php(3,2) refuted at low depth" true
+    (S.prove_unsat ~depth:2 (php 3 2));
+  (* a CEC miter of a small circuit pair is within depth 2 *)
+  let c = Circuit.Generators.majority3 () in
+  let f, _ = Circuit.Miter.to_cnf c (Circuit.Transform.demorgan ~seed:4 c) in
+  Alcotest.(check bool) "small miter refuted" true (S.prove_unsat ~depth:2 f)
+
+let incompleteness_is_honest () =
+  (* php(5,4) is beyond depth-1 saturation: must NOT claim refutation,
+     and must not loop forever *)
+  let v i j = (i * 4) + j + 1 in
+  let cls = ref [] in
+  for i = 0 to 4 do
+    cls := List.init 4 (fun j -> v i j) :: !cls
+  done;
+  for j = 0 to 3 do
+    for i1 = 0 to 4 do
+      for i2 = i1 + 1 to 4 do
+        cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+      done
+    done
+  done;
+  match S.saturate ~depth:1 (Th.formula_of !cls) with
+  | S.Saturated _ -> ()
+  | S.Refuted d ->
+    (* if it does refute, it must at least be correct *)
+    Alcotest.(check bool) "sound" true (d >= 1)
+
+let suite =
+  [
+    Th.case "simple refutations" simple_refutations;
+    Th.case "never wrong on sat" never_wrong_on_sat;
+    Th.case "dilemma" dilemma_derives_common_assignments;
+    Th.case "backbones" forced_literals_are_backbones;
+    Th.case "depth hierarchy" depth_hierarchy;
+    Th.case "incompleteness" incompleteness_is_honest;
+  ]

@@ -1,0 +1,85 @@
+module S = Eda.Sweep
+
+let equivalent_pairs_proven () =
+  List.iter
+    (fun (name, c1, c2) ->
+       match (S.check c1 c2).S.verdict with
+       | Eda.Equiv.Equivalent -> ()
+       | Eda.Equiv.Inequivalent _ -> Alcotest.failf "%s: false negative" name
+       | Eda.Equiv.Inconclusive why -> Alcotest.failf "%s: %s" name why)
+    [
+      ("mult3", Circuit.Generators.multiplier ~bits:3,
+       Circuit.Transform.rewrite_xor (Circuit.Generators.multiplier ~bits:3));
+      ("adder", Circuit.Generators.ripple_adder ~bits:4,
+       Circuit.Transform.demorgan ~seed:2 (Circuit.Generators.ripple_adder ~bits:4));
+      ("parity", Circuit.Generators.parity ~bits:6,
+       Circuit.Transform.double_invert ~seed:3 (Circuit.Generators.parity ~bits:6));
+      ("self", Circuit.Generators.alu ~bits:2,
+       Circuit.Netlist.copy (Circuit.Generators.alu ~bits:2));
+    ]
+
+let counterexamples_valid () =
+  let base = Circuit.Generators.ripple_adder ~bits:3 in
+  let found = ref 0 in
+  for seed = 1 to 8 do
+    let buggy, _ = Circuit.Transform.inject_bug ~seed base in
+    match (S.check base buggy).S.verdict with
+    | Eda.Equiv.Inequivalent vec ->
+      incr found;
+      let o1 = Circuit.Simulate.eval_outputs base vec in
+      let o2 = Circuit.Simulate.eval_outputs buggy vec in
+      Alcotest.(check bool) "cex distinguishes" true (o1 <> o2)
+    | Eda.Equiv.Equivalent -> () (* benign mutation *)
+    | Eda.Equiv.Inconclusive why -> Alcotest.failf "inconclusive: %s" why
+  done;
+  Alcotest.(check bool) "bugs found" true (!found > 0)
+
+let agrees_with_miter () =
+  let rng = Sat.Rng.create 111 in
+  for seed = 1 to 12 do
+    let c1 = Circuit.Generators.random_circuit ~inputs:6 ~gates:30 ~seed:(seed + 300) in
+    let c2 =
+      if Sat.Rng.bool rng then Circuit.Transform.demorgan ~seed c1
+      else fst (Circuit.Transform.inject_bug ~seed c1)
+    in
+    let sweep = (S.check c1 c2).S.verdict in
+    let miter = (Eda.Equiv.check_sat c1 c2).Eda.Equiv.verdict in
+    match sweep, miter with
+    | Eda.Equiv.Equivalent, Eda.Equiv.Equivalent -> ()
+    | Eda.Equiv.Inequivalent _, Eda.Equiv.Inequivalent _ -> ()
+    | _ -> Alcotest.failf "sweep and miter disagree on seed %d" seed
+  done
+
+let internal_equivalences_found () =
+  let c = Circuit.Generators.multiplier ~bits:3 in
+  let c2 = Circuit.Transform.rewrite_xor c in
+  let r = S.check c c2 in
+  Alcotest.(check bool) "pairs proved" true (r.S.stats.S.proved > 0);
+  Alcotest.(check bool) "simulation ran" true (r.S.stats.S.simulation_words > 0)
+
+let refinement_on_counterexamples () =
+  (* random circuits vs their mutants force refinement *)
+  let c = Circuit.Generators.random_circuit ~inputs:6 ~gates:40 ~seed:7 in
+  let c2, _ = Circuit.Transform.inject_bug ~seed:5 c in
+  let r = S.check ~words:1 c c2 in
+  (* with a single seed word, some candidates are spurious and must be
+     refuted (statistically certain on 40-gate circuits) *)
+  Alcotest.(check bool) "some activity" true
+    (r.S.stats.S.proved + r.S.stats.S.refuted > 0)
+
+let interface_mismatch () =
+  let a = Circuit.Generators.parity ~bits:3 in
+  let b = Circuit.Generators.parity ~bits:4 in
+  match (S.check a b).S.verdict with
+  | Eda.Equiv.Inequivalent _ -> ()
+  | _ -> Alcotest.fail "interface mismatch"
+
+let suite =
+  [
+    Th.case "equivalent pairs" equivalent_pairs_proven;
+    Th.case "counterexamples" counterexamples_valid;
+    Th.case "agrees with miter" agrees_with_miter;
+    Th.case "internal equivalences" internal_equivalences_found;
+    Th.case "refinement" refinement_on_counterexamples;
+    Th.case "interface mismatch" interface_mismatch;
+  ]

@@ -1,0 +1,138 @@
+module T = Circuit.Transform
+
+let sample_circuits () =
+  [
+    Circuit.Generators.c17 ();
+    Circuit.Generators.ripple_adder ~bits:3;
+    Circuit.Generators.multiplier ~bits:2;
+    Circuit.Generators.parity ~bits:5;
+    Circuit.Generators.alu ~bits:2;
+    Circuit.Generators.random_circuit ~inputs:6 ~gates:25 ~seed:44;
+  ]
+
+let equivalence_preserving () =
+  List.iteri
+    (fun i c ->
+       Th.assert_equivalent ~msg:"rewrite_xor" c (T.rewrite_xor c);
+       Th.assert_equivalent ~msg:"demorgan" c (T.demorgan ~seed:i c);
+       Th.assert_equivalent ~msg:"double_invert" c (T.double_invert ~seed:i c);
+       Th.assert_equivalent ~msg:"add_redundancy" c (T.add_redundancy ~seed:i c);
+       Th.assert_equivalent ~msg:"simplify" c (T.simplify c);
+       (* compositions *)
+       Th.assert_equivalent ~msg:"composed" c
+         (T.simplify (T.demorgan ~seed:i (T.rewrite_xor c))))
+    (sample_circuits ())
+
+let xor_gone_after_rewrite () =
+  let c = Circuit.Generators.parity ~bits:6 in
+  let c2 = T.rewrite_xor c in
+  for id = 0 to Circuit.Netlist.num_nodes c2 - 1 do
+    match Circuit.Netlist.node c2 id with
+    | Circuit.Netlist.Gate ((Circuit.Gate.Xor | Circuit.Gate.Xnor), _) ->
+      Alcotest.fail "xor survived rewrite"
+    | _ -> ()
+  done
+
+let bug_injection_usually_detected () =
+  let detected = ref 0 in
+  for seed = 1 to 12 do
+    let c = Circuit.Generators.ripple_adder ~bits:3 in
+    let buggy, _ = T.inject_bug ~seed c in
+    let f, _ = Circuit.Miter.to_cnf c buggy in
+    if Th.outcome_sat (Th.solve_cdcl f) then incr detected
+  done;
+  Alcotest.(check bool) "most mutants detected" true (!detected >= 9)
+
+let simplify_folds_constants () =
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input ~name:"a" c in
+  let zero = Circuit.Netlist.add_const c false in
+  let one = Circuit.Netlist.add_const c true in
+  let g1 = Circuit.Netlist.add_gate c Circuit.Gate.And [ a; one ] in
+  let g2 = Circuit.Netlist.add_gate c Circuit.Gate.Or [ g1; zero ] in
+  let g3 = Circuit.Netlist.add_gate c Circuit.Gate.Xor [ g2; zero ] in
+  Circuit.Netlist.set_output ~name:"z" c g3;
+  let s = T.simplify c in
+  Alcotest.(check int) "all gates folded" 0 (Circuit.Netlist.gate_count s);
+  Th.assert_equivalent c s
+
+let simplify_cancels_xor_pairs () =
+  (* a XOR a = 0 inside one gate *)
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input c in
+  let b = Circuit.Netlist.add_input c in
+  let x1 = Circuit.Netlist.add_gate c Circuit.Gate.Xor [ a; a ] in
+  let z = Circuit.Netlist.add_gate c Circuit.Gate.Or [ x1; b ] in
+  Circuit.Netlist.set_output c z;
+  (* z = b *)
+  let s = T.simplify c in
+  Alcotest.(check int) "all folded" 0 (Circuit.Netlist.gate_count s);
+  Th.assert_equivalent c s
+
+let simplify_contradiction () =
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input c in
+  let na = Circuit.Netlist.add_gate c Circuit.Gate.Not [ a ] in
+  let z = Circuit.Netlist.add_gate c Circuit.Gate.And [ a; na ] in
+  Circuit.Netlist.set_output ~name:"z" c z;
+  let s = T.simplify c in
+  Alcotest.(check int) "a & ~a folded" 0 (Circuit.Netlist.gate_count s);
+  Th.assert_equivalent c s
+
+let redundancy_adds_gates () =
+  let c = Circuit.Generators.majority3 () in
+  let r = T.add_redundancy ~seed:1 c in
+  Alcotest.(check bool) "larger" true
+    (Circuit.Netlist.gate_count r > Circuit.Netlist.gate_count c)
+
+let strash_dedupes () =
+  (* two copies of the same logic collapse into one *)
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input c in
+  let b = Circuit.Netlist.add_input c in
+  let g1 = Circuit.Netlist.add_gate c Circuit.Gate.And [ a; b ] in
+  let g2 = Circuit.Netlist.add_gate c Circuit.Gate.And [ b; a ] in
+  let g3 = Circuit.Netlist.add_gate c Circuit.Gate.Or [ g1; g2 ] in
+  Circuit.Netlist.set_output c g3;
+  let s = T.strash c in
+  (* the two ANDs merge; the OR over identical fanins survives strash *)
+  Alcotest.(check int) "deduped" 2 (Circuit.Netlist.gate_count s);
+  Th.assert_equivalent c s
+
+let strash_respects_noncommutative_chains () =
+  let c = Circuit.Netlist.create () in
+  let a = Circuit.Netlist.add_input c in
+  let n1 = Circuit.Netlist.add_gate c Circuit.Gate.Not [ a ] in
+  let n2 = Circuit.Netlist.add_gate c Circuit.Gate.Not [ a ] in
+  let g = Circuit.Netlist.add_gate c Circuit.Gate.And [ n1; n2 ] in
+  Circuit.Netlist.set_output c g;
+  let s = T.strash c in
+  Alcotest.(check int) "duplicate inverters merged" 2
+    (Circuit.Netlist.gate_count s);
+  Th.assert_equivalent c s
+
+let strash_on_doubled_circuit () =
+  (* importing a circuit twice over shared inputs then strashing halves it *)
+  List.iter
+    (fun c ->
+       let m = Circuit.Miter.build c (Circuit.Netlist.copy c) in
+       let s = T.strash m in
+       Alcotest.(check bool) "miter shrinks under strash" true
+         (Circuit.Netlist.gate_count s < Circuit.Netlist.gate_count m);
+       Th.assert_equivalent m s)
+    [ Circuit.Generators.ripple_adder ~bits:3;
+      Circuit.Generators.multiplier ~bits:3 ]
+
+let suite =
+  [
+    Th.case "equivalence preserving" equivalence_preserving;
+    Th.case "strash dedupes" strash_dedupes;
+    Th.case "strash non-commutative" strash_respects_noncommutative_chains;
+    Th.case "strash doubled circuit" strash_on_doubled_circuit;
+    Th.case "xor rewrite complete" xor_gone_after_rewrite;
+    Th.case "bug injection" bug_injection_usually_detected;
+    Th.case "constant folding" simplify_folds_constants;
+    Th.case "xor cancellation" simplify_cancels_xor_pairs;
+    Th.case "contradiction folding" simplify_contradiction;
+    Th.case "redundancy grows" redundancy_adds_gates;
+  ]

@@ -1,0 +1,109 @@
+let vec_basics () =
+  let v = Sat.Vec.create ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Sat.Vec.is_empty v);
+  for i = 1 to 100 do
+    Sat.Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Sat.Vec.size v);
+  Alcotest.(check int) "get" 42 (Sat.Vec.get v 41);
+  Alcotest.(check int) "last" 100 (Sat.Vec.last v);
+  Alcotest.(check int) "pop" 100 (Sat.Vec.pop v);
+  Sat.Vec.set v 0 7;
+  Alcotest.(check int) "set" 7 (Sat.Vec.get v 0);
+  Sat.Vec.shrink v 10;
+  Alcotest.(check int) "shrink" 10 (Sat.Vec.size v);
+  Sat.Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check bool) "filter" true
+    (Sat.Vec.to_list v |> List.for_all (fun x -> x mod 2 = 0));
+  Sat.Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Sat.Vec.is_empty v)
+
+let vec_errors () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 1; 2 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Sat.Vec.get v 2));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop") (fun () ->
+      let e = Sat.Vec.create ~dummy:0 () in
+      ignore (Sat.Vec.pop e))
+
+let vec_sort () =
+  let v = Sat.Vec.of_list ~dummy:0 [ 3; 1; 2 ] in
+  Sat.Vec.sort Int.compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Sat.Vec.to_list v)
+
+let heap_property () =
+  let scores = Array.make 50 0. in
+  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) 50 in
+  let rng = Sat.Rng.create 5 in
+  for v = 0 to 49 do
+    scores.(v) <- Sat.Rng.float rng;
+    Sat.Heap.insert h v
+  done;
+  let rec drain acc =
+    if Sat.Heap.is_empty h then List.rev acc
+    else drain (Sat.Heap.pop_max h :: acc)
+  in
+  let order = drain [] in
+  Alcotest.(check int) "all popped" 50 (List.length order);
+  let rec descending = function
+    | a :: (b :: _ as rest) -> scores.(a) >= scores.(b) && descending rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "max-heap order" true (descending order)
+
+let heap_update () =
+  let scores = Array.make 4 0. in
+  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) 4 in
+  List.iter (Sat.Heap.insert h) [ 0; 1; 2; 3 ];
+  scores.(2) <- 10.;
+  Sat.Heap.update h 2;
+  Alcotest.(check int) "bumped wins" 2 (Sat.Heap.pop_max h);
+  Alcotest.(check bool) "removed" false (Sat.Heap.mem h 2);
+  Sat.Heap.insert h 2;
+  Alcotest.(check bool) "reinserted" true (Sat.Heap.mem h 2)
+
+let heap_grow () =
+  let scores = Array.make 100 0. in
+  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) 2 in
+  Sat.Heap.insert h 50;
+  Alcotest.(check bool) "grown mem" true (Sat.Heap.mem h 50)
+
+let rng_determinism () =
+  let a = Sat.Rng.create 42 and b = Sat.Rng.create 42 in
+  let xs = List.init 20 (fun _ -> Sat.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Sat.Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" xs ys;
+  let c = Sat.Rng.create 43 in
+  let zs = List.init 20 (fun _ -> Sat.Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let rng_bounds () =
+  let rng = Sat.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Sat.Rng.int rng 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "int out of bounds";
+    let f = Sat.Rng.float rng in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int") (fun () ->
+      ignore (Sat.Rng.int rng 0))
+
+let rng_copy () =
+  let a = Sat.Rng.create 9 in
+  ignore (Sat.Rng.int a 10);
+  let b = Sat.Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Sat.Rng.int a 1000)
+    (Sat.Rng.int b 1000)
+
+let suite =
+  [
+    Th.case "vec basics" vec_basics;
+    Th.case "vec errors" vec_errors;
+    Th.case "vec sort" vec_sort;
+    Th.case "heap property" heap_property;
+    Th.case "heap update" heap_update;
+    Th.case "heap grow" heap_grow;
+    Th.case "rng determinism" rng_determinism;
+    Th.case "rng bounds" rng_bounds;
+    Th.case "rng copy" rng_copy;
+  ]
