@@ -1,0 +1,49 @@
+(* Experiment E22: incremental sessions vs from-scratch solving. *)
+
+module T = Sat.Types
+
+(* E22 — one solver serving many related queries (BMC bounds, ATPG
+   faults) against re-encoding and re-solving each query from scratch. *)
+let e22 () =
+  Util.header "E22 incremental sessions vs from-scratch re-solving"
+    "paper: Sec. 2-3 (solver reuse across related queries [18, 25])";
+  Util.row "BMC: one session grows a frame per bound vs fresh unrolling:@.";
+  Util.row "%-14s %-13s %7s %9s %9s %8s %8s@." "circuit" "mode" "bound"
+    "frames" "decis" "confl" "time";
+  Util.line ();
+  let bmc_case name seq max_bound =
+    List.iter
+      (fun (mode, incremental) ->
+         let r = Eda.Bmc.check ~incremental ~max_bound seq in
+         let t = r.Eda.Bmc.total_stats in
+         Util.row "%-14s %-13s %7d %9d %9d %8d %7.3fs@." name mode
+           r.Eda.Bmc.bound_reached r.Eda.Bmc.frames_encoded
+           t.T.decisions t.T.conflicts r.Eda.Bmc.time_seconds)
+      [ ("incremental", true); ("from-scratch", false) ]
+  in
+  bmc_case "counter4-bug9"
+    (Circuit.Sequential.counter ~bits:4 ~buggy_at:(Some 9)) 20;
+  bmc_case "counter5"
+    (Circuit.Sequential.counter ~bits:5 ~buggy_at:None) 16;
+  bmc_case "ring8" (Circuit.Sequential.ring_counter ~bits:8) 12;
+  Util.row "@.ATPG: one session with activation groups vs per-fault solvers:@.";
+  Util.row "%-14s %-13s %7s %9s %9s %8s %8s@." "circuit" "mode" "faults"
+    "detected" "decis" "confl" "time";
+  Util.line ();
+  let atpg_case name c =
+    List.iter
+      (fun (mode, run) ->
+         let s : Eda.Atpg.summary = run c in
+         Util.row "%-14s %-13s %7d %9d %9d %8d %7.3fs@." name mode
+           s.Eda.Atpg.total s.Eda.Atpg.detected s.Eda.Atpg.decisions
+           s.Eda.Atpg.conflicts s.Eda.Atpg.time_seconds)
+      [
+        ("incremental", fun c -> Eda.Atpg.run_incremental c);
+        ("from-scratch", fun c -> Eda.Atpg.run ~fault_simulation:false c);
+      ]
+  in
+  atpg_case "c17" (Circuit.Generators.c17 ());
+  atpg_case "ripple6" (Circuit.Generators.ripple_adder ~bits:6);
+  atpg_case "alu3" (Circuit.Generators.alu ~bits:3);
+  atpg_case "mult4"
+    (Circuit.Transform.simplify (Circuit.Generators.multiplier ~bits:4))

@@ -28,6 +28,7 @@ let experiments =
     ("E19", "crosstalk noise analysis", Experiments_apps.e19);
     ("E20", "functional vector generation", Experiments_apps.e20);
     ("E21", "EUF / processor verification", Experiments_apps.e21);
+    ("E22", "incremental sessions vs from-scratch", Experiments_session.e22);
   ]
 
 let () =

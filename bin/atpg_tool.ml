@@ -4,11 +4,16 @@
 
 open Cmdliner
 
-let run path no_fault_sim structural incremental =
+let run path no_fault_sim structural incremental per_query =
   let c = Circuit.Bench_format.parse_file path in
   Format.printf "circuit: %a@." Circuit.Netlist.pp_stats c;
+  let on_query f (st : Sat.Types.stats) =
+    if per_query then
+      Format.printf "  %a: %d decisions, %d conflicts@."
+        (Eda.Atpg.pp_fault c) f st.Sat.Types.decisions st.Sat.Types.conflicts
+  in
   let summary =
-    if incremental then Eda.Atpg.run_incremental c
+    if incremental || per_query then Eda.Atpg.run_incremental ~on_query c
     else
       Eda.Atpg.run ~use_structural:structural
         ~fault_simulation:(not no_fault_sim) c
@@ -31,9 +36,14 @@ let structural =
 let incremental =
   Arg.(value & flag & info [ "incremental" ] ~doc:"one incremental solver for all faults")
 
+let per_query =
+  Arg.(value & flag
+       & info [ "per-query" ]
+         ~doc:"print per-fault solver statistics (implies --incremental)")
+
 let cmd =
   Cmd.v
     (Cmd.info "atpg_tool" ~doc:"stuck-at test pattern generation")
-    Term.(const run $ file $ no_fault_sim $ structural $ incremental)
+    Term.(const run $ file $ no_fault_sim $ structural $ incremental $ per_query)
 
 let () = exit (Cmd.eval cmd)

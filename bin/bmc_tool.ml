@@ -6,7 +6,7 @@
 
 open Cmdliner
 
-let run bits buggy_at bound bench bad induction =
+let run bits buggy_at bound bench bad induction from_scratch stats =
   let seq =
     match bench with
     | Some path -> Circuit.Bench_format.parse_sequential_file path
@@ -21,7 +21,10 @@ let run bits buggy_at bound bench bad induction =
     | Eda.Bmc.Bound_reached ->
       Printf.printf "inconclusive up to k=%d\n" bound
   end;
-  let r = Eda.Bmc.check ~bad_output:bad ~max_bound:bound seq in
+  let r =
+    Eda.Bmc.check ~incremental:(not from_scratch) ~bad_output:bad
+      ~max_bound:bound seq
+  in
   (match r.Eda.Bmc.result with
    | Eda.Bmc.Counterexample frames ->
      Printf.printf "counterexample of length %d:\n" (List.length frames);
@@ -31,6 +34,21 @@ let run bits buggy_at bound bench bad induction =
        frames
    | Eda.Bmc.No_counterexample ->
      Printf.printf "no counterexample up to bound %d\n" r.Eda.Bmc.bound_reached);
+  if stats then begin
+    Printf.printf "per-bound query stats (%s):\n"
+      (if from_scratch then "from-scratch" else "incremental");
+    Printf.printf "  %5s %10s %10s %12s\n" "bound" "decisions" "conflicts"
+      "propagations";
+    List.iter
+      (fun (k, (st : Sat.Types.stats)) ->
+         Printf.printf "  %5d %10d %10d %12d\n" k st.Sat.Types.decisions
+           st.Sat.Types.conflicts st.Sat.Types.propagations)
+      r.Eda.Bmc.per_bound_stats;
+    let t = r.Eda.Bmc.total_stats in
+    Printf.printf "  %5s %10d %10d %12d\n" "total" t.Sat.Types.decisions
+      t.Sat.Types.conflicts t.Sat.Types.propagations;
+    Printf.printf "frames encoded: %d\n" r.Eda.Bmc.frames_encoded
+  end;
   Printf.printf "time %.3fs\n" r.Eda.Bmc.time_seconds
 
 let bits = Arg.(value & opt int 4 & info [ "bits" ] ~doc:"counter width")
@@ -49,9 +67,18 @@ let bad =
 let induction =
   Arg.(value & flag & info [ "induction" ] ~doc:"also attempt a k-induction proof")
 
+let from_scratch =
+  Arg.(value & flag
+       & info [ "from-scratch" ]
+         ~doc:"re-encode and re-solve every bound with a fresh solver")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"print per-bound query statistics")
+
 let cmd =
   Cmd.v
     (Cmd.info "bmc_tool" ~doc:"bounded model checker demo")
-    Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction)
+    Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction
+          $ from_scratch $ stats)
 
 let () = exit (Cmd.eval cmd)

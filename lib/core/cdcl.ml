@@ -60,6 +60,9 @@ type t = {
   mutable max_learnts : int;
   mutable assumptions : int array;
   mutable proof : Cnf.Clause.t list; (* learned clauses, newest first *)
+  (* absolute per-call thresholds, set at [solve] entry *)
+  mutable conflict_budget : int option;
+  mutable decision_budget : int option;
 }
 
 let config s = s.cfg
@@ -592,6 +595,10 @@ let add_clause s lits =
 let create ?(config = Types.default) formula =
   let n = Cnf.Formula.nvars formula in
   let cap = max n 1 in
+  (* the heap's score must read [s.activity] (which [ensure_capacity]
+     replaces wholesale), so it goes through a knot tied after the record
+     is built *)
+  let score = ref (fun (_ : int) -> 0.) in
   let s =
     {
       cfg = config;
@@ -609,7 +616,7 @@ let create ?(config = Types.default) formula =
       activity = Array.make cap 0.;
       var_inc = 1.;
       cla_inc = 1.;
-      heap = Heap.create ~score:(fun _ -> 0.) cap;
+      heap = Heap.create ~score:(fun v -> !score v) cap;
       trail = Vec.create ~dummy:0 ();
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
@@ -622,10 +629,11 @@ let create ?(config = Types.default) formula =
       max_learnts = 100;
       assumptions = [||];
       proof = [];
+      conflict_budget = None;
+      decision_budget = None;
     }
   in
-  (* tie the heap's score to the record so array growth stays visible *)
-  s.heap <- Heap.create ~score:(fun v -> s.activity.(v)) cap;
+  score := (fun v -> s.activity.(v));
   for _ = 1 to n do
     ignore (new_var s)
   done;
@@ -675,13 +683,13 @@ let handle_conflict s confl =
   end
 
 let budget_exceeded s =
-  (match s.cfg.max_conflicts with
-   | Some m when s.stats.conflicts >= m -> true
-   | Some _ | None -> false)
-  ||
-  match s.cfg.max_decisions with
-  | Some m when s.stats.decisions >= m -> true
-  | Some _ | None -> false
+  let hit limit counter =
+    match limit with Some m when counter >= m -> true | Some _ | None -> false
+  in
+  hit s.cfg.max_conflicts s.stats.conflicts
+  || hit s.cfg.max_decisions s.stats.decisions
+  || hit s.conflict_budget s.stats.conflicts
+  || hit s.decision_budget s.stats.decisions
 
 let decide_step s =
   (* assumption literals occupy the lowest decision levels *)
@@ -715,7 +723,13 @@ let decide_step s =
       Continue
   end
 
-let solve ?(assumptions = []) s =
+let solve ?(assumptions = []) ?max_conflicts ?max_decisions s =
+  (* per-call budgets are relative to this call's starting counters, so a
+     budgeted [Unknown] never poisons later queries on the same solver *)
+  s.conflict_budget <-
+    Option.map (fun m -> s.stats.conflicts + m) max_conflicts;
+  s.decision_budget <-
+    Option.map (fun m -> s.stats.decisions + m) max_decisions;
   if not s.ok then Types.Unsat
   else begin
     (* assumptions may mention variables no clause ever did *)
@@ -761,6 +775,12 @@ let solve ?(assumptions = []) s =
     s.assumptions <- [||];
     Option.get !result
   end
+
+(* External retention policy, e.g. between incremental queries.  Locked
+   clauses (currently a reason) are never removed. *)
+let prune_learnts s ~keep =
+  reduce_by_predicate s (fun c ->
+      not (keep ~lbd:c.lbd ~size:(Array.length c.lits) ~lits:c.lits))
 
 let learned_clauses s =
   Vec.to_list s.learnts

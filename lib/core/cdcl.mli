@@ -50,12 +50,32 @@ val add_clause : t -> Cnf.Lit.t list -> unit
     mid-search).  Adding a falsified clause makes the instance
     unsatisfiable. *)
 
-val solve : ?assumptions:Cnf.Lit.t list -> t -> Types.outcome
+val solve :
+  ?assumptions:Cnf.Lit.t list ->
+  ?max_conflicts:int ->
+  ?max_decisions:int ->
+  t ->
+  Types.outcome
 (** Runs the search.  The solver backtracks to level 0 afterwards and can
-    be reused incrementally: learned clauses persist across calls. *)
+    be reused incrementally: learned clauses persist across calls.
+
+    [max_conflicts] / [max_decisions] bound {e this call only} — they are
+    measured from the call's starting counters, unlike the lifetime
+    budgets in {!Types.config}.  A budgeted call returns
+    [Unknown "budget"] and leaves the solver reusable. *)
 
 val stats : t -> Types.stats
-(** Cumulative across [solve] calls. *)
+(** Cumulative across [solve] calls; snapshot with {!Types.copy_stats}
+    and scope per call with {!Types.diff_stats}. *)
+
+val prune_learnts :
+  t ->
+  keep:(lbd:int -> size:int -> lits:Cnf.Lit.t array -> bool) ->
+  unit
+(** Applies a retention policy to the learned-clause database (legal only
+    between [solve] calls): clauses for which [keep] returns [false] are
+    deleted, except clauses currently locked as propagation reasons.
+    [lits] is the solver's internal array — do not mutate it. *)
 
 val value : t -> Cnf.Lit.t -> int
 (** Current assignment of a literal: 1 true, 0 false, -1 unassigned.

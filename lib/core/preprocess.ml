@@ -224,7 +224,7 @@ let probe s =
   done;
   !changed
 
-let run ?(subsumption = true) ?(strengthen = true)
+let run ?(subsumption = true) ?(strengthen = true) ?(pures = true)
     ?(probe_failed_literals = false) f =
   let st =
     { units = 0; pures = 0; subsumed = 0; strengthened = 0;
@@ -245,7 +245,7 @@ let run ?(subsumption = true) ?(strengthen = true)
     while !continue do
       st.rounds <- st.rounds + 1;
       let c1 = simplify_clauses s in
-      let c2 = pure_literals s in
+      let c2 = if pures then pure_literals s else false in
       let c3 = if subsumption_on then subsume_pass s else false in
       let c4 = if strengthen then strengthen_pass s else false in
       let c5 = if probe_failed_literals then probe s else false in

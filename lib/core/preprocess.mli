@@ -29,10 +29,16 @@ type result = Unsat | Simplified of simplified
 val run :
   ?subsumption:bool ->
   ?strengthen:bool ->
+  ?pures:bool ->
   ?probe_failed_literals:bool ->
   Cnf.Formula.t ->
   result
-(** Defaults: subsumption and strengthening on, probing off. *)
+(** Defaults: subsumption, strengthening and pure literals on, probing
+    off.  Disable [pures] when the formula will be extended later
+    (incremental sessions): unlike units and failed literals, a pure
+    literal's fixed value is merely satisfiability-preserving, not
+    implied, so it must not be baked into a formula that can still
+    grow. *)
 
 val complete_model : simplified -> bool array -> bool array
 (** Patches a model of the simplified formula into a model of the

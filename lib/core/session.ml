@@ -1,0 +1,123 @@
+(* Incremental solving sessions over a single long-lived CDCL solver.
+   See session.mli for the contract. *)
+
+module Lit = Cnf.Lit
+
+type retention =
+  | Keep_all
+  | Drop_released
+  | Keep_lbd of int
+
+type activation_state = Active | Released
+
+type t = {
+  cdcl : Cdcl.t;
+  activations : (int, activation_state) Hashtbl.t; (* activation var -> state *)
+  mutable retention : retention;
+  mutable queries : int;
+  mutable last : Types.stats;
+  mutable cached_model : bool array option;
+  mutable released_dirty : bool;
+      (* a release happened since the last retention pass *)
+}
+
+let create ?(config = Types.default) ?(retention = Drop_released) () =
+  {
+    cdcl = Cdcl.create ~config (Cnf.Formula.create ());
+    activations = Hashtbl.create 16;
+    retention;
+    queries = 0;
+    last = Types.mk_stats ();
+    cached_model = None;
+    released_dirty = false;
+  }
+
+let of_formula ?(config = Types.default) ?(retention = Drop_released) f =
+  {
+    cdcl = Cdcl.create ~config f;
+    activations = Hashtbl.create 16;
+    retention;
+    queries = 0;
+    last = Types.mk_stats ();
+    cached_model = None;
+    released_dirty = false;
+  }
+
+let set_retention t r = t.retention <- r
+let nvars t = Cdcl.nvars t.cdcl
+let new_var t = Cdcl.new_var t.cdcl
+let raw t = t.cdcl
+let queries t = t.queries
+let last_stats t = t.last
+let cumulative_stats t = Types.copy_stats (Cdcl.stats t.cdcl)
+let model t = t.cached_model
+
+let add_clause t lits =
+  t.cached_model <- None;
+  Cdcl.add_clause t.cdcl lits
+
+let add_formula t f =
+  Cnf.Formula.iter_clauses f (fun c -> add_clause t (Cnf.Clause.to_list c))
+
+(* --- activation groups --------------------------------------------------- *)
+
+let new_activation t =
+  let v = Cdcl.new_var t.cdcl in
+  Hashtbl.replace t.activations v Active;
+  Lit.pos v
+
+let check_active t a name =
+  match Hashtbl.find_opt t.activations (Lit.var a) with
+  | Some Active when Lit.is_pos a -> ()
+  | Some Active | Some Released | None ->
+    invalid_arg (name ^ ": not a live activation literal of this session")
+
+let add_clause_in t ~group lits =
+  check_active t group "Session.add_clause_in";
+  add_clause t (Lit.negate group :: lits)
+
+let is_active t a =
+  Lit.is_pos a && Hashtbl.find_opt t.activations (Lit.var a) = Some Active
+
+let release t a =
+  match Hashtbl.find_opt t.activations (Lit.var a) with
+  | Some Released -> ()
+  | Some Active ->
+    Hashtbl.replace t.activations (Lit.var a) Released;
+    t.released_dirty <- true;
+    add_clause t [ Lit.negate a ]
+  | None -> invalid_arg "Session.release: not an activation literal"
+
+(* --- between-query retention --------------------------------------------- *)
+
+let mentions_released t lits =
+  Array.exists
+    (fun l -> Hashtbl.find_opt t.activations (Lit.var l) = Some Released)
+    lits
+
+let apply_retention t =
+  match t.retention with
+  | Keep_all -> ()
+  | Drop_released ->
+    (* cheap fast path: nothing released since the last pass *)
+    if t.released_dirty then begin
+      Cdcl.prune_learnts t.cdcl ~keep:(fun ~lbd:_ ~size:_ ~lits ->
+          not (mentions_released t lits));
+      t.released_dirty <- false
+    end
+  | Keep_lbd bound ->
+    Cdcl.prune_learnts t.cdcl ~keep:(fun ~lbd ~size:_ ~lits ->
+        lbd <= bound && not (mentions_released t lits));
+    t.released_dirty <- false
+
+(* --- queries -------------------------------------------------------------- *)
+
+let solve ?(assumptions = []) ?max_conflicts ?max_decisions t =
+  if t.queries > 0 then apply_retention t;
+  let before = Types.copy_stats (Cdcl.stats t.cdcl) in
+  let outcome = Cdcl.solve ~assumptions ?max_conflicts ?max_decisions t.cdcl in
+  t.queries <- t.queries + 1;
+  t.last <- Types.diff_stats (Cdcl.stats t.cdcl) before;
+  t.cached_model <-
+    (match outcome with Types.Sat m -> Some m | _ -> None);
+  outcome

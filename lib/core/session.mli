@@ -1,0 +1,106 @@
+(** Incremental solving sessions (Sec. 6: iterative/incremental SAT).
+
+    EDA workloads — BMC unrollings, per-fault ATPG, per-pair equivalence
+    queries — solve long sequences of closely related instances.  A
+    session keeps one {!Cdcl.t} alive across the whole sequence so that
+    learned clauses, variable activities and saved phases transfer from
+    query to query, instead of being rebuilt from scratch each time.
+
+    A session supports, between [solve] calls:
+    - growing the formula with {!add_clause} / {!add_formula} (new
+      clauses are propagated at level 0 immediately and invalidate the
+      cached model);
+    - clause groups guarded by {e activation literals}
+      ({!new_activation} / {!add_clause_in}): a group's clauses only bind
+      in queries that assume its activation literal, and {!release}
+      permanently disables the group via a unit clause;
+    - per-call conflict/decision budgets and per-call statistics deltas
+      ({!last_stats}), alongside the cumulative totals;
+    - a learned-clause retention policy applied between queries (keep
+      low-LBD "glue" clauses, drop clauses polluted by released
+      activation literals). *)
+
+type t
+
+(** What to do with the learned-clause database between queries.  Under
+    every policy except [Keep_all], clauses mentioning a {e released}
+    activation variable are dropped — they are permanently satisfied by
+    the release unit and only burden the watch lists. *)
+type retention =
+  | Keep_all  (** never prune between queries *)
+  | Drop_released  (** only drop released-group pollution (default) *)
+  | Keep_lbd of int
+      (** additionally keep only clauses with LBD within the bound *)
+
+val create : ?config:Types.config -> ?retention:retention -> unit -> t
+(** An empty session (no variables, no clauses). *)
+
+val of_formula :
+  ?config:Types.config -> ?retention:retention -> Cnf.Formula.t -> t
+(** A session seeded with a snapshot of the formula's clauses. *)
+
+val set_retention : t -> retention -> unit
+
+val nvars : t -> int
+val new_var : t -> int
+
+val add_clause : t -> Cnf.Lit.t list -> unit
+(** Adds a permanent clause; legal between [solve] calls.  Units are
+    propagated at level 0 immediately; the cached model is invalidated. *)
+
+val add_formula : t -> Cnf.Formula.t -> unit
+(** Adds every clause of the formula, interpreted in the session's
+    variable numbering (the variable space grows as needed). *)
+
+(* --- activation groups -------------------------------------------------- *)
+
+val new_activation : t -> Cnf.Lit.t
+(** Allocates a fresh activation literal [a].  Clauses registered with
+    [add_clause_in ~group:a] only bind in queries whose assumptions
+    include [a]. *)
+
+val add_clause_in : t -> group:Cnf.Lit.t -> Cnf.Lit.t list -> unit
+(** [add_clause_in t ~group:a c] adds the guarded clause [¬a ∨ c].
+    Raises [Invalid_argument] if [a] did not come from
+    {!new_activation} of this session or was already released. *)
+
+val release : t -> Cnf.Lit.t -> unit
+(** Permanently disables a group by adding the unit clause [¬a].  The
+    group's clauses become satisfied, and learned clauses mentioning the
+    activation variable are dropped by the next between-query retention
+    pass.  Releasing twice is a no-op. *)
+
+val is_active : t -> Cnf.Lit.t -> bool
+(** Whether the literal is a live (unreleased) activation literal. *)
+
+(* --- queries ------------------------------------------------------------- *)
+
+val solve :
+  ?assumptions:Cnf.Lit.t list ->
+  ?max_conflicts:int ->
+  ?max_decisions:int ->
+  t ->
+  Types.outcome
+(** One query.  [assumptions] typically include activation literals of
+    the clause groups the query should see.  The budgets bound this call
+    only; a budgeted [Unknown "budget"] leaves the session fully
+    reusable.  Before searching, the between-query retention policy is
+    applied to the learned-clause database (from the second query on). *)
+
+val model : t -> bool array option
+(** The model cached by the last satisfiable [solve], or [None] if the
+    last query was not SAT or the formula changed since ([add_clause],
+    [add_formula], [add_clause_in], [release] all invalidate it). *)
+
+val queries : t -> int
+(** Number of [solve] calls so far. *)
+
+val last_stats : t -> Types.stats
+(** Statistics delta of the most recent query only. *)
+
+val cumulative_stats : t -> Types.stats
+(** Totals across the session's lifetime (snapshot). *)
+
+val raw : t -> Cdcl.t
+(** The underlying solver, for plugins and diagnostics.  Mutating it
+    behind the session's back voids the cached-model guarantees. *)

@@ -74,6 +74,36 @@ let mk_stats () =
     skipped_levels = 0;
   }
 
+let copy_stats s = { s with decisions = s.decisions }
+
+(* Per-call deltas: counters subtract; [max_level] is a high-water mark,
+   not a counter, so the later snapshot's value is kept. *)
+let diff_stats now before =
+  {
+    decisions = now.decisions - before.decisions;
+    propagations = now.propagations - before.propagations;
+    conflicts = now.conflicts - before.conflicts;
+    restarts_done = now.restarts_done - before.restarts_done;
+    learned = now.learned - before.learned;
+    learned_literals = now.learned_literals - before.learned_literals;
+    deleted = now.deleted - before.deleted;
+    max_level = now.max_level;
+    nonchrono_backjumps = now.nonchrono_backjumps - before.nonchrono_backjumps;
+    skipped_levels = now.skipped_levels - before.skipped_levels;
+  }
+
+let add_stats_into acc d =
+  acc.decisions <- acc.decisions + d.decisions;
+  acc.propagations <- acc.propagations + d.propagations;
+  acc.conflicts <- acc.conflicts + d.conflicts;
+  acc.restarts_done <- acc.restarts_done + d.restarts_done;
+  acc.learned <- acc.learned + d.learned;
+  acc.learned_literals <- acc.learned_literals + d.learned_literals;
+  acc.deleted <- acc.deleted + d.deleted;
+  acc.max_level <- max acc.max_level d.max_level;
+  acc.nonchrono_backjumps <- acc.nonchrono_backjumps + d.nonchrono_backjumps;
+  acc.skipped_levels <- acc.skipped_levels + d.skipped_levels
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "decisions=%d propagations=%d conflicts=%d restarts=%d learned=%d \

@@ -78,6 +78,20 @@ type stats = {
 val mk_stats : unit -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+val copy_stats : stats -> stats
+(** Independent snapshot of a (mutable) statistics record. *)
+
+val diff_stats : stats -> stats -> stats
+(** [diff_stats now before] is the per-call delta between two snapshots
+    of the same cumulative counter set: counters are subtracted
+    field-wise; [max_level] — a high-water mark rather than a counter —
+    is taken from [now]. *)
+
+val add_stats_into : stats -> stats -> unit
+(** [add_stats_into acc d] accumulates [d] into [acc] (counters add,
+    [max_level] takes the max) — for totalling per-call deltas across
+    solvers or queries. *)
+
 type outcome =
   | Sat of bool array
       (** satisfying assignment, indexed by variable; unconstrained

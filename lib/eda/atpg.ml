@@ -232,13 +232,18 @@ let run ?(config = Sat.Types.default) ?(use_structural = false)
     time_seconds = Unix.gettimeofday () -. t0;
   }
 
-(* Incremental formulation: one solver; the fault-free circuit is encoded
-   once, each fault's faulty cone is guarded by an activation literal. *)
-let run_incremental ?(config = Sat.Types.default) c =
+(* Incremental formulation: one session; the fault-free circuit is
+   encoded once, each fault's faulty cone is an activation group that is
+   released once the fault is resolved.  The session's between-query
+   retention pass then drops learned clauses polluted by released
+   activation literals.  [on_query] observes each fault's per-query
+   statistics delta. *)
+let run_incremental ?(config = Sat.Types.default)
+    ?(on_query = fun _ _ -> ()) c =
   let t0 = Unix.gettimeofday () in
   let enc = Circuit.Encode.encode c in
-  let solver = Sat.Cdcl.create ~config enc.Circuit.Encode.formula in
-  let fresh () = Lit.pos (Sat.Cdcl.new_var solver) in
+  let sess = Sat.Session.of_formula ~config enc.Circuit.Encode.formula in
+  let fresh () = Lit.pos (Sat.Session.new_var sess) in
   let faults = fault_list c in
   let detected = ref 0
   and redundant = ref 0
@@ -247,9 +252,9 @@ let run_incremental ?(config = Sat.Types.default) c =
   let inputs = N.inputs c in
   List.iter
     (fun f ->
-       let base_var = Sat.Cdcl.nvars solver in
-       let act = fresh () in
-       let guard clause = Sat.Cdcl.add_clause solver (Lit.negate act :: clause) in
+       let base_var = Sat.Session.nvars sess in
+       let act = Sat.Session.new_activation sess in
+       let guard clause = Sat.Session.add_clause_in sess ~group:act clause in
        let cone = cone_flags c f.node in
        let faulty = Array.make (max 1 (N.num_nodes c)) (Lit.pos 0) in
        for id = 0 to N.num_nodes c - 1 do
@@ -309,27 +314,28 @@ let run_incremental ?(config = Sat.Types.default) c =
          (* fault activation *)
          let site = enc.Circuit.Encode.lit_of_node f.node in
          guard [ (if f.stuck_at then Lit.negate site else site) ];
-         match Sat.Cdcl.solve ~assumptions:[ act ] solver with
-         | Sat.Types.Sat m ->
-           incr detected;
-           let vec =
-             List.map
-               (fun id -> m.(Lit.var (enc.Circuit.Encode.lit_of_node id)))
-               inputs
-             |> Array.of_list
-           in
-           vectors := vec :: !vectors
-         | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> incr redundant
-         | Sat.Types.Unknown _ -> incr aborted
+         (match Sat.Session.solve ~assumptions:[ act ] sess with
+          | Sat.Types.Sat m ->
+            incr detected;
+            let vec =
+              List.map
+                (fun id -> m.(Lit.var (enc.Circuit.Encode.lit_of_node id)))
+                inputs
+              |> Array.of_list
+            in
+            vectors := vec :: !vectors
+          | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> incr redundant
+          | Sat.Types.Unknown _ -> incr aborted);
+         on_query f (Sat.Session.last_stats sess)
        end;
-       (* retire this fault's clauses and pin its now-unconstrained
+       (* retire this fault's group and pin its now-unconstrained
           variables so later solves never branch on them *)
-       Sat.Cdcl.add_clause solver [ Lit.negate act ];
-       for v = base_var + 1 to Sat.Cdcl.nvars solver - 1 do
-         Sat.Cdcl.add_clause solver [ Lit.neg_of_var v ]
+       Sat.Session.release sess act;
+       for v = base_var + 1 to Sat.Session.nvars sess - 1 do
+         Sat.Session.add_clause sess [ Lit.neg_of_var v ]
        done)
     faults;
-  let st = Sat.Cdcl.stats solver in
+  let st = Sat.Session.cumulative_stats sess in
   {
     total = List.length faults;
     detected = !detected;

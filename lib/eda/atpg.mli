@@ -65,13 +65,19 @@ val run :
     stage. *)
 
 val run_incremental :
-  ?config:Sat.Types.config -> Circuit.Netlist.t -> summary
+  ?config:Sat.Types.config ->
+  ?on_query:(fault -> Sat.Types.stats -> unit) ->
+  Circuit.Netlist.t ->
+  summary
 (** Iterated-SAT formulation (Sec. 6, [18] [25]): a single incremental
-    solver holds the fault-free circuit clauses once; each fault adds
-    its faulty-cone clauses guarded by an activation literal and is
-    solved under assumptions, so learned clauses about the fault-free
-    logic are reused across the whole fault list.  No fault simulation,
-    so the SAT-call count is comparable with
+    {!Sat.Session} holds the fault-free circuit clauses once; each fault
+    adds its faulty-cone clauses as an activation group and is solved
+    under the group's assumption, so learned clauses about the
+    fault-free logic are reused across the whole fault list.  Resolved
+    faults are {!Sat.Session.release}d, and the session's retention pass
+    drops learned clauses polluted by released groups.  [on_query] is
+    called after each SAT query with that query's statistics delta.  No
+    fault simulation, so the SAT-call count is comparable with
     [run ~fault_simulation:false]. *)
 
 val fault_simulate :

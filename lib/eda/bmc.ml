@@ -1,6 +1,7 @@
 module N = Circuit.Netlist
 module S = Circuit.Sequential
 module Lit = Cnf.Lit
+module Session = Sat.Session
 
 type result =
   | Counterexample of bool array list
@@ -10,13 +11,16 @@ type report = {
   result : result;
   bound_reached : int;
   per_bound_conflicts : (int * int) list;
+  per_bound_stats : (int * Sat.Types.stats) list;
+  total_stats : Sat.Types.stats;
+  frames_encoded : int;
   time_seconds : float;
 }
 
 (* Each frame is encoded into a scratch formula whose variables are then
-   remapped into the live solver; state inputs are bound to the previous
+   remapped into the live session; state inputs are bound to the previous
    frame's next-state literals. *)
-let encode_frame solver seq state_lits =
+let encode_frame sess seq state_lits =
   let comb = seq.S.comb in
   let scratch = Cnf.Formula.create () in
   let pre_table = Hashtbl.create 16 in
@@ -30,7 +34,7 @@ let encode_frame solver seq state_lits =
       match Hashtbl.find_opt remap v with
       | Some nv -> nv
       | None ->
-        let nv = Sat.Cdcl.new_var solver in
+        let nv = Session.new_var sess in
         Hashtbl.replace remap v nv;
         nv
     in
@@ -38,17 +42,17 @@ let encode_frame solver seq state_lits =
   in
   let pre id =
     match Hashtbl.find_opt pre_table id with
-    | Some solver_lit ->
-      (* a scratch var bound to the (positive) solver literal *)
+    | Some session_lit ->
+      (* a scratch var bound to the (positive) session literal *)
       let sv = Cnf.Formula.fresh_var scratch in
-      Hashtbl.replace remap sv (Lit.var solver_lit);
-      assert (Lit.is_pos solver_lit);
+      Hashtbl.replace remap sv (Lit.var session_lit);
+      assert (Lit.is_pos session_lit);
       Some (Lit.pos sv)
     | None -> None
   in
   let lit_of = Circuit.Encode.encode_into scratch ~pre comb in
   Cnf.Formula.iter_clauses scratch (fun cl ->
-      Sat.Cdcl.add_clause solver
+      Session.add_clause sess
         (List.map lit_of_scratch (Cnf.Clause.to_list cl)));
   fun id -> lit_of_scratch (lit_of id)
 
@@ -59,60 +63,92 @@ let bad_node_of seq bad_output =
   | Some (_, id) -> id
   | None -> invalid_arg ("Bmc.check: no output named " ^ bad_output)
 
-let check ?(config = Sat.Types.default) ?(bad_output = "bad") ~max_bound seq =
+(* Fresh session whose frame-0 state literals are constants from init. *)
+let initial_state sess seq =
+  List.map
+    (fun b ->
+       let v = Session.new_var sess in
+       Session.add_clause sess [ (if b then Lit.pos v else Lit.neg_of_var v) ];
+       Lit.pos v)
+    seq.S.init
+
+let extract_inputs seq frames m =
+  List.rev_map
+    (fun fr ->
+       List.map
+         (fun pi ->
+            let l = fr pi in
+            let v = m.(Lit.var l) in
+            if Lit.is_pos l then v else not v)
+         seq.S.primary_inputs
+       |> Array.of_list)
+    frames
+
+let check ?(config = Sat.Types.default) ?(bad_output = "bad")
+    ?(incremental = true) ~max_bound seq =
   S.validate seq;
   let t0 = Unix.gettimeofday () in
   let bad_node = bad_node_of seq bad_output in
-  let f = Cnf.Formula.create () in
-  let solver = Sat.Cdcl.create ~config f in
-  (* frame 0 state: constants from init *)
-  let init_lits =
-    List.map
-      (fun b ->
-         let v = Sat.Cdcl.new_var solver in
-         Sat.Cdcl.add_clause solver
-           [ (if b then Lit.pos v else Lit.neg_of_var v) ];
-         Lit.pos v)
-      seq.S.init
-  in
-  let frames : (N.node_id -> Lit.t) list ref = ref [] in
-  let encode_frame state_lits = encode_frame solver seq state_lits in
   let per_bound = ref [] in
+  let total = Sat.Types.mk_stats () in
+  let frames_encoded = ref 0 in
   let result = ref None in
-  let state = ref init_lits in
   let k = ref 0 in
-  while !result = None && !k < max_bound do
-    let frame = encode_frame !state in
-    frames := frame :: !frames;
-    let bad_lit = frame bad_node in
-    let conflicts_before = (Sat.Cdcl.stats solver).Sat.Types.conflicts in
-    (match Sat.Cdcl.solve ~assumptions:[ bad_lit ] solver with
-     | Sat.Types.Sat m ->
-       let inputs_per_frame =
-         List.rev_map
-           (fun fr ->
-              List.map
-                (fun pi ->
-                   let l = fr pi in
-                   let v = m.(Lit.var l) in
-                   if Lit.is_pos l then v else not v)
-                seq.S.primary_inputs
-              |> Array.of_list)
-           !frames
-       in
-       result := Some (Counterexample inputs_per_frame)
-     | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
-     | Sat.Types.Unknown _ -> result := Some No_counterexample);
-    per_bound :=
-      (!k, (Sat.Cdcl.stats solver).Sat.Types.conflicts - conflicts_before)
-      :: !per_bound;
-    state := List.map frame seq.S.next_state;
-    incr k
-  done;
+  if incremental then begin
+    (* one session across all bounds: frames stay encoded, learned
+       clauses and heuristic state carry over from bound to bound *)
+    let sess = Session.create ~config () in
+    let frames : (N.node_id -> Lit.t) list ref = ref [] in
+    let state = ref (initial_state sess seq) in
+    while !result = None && !k < max_bound do
+      let frame = encode_frame sess seq !state in
+      incr frames_encoded;
+      frames := frame :: !frames;
+      let bad_lit = frame bad_node in
+      (match Session.solve ~assumptions:[ bad_lit ] sess with
+       | Sat.Types.Sat m ->
+         result := Some (Counterexample (extract_inputs seq !frames m))
+       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
+       | Sat.Types.Unknown _ -> result := Some No_counterexample);
+      let d = Session.last_stats sess in
+      Sat.Types.add_stats_into total d;
+      per_bound := (!k, d) :: !per_bound;
+      state := List.map frame seq.S.next_state;
+      incr k
+    done
+  end
+  else
+    (* from-scratch reference mode (for comparison): every bound builds a
+       fresh session and re-encodes frames 0..k *)
+    while !result = None && !k < max_bound do
+      let sess = Session.create ~config () in
+      let frames : (N.node_id -> Lit.t) list ref = ref [] in
+      let state = ref (initial_state sess seq) in
+      for _ = 0 to !k do
+        let frame = encode_frame sess seq !state in
+        incr frames_encoded;
+        frames := frame :: !frames;
+        state := List.map frame seq.S.next_state
+      done;
+      let bad_lit = (List.hd !frames) bad_node in
+      (match Session.solve ~assumptions:[ bad_lit ] sess with
+       | Sat.Types.Sat m ->
+         result := Some (Counterexample (extract_inputs seq !frames m))
+       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
+       | Sat.Types.Unknown _ -> result := Some No_counterexample);
+      let d = Session.last_stats sess in
+      Sat.Types.add_stats_into total d;
+      per_bound := (!k, d) :: !per_bound;
+      incr k
+    done;
   {
     result = Option.value ~default:No_counterexample !result;
     bound_reached = !k;
-    per_bound_conflicts = List.rev !per_bound;
+    per_bound_conflicts =
+      List.rev_map (fun (k, d) -> (k, d.Sat.Types.conflicts)) !per_bound;
+    per_bound_stats = List.rev !per_bound;
+    total_stats = total;
+    frames_encoded = !frames_encoded;
     time_seconds = Unix.gettimeofday () -. t0;
   }
 
@@ -124,39 +160,51 @@ type induction_result =
 (* Simple k-induction (no uniqueness constraints): sound for proving,
    incomplete.  Base: no counterexample within k steps of the initial
    state.  Step: from any state, k consecutive good cycles force a good
-   (k+1)-th. *)
+   (k+1)-th.
+
+   Both obligations run over their own incremental session: the base
+   session grows one frame per k (each bound queries only the newest
+   frame — earlier bounds were refuted by earlier iterations), and the
+   step session turns the previous iteration's queried [bad] into a
+   permanent [~bad] before appending the next frame. *)
 let prove_inductive ?(config = Sat.Types.default) ?(bad_output = "bad")
     ?(max_k = 8) seq =
   S.validate seq;
   let bad_node = bad_node_of seq bad_output in
-  let step_holds k =
-    let f = Cnf.Formula.create () in
-    let solver = Sat.Cdcl.create ~config f in
-    (* arbitrary starting state: free variables *)
-    let state =
-      ref (List.map (fun _ -> Lit.pos (Sat.Cdcl.new_var solver)) seq.S.init)
-    in
-    let last_bad = ref None in
-    for i = 0 to k do
-      let frame = encode_frame solver seq !state in
-      let bad = frame bad_node in
-      if i < k then Sat.Cdcl.add_clause solver [ Lit.negate bad ]
-      else last_bad := Some bad;
-      state := List.map frame seq.S.next_state
-    done;
-    match !last_bad with
-    | None -> false
-    | Some bad -> (
-        match Sat.Cdcl.solve ~assumptions:[ bad ] solver with
-        | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> true
-        | Sat.Types.Sat _ | Sat.Types.Unknown _ -> false)
+  (* base session: frames from the initial state *)
+  let base = Session.create ~config () in
+  let base_frames : (N.node_id -> Lit.t) list ref = ref [] in
+  let base_state = ref (initial_state base seq) in
+  (* step session: frames from a free (arbitrary) state *)
+  let step = Session.create ~config () in
+  let step_state =
+    ref (List.map (fun _ -> Lit.pos (Session.new_var step)) seq.S.init)
   in
+  let step_frame0 = encode_frame step seq !step_state in
+  step_state := List.map step_frame0 seq.S.next_state;
+  let step_prev_bad = ref (step_frame0 bad_node) in
   let rec attempt k =
     if k > max_k then Bound_reached
-    else
-      match (check ~config ~bad_output ~max_bound:k seq).result with
-      | Counterexample frames -> Refuted frames
-      | No_counterexample ->
-        if step_holds k then Proved k else attempt (k + 1)
+    else begin
+      (* base obligation at depth k: extend by frame k-1, query its bad *)
+      let frame = encode_frame base seq !base_state in
+      base_frames := frame :: !base_frames;
+      base_state := List.map frame seq.S.next_state;
+      match Session.solve ~assumptions:[ frame bad_node ] base with
+      | Sat.Types.Sat m -> Refuted (extract_inputs seq !base_frames m)
+      | Sat.Types.Unknown _ -> Bound_reached
+      | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
+        (* step obligation: frames 0..k good, is frame k's bad forced
+           off?  The previous iteration's queried bad becomes a
+           permanent constraint. *)
+        Session.add_clause step [ Lit.negate !step_prev_bad ];
+        let frame = encode_frame step seq !step_state in
+        step_state := List.map frame seq.S.next_state;
+        let bad = frame bad_node in
+        step_prev_bad := bad;
+        (match Session.solve ~assumptions:[ bad ] step with
+         | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> Proved k
+         | Sat.Types.Sat _ | Sat.Types.Unknown _ -> attempt (k + 1))
+    end
   in
   attempt 1

@@ -2,9 +2,10 @@
     al. [5]).
 
     The transition relation is unrolled frame by frame into one
-    incremental SAT solver; the safety property ("output [bad] never
-    rises") is queried per bound under an assumption, so frames are
-    shared across bounds and learned clauses persist. *)
+    incremental SAT {!Sat.Session}; the safety property ("output [bad]
+    never rises") is queried per bound under an assumption, so frames
+    are shared across bounds and learned clauses, variable activities
+    and saved phases persist from bound to bound. *)
 
 type result =
   | Counterexample of bool array list
@@ -17,17 +18,30 @@ type report = {
   result : result;
   bound_reached : int;
   per_bound_conflicts : (int * int) list;  (** (k, conflicts spent at k) *)
+  per_bound_stats : (int * Sat.Types.stats) list;
+      (** per-query statistics deltas, one row per bound *)
+  total_stats : Sat.Types.stats;  (** summed across all bounds *)
+  frames_encoded : int;
+      (** transition-relation copies built: [bound_reached] when
+          incremental, quadratic when re-encoding from scratch *)
   time_seconds : float;
 }
 
 val check :
   ?config:Sat.Types.config ->
   ?bad_output:string ->
+  ?incremental:bool ->
   max_bound:int ->
   Circuit.Sequential.t ->
   report
 (** [bad_output] (default ["bad"]) names the property output in the
-    sequential circuit's combinational part. *)
+    sequential circuit's combinational part.
+
+    [incremental] (default [true]) extends one session across bounds —
+    reaching bound k encodes each frame exactly once.  With
+    [incremental:false] every bound rebuilds a fresh solver and
+    re-encodes frames [0..k] — the from-scratch reference mode the
+    Section 6 comparison benchmarks against. *)
 
 type induction_result =
   | Proved of int
@@ -48,4 +62,6 @@ val prove_inductive :
     constraints).  Where bounded checking can only say "no
     counterexample up to k", an inductive property is certified for
     {e all} depths — the natural unbounded extension of the BMC usage
-    the paper surveys. *)
+    the paper surveys.  Both the base and the step obligation keep their
+    own incremental session across increasing k, so each transition
+    frame is encoded exactly once per obligation. *)

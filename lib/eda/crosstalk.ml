@@ -24,7 +24,8 @@ let analyze ?(config = Sat.Types.default) c q =
   Cnf.Formula.add_clause_l f [ lit2 q.victim ];
   Cnf.Formula.add_clause_l f [ lit1 q.aggressor ];
   Cnf.Formula.add_clause_l f [ Lit.negate (lit2 q.aggressor) ];
-  let solver = Sat.Cdcl.create ~config f in
+  (* the scan over overlap instants reuses one session *)
+  let sess = Sat.Session.of_formula ~config f in
   let lo, hi = q.window in
   let lo = max lo 0 in
   let hi = min hi enc2.Delay.horizon in
@@ -42,11 +43,11 @@ let analyze ?(config = Sat.Types.default) c q =
     if t > hi then Safe
     else
       match
-        Sat.Cdcl.solve
+        Sat.Session.solve
           ~assumptions:
             [ Lit.negate (enc2.Delay.stable_by q.victim t);
               Lit.negate (enc2.Delay.stable_by q.aggressor t) ]
-          solver
+          sess
       with
       | Sat.Types.Sat m -> Noise (extract m lit1, extract m lit2, t)
       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> scan (t + 1)

@@ -96,7 +96,8 @@ let topological_delay c x = N.level c x
 
 let true_delay ?(config = Sat.Types.default) ?(gate_delay = fun _ -> 1) c o =
   let enc = encode_stability ~gate_delay c in
-  let solver = Sat.Cdcl.create ~config enc.formula in
+  (* the descending sweep over T reuses one session per output *)
+  let sess = Sat.Session.of_formula ~config enc.formula in
   let lvl = weighted_level ~gate_delay c o in
   let calls = ref 0 in
   (* largest T with some vector leaving o unstable at T-1 *)
@@ -105,8 +106,9 @@ let true_delay ?(config = Sat.Types.default) ?(gate_delay = fun _ -> 1) c o =
     else begin
       incr calls;
       match
-        Sat.Cdcl.solve ~assumptions:[ Lit.negate (enc.stable_by o (t - 1)) ]
-          solver
+        Sat.Session.solve
+          ~assumptions:[ Lit.negate (enc.stable_by o (t - 1)) ]
+          sess
       with
       | Sat.Types.Sat _ -> t
       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> search (t - 1)

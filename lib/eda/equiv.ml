@@ -137,9 +137,9 @@ let check_aig ?(config = Sat.Types.default) c1 c2 =
       in
       let f, lit_of = Aig.to_cnf m in
       Cnf.Formula.add_clause_l f [ lit_of diff ];
-      let solver = Sat.Cdcl.create ~config f in
-      let outcome = Sat.Cdcl.solve solver in
-      let stats = Sat.Cdcl.stats solver in
+      let sess = Sat.Session.of_formula ~config f in
+      let outcome = Sat.Session.solve sess in
+      let stats = Sat.Session.cumulative_stats sess in
       match outcome with
       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
         finish ~stats Equivalent (Aig.node_count m)

@@ -26,7 +26,8 @@ let generate ?(config = Sat.Types.default) ?(random_warmup = 2) c objectives =
   let t0 = Unix.gettimeofday () in
   let n_inputs = List.length (N.inputs c) in
   let enc = Circuit.Encode.encode c in
-  let solver = Sat.Cdcl.create ~config enc.Circuit.Encode.formula in
+  (* one session serves every coverage objective *)
+  let sess = Sat.Session.of_formula ~config enc.Circuit.Encode.formula in
   let pending = Hashtbl.create 64 in
   List.iter (fun o -> Hashtbl.replace pending o ()) objectives;
   let vectors = ref [] in
@@ -64,7 +65,7 @@ let generate ?(config = Sat.Types.default) ?(random_warmup = 2) c objectives =
          incr sat_calls;
          let l = enc.Circuit.Encode.lit_of_node node in
          let assumption = if v then l else Lit.negate l in
-         match Sat.Cdcl.solve ~assumptions:[ assumption ] solver with
+         match Sat.Session.solve ~assumptions:[ assumption ] sess with
          | Sat.Types.Sat m ->
            let vec =
              List.map

@@ -114,8 +114,8 @@ let robust_test ?(config = Sat.Types.default) c ~path ~rising =
   let lit1 = Circuit.Encode.encode_into f c in
   let lit2 = Circuit.Encode.encode_into f c in
   path_constraints c ~lit1 ~lit2 ~path ~rising (Cnf.Formula.add_clause_l f);
-  let solver = Sat.Cdcl.create ~config f in
-  match Sat.Cdcl.solve solver with
+  let sess = Sat.Session.of_formula ~config f in
+  match Sat.Session.solve sess with
   | Sat.Types.Sat m -> Test (extract c lit1 m, extract c lit2 m)
   | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> Untestable
   | Sat.Types.Unknown why -> Aborted why
@@ -135,21 +135,23 @@ let test_paths ?(config = Sat.Types.default) ?(incremental = true) c paths =
   let testable = ref 0 and untestable = ref 0 and aborted = ref 0 in
   let decisions = ref 0 and conflicts = ref 0 in
   if incremental then begin
+    (* one session for the whole path list: the two circuit copies are
+       encoded once; each (path, direction) query is an activation group
+       that is released as soon as the query is answered *)
     let f = Cnf.Formula.create () in
     let lit1 = Circuit.Encode.encode_into f c in
     let lit2 = Circuit.Encode.encode_into f c in
-    let solver = Sat.Cdcl.create ~config f in
+    let sess = Sat.Session.of_formula ~config f in
     List.iter
       (fun path ->
-         (* both transition directions under one activation literal each *)
          let tested =
            List.exists
              (fun rising ->
-                let act = Lit.pos (Sat.Cdcl.new_var solver) in
+                let act = Sat.Session.new_activation sess in
                 path_constraints c ~lit1 ~lit2 ~path ~rising (fun cl ->
-                    Sat.Cdcl.add_clause solver (Lit.negate act :: cl));
-                let r = Sat.Cdcl.solve ~assumptions:[ act ] solver in
-                Sat.Cdcl.add_clause solver [ Lit.negate act ];
+                    Sat.Session.add_clause_in sess ~group:act cl);
+                let r = Sat.Session.solve ~assumptions:[ act ] sess in
+                Sat.Session.release sess act;
                 match r with
                 | Sat.Types.Sat _ -> true
                 | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> false
@@ -160,7 +162,7 @@ let test_paths ?(config = Sat.Types.default) ?(incremental = true) c paths =
          in
          if tested then incr testable else incr untestable)
       paths;
-    let st = Sat.Cdcl.stats solver in
+    let st = Sat.Session.cumulative_stats sess in
     decisions := st.Sat.Types.decisions;
     conflicts := st.Sat.Types.conflicts
   end
@@ -173,9 +175,9 @@ let test_paths ?(config = Sat.Types.default) ?(incremental = true) c paths =
            let lit2 = Circuit.Encode.encode_into f c in
            path_constraints c ~lit1 ~lit2 ~path ~rising
              (Cnf.Formula.add_clause_l f);
-           let solver = Sat.Cdcl.create ~config f in
-           let r = Sat.Cdcl.solve solver in
-           let st = Sat.Cdcl.stats solver in
+           let sess = Sat.Session.of_formula ~config f in
+           let r = Sat.Session.solve sess in
+           let st = Sat.Session.cumulative_stats sess in
            decisions := !decisions + st.Sat.Types.decisions;
            conflicts := !conflicts + st.Sat.Types.conflicts;
            match r with

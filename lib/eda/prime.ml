@@ -14,7 +14,7 @@ let is_implicant f term =
 
 (* selector variables: p_v = 2v chooses literal v, n_v = 2v+1 chooses ~v *)
 let minimum_prime_implicant ?(config = Sat.Types.default) f =
-  match Sat.Cdcl.solve (Sat.Cdcl.create ~config f) with
+  match Sat.Session.solve (Sat.Session.of_formula ~config f) with
   | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> None
   | Sat.Types.Sat _ ->
     let n = Cnf.Formula.nvars f in
@@ -40,10 +40,36 @@ let minimum_prime_implicant ?(config = Sat.Types.default) f =
            else None)
         (List.init n Fun.id)
     in
+    (* one session across the binary search: each cardinality bound is an
+       activation group (its Sinz counter is encoded over fresh session
+       variables), released once the bound is answered *)
+    let sess = Sat.Session.of_formula ~config g in
     let solve_bound k =
-      let h = Cnf.Formula.copy g in
-      Cnf.Cardinality.at_most h selectors k;
-      match Sat.Cdcl.solve (Sat.Cdcl.create ~config h) with
+      let base = Sat.Session.nvars sess in
+      let scratch = Cnf.Formula.create ~nvars:base () in
+      Cnf.Cardinality.at_most scratch selectors k;
+      let act = Sat.Session.new_activation sess in
+      let remap = Hashtbl.create 16 in
+      let map_lit l =
+        let v = Lit.var l in
+        let nv =
+          if v < base then v
+          else
+            match Hashtbl.find_opt remap v with
+            | Some nv -> nv
+            | None ->
+              let nv = Sat.Session.new_var sess in
+              Hashtbl.replace remap v nv;
+              nv
+        in
+        if Lit.is_pos l then Lit.pos nv else Lit.neg_of_var nv
+      in
+      Cnf.Formula.iter_clauses scratch (fun cl ->
+          Sat.Session.add_clause_in sess ~group:act
+            (List.map map_lit (Cnf.Clause.to_list cl)));
+      let r = Sat.Session.solve ~assumptions:[ act ] sess in
+      Sat.Session.release sess act;
+      match r with
       | Sat.Types.Sat m -> Some (extract m)
       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ ->
         None

@@ -66,7 +66,9 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77) c1 c2 =
     let n = N.num_nodes m in
     let enc = Circuit.Encode.encode m in
     let lit x = enc.Circuit.Encode.lit_of_node x in
-    let solver = Sat.Cdcl.create ~config enc.Circuit.Encode.formula in
+    (* one session for the whole sweep: every candidate-pair query and
+       every merge clause reuses the same learned-clause database *)
+    let sess = Sat.Session.of_formula ~config enc.Circuit.Encode.formula in
     let n_inputs = List.length (N.inputs m) in
     (* initial random simulation *)
     let rng = Sat.Rng.create seed in
@@ -100,7 +102,7 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77) c1 c2 =
     (* one implication direction: rep=a-val forces n=b-val *)
     let unsat_under assumptions =
       incr sat_calls;
-      match Sat.Cdcl.solve ~assumptions solver with
+      match Sat.Session.solve ~assumptions sess with
       | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> `Unsat
       | Sat.Types.Sat model -> `Sat model
       | Sat.Types.Unknown _ -> `Unknown
@@ -118,8 +120,8 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77) c1 c2 =
           | `Sat model -> `Refuted model
           | `Unknown -> `Unknown
           | `Unsat ->
-            Sat.Cdcl.add_clause solver [ Lit.negate lr; lx' ];
-            Sat.Cdcl.add_clause solver [ lr; Lit.negate lx' ];
+            Sat.Session.add_clause sess [ Lit.negate lr; lx' ];
+            Sat.Session.add_clause sess [ lr; Lit.negate lx' ];
             `Proved)
     in
     let refine_with_model model =
@@ -204,7 +206,7 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77) c1 c2 =
         end
     in
     let verdict = outputs_equal out_pairs in
-    let st = Sat.Cdcl.stats solver in
+    let st = Sat.Session.cumulative_stats sess in
     {
       verdict;
       stats =

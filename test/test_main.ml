@@ -20,6 +20,7 @@ let () =
       ("equivalence-reasoning", Test_equivalence.suite);
       ("recursive-learning", Test_recursive_learning.suite);
       ("solver", Test_solver.suite);
+      ("session", Test_session.suite);
       ("bdd", Test_bdd.suite);
       ("aig", Test_aig.suite);
       ("gate", Test_gate.suite);

@@ -1,0 +1,225 @@
+(* Incremental session layer: clause addition between solves, activation
+   groups, per-call budgets and stats deltas, retention policies. *)
+
+module T = Sat.Types
+module S = Sat.Session
+module Lit = Cnf.Lit
+
+let php n m =
+  let v i j = (i * m) + j + 1 in
+  let cls = ref [] in
+  for i = 0 to n - 1 do
+    cls := List.init m (fun j -> v i j) :: !cls
+  done;
+  for j = 0 to m - 1 do
+    for i1 = 0 to n - 1 do
+      for i2 = i1 + 1 to n - 1 do
+        cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+      done
+    done
+  done;
+  Th.formula_of !cls
+
+let grow_after_sat () =
+  (* SAT, then added clauses flip the verdict to UNSAT *)
+  let s = S.of_formula (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ]) in
+  Alcotest.(check bool) "initially sat" true (Th.outcome_sat (S.solve s));
+  Alcotest.(check bool) "model cached" true (S.model s <> None);
+  S.add_clause s [ Th.lit 1; Th.lit (-2) ];
+  Alcotest.(check bool) "cached model invalidated" true (S.model s = None);
+  Alcotest.(check bool) "still sat" true (Th.outcome_sat (S.solve s));
+  S.add_clause s [ Th.lit (-1); Th.lit (-2) ];
+  (match S.solve s with
+   | T.Unsat -> ()
+   | _ -> Alcotest.fail "expected UNSAT after growth");
+  (* the session stays usable even at UNSAT: re-solving agrees *)
+  match S.solve s with
+  | T.Unsat -> ()
+  | _ -> Alcotest.fail "UNSAT must be stable"
+
+let models_satisfy_growing_formula () =
+  let rng = Sat.Rng.create 99 in
+  let f = Th.random_cnf rng 12 20 4 in
+  let s = S.of_formula f in
+  let clauses = ref [] in
+  Cnf.Formula.iter_clauses f (fun c -> clauses := Cnf.Clause.to_list c :: !clauses);
+  let check_model () =
+    match S.solve s with
+    | T.Sat m ->
+      List.iter
+        (fun cl ->
+           let sat =
+             List.exists
+               (fun l ->
+                  let v = m.(Lit.var l) in
+                  if Lit.is_pos l then v else not v)
+               cl
+           in
+           Alcotest.(check bool) "clause satisfied" true sat)
+        !clauses;
+      true
+    | T.Unsat | T.Unsat_assuming _ -> false
+    | T.Unknown why -> Alcotest.fail why
+  in
+  let continue = ref (check_model ()) in
+  for _ = 1 to 10 do
+    if !continue then begin
+      let len = 2 + Sat.Rng.int rng 3 in
+      let cl =
+        List.init len (fun _ ->
+            Lit.of_var (Sat.Rng.int rng 12) (Sat.Rng.bool rng))
+      in
+      S.add_clause s cl;
+      clauses := cl :: !clauses;
+      continue := check_model ()
+    end
+  done
+
+let activation_groups () =
+  (* x alone; group A forces ~x, group B forces x *)
+  let s = S.create () in
+  let x = Lit.pos (S.new_var s) in
+  let a = S.new_activation s in
+  let b = S.new_activation s in
+  S.add_clause_in s ~group:a [ Lit.negate x ];
+  S.add_clause_in s ~group:b [ x ];
+  Alcotest.(check bool) "a active" true (S.is_active s a);
+  (* both groups on: contradiction *)
+  (match S.solve ~assumptions:[ a; b ] s with
+   | T.Unsat_assuming core ->
+     Alcotest.(check bool) "core non-empty" true (core <> [])
+   | T.Unsat -> ()
+   | _ -> Alcotest.fail "expected UNSAT under both groups");
+  (* only group a: satisfiable with ~x *)
+  (match S.solve ~assumptions:[ a ] s with
+   | T.Sat m ->
+     Alcotest.(check bool) "group a forces ~x" false (m.(Lit.var x))
+   | _ -> Alcotest.fail "expected SAT under group a");
+  (* release a: its clause must stop constraining even when b is on *)
+  S.release s a;
+  Alcotest.(check bool) "a released" false (S.is_active s a);
+  (match S.solve ~assumptions:[ b ] s with
+   | T.Sat m -> Alcotest.(check bool) "group b forces x" true (m.(Lit.var x))
+   | _ -> Alcotest.fail "expected SAT under group b after release");
+  (* double release is a no-op; releasing a non-activation raises *)
+  S.release s a;
+  (match S.release s x with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "release of plain literal must raise")
+
+let released_group_flips_to_unsat () =
+  (* permanent clause [a] plus releasing a (unit ~a) is a contradiction:
+     adding clauses between solves can flip SAT to UNSAT *)
+  let s = S.create () in
+  let a = S.new_activation s in
+  S.add_clause s [ a ];
+  Alcotest.(check bool) "sat with a on" true (Th.outcome_sat (S.solve s));
+  S.release s a;
+  match S.solve s with
+  | T.Unsat -> ()
+  | _ -> Alcotest.fail "expected UNSAT after releasing a pinned group"
+
+let failure_cores_survive_reuse () =
+  let s = S.of_formula (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ -3; -2 ] ]) in
+  let check_core () =
+    match S.solve ~assumptions:[ Th.lit 3; Th.lit (-2) ] s with
+    | T.Unsat_assuming core ->
+      Alcotest.(check bool) "core subset of assumptions" true
+        (List.for_all
+           (fun l -> Lit.equal l (Th.lit 3) || Lit.equal l (Th.lit (-2)))
+           core);
+      Alcotest.(check bool) "core non-empty" true (core <> [])
+    | T.Unsat -> Alcotest.fail "expected assumption failure, not plain UNSAT"
+    | _ -> Alcotest.fail "expected UNSAT under assumptions"
+  in
+  check_core ();
+  Alcotest.(check bool) "sat without assumptions" true
+    (Th.outcome_sat (S.solve s));
+  (* same failing query again after an unrelated successful one *)
+  check_core ()
+
+let budget_does_not_poison () =
+  let s = S.of_formula (php 7 6) in
+  (match S.solve ~max_conflicts:0 s with
+   | T.Unknown _ -> ()
+   | T.Unsat -> Alcotest.fail "php 7 6 cannot be refuted in 0 conflicts"
+   | _ -> Alcotest.fail "expected budget Unknown");
+  (* an exhausted budget must not leak into the next query *)
+  (match S.solve s with
+   | T.Unsat -> ()
+   | _ -> Alcotest.fail "expected UNSAT once unbudgeted");
+  (* and a later budgeted query starts from a fresh allowance *)
+  match S.solve ~max_decisions:0 (S.of_formula (php 7 6)) with
+  | T.Unknown _ | T.Unsat -> ()
+  | _ -> Alcotest.fail "decision budget ignored"
+
+let per_call_deltas_disjoint () =
+  let s = S.of_formula (php 6 5) in
+  ignore (S.solve s);
+  let d1 = S.last_stats s in
+  let c1 = S.cumulative_stats s in
+  ignore (S.solve s);
+  let d2 = S.last_stats s in
+  let c2 = S.cumulative_stats s in
+  Alcotest.(check bool) "first call works" true (d1.T.conflicts > 0);
+  (* deltas are disjoint: they sum to the cumulative difference *)
+  Alcotest.(check int) "conflicts partition"
+    c2.T.conflicts (c1.T.conflicts + d2.T.conflicts);
+  Alcotest.(check int) "decisions partition"
+    c2.T.decisions (c1.T.decisions + d2.T.decisions);
+  Alcotest.(check int) "queries counted" 2 (S.queries s);
+  (* copy/diff helpers compose *)
+  let snap = T.copy_stats c2 in
+  ignore (S.solve s);
+  let d3 = T.diff_stats (S.cumulative_stats s) snap in
+  Alcotest.(check int) "diff matches last delta"
+    (S.last_stats s).T.conflicts d3.T.conflicts
+
+let retention_policies_sound () =
+  List.iter
+    (fun retention ->
+       let s = S.of_formula ~retention (php 6 5) in
+       (* several queries with throwaway activation groups: the verdict
+          must stay correct whatever the pruning policy drops *)
+       for _ = 1 to 3 do
+         let act = S.new_activation s in
+         S.add_clause_in s ~group:act [ act ] (* tautological under act *);
+         (match S.solve ~assumptions:[ act ] s with
+          | T.Unsat | T.Unsat_assuming _ -> ()
+          | _ -> Alcotest.fail "php 6 5 must stay UNSAT");
+         S.release s act
+       done;
+       match S.solve s with
+       | T.Unsat -> ()
+       | _ -> Alcotest.fail "final verdict wrong under retention policy")
+    [ S.Keep_all; S.Drop_released; S.Keep_lbd 3 ]
+
+let solver_pipeline_sessions () =
+  (* Solver.Incremental: simplify once, serve several queries *)
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ]; [ 2; 3; 4 ]; [ -3; 4 ] ] in
+  let inc = Sat.Solver.Incremental.open_session f in
+  (match Sat.Solver.Incremental.solve inc with
+   | T.Sat m ->
+     (* models are lifted back to the original variable space *)
+     Alcotest.(check bool) "covers original vars" true (Array.length m >= 4);
+     Alcotest.(check bool) "x2 forced" true m.(1)
+   | _ -> Alcotest.fail "expected SAT");
+  (* growth through the pipeline front-end *)
+  Sat.Solver.Incremental.add_clause inc [ Th.lit (-2) ];
+  (match Sat.Solver.Incremental.solve inc with
+   | T.Unsat -> ()
+   | _ -> Alcotest.fail "expected UNSAT after adding ~x2");
+  Alcotest.(check int) "queries counted" 2 (Sat.Solver.Incremental.queries inc)
+
+let suite =
+  [
+    Th.case "grow after sat" grow_after_sat;
+    Th.case "models satisfy growing formula" models_satisfy_growing_formula;
+    Th.case "activation groups" activation_groups;
+    Th.case "released group flips to unsat" released_group_flips_to_unsat;
+    Th.case "failure cores survive reuse" failure_cores_survive_reuse;
+    Th.case "budget does not poison" budget_does_not_poison;
+    Th.case "per-call deltas disjoint" per_call_deltas_disjoint;
+    Th.case "retention policies" retention_policies_sound;
+    Th.case "pipeline sessions" solver_pipeline_sessions;
+  ]
