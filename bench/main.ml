@@ -29,6 +29,7 @@ let experiments =
     ("E20", "functional vector generation", Experiments_apps.e20);
     ("E21", "EUF / processor verification", Experiments_apps.e21);
     ("E22", "incremental sessions vs from-scratch", Experiments_session.e22);
+    ("E23", "parallel portfolio with clause sharing", Experiments_parallel.e23);
   ]
 
 let () =

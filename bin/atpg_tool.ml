@@ -9,8 +9,9 @@ let run path no_fault_sim structural incremental per_query =
   Format.printf "circuit: %a@." Circuit.Netlist.pp_stats c;
   let on_query f (st : Sat.Types.stats) =
     if per_query then
-      Format.printf "  %a: %d decisions, %d conflicts@."
+      Format.printf "  %a: %d decisions, %d conflicts, %d restarts@."
         (Eda.Atpg.pp_fault c) f st.Sat.Types.decisions st.Sat.Types.conflicts
+        st.Sat.Types.restarts_done
   in
   let summary =
     if incremental || per_query then Eda.Atpg.run_incremental ~on_query c

@@ -2,11 +2,12 @@
    counter family or an ISCAS-89-style BENCH file with DFFs.
 
    bmc_tool [--bits N] [--buggy-at K] [--bound B] [--bench FILE --bad OUT]
+            [--timeout SECS]
    bmc_tool --induction ... additionally attempts a k-induction proof. *)
 
 open Cmdliner
 
-let run bits buggy_at bound bench bad induction from_scratch stats =
+let run bits buggy_at bound bench bad induction from_scratch stats timeout =
   let seq =
     match bench with
     | Some path -> Circuit.Bench_format.parse_sequential_file path
@@ -22,7 +23,7 @@ let run bits buggy_at bound bench bad induction from_scratch stats =
       Printf.printf "inconclusive up to k=%d\n" bound
   end;
   let r =
-    Eda.Bmc.check ~incremental:(not from_scratch) ~bad_output:bad
+    Eda.Bmc.check ~incremental:(not from_scratch) ~bad_output:bad ?timeout
       ~max_bound:bound seq
   in
   (match r.Eda.Bmc.result with
@@ -32,22 +33,28 @@ let run bits buggy_at bound bench bad induction from_scratch stats =
        (fun t f ->
           Printf.printf "  cycle %d: enable=%b\n" t f.(0))
        frames
+   | Eda.Bmc.No_counterexample when r.Eda.Bmc.timed_out ->
+     Printf.printf "UNKNOWN (timeout): no counterexample up to bound %d\n"
+       (r.Eda.Bmc.bound_reached - 1)
    | Eda.Bmc.No_counterexample ->
      Printf.printf "no counterexample up to bound %d\n" r.Eda.Bmc.bound_reached);
   if stats then begin
     Printf.printf "per-bound query stats (%s):\n"
       (if from_scratch then "from-scratch" else "incremental");
-    Printf.printf "  %5s %10s %10s %12s\n" "bound" "decisions" "conflicts"
-      "propagations";
+    Printf.printf "  %5s %10s %10s %12s %9s\n" "bound" "decisions" "conflicts"
+      "propagations" "restarts";
     List.iter
       (fun (k, (st : Sat.Types.stats)) ->
-         Printf.printf "  %5d %10d %10d %12d\n" k st.Sat.Types.decisions
-           st.Sat.Types.conflicts st.Sat.Types.propagations)
+         Printf.printf "  %5d %10d %10d %12d %9d\n" k st.Sat.Types.decisions
+           st.Sat.Types.conflicts st.Sat.Types.propagations
+           st.Sat.Types.restarts_done)
       r.Eda.Bmc.per_bound_stats;
     let t = r.Eda.Bmc.total_stats in
-    Printf.printf "  %5s %10d %10d %12d\n" "total" t.Sat.Types.decisions
-      t.Sat.Types.conflicts t.Sat.Types.propagations;
-    Printf.printf "frames encoded: %d\n" r.Eda.Bmc.frames_encoded
+    Printf.printf "  %5s %10d %10d %12d %9d\n" "total" t.Sat.Types.decisions
+      t.Sat.Types.conflicts t.Sat.Types.propagations t.Sat.Types.restarts_done;
+    Printf.printf "frames encoded: %d\n" r.Eda.Bmc.frames_encoded;
+    if t.Sat.Types.interrupts > 0 then
+      Printf.printf "interrupted queries: %d\n" t.Sat.Types.interrupts
   end;
   Printf.printf "time %.3fs\n" r.Eda.Bmc.time_seconds
 
@@ -75,10 +82,16 @@ let from_scratch =
 let stats =
   Arg.(value & flag & info [ "stats" ] ~doc:"print per-bound query statistics")
 
+let timeout =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ]
+         ~doc:"wall-clock limit in seconds for the bounded check; partial \
+               per-bound statistics are still reported")
+
 let cmd =
   Cmd.v
     (Cmd.info "bmc_tool" ~doc:"bounded model checker demo")
     Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction
-          $ from_scratch $ stats)
+          $ from_scratch $ stats $ timeout)
 
 let () = exit (Cmd.eval cmd)

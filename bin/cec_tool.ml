@@ -1,15 +1,27 @@
 (* Combinational equivalence checking of two BENCH netlists.
 
-   cec_tool A.bench B.bench [--method sat|bdd|rl|aig|sweep] *)
+   cec_tool A.bench B.bench [--method sat|bdd|rl|aig|sweep] [--jobs N] *)
 
 open Cmdliner
 
-let run a b method_ =
+let run a b method_ jobs =
   let c1 = Circuit.Bench_format.parse_file a in
   let c2 = Circuit.Bench_format.parse_file b in
+  if jobs > 1 && method_ <> "sat" then begin
+    Printf.eprintf "--jobs requires --method sat\n";
+    exit 2
+  end;
   let report =
     match method_ with
-    | "sat" -> Eda.Equiv.check_sat ~pipeline:Sat.Solver.full_pipeline c1 c2
+    | "sat" ->
+      let engine =
+        if jobs > 1 then
+          Some
+            (Sat.Solver.Portfolio
+               { Sat.Portfolio.default_options with Sat.Portfolio.jobs })
+        else None
+      in
+      Eda.Equiv.check_sat ?engine ~pipeline:Sat.Solver.full_pipeline c1 c2
     | "bdd" -> Eda.Equiv.check_bdd c1 c2
     | "rl" -> Eda.Equiv.check_rl ~depth:1 c1 c2
     | "aig" -> Eda.Equiv.check_aig c1 c2
@@ -45,9 +57,15 @@ let method_ =
   Arg.(value & opt string "sat"
        & info [ "method" ] ~doc:"sat, bdd, rl, aig or sweep")
 
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs" ]
+         ~doc:"solve the miter with N diversified parallel workers \
+               (sat method only)")
+
 let cmd =
   Cmd.v
     (Cmd.info "cec_tool" ~doc:"combinational equivalence checker")
-    Term.(const run $ a $ b $ method_)
+    Term.(const run $ a $ b $ method_ $ jobs)
 
 let () = exit (Cmd.eval cmd)

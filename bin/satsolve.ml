@@ -1,11 +1,13 @@
 (* DIMACS CNF solver front-end.
 
    satsolve FILE [--engine cdcl|dpll|walksat] [--preprocess] [--equiv]
-                 [--rl DEPTH] [--seed N] [--stats]                       *)
+                 [--rl DEPTH] [--seed N] [--stats]
+                 [--jobs N] [--timeout SECS] [--no-share]                *)
 
 open Cmdliner
 
-let solve_file path engine_name preprocess equiv rl seed stats certify =
+let solve_file path engine_name preprocess equiv rl seed stats certify jobs
+    timeout no_share =
   let formula = Cnf.Dimacs.parse_file path in
   let config = { Sat.Types.default with Sat.Types.random_seed = seed } in
   if certify then begin
@@ -30,7 +32,21 @@ let solve_file path engine_name preprocess equiv rl seed stats certify =
   end;
   let engine =
     match engine_name with
-    | "cdcl" -> Sat.Solver.Cdcl config
+    | "cdcl" ->
+      (* --jobs 1 without a timeout takes the plain sequential path
+         bit-for-bit; a portfolio wrapper only enters for N > 1 or when
+         a wall clock must be enforced *)
+      if jobs > 1 || timeout <> None then
+        Sat.Solver.Portfolio
+          {
+            Sat.Portfolio.jobs;
+            config;
+            sharing =
+              { Sat.Portfolio.default_sharing with
+                Sat.Portfolio.share = not no_share };
+            timeout;
+          }
+      else Sat.Solver.Cdcl config
     | "dpll" -> Sat.Solver.Dpll config
     | "walksat" ->
       Sat.Solver.Walksat { Sat.Local_search.default with Sat.Local_search.seed }
@@ -38,6 +54,10 @@ let solve_file path engine_name preprocess equiv rl seed stats certify =
       Printf.eprintf "unknown engine %s (cdcl|dpll|walksat)\n" other;
       exit 2
   in
+  if jobs > 1 && engine_name <> "cdcl" then begin
+    Printf.eprintf "--jobs requires the cdcl engine\n";
+    exit 2
+  end;
   let pipeline =
     {
       Sat.Solver.preprocess;
@@ -97,9 +117,26 @@ let stats = Arg.(value & flag & info [ "stats" ] ~doc:"print statistics")
 let certify =
   Arg.(value & flag & info [ "certify" ] ~doc:"check the learned-clause proof")
 
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs" ]
+         ~doc:"solve with N diversified parallel workers (cdcl engine); \
+               1 is the plain sequential solver")
+
+let timeout =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ]
+         ~doc:"wall-clock limit in seconds (cdcl engine); reports UNKNOWN \
+               (timeout)")
+
+let no_share =
+  Arg.(value & flag
+       & info [ "no-share" ] ~doc:"disable learned-clause sharing between workers")
+
 let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~doc:"SAT solver for DIMACS CNF")
-    Term.(const solve_file $ file $ engine $ preprocess $ equiv $ rl $ seed $ stats $ certify)
+    Term.(const solve_file $ file $ engine $ preprocess $ equiv $ rl $ seed
+          $ stats $ certify $ jobs $ timeout $ no_share)
 
 let () = exit (Cmd.eval cmd)

@@ -63,11 +63,20 @@ type t = {
   (* absolute per-call thresholds, set at [solve] entry *)
   mutable conflict_budget : int option;
   mutable decision_budget : int option;
+  (* cooperative interruption: set from any domain, consumed by the
+     search loop of the domain running [solve] *)
+  interrupted : bool Atomic.t;
+  mutable on_learn : (Cnf.Lit.t list -> int -> unit) option;
+  mutable on_restart : (unit -> unit) option;
 }
 
 let config s = s.cfg
 let stats s = s.stats
 let set_plugin s p = s.plugin <- p
+let set_learn_hook s h = s.on_learn <- h
+let set_restart_hook s h = s.on_restart <- h
+let interrupt s = Atomic.set s.interrupted true
+let interrupt_requested s = Atomic.get s.interrupted
 let nvars s = s.nvars
 let decision_level s = Vec.size s.trail_lim
 
@@ -344,6 +353,9 @@ let analyze_final s p =
 
 (* --- clause recording ---------------------------------------------------- *)
 
+let fire_learn s lits lbd =
+  match s.on_learn with None -> () | Some h -> h lits lbd
+
 let record_learnt s lits =
   s.stats.learned <- s.stats.learned + 1;
   s.stats.learned_literals <- s.stats.learned_literals + List.length lits;
@@ -351,6 +363,7 @@ let record_learnt s lits =
   match lits with
   | [] -> s.ok <- false; None
   | [ l ] ->
+    fire_learn s lits 1;
     enqueue s l None;
     None
   | l :: rest ->
@@ -362,6 +375,7 @@ let record_learnt s lits =
           (List.sort_uniq Int.compare
              (List.map (fun q -> s.level.(Lit.var q)) rest))
     in
+    fire_learn s lits lbd;
     let c =
       { lits = Array.of_list lits; activity = 0.; learnt = true;
         deleted = false; lbd }
@@ -592,6 +606,38 @@ let add_clause s lits =
     end
   end
 
+(* Accept a foreign clause (e.g. learned by another solver on the same
+   formula) at decision level 0.  Mirrors [add_clause]'s simplification
+   and invariants, but records the clause as a learnt one carrying its
+   producer's LBD so the deletion policies treat it uniformly.  Sound
+   whenever the clause is an implicate of the formula the solver holds. *)
+let import_clause ?lbd s lits =
+  assert (decision_level s = 0);
+  let c = Cnf.Clause.of_list lits in
+  if s.ok && not (Cnf.Clause.is_tautology c) then begin
+    List.iter
+      (fun l -> while Lit.var l >= s.nvars do ignore (new_var s) done)
+      (Cnf.Clause.to_list c);
+    let lits = Cnf.Clause.to_list c in
+    if not (List.exists (fun l -> value s l = 1) lits) then begin
+      let lits = List.filter (fun l -> value s l <> 0) lits in
+      s.stats.imported <- s.stats.imported + 1;
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        enqueue s l None;
+        (match propagate s with Some _ -> s.ok <- false | None -> ())
+      | _ ->
+        let lbd = match lbd with Some b -> b | None -> List.length lits in
+        let cl =
+          { lits = Array.of_list lits; activity = 0.; learnt = true;
+            deleted = false; lbd }
+        in
+        attach s cl;
+        Vec.push s.learnts cl
+    end
+  end
+
 let create ?(config = Types.default) formula =
   let n = Cnf.Formula.nvars formula in
   let cap = max n 1 in
@@ -631,6 +677,9 @@ let create ?(config = Types.default) formula =
       proof = [];
       conflict_budget = None;
       decision_budget = None;
+      interrupted = Atomic.make false;
+      on_learn = None;
+      on_restart = None;
     }
   in
   score := (fun v -> s.activity.(v));
@@ -730,6 +779,8 @@ let solve ?(assumptions = []) ?max_conflicts ?max_decisions s =
     Option.map (fun m -> s.stats.conflicts + m) max_conflicts;
   s.decision_budget <-
     Option.map (fun m -> s.stats.decisions + m) max_decisions;
+  (* level-0 boundary hook (clause import, etc.) before the search starts *)
+  (match s.on_restart with Some h when s.ok -> h () | _ -> ());
   if not s.ok then Types.Unsat
   else begin
     (* assumptions may mention variables no clause ever did *)
@@ -746,30 +797,42 @@ let solve ?(assumptions = []) ?max_conflicts ?max_decisions s =
     let limit = ref (restart_limit s 0) in
     let result = ref None in
     while !result = None do
-      match propagate s with
-      | Some confl -> begin
-          incr conflicts_here;
-          match handle_conflict s confl with
-          | Done r -> result := Some r
-          | Continue ->
-            maybe_reduce s;
-            if budget_exceeded s then result := Some (Types.Unknown "budget")
-            else if !conflicts_here >= !limit then begin
-              (* randomized restart (Sec. 6) *)
-              incr restart_num;
-              s.stats.restarts_done <- s.stats.restarts_done + 1;
-              conflicts_here := 0;
-              limit := restart_limit s !restart_num;
-              cancel_until s 0
-            end
-        end
-      | None -> begin
-          if budget_exceeded s then result := Some (Types.Unknown "budget")
-          else
-            match decide_step s with
+      if Atomic.get s.interrupted then begin
+        (* consume the request: the next [solve] runs normally *)
+        Atomic.set s.interrupted false;
+        s.stats.interrupts <- s.stats.interrupts + 1;
+        result := Some (Types.Unknown "interrupted")
+      end
+      else
+        match propagate s with
+        | Some confl -> begin
+            incr conflicts_here;
+            match handle_conflict s confl with
             | Done r -> result := Some r
-            | Continue -> ()
-        end
+            | Continue ->
+              maybe_reduce s;
+              if budget_exceeded s then result := Some (Types.Unknown "budget")
+              else if !conflicts_here >= !limit then begin
+                (* randomized restart (Sec. 6) *)
+                incr restart_num;
+                s.stats.restarts_done <- s.stats.restarts_done + 1;
+                conflicts_here := 0;
+                limit := restart_limit s !restart_num;
+                cancel_until s 0;
+                (match s.on_restart with
+                 | Some h ->
+                   h ();
+                   if not s.ok then result := Some Types.Unsat
+                 | None -> ())
+              end
+          end
+        | None -> begin
+            if budget_exceeded s then result := Some (Types.Unknown "budget")
+            else
+              match decide_step s with
+              | Done r -> result := Some r
+              | Continue -> ()
+          end
     done;
     cancel_until s 0;
     s.assumptions <- [||];

@@ -50,6 +50,42 @@ val add_clause : t -> Cnf.Lit.t list -> unit
     mid-search).  Adding a falsified clause makes the instance
     unsatisfiable. *)
 
+val import_clause : ?lbd:int -> t -> Cnf.Lit.t list -> unit
+(** Accepts a {e foreign} clause — typically one learned by another
+    solver working on the same formula — at decision level 0, reusing
+    {!add_clause}'s simplification and watch invariants.  The clause is
+    recorded as a learnt clause carrying [lbd] (default: its length), so
+    clause-deletion policies may later discard it; clauses currently
+    locked as propagation reasons are never deleted.  Importing is sound
+    iff the clause is an implicate of the solver's formula.  Counted in
+    {!Types.stats.imported}.  Legal between [solve] calls and from a
+    {!set_restart_hook} callback (both are level-0 boundaries). *)
+
+val interrupt : t -> unit
+(** Requests cooperative interruption of the running (or next) [solve]
+    call.  Safe to call from any domain.  The search loop checks the
+    flag once per iteration and returns [Unknown "interrupted"], leaving
+    the solver at level 0 and fully reusable; the request is consumed,
+    so a subsequent [solve] runs to completion.  Counted in
+    {!Types.stats.interrupts}. *)
+
+val interrupt_requested : t -> bool
+(** [true] while an {!interrupt} request is pending (not yet consumed by
+    a [solve] loop iteration). *)
+
+val set_learn_hook : t -> (Cnf.Lit.t list -> int -> unit) option -> unit
+(** [set_learn_hook s (Some h)] makes the solver call [h lits lbd] once
+    for every recorded learned clause (unit learned clauses report
+    [lbd = 1]), before the clause is attached.  Used to export strong
+    clauses to other solvers of the same formula.  [None] removes the
+    hook. *)
+
+val set_restart_hook : t -> (unit -> unit) option -> unit
+(** Called at level-0 boundaries of the search: once at [solve] entry
+    and after every restart.  The solver is at decision level 0 during
+    the callback, so {!import_clause} is legal there — the import side
+    of clause sharing. *)
+
 val solve :
   ?assumptions:Cnf.Lit.t list ->
   ?max_conflicts:int ->

@@ -1,0 +1,74 @@
+(** Parallel portfolio solving with learned-clause sharing.
+
+    Section 6 of the paper identifies randomization of the branching
+    heuristic and of the restart policy as one of the most effective
+    levers on hard EDA instances.  The modern realization is a
+    {e portfolio}: [jobs] diversified CDCL workers race on the same
+    formula on OCaml 5 domains, the first definitive answer (SAT /
+    UNSAT) wins, and workers exchange strong learned clauses.
+
+    Sharing policy: a worker {e exports} a learned clause when its
+    literal-block distance and length are within the {!sharing} bounds,
+    into a mutex-protected append-only pool; every worker {e imports}
+    the clauses published by the others at its level-0 boundaries
+    (search entry and every restart) via {!Cdcl.import_clause}.  The
+    import is sound because all workers solve the {e same} clause set
+    (identical formula, and imported clauses are themselves implicates),
+    so every exported clause is an implicate of the shared formula.
+
+    Determinism: [jobs = 1] takes the plain sequential {!Cdcl} path —
+    same outcome and same statistics as [Cdcl.solve] on the same config
+    and seed — so existing deterministic experiments are unaffected.
+
+    Satisfiable answers are validated against the formula before being
+    reported; unsatisfiable answers can be cross-checked against
+    {!Proof.solve_certified} (the property-test suite does). *)
+
+type sharing = {
+  share : bool;      (** master switch for clause exchange *)
+  max_lbd : int;     (** export clauses with LBD at most this (glue bound) *)
+  max_len : int;     (** ... and at most this many literals *)
+  capacity : int;    (** pool cap; further exports are dropped *)
+}
+
+val default_sharing : sharing
+(** [share = true], LBD ≤ 6, length ≤ 30, capacity 20_000. *)
+
+type options = {
+  jobs : int;                (** number of worker domains *)
+  config : Types.config;     (** base configuration (worker 0 verbatim) *)
+  sharing : sharing;
+  timeout : float option;    (** wall-clock seconds; [Unknown "timeout"] *)
+}
+
+val default_options : options
+(** [jobs = Domain.recommended_domain_count ()], default config and
+    sharing, no timeout. *)
+
+val diversify : base:Types.config -> int -> Types.config
+(** The configuration worker [i] runs: worker 0 is [base] unchanged;
+    workers [i > 0] perturb the random seed, the restart policy and the
+    random-decision frequency (branching-order randomization, Sec. 6),
+    and alternate the phase-saving polarity source. *)
+
+type worker_report = {
+  worker_config : Types.config;
+  worker_outcome : Types.outcome;
+  worker_stats : Types.stats;
+      (** includes [exported] / [imported] / [interrupts] counters *)
+}
+
+type result = {
+  outcome : Types.outcome;      (** the winning answer *)
+  winner : int option;          (** index of the first definitive worker *)
+  per_worker : worker_report array;
+  stats : Types.stats;          (** aggregate over all workers *)
+  pool_size : int;              (** clauses published to the shared pool *)
+  time_seconds : float;
+}
+
+val solve : ?options:options -> Cnf.Formula.t -> result
+(** Races the workers; returns when a definitive answer is in (the
+    losers are interrupted cooperatively and joined), when every worker
+    gave up ([Unknown]), or when the timeout fires.  Never deadlocks:
+    workers check the interrupt flag once per search-loop iteration. *)

@@ -2,6 +2,7 @@ type engine =
   | Cdcl of Types.config
   | Dpll of Types.config
   | Walksat of Local_search.config
+  | Portfolio of Portfolio.options
 
 type pipeline = {
   preprocess : bool;
@@ -39,6 +40,9 @@ let run_engine engine f =
   | Walksat cfg ->
     let r = Local_search.solve ~config:cfg f in
     (r.outcome, None)
+  | Portfolio opts ->
+    let r = Portfolio.solve ~options:opts f in
+    (r.Portfolio.outcome, Some r.Portfolio.stats)
 
 let solve ?(engine = Cdcl Types.default) ?(pipeline = no_pipeline) f =
   let t0 = Unix.gettimeofday () in

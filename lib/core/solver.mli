@@ -9,6 +9,9 @@ type engine =
   | Cdcl of Types.config
   | Dpll of Types.config
   | Walksat of Local_search.config
+  | Portfolio of Portfolio.options
+      (** diversified parallel portfolio with clause sharing
+          ({!module:Portfolio}); [solver_stats] aggregates all workers *)
 
 type pipeline = {
   preprocess : bool;           (** unit/pure/subsumption/strengthening *)

@@ -58,6 +58,9 @@ type stats = {
   mutable max_level : int;
   mutable nonchrono_backjumps : int;
   mutable skipped_levels : int;
+  mutable exported : int;
+  mutable imported : int;
+  mutable interrupts : int;
 }
 
 let mk_stats () =
@@ -72,6 +75,9 @@ let mk_stats () =
     max_level = 0;
     nonchrono_backjumps = 0;
     skipped_levels = 0;
+    exported = 0;
+    imported = 0;
+    interrupts = 0;
   }
 
 let copy_stats s = { s with decisions = s.decisions }
@@ -90,6 +96,9 @@ let diff_stats now before =
     max_level = now.max_level;
     nonchrono_backjumps = now.nonchrono_backjumps - before.nonchrono_backjumps;
     skipped_levels = now.skipped_levels - before.skipped_levels;
+    exported = now.exported - before.exported;
+    imported = now.imported - before.imported;
+    interrupts = now.interrupts - before.interrupts;
   }
 
 let add_stats_into acc d =
@@ -102,14 +111,19 @@ let add_stats_into acc d =
   acc.deleted <- acc.deleted + d.deleted;
   acc.max_level <- max acc.max_level d.max_level;
   acc.nonchrono_backjumps <- acc.nonchrono_backjumps + d.nonchrono_backjumps;
-  acc.skipped_levels <- acc.skipped_levels + d.skipped_levels
+  acc.skipped_levels <- acc.skipped_levels + d.skipped_levels;
+  acc.exported <- acc.exported + d.exported;
+  acc.imported <- acc.imported + d.imported;
+  acc.interrupts <- acc.interrupts + d.interrupts
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "decisions=%d propagations=%d conflicts=%d restarts=%d learned=%d \
-     deleted=%d max_level=%d nonchrono=%d skipped=%d"
+     deleted=%d max_level=%d nonchrono=%d skipped=%d exported=%d imported=%d \
+     interrupts=%d"
     s.decisions s.propagations s.conflicts s.restarts_done s.learned s.deleted
-    s.max_level s.nonchrono_backjumps s.skipped_levels
+    s.max_level s.nonchrono_backjumps s.skipped_levels s.exported s.imported
+    s.interrupts
 
 type outcome =
   | Sat of bool array

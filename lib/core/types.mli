@@ -73,6 +73,12 @@ type stats = {
       (** conflicts whose backjump skipped at least one level *)
   mutable skipped_levels : int;
       (** total decision levels skipped by non-chronological backtracking *)
+  mutable exported : int;
+      (** learned clauses handed to an external consumer (clause sharing) *)
+  mutable imported : int;
+      (** foreign clauses accepted through {!Cdcl.import_clause} *)
+  mutable interrupts : int;
+      (** searches abandoned by a cooperative {!Cdcl.interrupt} *)
 }
 
 val mk_stats : unit -> stats

@@ -15,6 +15,7 @@ type report = {
   total_stats : Sat.Types.stats;
   frames_encoded : int;
   time_seconds : float;
+  timed_out : bool;
 }
 
 (* Each frame is encoded into a scratch formula whose variables are then
@@ -85,7 +86,7 @@ let extract_inputs seq frames m =
     frames
 
 let check ?(config = Sat.Types.default) ?(bad_output = "bad")
-    ?(incremental = true) ~max_bound seq =
+    ?(incremental = true) ?timeout ~max_bound seq =
   S.validate seq;
   let t0 = Unix.gettimeofday () in
   let bad_node = bad_node_of seq bad_output in
@@ -93,7 +94,33 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
   let total = Sat.Types.mk_stats () in
   let frames_encoded = ref 0 in
   let result = ref None in
+  let timed_out = ref false in
   let k = ref 0 in
+  (* wall clock: a monitor domain presses the cooperative interrupt on
+     whichever solver is current once the deadline passes; requests are
+     consumed per query, so it keeps pressing until the loop stops it *)
+  let current : Sat.Cdcl.t option Atomic.t = Atomic.make None in
+  let stop_monitor = Atomic.make false in
+  let monitor =
+    Option.map
+      (fun secs ->
+         let deadline = t0 +. secs in
+         Domain.spawn (fun () ->
+             while not (Atomic.get stop_monitor) do
+               if Unix.gettimeofday () >= deadline then
+                 Option.iter Sat.Cdcl.interrupt (Atomic.get current);
+               Unix.sleepf 0.005
+             done))
+      timeout
+  in
+  let solve_frame sess assumptions =
+    Atomic.set current (Some (Session.raw sess));
+    let o = Session.solve ~assumptions sess in
+    (match o with
+     | Sat.Types.Unknown "interrupted" -> timed_out := true
+     | _ -> ());
+    o
+  in
   if incremental then begin
     (* one session across all bounds: frames stay encoded, learned
        clauses and heuristic state carry over from bound to bound *)
@@ -105,7 +132,7 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
       incr frames_encoded;
       frames := frame :: !frames;
       let bad_lit = frame bad_node in
-      (match Session.solve ~assumptions:[ bad_lit ] sess with
+      (match solve_frame sess [ bad_lit ] with
        | Sat.Types.Sat m ->
          result := Some (Counterexample (extract_inputs seq !frames m))
        | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
@@ -131,7 +158,7 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
         state := List.map frame seq.S.next_state
       done;
       let bad_lit = (List.hd !frames) bad_node in
-      (match Session.solve ~assumptions:[ bad_lit ] sess with
+      (match solve_frame sess [ bad_lit ] with
        | Sat.Types.Sat m ->
          result := Some (Counterexample (extract_inputs seq !frames m))
        | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
@@ -141,6 +168,8 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
       per_bound := (!k, d) :: !per_bound;
       incr k
     done;
+  Atomic.set stop_monitor true;
+  Option.iter Domain.join monitor;
   {
     result = Option.value ~default:No_counterexample !result;
     bound_reached = !k;
@@ -150,6 +179,7 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
     total_stats = total;
     frames_encoded = !frames_encoded;
     time_seconds = Unix.gettimeofday () -. t0;
+    timed_out = !timed_out;
   }
 
 type induction_result =

@@ -25,12 +25,16 @@ type report = {
       (** transition-relation copies built: [bound_reached] when
           incremental, quadratic when re-encoding from scratch *)
   time_seconds : float;
+  timed_out : bool;
+      (** the wall clock fired: [result] is [No_counterexample] only up
+          to [bound_reached] *)
 }
 
 val check :
   ?config:Sat.Types.config ->
   ?bad_output:string ->
   ?incremental:bool ->
+  ?timeout:float ->
   max_bound:int ->
   Circuit.Sequential.t ->
   report
@@ -41,7 +45,13 @@ val check :
     reaching bound k encodes each frame exactly once.  With
     [incremental:false] every bound rebuilds a fresh solver and
     re-encodes frames [0..k] — the from-scratch reference mode the
-    Section 6 comparison benchmarks against. *)
+    Section 6 comparison benchmarks against.
+
+    [timeout] bounds the whole run in wall-clock seconds.  A monitor
+    domain presses {!Sat.Cdcl.interrupt} on the active solver once the
+    deadline passes; the interrupted query is reported in the statistics
+    ([interrupts] counter) and the report carries [timed_out = true]
+    with all per-bound statistics intact. *)
 
 type induction_result =
   | Proved of int

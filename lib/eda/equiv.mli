@@ -20,10 +20,13 @@ type report = {
 
 val check_sat :
   ?config:Sat.Types.config ->
+  ?engine:Sat.Solver.engine ->
   ?pipeline:Sat.Solver.pipeline ->
   Circuit.Netlist.t -> Circuit.Netlist.t -> report
 (** Solves the miter; [pipeline] defaults to no preprocessing (set
-    equivalency reasoning etc. for experiment E7). *)
+    equivalency reasoning etc. for experiment E7).  [engine] overrides
+    the solving engine — e.g. [Sat.Solver.Portfolio _] races diversified
+    workers on one hard miter; it defaults to [Cdcl config]. *)
 
 val check_bdd :
   ?node_limit:int -> Circuit.Netlist.t -> Circuit.Netlist.t -> report

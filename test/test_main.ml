@@ -21,6 +21,7 @@ let () =
       ("recursive-learning", Test_recursive_learning.suite);
       ("solver", Test_solver.suite);
       ("session", Test_session.suite);
+      ("portfolio", Test_portfolio.suite);
       ("bdd", Test_bdd.suite);
       ("aig", Test_aig.suite);
       ("gate", Test_gate.suite);
