@@ -1,0 +1,174 @@
+(* Experiment E24: unit-propagation throughput micro-benchmarks.
+
+   Deduce() dominates CDCL runtime on the hard CEC/BMC instances the EDA
+   front-ends generate, so this experiment tracks raw propagation speed
+   (props/sec) and wall clock on three instance families, plus DIMACS
+   parse throughput for large inputs.
+
+   Flags (read from the bench command line, after "--"):
+     --smoke   tiny instance sizes: asserts the harness runs end to end
+     --json    also write BENCH_propagation.json in the current directory *)
+
+module T = Sat.Types
+
+type solve_row = {
+  name : string;
+  answer : string;
+  time_s : float;       (* best-of-reps wall clock for one solve *)
+  props : int;          (* propagations of that solve *)
+  props_per_sec : float;
+}
+
+type parse_row = {
+  p_name : string;
+  bytes : int;
+  p_time_s : float;
+  mb_per_sec : float;
+}
+
+let smoke () = Array.exists (( = ) "--smoke") Sys.argv
+let json () = Array.exists (( = ) "--json") Sys.argv
+
+(* Best-of-[reps] timing; each rep builds a fresh solver so learned
+   clauses from one rep never speed up the next. *)
+let run_solve ~reps name mk_formula =
+  let best_t = ref infinity and best_props = ref 0 and answer = ref "?" in
+  for _ = 1 to reps do
+    let f = mk_formula () in
+    let s = Sat.Cdcl.create f in
+    let outcome, dt = Util.time (fun () -> Sat.Cdcl.solve s) in
+    answer := Util.outcome_label outcome;
+    if dt < !best_t then begin
+      best_t := dt;
+      best_props := (Sat.Cdcl.stats s).T.propagations
+    end
+  done;
+  let t = !best_t and props = !best_props in
+  {
+    name;
+    answer = !answer;
+    time_s = t;
+    props;
+    props_per_sec = (if t > 0. then float_of_int props /. t else 0.);
+  }
+
+let run_parse ~reps p_name text =
+  let bytes = String.length text in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let _, dt = Util.time (fun () -> ignore (Cnf.Dimacs.parse_string text)) in
+    if dt < !best then best := dt
+  done;
+  let t = !best in
+  {
+    p_name;
+    bytes;
+    p_time_s = t;
+    mb_per_sec =
+      (if t > 0. then float_of_int bytes /. t /. (1024. *. 1024.) else 0.);
+  }
+
+let write_json path ~mode solves parses =
+  let oc = open_out path in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"experiment\": \"E24\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b "  \"propagation\": [\n";
+  List.iteri
+    (fun i r ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "    {\"name\": \"%s\", \"answer\": \"%s\", \"time_s\": %.6f, \
+             \"propagations\": %d, \"props_per_sec\": %.0f}%s\n"
+            r.name r.answer r.time_s r.props r.props_per_sec
+            (if i = List.length solves - 1 then "" else ",")))
+    solves;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"parse\": [\n";
+  List.iteri
+    (fun i r ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "    {\"name\": \"%s\", \"bytes\": %d, \"time_s\": %.6f, \
+             \"mb_per_sec\": %.2f}%s\n"
+            r.p_name r.bytes r.p_time_s r.mb_per_sec
+            (if i = List.length parses - 1 then "" else ",")))
+    parses;
+  Buffer.add_string b "  ]\n}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let e24 () =
+  let smoke = smoke () in
+  let mode = if smoke then "smoke" else "full" in
+  Util.header "E24 propagation throughput (blocking literals, flat watchers)"
+    "paper: Sec. 4 Figure 2 (Deduce() is the inner loop); MiniSat/Glucose \
+     watcher memory layout";
+  let reps = if smoke then 1 else 5 in
+  (* --- propagation throughput ------------------------------------------ *)
+  let solves = ref [] in
+  let case name mk = solves := run_solve ~reps name mk :: !solves in
+  (if smoke then case "php(5,4)" (fun () -> Util.pigeonhole 5 4)
+   else case "php(9,8)" (fun () -> Util.pigeonhole 9 8));
+  let nvars = if smoke then 40 else 220 in
+  List.iter
+    (fun seed ->
+       case
+         (Printf.sprintf "3sat-%d@4.26" seed)
+         (fun () -> Util.random_3sat ~seed ~nvars ~ratio:4.26))
+    [ 3; 5; 9 ];
+  let bits = if smoke then 2 else 6 in
+  case
+    (Printf.sprintf "miter-mult%d" bits)
+    (fun () ->
+       let f, _ =
+         Circuit.Miter.to_cnf
+           (Circuit.Generators.multiplier ~bits)
+           (Circuit.Generators.wallace_multiplier ~bits)
+       in
+       f);
+  let solves = List.rev !solves in
+  Util.row "%-16s %-6s %10s %12s %12s@." "instance" "ans" "time" "props"
+    "props/sec";
+  Util.line ();
+  List.iter
+    (fun r ->
+       Util.row "%-16s %-6s %9.3fs %12d %12.0f@." r.name r.answer r.time_s
+         r.props r.props_per_sec)
+    solves;
+  (* --- DIMACS parse throughput ----------------------------------------- *)
+  let parses = ref [] in
+  let pcase name text = parses := run_parse ~reps name text :: !parses in
+  let synth_nvars = if smoke then 500 else 30_000 in
+  pcase
+    (Printf.sprintf "synth-3sat-%dv" synth_nvars)
+    (Cnf.Dimacs.to_string
+       (Util.random_3sat ~seed:1 ~nvars:synth_nvars ~ratio:4.2));
+  List.iter
+    (fun file ->
+       let path = Filename.concat "examples" file in
+       if Sys.file_exists path then begin
+         let ic = open_in path in
+         let text = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         pcase file text
+       end)
+    [ "php43.cnf"; "color5.cnf" ];
+  let parses = List.rev !parses in
+  Util.row "@.%-20s %10s %10s %10s@." "parse input" "bytes" "time" "MB/s";
+  Util.line ();
+  List.iter
+    (fun r ->
+       Util.row "%-20s %10d %9.4fs %10.1f@." r.p_name r.bytes r.p_time_s
+         r.mb_per_sec)
+    parses;
+  if json () then begin
+    write_json "BENCH_propagation.json" ~mode solves parses;
+    Util.row "@.wrote BENCH_propagation.json (%s mode)@." mode
+  end;
+  Util.row
+    "@.props/sec is propagations (trail literals processed by Deduce()) \
+     divided by solve wall clock, best of %d run(s); EXPERIMENTS.md records \
+     the before/after trajectory of these numbers.@."
+    reps

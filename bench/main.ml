@@ -30,6 +30,7 @@ let experiments =
     ("E21", "EUF / processor verification", Experiments_apps.e21);
     ("E22", "incremental sessions vs from-scratch", Experiments_session.e22);
     ("E23", "parallel portfolio with clause sharing", Experiments_parallel.e23);
+    ("E24", "propagation throughput + parse timing", Experiments_propagation.e24);
   ]
 
 let () =

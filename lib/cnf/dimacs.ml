@@ -1,44 +1,112 @@
 exception Parse_error of string
 
+(* Single-pass buffer tokenizer: literals are parsed by direct character
+   arithmetic on the input string, with no per-token substring and no
+   split-into-lists — the per-clause [int list] handed to
+   [Formula.add_dimacs] is the only steady-state allocation.  Substrings
+   are materialised on error paths only, producing messages identical to
+   the previous line/token-splitting parser. *)
+
+(* what [String.trim] strips, minus '\n' (lines are '\n'-bounded) *)
+let is_blank c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
 let parse_string text =
   let f = Formula.create () in
-  let lines = String.split_on_char '\n' text in
-  let pending = ref [] in
-  let handle_token tok =
-    match int_of_string_opt tok with
-    | None -> raise (Parse_error (Printf.sprintf "bad token %S" tok))
-    | Some 0 ->
-      Formula.add_dimacs f (List.rev !pending);
-      pending := []
-    | Some i -> pending := i :: !pending
+  let n = String.length text in
+  (* current-clause accumulator, reused across clauses *)
+  let buf = ref (Array.make 16 0) in
+  let blen = ref 0 in
+  let push_lit i =
+    if !blen = Array.length !buf then begin
+      let b = Array.make (2 * !blen) 0 in
+      Array.blit !buf 0 b 0 !blen;
+      buf := b
+    end;
+    !buf.(!blen) <- i;
+    incr blen
   in
-  let handle_line line =
-    let line = String.trim line in
-    if line = "" then ()
-    else
-      match line.[0] with
+  let flush_clause () =
+    let rec build k acc =
+      if k < 0 then acc else build (k - 1) ((!buf).(k) :: acc)
+    in
+    Formula.add_dimacs f (build (!blen - 1) []);
+    blen := 0
+  in
+  let bad_token t0 t1 =
+    raise (Parse_error (Printf.sprintf "bad token %S" (String.sub text t0 (t1 - t0))))
+  in
+  (* decimal literal with optional sign; [0] terminates the clause *)
+  let handle_token t0 t1 =
+    let k = ref t0 in
+    (match text.[t0] with '-' | '+' -> incr k | _ -> ());
+    if !k >= t1 then bad_token t0 t1;
+    let v = ref 0 in
+    while !k < t1 do
+      let c = text.[!k] in
+      if c < '0' || c > '9' then bad_token t0 t1;
+      v := (10 * !v) + (Char.code c - Char.code '0');
+      incr k
+    done;
+    if !v = 0 then flush_clause ()
+    else push_lit (if text.[t0] = '-' then - !v else !v)
+  in
+  (* header [p cnf <vars> <clauses>]: exactly four space-separated
+     fields; the clause count is accepted unvalidated, as before *)
+  let handle_header ls le =
+    let fields = ref [] in
+    let i = ref ls in
+    while !i < le do
+      while !i < le && text.[!i] = ' ' do incr i done;
+      if !i < le then begin
+        let t0 = !i in
+        while !i < le && text.[!i] <> ' ' do incr i done;
+        fields := String.sub text t0 (!i - t0) :: !fields
+      end
+    done;
+    match List.rev !fields with
+    | [ "p"; "cnf"; v; _ ] ->
+      (match int_of_string_opt v with
+       | Some nv ->
+         for _ = Formula.nvars f to nv - 1 do
+           ignore (Formula.fresh_var f)
+         done
+       | None -> raise (Parse_error "bad header"))
+    | _ -> raise (Parse_error "bad header")
+  in
+  let pos = ref 0 in
+  while !pos < n do
+    let eol =
+      match String.index_from_opt text !pos '\n' with Some e -> e | None -> n
+    in
+    (* trim the line in place *)
+    let ls = ref !pos and le = ref eol in
+    while !ls < !le && is_blank text.[!ls] do incr ls done;
+    while !le > !ls && is_blank text.[!le - 1] do decr le done;
+    if !ls < !le then begin
+      match text.[!ls] with
       | 'c' | '%' -> ()
-      | 'p' ->
-        (match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-         | [ "p"; "cnf"; v; _ ] ->
-           (match int_of_string_opt v with
-            | Some nv ->
-              for _ = Formula.nvars f to nv - 1 do
-                ignore (Formula.fresh_var f)
-              done
-            | None -> raise (Parse_error "bad header"))
-         | _ -> raise (Parse_error "bad header"))
+      | 'p' -> handle_header !ls !le
       | '0' .. '9' | '-' ->
-        String.split_on_char ' ' line
-        |> List.concat_map (String.split_on_char '\t')
-        |> List.filter (( <> ) "")
-        |> List.iter handle_token
-      | _ -> raise (Parse_error (Printf.sprintf "bad line %S" line))
-  in
-  List.iter handle_line lines;
-  (match !pending with
-   | [] -> ()
-   | lits -> Formula.add_dimacs f (List.rev lits));
+        let i = ref !ls in
+        while !i < !le do
+          while !i < !le && (text.[!i] = ' ' || text.[!i] = '\t') do incr i done;
+          if !i < !le then begin
+            let t0 = !i in
+            while !i < !le && text.[!i] <> ' ' && text.[!i] <> '\t' do
+              incr i
+            done;
+            handle_token t0 !i
+          end
+        done
+      | _ ->
+        raise
+          (Parse_error
+             (Printf.sprintf "bad line %S" (String.sub text !ls (!le - !ls))))
+    end;
+    pos := eol + 1
+  done;
+  (* a clause missing its terminating 0 is flushed at end of input *)
+  if !blen > 0 then flush_clause ();
   f
 
 let parse_file path =

@@ -11,6 +11,10 @@ type clause = {
   learnt : bool;
   mutable deleted : bool;
   mutable lbd : int; (* distinct decision levels at learning time *)
+  mutable cid : int;
+      (* index into the solver's clause table, assigned at [attach];
+         watch lists reference clauses by this integer so watcher stores
+         never pay the GC write barrier.  [-1] before attachment. *)
 }
 
 type plugin = {
@@ -29,7 +33,8 @@ let no_plugin =
   }
 
 let dummy_clause =
-  { lits = [||]; activity = 0.; learnt = false; deleted = true; lbd = 0 }
+  { lits = [||]; activity = 0.; learnt = false; deleted = true; lbd = 0;
+    cid = 0 }
 
 type t = {
   cfg : Types.config;
@@ -39,10 +44,21 @@ type t = {
   mutable ok : bool;
   clauses : clause Vec.t;
   learnts : clause Vec.t;
-  mutable watches : clause Vec.t array; (* indexed by literal *)
+  mutable watches : Watcher.t array; (* indexed by literal *)
+  (* clause table: maps the integer clause references stored in watch
+     lists back to clause records; slot 0 is permanently [dummy_clause],
+     and deleted clauses have their slot re-pointed at it so the records
+     can be collected while tombstone entries still dereference safely *)
+  mutable ctab : clause array;
+  mutable next_cid : int;
+  (* tombstone watcher entries left behind by lazy clause deletion;
+     compacted away once they exceed a fraction of all live entries *)
+  mutable dead_watchers : int;
   mutable assign : int array;           (* var -> -1 / 0 / 1 *)
   mutable level : int array;
-  mutable reason : clause option array;
+  mutable reason : clause array;
+      (* [dummy_clause] marks "no reason" (decision / level 0): an
+         implication's antecedent is stored without boxing an option *)
   mutable phase : bool array;
   mutable activity : float array;
   mutable var_inc : float;
@@ -97,16 +113,17 @@ let ensure_capacity s n =
     in
     s.assign <- grow_arr s.assign (-1);
     s.level <- grow_arr s.level (-1);
-    s.reason <- grow_arr s.reason None;
+    s.reason <- grow_arr s.reason dummy_clause;
     s.phase <- grow_arr s.phase false;
     s.activity <- grow_arr s.activity 0.;
     s.seen <- grow_arr s.seen false;
     let w = Array.init (2 * cap) (fun i ->
         if i < 2 * old then s.watches.(i)
-        else Vec.create ~capacity:4 ~dummy:dummy_clause ())
+        else Watcher.create ~capacity:4 ())
     in
     s.watches <- w;
-    Heap.grow s.heap cap
+    Heap.grow s.heap cap;
+    Heap.set_scores s.heap s.activity
   end
 
 let new_var s =
@@ -119,10 +136,12 @@ let new_var s =
 (* --- assignment / trail ------------------------------------------------ *)
 
 let enqueue s l reason =
-  let v = Lit.var l in
-  s.assign.(v) <- (if Lit.is_pos l then 1 else 0);
-  s.level.(v) <- decision_level s;
-  s.reason.(v) <- reason;
+  (* [l]'s variable is always allocated (< nvars), so the bounds checks
+     can go: this runs once per implication, inside propagation *)
+  let v = l lsr 1 in
+  Array.unsafe_set s.assign v (1 - (l land 1));
+  Array.unsafe_set s.level v (decision_level s);
+  Array.unsafe_set s.reason v reason;
   Vec.push s.trail l;
   s.plugin.on_assign l
 
@@ -133,11 +152,14 @@ let cancel_until s lvl =
   if decision_level s > lvl then begin
     let bound = Vec.get s.trail_lim lvl in
     for i = Vec.size s.trail - 1 downto bound do
-      let l = Vec.get s.trail i in
+      let l = Vec.unsafe_get s.trail i in
       let v = Lit.var l in
       if s.cfg.phase_saving then s.phase.(v) <- s.assign.(v) = 1;
       s.assign.(v) <- -1;
-      s.reason.(v) <- None;
+      (* [s.reason.(v)] is left stale: every reader but [locked] only
+         consults reasons of assigned variables, and [locked] checks the
+         assignment itself — clearing here would cost a pointer store
+         (write barrier) per undone assignment *)
       s.plugin.on_unassign l;
       Heap.insert s.heap v
     done;
@@ -148,25 +170,54 @@ let cancel_until s lvl =
 
 (* --- clause attachment -------------------------------------------------- *)
 
-let attach s (c : clause) =
-  Vec.push s.watches.(c.lits.(0)) c;
-  Vec.push s.watches.(c.lits.(1)) c
+let alloc_cid s (c : clause) =
+  if c.cid < 0 then begin
+    if s.next_cid = Array.length s.ctab then begin
+      let t = Array.make (2 * s.next_cid) dummy_clause in
+      Array.blit s.ctab 0 t 0 s.next_cid;
+      s.ctab <- t
+    end;
+    s.ctab.(s.next_cid) <- c;
+    c.cid <- s.next_cid;
+    s.next_cid <- s.next_cid + 1
+  end
 
-let detach s (c : clause) =
-  let remove l = Vec.filter_in_place (fun d -> d != c) s.watches.(l) in
-  remove c.lits.(0);
-  remove c.lits.(1)
+(* Each watcher entry carries the other watched literal as its blocking
+   literal: when the blocker is already true the clause is satisfied and
+   propagation skips the clause dereference entirely. *)
+let attach s (c : clause) =
+  alloc_cid s c;
+  Watcher.push s.watches.(c.lits.(0)) c.lits.(1) c.cid;
+  Watcher.push s.watches.(c.lits.(1)) c.lits.(0) c.cid
 
 let locked s (c : clause) =
   Array.length c.lits > 0
-  && (match s.reason.(Lit.var c.lits.(0)) with
-      | Some r -> r == c
-      | None -> false)
+  && (let v = Lit.var c.lits.(0) in
+      s.reason.(v) == c && s.assign.(v) >= 0)
 
+(* O(1) lazy deletion: the clause's two watcher entries become tombstones
+   that propagation drops on traversal and [maybe_compact_watches] sweeps
+   in bulk. *)
 let delete_clause s (c : clause) =
-  detach s c;
   c.deleted <- true;
+  (* re-point the table slot at the (deleted) dummy: tombstone watcher
+     entries still dereference safely, and the record becomes garbage as
+     soon as the clause vectors are filtered *)
+  s.ctab.(c.cid) <- dummy_clause;
+  s.dead_watchers <- s.dead_watchers + 2;
   s.stats.deleted <- s.stats.deleted + 1
+
+(* Compact every watch list once tombstones exceed a quarter of the live
+   entries, so clause-database reduction cannot leave permanently
+   traversed garbage. *)
+let maybe_compact_watches s =
+  let live = 2 * (Vec.size s.clauses + Vec.size s.learnts) in
+  if s.dead_watchers > 16 && s.dead_watchers * 4 > live then begin
+    let ctab = s.ctab in
+    let keep cref = not ctab.(cref).deleted in
+    Array.iter (fun w -> Watcher.filter_in_place keep w) s.watches;
+    s.dead_watchers <- 0
+  end
 
 (* --- activities --------------------------------------------------------- *)
 
@@ -196,60 +247,136 @@ let decay_activities s =
 
 (* --- Deduce(): unit propagation with two-literal watching --------------- *)
 
+(* First non-false literal position at index >= k, or -1.  Top-level so
+   the non-flambda compiler emits plain calls instead of allocating a
+   closure per clause visit. *)
+let rec find_nonfalse assign lits len k =
+  if k >= len then -1
+  else
+    let l = Array.unsafe_get lits k in
+    if Array.unsafe_get assign (l lsr 1) <> l land 1 then k
+    else find_nonfalse assign lits len (k + 1)
+
+(* The hot loop.  Indices are provably in bounds (watcher traversal is
+   bounded by the list size captured before it, literal/variable indices
+   by the attach invariants), so accesses go through the unsafe raw
+   arrays; [s.assign] is read through one local binding; the stats
+   increment is batched per call (trail-pointer delta).  A literal [l] is
+   true iff [assign.(l/2) = 1 - (l land 1)] and false iff
+   [assign.(l/2) = l land 1] (unassigned is -1, which matches neither). *)
 let propagate s =
   let confl = ref None in
-  while !confl = None && s.qhead < Vec.size s.trail do
-    let p = Vec.get s.trail s.qhead in
+  let trail = s.trail in
+  let assign = s.assign in
+  let watches = s.watches in
+  let qhead0 = s.qhead in
+  (* loop invariants of the inlined [enqueue]: propagation never opens a
+     decision level, swaps the plugin, or reallocates the solver arrays *)
+  let level = s.level in
+  let reason = s.reason in
+  let ctab = s.ctab in
+  let dl = decision_level s in
+  let on_assign = s.plugin.on_assign in
+  let has_plugin = s.plugin != no_plugin in
+  while !confl == None && s.qhead < Vec.size trail do
+    let p = Vec.unsafe_get trail s.qhead in
     s.qhead <- s.qhead + 1;
-    s.stats.propagations <- s.stats.propagations + 1;
-    let np = Lit.negate p in
-    let ws = s.watches.(np) in
-    let n = Vec.size ws in
+    let np = p lxor 1 in
+    let ws = Array.unsafe_get watches np in
+    let n = Watcher.size ws in
+    (* moved watches are pushed onto other lists, never this one (their
+       new watch is non-false while [np] is false), so the raw arrays
+       cannot be reallocated during the traversal *)
+    let bls = Watcher.raw_blockers ws in
+    let crs = Watcher.raw_crefs ws in
     let i = ref 0 and j = ref 0 in
+    (* both watcher payloads are immediates, so the compaction stores
+       below never invoke the GC write barrier; they are still skipped
+       while no watcher has been dropped ([j] trails [i] only then) *)
     while !i < n do
-      let c = Vec.get ws !i in
-      incr i;
-      if not c.deleted then begin
-        (* normalise: the falsified watch sits at position 1 *)
-        if c.lits.(0) = np then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- np
+      let b = Array.unsafe_get bls !i in
+      if Array.unsafe_get assign (b lsr 1) = 1 - (b land 1) then begin
+        (* blocker already true: keep the watcher, no clause dereference *)
+        if !j < !i then begin
+          Array.unsafe_set bls !j b;
+          Array.unsafe_set crs !j (Array.unsafe_get crs !i)
         end;
-        if value s c.lits.(0) = 1 then begin
-          Vec.set ws !j c;
-          incr j
-        end
+        incr i;
+        incr j
+      end
+      else begin
+        let cid = Array.unsafe_get crs !i in
+        incr i;
+        let c = Array.unsafe_get ctab cid in
+        if c.deleted then s.dead_watchers <- s.dead_watchers - 1
         else begin
-          let len = Array.length c.lits in
-          let k = ref 2 and found = ref false in
-          while (not !found) && !k < len do
-            if value s c.lits.(!k) <> 0 then begin
-              c.lits.(1) <- c.lits.(!k);
-              c.lits.(!k) <- np;
-              Vec.push s.watches.(c.lits.(1)) c;
-              found := true
-            end;
-            incr k
-          done;
-          if not !found then begin
-            Vec.set ws !j c;
-            incr j;
-            if value s c.lits.(0) = 0 then begin
-              (* conflicting clause: flush remaining watchers and stop *)
-              confl := Some c;
-              while !i < n do
-                Vec.set ws !j (Vec.get ws !i);
-                incr j;
-                incr i
-              done
+          let lits = c.lits in
+          (* normalise: the falsified watch sits at position 1 *)
+          let first =
+            let l0 = Array.unsafe_get lits 0 in
+            if l0 = np then begin
+              let o = Array.unsafe_get lits 1 in
+              Array.unsafe_set lits 0 o;
+              Array.unsafe_set lits 1 np;
+              o
             end
-            else enqueue s c.lits.(0) (Some c)
+            else l0
+          in
+          if Array.unsafe_get assign (first lsr 1) = 1 - (first land 1)
+          then begin
+            (* satisfied by the other watch: it becomes the blocker *)
+            Array.unsafe_set bls !j first;
+            Array.unsafe_set crs !j cid;
+            incr j
+          end
+          else begin
+            let len = Array.length lits in
+            let k = find_nonfalse assign lits len 2 in
+            if k >= 0 then begin
+              (* non-false literal found: move the watch there *)
+              let l = Array.unsafe_get lits k in
+              Array.unsafe_set lits 1 l;
+              Array.unsafe_set lits k np;
+              Watcher.push (Array.unsafe_get watches l) first cid
+            end
+            else begin
+              Array.unsafe_set bls !j first;
+              Array.unsafe_set crs !j cid;
+              incr j;
+              if Array.unsafe_get assign (first lsr 1) = first land 1
+              then begin
+                (* conflicting clause: flush remaining watchers and stop *)
+                confl := Some c;
+                if !j = !i then begin
+                  (* nothing dropped: the tail is already in place *)
+                  i := n;
+                  j := n
+                end
+                else
+                  while !i < n do
+                    Array.unsafe_set bls !j (Array.unsafe_get bls !i);
+                    Array.unsafe_set crs !j (Array.unsafe_get crs !i);
+                    incr j;
+                    incr i
+                  done
+              end
+              else begin
+                (* inlined [enqueue] *)
+                let v = first lsr 1 in
+                Array.unsafe_set assign v (1 - (first land 1));
+                Array.unsafe_set level v dl;
+                Array.unsafe_set reason v c;
+                Vec.push trail first;
+                if has_plugin then on_assign first
+              end
+            end
           end
         end
       end
     done;
-    Vec.shrink ws !j
+    if !j < n then Watcher.shrink ws !j
   done;
+  s.stats.propagations <- s.stats.propagations + (s.qhead - qhead0);
   !confl
 
 (* --- Diagnose(): 1-UIP conflict analysis -------------------------------- *)
@@ -262,30 +389,32 @@ let analyze s confl =
   let to_clear = ref [] in
   let path = ref 0 in
   let p = ref (-1) in
-  let confl = ref (Some confl) in
+  let confl = ref confl in
   let idx = ref (Vec.size s.trail - 1) in
   let continue = ref true in
   while !continue do
-    (match !confl with
-     | None -> assert false
-     | Some c ->
-       if c.learnt then bump_clause s c;
-       Array.iter
-         (fun q ->
-            let v = Lit.var q in
-            if q <> !p && (not s.seen.(v)) && s.level.(v) > 0 then begin
-              s.seen.(v) <- true;
-              to_clear := v :: !to_clear;
-              bump_var s v;
-              if s.level.(v) >= decision_level s then incr path
-              else learnt := q :: !learnt
-            end)
-         c.lits);
-    (* walk back to the next marked literal on the trail *)
-    while not s.seen.(Lit.var (Vec.get s.trail !idx)) do
+    let c = !confl in
+    if c.learnt then bump_clause s c;
+    (* explicit loop: an [Array.iter] closure over this many captured
+       refs would be allocated once per resolution step *)
+    let lits = c.lits in
+    for k = 0 to Array.length lits - 1 do
+      let q = Array.unsafe_get lits k in
+      let v = Lit.var q in
+      if q <> !p && (not s.seen.(v)) && s.level.(v) > 0 then begin
+        s.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        bump_var s v;
+        if s.level.(v) >= decision_level s then incr path
+        else learnt := q :: !learnt
+      end
+    done;
+    (* walk back to the next marked literal on the trail; the 1-UIP
+       invariant keeps [idx] within the trail, so the reads are unsafe *)
+    while not s.seen.(Lit.var (Vec.unsafe_get s.trail !idx)) do
       decr idx
     done;
-    let q = Vec.get s.trail !idx in
+    let q = Vec.unsafe_get s.trail !idx in
     decr idx;
     s.seen.(Lit.var q) <- false;
     decr path;
@@ -306,15 +435,15 @@ let analyze s confl =
       (* [seen] currently true exactly for the vars in [learnt] *)
       List.iter (fun q -> s.seen.(Lit.var q) <- true) !learnt;
       let redundant q =
-        match s.reason.(Lit.var q) with
-        | None -> false
-        | Some c ->
-          Array.for_all
-            (fun l ->
-               Lit.var l = Lit.var q
-               || s.level.(Lit.var l) = 0
-               || s.seen.(Lit.var l))
-            c.lits
+        let c = s.reason.(Lit.var q) in
+        (* decisions ([dummy_clause]) are never redundant *)
+        c != dummy_clause
+        && Array.for_all
+             (fun l ->
+                Lit.var l = Lit.var q
+                || s.level.(Lit.var l) = 0
+                || s.seen.(Lit.var l))
+             c.lits
       in
       let kept = List.filter (fun q -> not (redundant q)) !learnt in
       List.iter (fun q -> s.seen.(Lit.var q) <- false) !learnt;
@@ -337,9 +466,11 @@ let analyze_final s p =
     let q = Vec.get s.trail i in
     let v = Lit.var q in
     if s.seen.(v) then begin
-      (match s.reason.(v) with
-       | None -> if s.level.(v) > 0 && v <> v0 then core := q :: !core
-       | Some c ->
+      (let c = s.reason.(v) in
+       if c == dummy_clause then begin
+         if s.level.(v) > 0 && v <> v0 then core := q :: !core
+       end
+       else
          Array.iter
            (fun l ->
               if Lit.var l <> v && s.level.(Lit.var l) > 0 then
@@ -364,7 +495,7 @@ let record_learnt s lits =
   | [] -> s.ok <- false; None
   | [ l ] ->
     fire_learn s lits 1;
-    enqueue s l None;
+    enqueue s l dummy_clause;
     None
   | l :: rest ->
     (* literal-block distance: distinct levels of the tail literals,
@@ -378,12 +509,12 @@ let record_learnt s lits =
     fire_learn s lits lbd;
     let c =
       { lits = Array.of_list lits; activity = 0.; learnt = true;
-        deleted = false; lbd }
+        deleted = false; lbd; cid = -1 }
     in
     attach s c;
     Vec.push s.learnts c;
     bump_clause s c;
-    enqueue s l (Some c);
+    enqueue s l c;
     Some c
 
 (* --- clause deletion policies ------------------------------------------- *)
@@ -405,13 +536,15 @@ let reduce_activity_half s =
          incr removed
        end)
     arr;
-  Vec.filter_in_place (fun c -> not c.deleted) s.learnts
+  Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
+  maybe_compact_watches s
 
 let reduce_by_predicate s pred =
   Vec.iter
     (fun c -> if (not c.deleted) && pred c && not (locked s c) then delete_clause s c)
     s.learnts;
-  Vec.filter_in_place (fun c -> not c.deleted) s.learnts
+  Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
+  maybe_compact_watches s
 
 let unassigned_count s (c : clause) =
   Array.fold_left (fun acc l -> if value s l < 0 then acc + 1 else acc) 0 c.lits
@@ -590,7 +723,7 @@ let add_clause s lits =
       match lits with
       | [] -> s.ok <- false
       | [ l ] ->
-        enqueue s l None;
+        enqueue s l dummy_clause;
         (match propagate s with Some _ -> s.ok <- false | None -> ())
       | l0 :: l1 :: _ ->
         let arr = Array.of_list lits in
@@ -598,7 +731,7 @@ let add_clause s lits =
         ignore l1;
         let cl =
           { lits = arr; activity = 0.; learnt = false; deleted = false;
-            lbd = 0 }
+            lbd = 0; cid = -1 }
         in
         attach s cl;
         Vec.push s.clauses cl;
@@ -625,13 +758,13 @@ let import_clause ?lbd s lits =
       match lits with
       | [] -> s.ok <- false
       | [ l ] ->
-        enqueue s l None;
+        enqueue s l dummy_clause;
         (match propagate s with Some _ -> s.ok <- false | None -> ())
       | _ ->
         let lbd = match lbd with Some b -> b | None -> List.length lits in
         let cl =
           { lits = Array.of_list lits; activity = 0.; learnt = true;
-            deleted = false; lbd }
+            deleted = false; lbd; cid = -1 }
         in
         attach s cl;
         Vec.push s.learnts cl
@@ -641,10 +774,9 @@ let import_clause ?lbd s lits =
 let create ?(config = Types.default) formula =
   let n = Cnf.Formula.nvars formula in
   let cap = max n 1 in
-  (* the heap's score must read [s.activity] (which [ensure_capacity]
-     replaces wholesale), so it goes through a knot tied after the record
-     is built *)
-  let score = ref (fun (_ : int) -> 0.) in
+  (* the heap reads scores straight out of this array; [ensure_capacity]
+     repoints it with [Heap.set_scores] whenever it reallocates *)
+  let activity = Array.make cap 0. in
   let s =
     {
       cfg = config;
@@ -654,15 +786,19 @@ let create ?(config = Types.default) formula =
       ok = true;
       clauses = Vec.create ~dummy:dummy_clause ();
       learnts = Vec.create ~dummy:dummy_clause ();
-      watches = Array.init (2 * cap) (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_clause ());
+      watches =
+        Array.init (2 * cap) (fun _ -> Watcher.create ~capacity:4 ());
+      ctab = Array.make 16 dummy_clause;
+      next_cid = 1;
+      dead_watchers = 0;
       assign = Array.make cap (-1);
       level = Array.make cap (-1);
-      reason = Array.make cap None;
+      reason = Array.make cap dummy_clause;
       phase = Array.make cap false;
-      activity = Array.make cap 0.;
+      activity;
       var_inc = 1.;
       cla_inc = 1.;
-      heap = Heap.create ~score:(fun v -> !score v) cap;
+      heap = Heap.create ~scores:activity cap;
       trail = Vec.create ~dummy:0 ();
       trail_lim = Vec.create ~dummy:0 ();
       qhead = 0;
@@ -682,7 +818,6 @@ let create ?(config = Types.default) formula =
       on_restart = None;
     }
   in
-  score := (fun v -> s.activity.(v));
   for _ = 1 to n do
     ignore (new_var s)
   done;
@@ -751,7 +886,7 @@ let decide_step s =
     | 0 -> Done (Types.Unsat_assuming (analyze_final s p))
     | _ ->
       new_decision_level s;
-      enqueue s p None;
+      enqueue s p dummy_clause;
       Continue
   end
   else if s.plugin.is_complete () then Done (extract_model s)
@@ -768,7 +903,7 @@ let decide_step s =
       s.stats.decisions <- s.stats.decisions + 1;
       new_decision_level s;
       s.stats.max_level <- max s.stats.max_level (decision_level s);
-      enqueue s l None;
+      enqueue s l dummy_clause;
       Continue
   end
 
@@ -852,3 +987,61 @@ let learned_clauses s =
 
 let last_partial_assignment s = s.partial
 let proof s = List.rev s.proof
+
+(* --- debug-only invariant checking --------------------------------------- *)
+
+let check_watches s =
+  let err = ref None in
+  let fail fmt =
+    Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt
+  in
+  (* pass 1: every watcher entry is either a tombstone (deleted clause,
+     counted against [dead_watchers]) or watches this very literal, with a
+     blocker drawn from the clause's literals *)
+  let tombstones = ref 0 in
+  Array.iteri
+    (fun l ws ->
+       Watcher.iter
+         (fun b cref ->
+            if cref <= 0 || cref >= s.next_cid then
+              fail "watch list %d holds out-of-range clause ref %d" l cref
+            else
+              let c = s.ctab.(cref) in
+              if c.deleted then incr tombstones
+              else begin
+                if Array.length c.lits < 2 then
+                  fail "watch list %d holds a clause of length %d" l
+                    (Array.length c.lits);
+                if Array.length c.lits >= 2
+                   && c.lits.(0) <> l && c.lits.(1) <> l
+                then
+                  fail
+                    "watch list %d holds a clause watched on %d and %d" l
+                    c.lits.(0) c.lits.(1);
+                if not (Array.exists (fun q -> q = b) c.lits) then
+                  fail "blocker %d is not a literal of its clause" b
+              end)
+         ws)
+    s.watches;
+  if !tombstones <> s.dead_watchers then
+    fail "dead-watcher count is %d but %d tombstone entries exist"
+      s.dead_watchers !tombstones;
+  (* pass 2: every undeleted clause is watched on exactly its first two
+     literals, once in each list *)
+  let check_clause (c : clause) =
+    if (not c.deleted) && Array.length c.lits >= 2 then begin
+      if c.cid <= 0 || c.cid >= s.next_cid || s.ctab.(c.cid) != c then
+        fail "clause table slot %d does not point back at its clause" c.cid;
+      let count l =
+        let n = ref 0 in
+        Watcher.iter (fun _ d -> if d = c.cid then incr n) s.watches.(l);
+        !n
+      in
+      let n0 = count c.lits.(0) and n1 = count c.lits.(1) in
+      if n0 <> 1 || n1 <> 1 then
+        fail "clause watched %d/%d times on its first two literals" n0 n1
+    end
+  in
+  Vec.iter check_clause s.clauses;
+  Vec.iter check_clause s.learnts;
+  match !err with None -> Ok () | Some m -> Error m

@@ -131,6 +131,15 @@ val proof : t -> Cnf.Clause.t list
     from the input clauses plus the earlier entries — see
     {!module:Proof}. *)
 
+val check_watches : t -> (unit, string) result
+(** Debug-only invariant checker (O(clauses × watch-list length) — never
+    call it on a hot path): verifies that every undeleted clause of
+    length ≥ 2 is watched on exactly its first two literals, once in each
+    list; that every watcher entry's blocking literal belongs to its
+    clause; and that tombstone entries left by lazy deletion agree with
+    the solver's dead-watcher count.  [Error msg] describes the first
+    violation found.  Legal at any decision level. *)
+
 val last_partial_assignment : t -> int array option
 (** Snapshot of the variable assignment (1/0/-1) at the moment the last
     [solve] declared satisfiability — before the automatic backtrack.

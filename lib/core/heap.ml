@@ -1,12 +1,19 @@
+(* Indexed binary max-heap keyed by an external score array.  The scores
+   live in a flat [float array] shared with the owner (the solver's VSIDS
+   activity array): comparisons are unboxed float loads, with no closure
+   call and no allocation on the bump/undo paths. *)
+
 type t = {
-  score : int -> float;
+  mutable scores : float array;
   mutable heap : int array;
   mutable size : int;
   mutable pos : int array; (* element -> heap index, or -1 *)
 }
 
-let create ~score n =
-  { score; heap = Array.make (max n 1) (-1); size = 0; pos = Array.make (max n 1) (-1) }
+let create ~scores n =
+  { scores; heap = Array.make (max n 1) (-1); size = 0; pos = Array.make (max n 1) (-1) }
+
+let set_scores h scores = h.scores <- scores
 
 let grow h n =
   if n > Array.length h.pos then begin
@@ -30,7 +37,7 @@ let swap h i j =
 let rec up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.score h.heap.(i) > h.score h.heap.(parent) then begin
+    if h.scores.(h.heap.(i)) > h.scores.(h.heap.(parent)) then begin
       swap h i parent;
       up h parent
     end
@@ -39,8 +46,10 @@ let rec up h i =
 let rec down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let best = ref i in
-  if l < h.size && h.score h.heap.(l) > h.score h.heap.(!best) then best := l;
-  if r < h.size && h.score h.heap.(r) > h.score h.heap.(!best) then best := r;
+  if l < h.size && h.scores.(h.heap.(l)) > h.scores.(h.heap.(!best)) then
+    best := l;
+  if r < h.size && h.scores.(h.heap.(r)) > h.scores.(h.heap.(!best)) then
+    best := r;
   if !best <> i then begin
     swap h i !best;
     down h !best

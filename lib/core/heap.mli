@@ -1,17 +1,25 @@
 (** Indexed binary max-heap over variable indices, ordered by a mutable
-    external score (VSIDS activity).
+    external score array (VSIDS activity).
 
-    When a score changes, call {!update} to restore heap order for that
+    Scores are read straight from a flat [float array] shared with the
+    owner — unboxed comparisons, no per-comparison closure call.  When a
+    score changes, call {!update} to restore heap order for that
     element. *)
 
 type t
 
-val create : score:(int -> float) -> int -> t
-(** [create ~score n] builds an empty heap admitting elements
-    [0 .. n-1]. *)
+val create : scores:float array -> int -> t
+(** [create ~scores n] builds an empty heap admitting elements
+    [0 .. n-1].  Every inserted element must index within [scores]. *)
+
+val set_scores : t -> float array -> unit
+(** Repoints the heap at a new score array — required when the owner
+    reallocates it (capacity growth).  Heap order must already agree with
+    the new array's values. *)
 
 val grow : t -> int -> unit
-(** [grow h n] extends the admissible element range to [0 .. n-1]. *)
+(** [grow h n] extends the admissible element range to [0 .. n-1].  The
+    score array must be (re)sized by the owner via {!set_scores}. *)
 
 val insert : t -> int -> unit
 (** No-op when the element is already present. *)

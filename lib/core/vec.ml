@@ -14,6 +14,10 @@ let set v i x =
   if i < 0 || i >= v.size then invalid_arg "Vec.set";
   v.data.(i) <- x
 
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x
+let raw v = v.data
+
 let grow v =
   let cap = Array.length v.data in
   let data = Array.make (cap * 2) v.dummy in
@@ -73,7 +77,35 @@ let filter_in_place p v =
   done;
   shrink v !j
 
+(* In-place heapsort over the live prefix [0, size): no spare array, so
+   sorting never allocates regardless of the vector's length. *)
 let sort cmp v =
-  let a = Array.sub v.data 0 v.size in
-  Array.sort cmp a;
-  Array.blit a 0 v.data 0 v.size
+  let a = v.data in
+  let n = v.size in
+  let swap i j =
+    let t = Array.unsafe_get a i in
+    Array.unsafe_set a i (Array.unsafe_get a j);
+    Array.unsafe_set a j t
+  in
+  let rec sift_down root len =
+    let child = (2 * root) + 1 in
+    if child < len then begin
+      let child =
+        if child + 1 < len
+           && cmp (Array.unsafe_get a child) (Array.unsafe_get a (child + 1)) < 0
+        then child + 1
+        else child
+      in
+      if cmp (Array.unsafe_get a root) (Array.unsafe_get a child) < 0 then begin
+        swap root child;
+        sift_down child len
+      end
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i n
+  done;
+  for i = n - 1 downto 1 do
+    swap 0 i;
+    sift_down 0 i
+  done

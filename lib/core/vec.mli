@@ -10,6 +10,21 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bounds check.  The caller must prove [0 <= i < size];
+    reserved for hot loops whose indices are loop-invariant-provably in
+    bounds (the solver's propagation and conflict-analysis paths). *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** [set] without the bounds check; same proof obligation as
+    {!unsafe_get}. *)
+
+val raw : 'a t -> 'a array
+(** The backing array.  Slots at indices [>= size] hold the dummy.  The
+    reference is invalidated by any growth ([push] past capacity); only
+    borrow it across code that cannot grow the vector. *)
+
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 (** Removes and returns the last element.  Raises [Invalid_argument] when
@@ -29,3 +44,5 @@ val filter_in_place : ('a -> bool) -> 'a t -> unit
 (** Keeps only elements satisfying the predicate, preserving order. *)
 
 val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** Sorts the live prefix in place (heapsort: O(1) extra space, no
+    allocation, not stable). *)

@@ -1,0 +1,75 @@
+(* Struct-of-arrays watcher lists: an [int array] of blocking literals
+   alongside an [int array] of clause references (indices into the
+   solver's clause table), instead of boxed (blocker, clause) tuples.
+   The propagation loop reads the blocker stream sequentially, touches
+   the clause table only when the blocker is not satisfied, and — both
+   payloads being immediates — never pays the GC write barrier when
+   keeping, moving, or compacting entries. *)
+
+type t = {
+  mutable blockers : int array;
+  mutable crefs : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 4) () =
+  let cap = max capacity 1 in
+  { blockers = Array.make cap 0; crefs = Array.make cap 0; size = 0 }
+
+let size w = w.size
+let is_empty w = w.size = 0
+
+let grow w =
+  let cap = Array.length w.crefs in
+  let blockers = Array.make (cap * 2) 0 in
+  let crefs = Array.make (cap * 2) 0 in
+  Array.blit w.blockers 0 blockers 0 w.size;
+  Array.blit w.crefs 0 crefs 0 w.size;
+  w.blockers <- blockers;
+  w.crefs <- crefs
+
+let push w b cref =
+  if w.size = Array.length w.crefs then grow w;
+  Array.unsafe_set w.blockers w.size b;
+  Array.unsafe_set w.crefs w.size cref;
+  w.size <- w.size + 1
+
+let blocker w i =
+  if i < 0 || i >= w.size then invalid_arg "Watcher.blocker";
+  w.blockers.(i)
+
+let cref w i =
+  if i < 0 || i >= w.size then invalid_arg "Watcher.cref";
+  w.crefs.(i)
+
+let unsafe_blocker w i = Array.unsafe_get w.blockers i
+let unsafe_cref w i = Array.unsafe_get w.crefs i
+
+let unsafe_set w i b cref =
+  Array.unsafe_set w.blockers i b;
+  Array.unsafe_set w.crefs i cref
+
+let raw_blockers w = w.blockers
+let raw_crefs w = w.crefs
+
+let shrink w n =
+  if n < 0 || n > w.size then invalid_arg "Watcher.shrink";
+  w.size <- n
+
+let clear w = shrink w 0
+
+let iter f w =
+  for i = 0 to w.size - 1 do
+    f w.blockers.(i) w.crefs.(i)
+  done
+
+let filter_in_place p w =
+  let j = ref 0 in
+  for i = 0 to w.size - 1 do
+    if p w.crefs.(i) then begin
+      w.blockers.(!j) <- w.blockers.(i);
+      w.crefs.(!j) <- w.crefs.(i);
+      incr j
+    end
+  done;
+  w.size <- !j

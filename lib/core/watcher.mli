@@ -1,0 +1,43 @@
+(** Struct-of-arrays watcher lists for two-literal watching.
+
+    Each entry pairs a {e blocking literal} with a clause reference — an
+    index into the solver's clause table — stored as two parallel flat
+    [int array]s rather than an array of boxed tuples.  When the blocker
+    is already true the clause is satisfied and the propagation loop
+    skips the clause dereference entirely (the MiniSat 2.2 / Glucose
+    watcher layout); and because both payloads are unboxed integers, no
+    store into a watch list ever invokes the GC write barrier. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+val push : t -> int -> int -> unit
+(** [push w blocker cref] appends an entry. *)
+
+val blocker : t -> int -> int
+val cref : t -> int -> int
+
+val unsafe_blocker : t -> int -> int
+(** No bounds check; the caller must prove [0 <= i < size]. *)
+
+val unsafe_cref : t -> int -> int
+val unsafe_set : t -> int -> int -> int -> unit
+
+val raw_blockers : t -> int array
+(** The backing blocker array.  Invalidated by growth ([push] past
+    capacity); only borrow it across code that cannot grow this list. *)
+
+val raw_crefs : t -> int array
+
+val shrink : t -> int -> unit
+(** Truncates to the first [n] entries. *)
+
+val clear : t -> unit
+val iter : (int -> int -> unit) -> t -> unit
+
+val filter_in_place : (int -> bool) -> t -> unit
+(** Keeps only entries whose clause reference satisfies the predicate,
+    preserving order — the watch-list compaction primitive. *)

@@ -12,6 +12,7 @@ let () =
       ("vec+heap+rng", Test_vec_heap_rng.suite);
       ("bcp", Test_bcp.suite);
       ("cdcl", Test_cdcl.suite);
+      ("watches", Test_watches.suite);
       ("proof", Test_proof.suite);
       ("dpll", Test_dpll.suite);
       ("local-search", Test_local_search.suite);

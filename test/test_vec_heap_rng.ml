@@ -33,7 +33,7 @@ let vec_sort () =
 
 let heap_property () =
   let scores = Array.make 50 0. in
-  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) 50 in
+  let h = Sat.Heap.create ~scores 50 in
   let rng = Sat.Rng.create 5 in
   for v = 0 to 49 do
     scores.(v) <- Sat.Rng.float rng;
@@ -53,7 +53,7 @@ let heap_property () =
 
 let heap_update () =
   let scores = Array.make 4 0. in
-  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) 4 in
+  let h = Sat.Heap.create ~scores 4 in
   List.iter (Sat.Heap.insert h) [ 0; 1; 2; 3 ];
   scores.(2) <- 10.;
   Sat.Heap.update h 2;
@@ -64,7 +64,7 @@ let heap_update () =
 
 let heap_grow () =
   let scores = Array.make 100 0. in
-  let h = Sat.Heap.create ~score:(fun v -> scores.(v)) 2 in
+  let h = Sat.Heap.create ~scores 2 in
   Sat.Heap.insert h 50;
   Alcotest.(check bool) "grown mem" true (Sat.Heap.mem h 50)
 

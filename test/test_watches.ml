@@ -1,0 +1,117 @@
+(* Guards for the propagation-layer memory overhaul: the debug watch
+   checker after solving (and after clause-database reductions, which
+   exercise lazy deletion + compaction), plus a 300-instance sweep pinned
+   to the answer set recorded before blocking literals were introduced. *)
+
+(* bench/util.ml's generator, duplicated so tests depend only on the
+   libraries *)
+let random_3sat ~seed ~nvars ~ratio =
+  let rng = Sat.Rng.create seed in
+  let f = Cnf.Formula.create ~nvars () in
+  let nclauses = int_of_float (float_of_int nvars *. ratio) in
+  for _ = 1 to nclauses do
+    let rec distinct acc n =
+      if n = 0 then acc
+      else
+        let v = Sat.Rng.int rng nvars in
+        if List.mem v acc then distinct acc n else distinct (v :: acc) (n - 1)
+    in
+    let vars = distinct [] 3 in
+    Cnf.Formula.add_clause_l f
+      (List.map (fun v -> Cnf.Lit.of_var v (Sat.Rng.bool rng)) vars)
+  done;
+  f
+
+let check_ok ctx s =
+  match Sat.Cdcl.check_watches s with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (Printf.sprintf "%s: %s" ctx msg)
+
+let configs =
+  [
+    ("default", Sat.Types.default);
+    ("grasp-like", Sat.Types.grasp_like);
+    ("lbd", { Sat.Types.default with deletion = Sat.Types.Lbd_bounded 3 });
+    ("size", { Sat.Types.default with deletion = Sat.Types.Size_bounded 4 });
+    ("no-deletion", { Sat.Types.default with deletion = Sat.Types.No_deletion });
+    ("chrono+proof",
+     { Sat.Types.default with chronological = true; proof_logging = true });
+  ]
+
+(* invariant holds after solving, after a reduction pass (lazy deletion +
+   tombstone compaction), and after an incremental re-solve *)
+let invariant_after_solve () =
+  List.iter
+    (fun (cname, config) ->
+       List.iter
+         (fun seed ->
+            let f = random_3sat ~seed ~nvars:60 ~ratio:4.26 in
+            let s = Sat.Cdcl.create ~config f in
+            let ctx = Printf.sprintf "%s/seed%d" cname seed in
+            ignore (Sat.Cdcl.solve s);
+            check_ok (ctx ^ " post-solve") s;
+            Sat.Cdcl.prune_learnts s ~keep:(fun ~lbd ~size:_ ~lits:_ ->
+                lbd <= 2);
+            check_ok (ctx ^ " post-prune") s;
+            ignore (Sat.Cdcl.solve s);
+            check_ok (ctx ^ " post-resolve") s)
+         [ 1; 7; 13 ])
+    configs
+
+(* heavy deletion pressure: repeated solve-under-budget / prune cycles
+   must keep the tombstone accounting exact *)
+let invariant_under_churn () =
+  let f = random_3sat ~seed:42 ~nvars:120 ~ratio:4.26 in
+  let s = Sat.Cdcl.create f in
+  for round = 1 to 5 do
+    ignore (Sat.Cdcl.solve ~max_conflicts:200 s);
+    check_ok (Printf.sprintf "churn round %d solve" round) s;
+    Sat.Cdcl.prune_learnts s ~keep:(fun ~lbd:_ ~size:_ ~lits:_ ->
+        round mod 2 = 0);
+    check_ok (Printf.sprintf "churn round %d prune" round) s
+  done
+
+(* Answers of the solver before the blocking-literal overhaul on 300
+   random instances at the phase transition (nvars=40, ratio=4.26,
+   seeds 0..299, default config).  Blocking literals may legally change
+   the search path but never an answer; DPLL arbitrates independently. *)
+let recorded_answers =
+  "SSSSUSSSSUUSUUSSUUSSSSUSSSSUUSSUUSUUSSSSSUUUSSSUSSUSUUSSUSSS\
+   UUSSSSUUSSUUSSSSSSUSUSSSSSUUUUSSSSSSUUUSSSSSSUUSSSUUSSSSSSSU\
+   SSSUSSUUUSUSSSSSUSSSSSUSSUSSSSSUSSUSSSSSUSSUSSSSSUSUSSSUUUSS\
+   SSUSUUSUSSSSSSSUSSUUUSUSSSSSSUUSSSSUUSSUUUSUSSUUUUUSSSSSUSUS\
+   SUSUSSUSSSUSUSSUUSSSSSUSUSSUSUUSSUSSSSUSSSSUUSSSSSUUSSSSUUSU"
+
+let property_300 () =
+  Alcotest.(check int) "recorded sweep size" 300
+    (String.length recorded_answers);
+  for seed = 0 to 299 do
+    let f = random_3sat ~seed ~nvars:40 ~ratio:4.26 in
+    let s = Sat.Cdcl.create f in
+    let cdcl = Sat.Cdcl.solve s in
+    check_ok (Printf.sprintf "sweep seed %d" seed) s;
+    let c = if Th.outcome_sat cdcl then 'S' else 'U' in
+    if c <> recorded_answers.[seed] then
+      Alcotest.failf "seed %d: answer %c differs from pre-overhaul %c" seed c
+        recorded_answers.[seed];
+    let dpll, _ = Sat.Dpll.solve f in
+    let d = if Th.outcome_sat dpll then 'S' else 'U' in
+    if c <> d then Alcotest.failf "seed %d: cdcl %c vs dpll %c" seed c d;
+    (* SAT models must actually satisfy the formula *)
+    if c = 'S' then
+      let m = Th.model_of cdcl in
+      Cnf.Formula.iter_clauses f (fun cl ->
+          if
+            not
+              (List.exists
+                 (fun l -> m.(Cnf.Lit.var l) = Cnf.Lit.is_pos l)
+                 (Cnf.Clause.to_list cl))
+          then Alcotest.failf "seed %d: model leaves a clause false" seed)
+  done
+
+let suite =
+  [
+    Th.case "watch invariant across configs" invariant_after_solve;
+    Th.case "watch invariant under deletion churn" invariant_under_churn;
+    Th.case "300-instance sweep vs pre-overhaul answers + dpll" property_300;
+  ]
