@@ -29,6 +29,8 @@ let e23 () =
             config = T.default;
             sharing = { P.default_sharing with P.share };
             timeout = None;
+            metrics = None;
+            trace = None;
           }
         (f ())
     in

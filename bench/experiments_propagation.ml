@@ -72,6 +72,10 @@ let write_json path ~mode solves parses =
   let oc = open_out path in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
+  (* schema versioning shared with the --metrics surface (docs/METRICS.md) *)
+  Buffer.add_string b "  \"schema\": \"satreda-bench\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"version\": %d,\n" Sat.Metrics.schema_version);
   Buffer.add_string b (Printf.sprintf "  \"experiment\": \"E24\",\n");
   Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
   Buffer.add_string b "  \"propagation\": [\n";

@@ -31,6 +31,7 @@ let experiments =
     ("E22", "incremental sessions vs from-scratch", Experiments_session.e22);
     ("E23", "parallel portfolio with clause sharing", Experiments_parallel.e23);
     ("E24", "propagation throughput + parse timing", Experiments_propagation.e24);
+    ("E25", "observability overhead (metrics + tracing)", Experiments_observability.e25);
   ]
 
 let () =

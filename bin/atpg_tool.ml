@@ -1,10 +1,13 @@
 (* ATPG over a BENCH-format netlist.
 
-   atpg_tool FILE.bench [--no-fault-sim] [--structural] [--incremental] *)
+   atpg_tool FILE.bench [--no-fault-sim] [--structural] [--incremental]
+             [--metrics FILE.json] [--trace FILE.jsonl] *)
 
 open Cmdliner
 
-let run path no_fault_sim structural incremental per_query =
+let run path no_fault_sim structural incremental per_query metrics_path
+    trace_path =
+  let obs = Obs.setup ~tool:"atpg_tool" metrics_path trace_path in
   let c = Circuit.Bench_format.parse_file path in
   Format.printf "circuit: %a@." Circuit.Netlist.pp_stats c;
   let on_query f (st : Sat.Types.stats) =
@@ -14,9 +17,11 @@ let run path no_fault_sim structural incremental per_query =
         st.Sat.Types.restarts_done
   in
   let summary =
-    if incremental || per_query then Eda.Atpg.run_incremental ~on_query c
+    if incremental || per_query || obs.Obs.trace <> None then
+      Eda.Atpg.run_incremental ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace
+        ~on_query c
     else
-      Eda.Atpg.run ~use_structural:structural
+      Eda.Atpg.run ?metrics:obs.Obs.metrics ~use_structural:structural
         ~fault_simulation:(not no_fault_sim) c
   in
   Format.printf "%a@." Eda.Atpg.pp_summary summary;
@@ -45,6 +50,7 @@ let per_query =
 let cmd =
   Cmd.v
     (Cmd.info "atpg_tool" ~doc:"stuck-at test pattern generation")
-    Term.(const run $ file $ no_fault_sim $ structural $ incremental $ per_query)
+    Term.(const run $ file $ no_fault_sim $ structural $ incremental
+          $ per_query $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,12 +1,13 @@
 (* Emit the built-in circuit generators as BENCH files.
 
-   bench_gen FAMILY [--bits N] [--seed S] [-o FILE]
+   bench_gen FAMILY [--bits N] [--seed S] [-o FILE] [--metrics FILE.json]
    families: c17 fig1 fig3 ripple carryskip multiplier comparator parity
              mux alu random majority *)
 
 open Cmdliner
 
-let run family bits seed out =
+let run family bits seed out metrics_path trace_path =
+  let obs = Obs.setup ~tool:"bench_gen" metrics_path trace_path in
   let circuit =
     match family with
     | "c17" -> Circuit.Generators.c17 ()
@@ -25,6 +26,15 @@ let run family bits seed out =
       Printf.eprintf "unknown family %s\n" other;
       exit 2
   in
+  (* no solving happens here; the snapshot records the generated shape *)
+  Option.iter
+    (fun m ->
+       let set name v = Sat.Metrics.set_counter (Sat.Metrics.counter m name) v in
+       set "circuit/nodes" (Circuit.Netlist.num_nodes circuit);
+       set "circuit/inputs" (List.length (Circuit.Netlist.inputs circuit));
+       set "circuit/outputs"
+         (List.length (Circuit.Netlist.outputs circuit)))
+    obs.Obs.metrics;
   let text = Circuit.Bench_format.to_string circuit in
   match out with
   | Some path ->
@@ -44,6 +54,7 @@ let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"output file")
 let cmd =
   Cmd.v
     (Cmd.info "bench_gen" ~doc:"generate benchmark netlists")
-    Term.(const run $ family $ bits $ seed $ out)
+    Term.(const run $ family $ bits $ seed $ out $ Obs.metrics_term
+          $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -2,19 +2,24 @@
    counter family or an ISCAS-89-style BENCH file with DFFs.
 
    bmc_tool [--bits N] [--buggy-at K] [--bound B] [--bench FILE --bad OUT]
-            [--timeout SECS]
+            [--timeout SECS] [--metrics FILE.json] [--trace FILE.jsonl]
    bmc_tool --induction ... additionally attempts a k-induction proof. *)
 
 open Cmdliner
 
-let run bits buggy_at bound bench bad induction from_scratch stats timeout =
+let run bits buggy_at bound bench bad induction from_scratch stats timeout
+    metrics_path trace_path =
+  let obs = Obs.setup ~tool:"bmc_tool" metrics_path trace_path in
   let seq =
     match bench with
     | Some path -> Circuit.Bench_format.parse_sequential_file path
     | None -> Circuit.Sequential.counter ~bits ~buggy_at
   in
   if induction then begin
-    match Eda.Bmc.prove_inductive ~bad_output:bad ~max_k:bound seq with
+    match
+      Eda.Bmc.prove_inductive ?metrics:obs.Obs.metrics ~bad_output:bad
+        ~max_k:bound seq
+    with
     | Eda.Bmc.Proved k -> Printf.printf "PROVED for all depths (k=%d)\n" k
     | Eda.Bmc.Refuted frames ->
       Printf.printf "REFUTED: counterexample of length %d\n"
@@ -23,7 +28,8 @@ let run bits buggy_at bound bench bad induction from_scratch stats timeout =
       Printf.printf "inconclusive up to k=%d\n" bound
   end;
   let r =
-    Eda.Bmc.check ~incremental:(not from_scratch) ~bad_output:bad ?timeout
+    Eda.Bmc.check ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace
+      ~incremental:(not from_scratch) ~bad_output:bad ?timeout
       ~max_bound:bound seq
   in
   (match r.Eda.Bmc.result with
@@ -92,6 +98,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bmc_tool" ~doc:"bounded model checker demo")
     Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction
-          $ from_scratch $ stats $ timeout)
+          $ from_scratch $ stats $ timeout $ Obs.metrics_term
+          $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,10 +1,13 @@
 (* Combinational equivalence checking of two BENCH netlists.
 
-   cec_tool A.bench B.bench [--method sat|bdd|rl|aig|sweep] [--jobs N] *)
+   cec_tool A.bench B.bench [--method sat|bdd|rl|aig|sweep] [--jobs N]
+            [--metrics FILE.json] [--trace FILE.jsonl] *)
 
 open Cmdliner
 
-let run a b method_ jobs =
+let run a b method_ jobs metrics_path trace_path =
+  let obs = Obs.setup ~tool:"cec_tool" metrics_path trace_path in
+  let metrics = obs.Obs.metrics and trace = obs.Obs.trace in
   let c1 = Circuit.Bench_format.parse_file a in
   let c2 = Circuit.Bench_format.parse_file b in
   if jobs > 1 && method_ <> "sat" then begin
@@ -21,9 +24,10 @@ let run a b method_ jobs =
                { Sat.Portfolio.default_options with Sat.Portfolio.jobs })
         else None
       in
-      Eda.Equiv.check_sat ?engine ~pipeline:Sat.Solver.full_pipeline c1 c2
+      Eda.Equiv.check_sat ?metrics ?trace ?engine
+        ~pipeline:Sat.Solver.full_pipeline c1 c2
     | "bdd" -> Eda.Equiv.check_bdd c1 c2
-    | "rl" -> Eda.Equiv.check_rl ~depth:1 c1 c2
+    | "rl" -> Eda.Equiv.check_rl ?metrics ?trace ~depth:1 c1 c2
     | "aig" -> Eda.Equiv.check_aig c1 c2
     | "sweep" ->
       let r = Eda.Sweep.check c1 c2 in
@@ -66,6 +70,7 @@ let jobs =
 let cmd =
   Cmd.v
     (Cmd.info "cec_tool" ~doc:"combinational equivalence checker")
-    Term.(const run $ a $ b $ method_ $ jobs)
+    Term.(const run $ a $ b $ method_ $ jobs $ Obs.metrics_term
+          $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

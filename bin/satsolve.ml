@@ -2,12 +2,14 @@
 
    satsolve FILE [--engine cdcl|dpll|walksat] [--preprocess] [--equiv]
                  [--rl DEPTH] [--seed N] [--stats]
-                 [--jobs N] [--timeout SECS] [--no-share]                *)
+                 [--jobs N] [--timeout SECS] [--no-share]
+                 [--metrics FILE.json] [--trace FILE.jsonl]              *)
 
 open Cmdliner
 
 let solve_file path engine_name preprocess equiv rl seed stats certify jobs
-    timeout no_share =
+    timeout no_share metrics_path trace_path =
+  let obs = Obs.setup ~tool:"satsolve" metrics_path trace_path in
   let formula = Cnf.Dimacs.parse_file path in
   let config = { Sat.Types.default with Sat.Types.random_seed = seed } in
   if certify then begin
@@ -24,11 +26,15 @@ let solve_file path engine_name preprocess equiv rl seed stats certify jobs
        print_endline "c proof: all learned clauses verified"
      | Sat.Proof.Invalid_step i ->
        Printf.printf "c proof: INVALID at step %d\n" i);
+    (* SAT-competition exit codes, same as the plain path: an UNSAT
+       answer only earns 20 when the refutation checks out *)
     exit
       (match outcome, verdict with
        | Sat.Types.Sat _, _ -> 10
-       | Sat.Types.Unsat, Sat.Proof.Valid_refutation -> 20
-       | _ -> 1)
+       | (Sat.Types.Unsat | Sat.Types.Unsat_assuming _),
+         Sat.Proof.Valid_refutation -> 20
+       | Sat.Types.Unknown _, _ -> 0
+       | _ -> 2)
   end;
   let engine =
     match engine_name with
@@ -45,6 +51,8 @@ let solve_file path engine_name preprocess equiv rl seed stats certify jobs
               { Sat.Portfolio.default_sharing with
                 Sat.Portfolio.share = not no_share };
             timeout;
+            metrics = None;
+            trace = None;
           }
       else Sat.Solver.Cdcl config
     | "dpll" -> Sat.Solver.Dpll config
@@ -66,7 +74,10 @@ let solve_file path engine_name preprocess equiv rl seed stats certify jobs
       recursive_learning = rl;
     }
   in
-  let report = Sat.Solver.solve ~engine ~pipeline formula in
+  let report =
+    Sat.Solver.solve ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace ~engine
+      ~pipeline formula
+  in
   (match report.Sat.Solver.outcome with
    | Sat.Types.Sat m ->
      print_endline "s SATISFIABLE";
@@ -137,6 +148,7 @@ let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~doc:"SAT solver for DIMACS CNF")
     Term.(const solve_file $ file $ engine $ preprocess $ equiv $ rl $ seed
-          $ stats $ certify $ jobs $ timeout $ no_share)
+          $ stats $ certify $ jobs $ timeout $ no_share $ Obs.metrics_term
+          $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

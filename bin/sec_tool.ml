@@ -1,13 +1,18 @@
 (* Sequential equivalence checking of two DFF BENCH netlists.
 
-   sec_tool A.bench B.bench [--max-k K] [--bound B] *)
+   sec_tool A.bench B.bench [--max-k K] [--bound B]
+            [--metrics FILE.json] [--trace FILE.jsonl] *)
 
 open Cmdliner
 
-let run a b max_k bound =
+let run a b max_k bound metrics_path trace_path =
+  let obs = Obs.setup ~tool:"sec_tool" metrics_path trace_path in
   let s1 = Circuit.Bench_format.parse_sequential_file a in
   let s2 = Circuit.Bench_format.parse_sequential_file b in
-  match Eda.Seq_equiv.check ~max_k ~bound s1 s2 with
+  match
+    Eda.Seq_equiv.check ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace ~max_k
+      ~bound s1 s2
+  with
   | Eda.Seq_equiv.Equivalent k ->
     Printf.printf "EQUIVALENT for all input sequences (k=%d induction)\n" k;
     exit 0
@@ -34,6 +39,7 @@ let bound = Arg.(value & opt int 16 & info [ "bound" ] ~doc:"bounded-search fall
 let cmd =
   Cmd.v
     (Cmd.info "sec_tool" ~doc:"sequential equivalence checker")
-    Term.(const run $ a $ b $ max_k $ bound)
+    Term.(const run $ a $ b $ max_k $ bound $ Obs.metrics_term
+          $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

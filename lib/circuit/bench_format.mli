@@ -3,7 +3,7 @@
     Supported lines: [INPUT(name)], [OUTPUT(name)], comments ([#]) and
     gate definitions [name = GATE(a, b, ...)] with the gate names of
     {!Gate.of_string}.  The combinational entry points reject [DFF];
-    {!parse_sequential} accepts ISCAS-89-style [q = DFF(d)] lines,
+    {!parse_sequential_string} accepts ISCAS-89-style [q = DFF(d)] lines,
     turning each flip-flop output into a state input (initialised to 0,
     the s-series convention) and its argument into the next-state
     function. *)

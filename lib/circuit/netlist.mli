@@ -3,7 +3,7 @@
     Nodes are numbered densely from 0 in creation order, which is a
     topological order by construction (a gate may only reference already
     existing nodes).  The structure is a mutable builder; analyses
-    ({!fanouts}, {!levels}) are computed on demand against the current
+    ({!fanouts}, {!level}) are computed on demand against the current
     contents. *)
 
 type node_id = int

@@ -84,6 +84,12 @@ type t = {
   interrupted : bool Atomic.t;
   mutable on_learn : (Cnf.Lit.t list -> int -> unit) option;
   mutable on_restart : (unit -> unit) option;
+  (* observability: both default to [None]; every emission site guards
+     on the option so a solver with nothing attached pays one immediate
+     comparison per site, off the propagation inner loop *)
+  mutable tracer : Trace.sink option;
+  mutable instruments : Metrics.solver_instruments option;
+  mutable solve_calls : int;
 }
 
 let config s = s.cfg
@@ -91,6 +97,8 @@ let stats s = s.stats
 let set_plugin s p = s.plugin <- p
 let set_learn_hook s h = s.on_learn <- h
 let set_restart_hook s h = s.on_restart <- h
+let set_tracer s tr = s.tracer <- tr
+let set_instruments s ins = s.instruments <- ins
 let interrupt s = Atomic.set s.interrupted true
 let interrupt_requested s = Atomic.get s.interrupted
 let nvars s = s.nvars
@@ -376,7 +384,12 @@ let propagate s =
     done;
     if !j < n then Watcher.shrink ws !j
   done;
-  s.stats.propagations <- s.stats.propagations + (s.qhead - qhead0);
+  let props = s.qhead - qhead0 in
+  s.stats.propagations <- s.stats.propagations + props;
+  (match s.tracer with
+   | Some tr when props > 0 ->
+     Trace.emit tr (Trace.Propagation { props; trail = Vec.size trail })
+   | _ -> ());
   !confl
 
 (* --- Diagnose(): 1-UIP conflict analysis -------------------------------- *)
@@ -485,7 +498,13 @@ let analyze_final s p =
 (* --- clause recording ---------------------------------------------------- *)
 
 let fire_learn s lits lbd =
-  match s.on_learn with None -> () | Some h -> h lits lbd
+  (match s.on_learn with None -> () | Some h -> h lits lbd);
+  (match s.instruments with
+   | Some ins -> Metrics.observe_int ins.Metrics.lbd lbd
+   | None -> ());
+  match s.tracer with
+  | Some tr -> Trace.emit tr (Trace.Learn { lbd; size = List.length lits })
+  | None -> ()
 
 let record_learnt s lits =
   s.stats.learned <- s.stats.learned + 1;
@@ -519,7 +538,21 @@ let record_learnt s lits =
 
 (* --- clause deletion policies ------------------------------------------- *)
 
+let live_learnts s =
+  let n = ref 0 in
+  Vec.iter (fun (c : clause) -> if not c.deleted then incr n) s.learnts;
+  !n
+
+let trace_reduce s before =
+  match s.tracer with
+  | Some tr ->
+    let after = live_learnts s in
+    if after <> before then
+      Trace.emit tr (Trace.Reduce_db { before; after })
+  | None -> ()
+
 let reduce_activity_half s =
+  let before = live_learnts s in
   let arr =
     Vec.to_list s.learnts
     |> List.filter (fun c -> not c.deleted)
@@ -537,14 +570,17 @@ let reduce_activity_half s =
        end)
     arr;
   Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
-  maybe_compact_watches s
+  maybe_compact_watches s;
+  trace_reduce s before
 
 let reduce_by_predicate s pred =
+  let before = live_learnts s in
   Vec.iter
     (fun c -> if (not c.deleted) && pred c && not (locked s c) then delete_clause s c)
     s.learnts;
   Vec.filter_in_place (fun c -> not c.deleted) s.learnts;
-  maybe_compact_watches s
+  maybe_compact_watches s;
+  trace_reduce s before
 
 let unassigned_count s (c : clause) =
   Array.fold_left (fun acc l -> if value s l < 0 then acc + 1 else acc) 0 c.lits
@@ -755,6 +791,12 @@ let import_clause ?lbd s lits =
     if not (List.exists (fun l -> value s l = 1) lits) then begin
       let lits = List.filter (fun l -> value s l <> 0) lits in
       s.stats.imported <- s.stats.imported + 1;
+      (match s.tracer with
+       | Some tr when lits <> [] ->
+         let size = List.length lits in
+         let lbd = match lbd with Some b -> min b size | None -> size in
+         Trace.emit tr (Trace.Import { lbd; size })
+       | _ -> ());
       match lits with
       | [] -> s.ok <- false
       | [ l ] ->
@@ -816,6 +858,9 @@ let create ?(config = Types.default) formula =
       interrupted = Atomic.make false;
       on_learn = None;
       on_restart = None;
+      tracer = None;
+      instruments = None;
+      solve_calls = 0;
     }
   in
   for _ = 1 to n do
@@ -840,6 +885,14 @@ let extract_model s =
 
 let handle_conflict s confl =
   s.stats.conflicts <- s.stats.conflicts + 1;
+  (match s.tracer with
+   | Some tr ->
+     Trace.emit tr
+       (Trace.Conflict { level = decision_level s; trail = Vec.size s.trail })
+   | None -> ());
+  (match s.instruments with
+   | Some ins -> Metrics.observe_int ins.Metrics.trail (Vec.size s.trail)
+   | None -> ());
   if decision_level s = 0 then begin
     s.ok <- false;
     Done Types.Unsat
@@ -860,6 +913,10 @@ let handle_conflict s confl =
       s.stats.skipped_levels <-
         s.stats.skipped_levels + (decision_level s - 1 - target)
     end;
+    (match s.instruments with
+     | Some ins ->
+       Metrics.observe_int ins.Metrics.backjump (decision_level s - target)
+     | None -> ());
     cancel_until s target;
     ignore (record_learnt s lits);
     decay_activities s;
@@ -903,17 +960,15 @@ let decide_step s =
       s.stats.decisions <- s.stats.decisions + 1;
       new_decision_level s;
       s.stats.max_level <- max s.stats.max_level (decision_level s);
+      (match s.tracer with
+       | Some tr ->
+         Trace.emit tr (Trace.Decision { level = decision_level s; lit = l })
+       | None -> ());
       enqueue s l dummy_clause;
       Continue
   end
 
-let solve ?(assumptions = []) ?max_conflicts ?max_decisions s =
-  (* per-call budgets are relative to this call's starting counters, so a
-     budgeted [Unknown] never poisons later queries on the same solver *)
-  s.conflict_budget <-
-    Option.map (fun m -> s.stats.conflicts + m) max_conflicts;
-  s.decision_budget <-
-    Option.map (fun m -> s.stats.decisions + m) max_decisions;
+let solve_loop s assumptions =
   (* level-0 boundary hook (clause import, etc.) before the search starts *)
   (match s.on_restart with Some h when s.ok -> h () | _ -> ());
   if not s.ok then Types.Unsat
@@ -951,6 +1006,10 @@ let solve ?(assumptions = []) ?max_conflicts ?max_decisions s =
                 (* randomized restart (Sec. 6) *)
                 incr restart_num;
                 s.stats.restarts_done <- s.stats.restarts_done + 1;
+                (match s.tracer with
+                 | Some tr ->
+                   Trace.emit tr (Trace.Restart { number = !restart_num })
+                 | None -> ());
                 conflicts_here := 0;
                 limit := restart_limit s !restart_num;
                 cancel_until s 0;
@@ -973,6 +1032,26 @@ let solve ?(assumptions = []) ?max_conflicts ?max_decisions s =
     s.assumptions <- [||];
     Option.get !result
   end
+
+let solve ?(assumptions = []) ?max_conflicts ?max_decisions s =
+  (* per-call budgets are relative to this call's starting counters, so a
+     budgeted [Unknown] never poisons later queries on the same solver *)
+  s.conflict_budget <-
+    Option.map (fun m -> s.stats.conflicts + m) max_conflicts;
+  s.decision_budget <-
+    Option.map (fun m -> s.stats.decisions + m) max_decisions;
+  s.solve_calls <- s.solve_calls + 1;
+  let query = s.solve_calls in
+  (match s.tracer with
+   | Some tr -> Trace.emit tr (Trace.Solve_begin { query })
+   | None -> ());
+  let outcome = solve_loop s assumptions in
+  (match s.tracer with
+   | Some tr ->
+     Trace.emit tr
+       (Trace.Solve_end { query; outcome = Trace.outcome_label outcome })
+   | None -> ());
+  outcome
 
 (* External retention policy, e.g. between incremental queries.  Locked
    clauses (currently a reason) are never removed. *)

@@ -14,8 +14,8 @@
 
     A {!plugin} lets a client layer observe assignments and override the
     decision procedure and the satisfiability test — the mechanism by which
-    {!module:Csat} adds the circuit structural layer of Section 5 without
-    touching the solver's data structures. *)
+    the [Csat] library adds the circuit structural layer of Section 5
+    without touching the solver's data structures. *)
 
 type t
 
@@ -58,7 +58,7 @@ val import_clause : ?lbd:int -> t -> Cnf.Lit.t list -> unit
     clause-deletion policies may later discard it; clauses currently
     locked as propagation reasons are never deleted.  Importing is sound
     iff the clause is an implicate of the solver's formula.  Counted in
-    {!Types.stats.imported}.  Legal between [solve] calls and from a
+    the [imported] field of {!Types.stats}.  Legal between [solve] calls and from a
     {!set_restart_hook} callback (both are level-0 boundaries). *)
 
 val interrupt : t -> unit
@@ -66,8 +66,8 @@ val interrupt : t -> unit
     call.  Safe to call from any domain.  The search loop checks the
     flag once per iteration and returns [Unknown "interrupted"], leaving
     the solver at level 0 and fully reusable; the request is consumed,
-    so a subsequent [solve] runs to completion.  Counted in
-    {!Types.stats.interrupts}. *)
+    so a subsequent [solve] runs to completion.  Counted in the
+    [interrupts] field of {!Types.stats}. *)
 
 val interrupt_requested : t -> bool
 (** [true] while an {!interrupt} request is pending (not yet consumed by
@@ -85,6 +85,19 @@ val set_restart_hook : t -> (unit -> unit) option -> unit
     and after every restart.  The solver is at decision level 0 during
     the callback, so {!import_clause} is legal there — the import side
     of clause sharing. *)
+
+val set_tracer : t -> Trace.sink option -> unit
+(** Attaches a {!Trace} sink.  The solver then emits structured events —
+    decisions, propagation batches, conflicts, learned clauses, restarts,
+    database reductions, imports, and solve begin/end — into the sink.
+    With [None] (the default) every emission site is a single option
+    check; the propagation inner loop is untouched either way. *)
+
+val set_instruments : t -> Metrics.solver_instruments option -> unit
+(** Attaches the standard search-shape histograms
+    ({!Metrics.solver_instruments}): LBD per learned clause, decision
+    levels unwound per conflict, and trail depth at each conflict.
+    [None] (the default) disables the observations. *)
 
 val solve :
   ?assumptions:Cnf.Lit.t list ->

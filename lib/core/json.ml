@@ -1,0 +1,313 @@
+(* Minimal JSON values: a deterministic printer and a recursive-descent
+   parser.  See json.mli for the contract. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- printing ------------------------------------------------------------ *)
+
+(* Shortest decimal form that round-trips; JSON has no NaN/infinity, so
+   those map to [null] rather than producing an invalid document. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec write b ~indent level v =
+  let pad n = if indent then Buffer.add_string b (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char b '\n' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_nan f || Float.is_integer f = false && Float.abs f = infinity
+    then Buffer.add_string b "null"
+    else if Float.abs f = infinity then Buffer.add_string b "null"
+    else Buffer.add_string b (float_repr f)
+  | String s -> escape_string b s
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_char b '[';
+    newline ();
+    List.iteri
+      (fun i item ->
+         if i > 0 then begin
+           Buffer.add_char b ',';
+           newline ()
+         end;
+         pad (level + 1);
+         write b ~indent (level + 1) item)
+      items;
+    newline ();
+    pad level;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_char b '{';
+    newline ();
+    List.iteri
+      (fun i (k, item) ->
+         if i > 0 then begin
+           Buffer.add_char b ',';
+           newline ()
+         end;
+         pad (level + 1);
+         escape_string b k;
+         Buffer.add_string b (if indent then ": " else ":");
+         write b ~indent (level + 1) item)
+      fields;
+    newline ();
+    pad level;
+    Buffer.add_char b '}'
+
+let to_string ?(indent = false) v =
+  let b = Buffer.create 256 in
+  write b ~indent 0 v;
+  Buffer.contents b
+
+(* --- parsing ------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let fail c fmt =
+  Printf.ksprintf
+    (fun m -> raise (Parse_error (Printf.sprintf "at offset %d: %s" c.pos m)))
+    fmt
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.text
+    && (match c.text.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail c "expected '%c', found '%c'" ch x
+  | None -> fail c "expected '%c', found end of input" ch
+
+let literal c word v =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c "invalid token"
+
+let parse_string_body c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+      c.pos <- c.pos + 1;
+      (match peek c with
+       | None -> fail c "unterminated escape"
+       | Some e ->
+         c.pos <- c.pos + 1;
+         (match e with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+            if c.pos + 4 > String.length c.text then fail c "bad \\u escape";
+            let hex = String.sub c.text c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail c "bad \\u escape %s" hex
+            in
+            (* encode the code point as UTF-8 (BMP only; surrogate pairs
+               are not recombined — sufficient for our own output) *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+          | e -> fail c "invalid escape '\\%c'" e));
+      go ()
+    | Some ch ->
+      Buffer.add_char b ch;
+      c.pos <- c.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    c.pos < String.length c.text && is_num_char c.text.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.text start (c.pos - start) in
+  if s = "" then fail c "expected a number";
+  let is_float =
+    String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s
+  in
+  if is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail c "malformed number %s" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None ->
+      (* integer overflow: fall back to float *)
+      (match float_of_string_opt s with
+       | Some f -> Float f
+       | None -> fail c "malformed number %s" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (k, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members ()
+        | Some '}' -> c.pos <- c.pos + 1
+        | _ -> fail c "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          elements ()
+        | Some ']' -> c.pos <- c.pos + 1
+        | _ -> fail c "expected ',' or ']'"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some _ -> parse_number c
+
+let parse_exn text =
+  let c = { text; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length text then fail c "trailing characters";
+  v
+
+let parse text =
+  match parse_exn text with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+(* --- accessors ----------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list = function List l -> Some l | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | String x, String y -> String.equal x y
+  | List x, List y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+         x y
+  | _ -> false

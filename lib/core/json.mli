@@ -1,0 +1,50 @@
+(** Minimal JSON values with a deterministic printer and a strict parser.
+
+    This is the serialization substrate of the observability layer
+    ({!Metrics} snapshots, {!Trace} event logs, benchmark emitters).  It
+    is deliberately tiny — no external dependency — and deterministic:
+    printing the same value always yields the same bytes, so metric
+    snapshots can be diffed across runs (see [docs/METRICS.md]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** fields print in list order; producers that need byte-stable
+          output sort their keys *)
+
+val to_string : ?indent:bool -> t -> string
+(** Renders the value.  [indent] (default [false]) pretty-prints with
+    two-space indentation.  Floats use the shortest decimal form that
+    round-trips ([parse_exn (to_string v)] reconstructs equal numbers);
+    NaN and infinities — which JSON cannot represent — render as
+    [null]. *)
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+(** Strict JSON parsing (whole input must be one document).  [\u]
+    escapes outside the BMP are not recombined into surrogate pairs —
+    sufficient for documents produced by {!to_string}. *)
+
+val parse_exn : string -> t
+(** Like {!parse}; raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] values coerce to float. *)
+
+val to_string_opt : t -> string option
+val to_list : t -> t list option
+
+val equal : t -> t -> bool
+(** Structural equality; [Int i] equals [Float f] when [f] represents
+    exactly [i] (the parser may not reconstruct the original
+    constructor for whole-valued floats). *)

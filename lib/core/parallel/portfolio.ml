@@ -80,13 +80,17 @@ type options = {
   config : Types.config;
   sharing : sharing;
   timeout : float option;
+  metrics : Metrics.t option;
+  trace : Trace.sink option;
 }
 
 let default_options =
   { jobs = max 1 (Domain.recommended_domain_count ());
     config = Types.default;
     sharing = default_sharing;
-    timeout = None }
+    timeout = None;
+    metrics = None;
+    trace = None }
 
 (* --- diversification ------------------------------------------------------ *)
 
@@ -181,9 +185,16 @@ let run_with_timeout ?timeout targets body =
 
 (* --- sequential path (jobs = 1) ------------------------------------------- *)
 
-let solve_sequential ~config ~timeout f =
+let solve_sequential ~opts f =
+  let config = opts.config and timeout = opts.timeout in
   let t0 = Unix.gettimeofday () in
   let s = Cdcl.create ~config f in
+  (match opts.metrics with
+   | Some m ->
+     Cdcl.set_instruments s (Some (Metrics.solver_instruments m));
+     Metrics.set_gauge (Metrics.gauge m "portfolio/jobs") 1.
+   | None -> ());
+  Cdcl.set_tracer s opts.trace;
   let outcome, timed_out =
     run_with_timeout ?timeout [ s ] (fun () -> Cdcl.solve s)
   in
@@ -193,6 +204,9 @@ let solve_sequential ~config ~timeout f =
     | o -> validate_sat f o
   in
   let stats = Types.copy_stats (Cdcl.stats s) in
+  (match opts.metrics with
+   | Some m -> Metrics.add_stats m stats
+   | None -> ());
   {
     outcome;
     winner = (if definitive outcome then Some 0 else None);
@@ -215,6 +229,25 @@ let solve_parallel ~opts f =
      the spawn is the publication point, and the parent keeps the
      handles it needs for [interrupt] *)
   let solvers = Array.map (fun cfg -> Cdcl.create ~config:cfg f) configs in
+  (* each worker gets a private registry and trace sink — no locking on
+     the emission paths — merged into the caller's after the join *)
+  let worker_regs =
+    match opts.metrics with
+    | Some _ -> Array.init jobs (fun _ -> Metrics.create ())
+    | None -> [||]
+  in
+  let worker_sinks =
+    match opts.trace with
+    | Some _ -> Array.init jobs (fun i -> Trace.make_sink ~worker:i ())
+    | None -> [||]
+  in
+  Array.iteri
+    (fun i s ->
+       if worker_regs <> [||] then
+         Cdcl.set_instruments s
+           (Some (Metrics.solver_instruments worker_regs.(i)));
+       if worker_sinks <> [||] then Cdcl.set_tracer s (Some worker_sinks.(i)))
+    solvers;
   let lock = Mutex.create () in
   let winner = ref None in
   let outcomes = Array.make jobs None in
@@ -230,6 +263,9 @@ let solve_parallel ~opts f =
               if lbd <= sharing.max_lbd && List.length lits <= sharing.max_len
               then begin
                 st.Types.exported <- st.Types.exported + 1;
+                if worker_sinks <> [||] then
+                  Trace.emit worker_sinks.(i)
+                    (Trace.Export { lbd; size = List.length lits });
                 Pool.publish pool { Pool.origin = i; lbd; lits }
               end));
       let cursor = ref 0 in
@@ -301,6 +337,23 @@ let solve_parallel ~opts f =
       if !timed_out then (None, Types.Unknown "timeout")
       else (None, per_worker.(0).worker_outcome)
   in
+  (match opts.metrics with
+   | Some m ->
+     Array.iter (fun r -> Metrics.merge_into ~into:m r) worker_regs;
+     Metrics.add_stats m stats;
+     Metrics.set_gauge (Metrics.gauge m "portfolio/jobs") (float_of_int jobs);
+     Metrics.set_gauge
+       (Metrics.gauge m "portfolio/pool_size")
+       (float_of_int (Pool.size pool));
+     Metrics.incr ~by:pool.Pool.dropped
+       (Metrics.counter m "portfolio/pool_dropped");
+     Metrics.set_gauge
+       (Metrics.gauge m "portfolio/winner")
+       (match winner_idx with Some i -> float_of_int i | None -> -1.)
+   | None -> ());
+  (match opts.trace with
+   | Some dst -> Array.iter (fun s -> Trace.absorb ~into:dst s) worker_sinks
+   | None -> ());
   {
     outcome;
     winner = winner_idx;
@@ -311,6 +364,5 @@ let solve_parallel ~opts f =
   }
 
 let solve ?(options = default_options) f =
-  if options.jobs <= 1 then
-    solve_sequential ~config:options.config ~timeout:options.timeout f
+  if options.jobs <= 1 then solve_sequential ~opts:options f
   else solve_parallel ~opts:options f

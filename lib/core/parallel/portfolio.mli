@@ -39,11 +39,24 @@ type options = {
   config : Types.config;     (** base configuration (worker 0 verbatim) *)
   sharing : sharing;
   timeout : float option;    (** wall-clock seconds; [Unknown "timeout"] *)
+  metrics : Metrics.t option;
+      (** each worker observes into a private registry (standard
+          {!Metrics.solver_instruments}); after the race settles the
+          per-worker registries are merged into this one, the aggregate
+          statistics are added, and the [portfolio/jobs],
+          [portfolio/pool_size], [portfolio/pool_dropped] and
+          [portfolio/winner] metrics are set *)
+  trace : Trace.sink option;
+      (** each worker emits into a private sink tagged with its worker
+          id (plus an [export] event per shared clause); the sinks are
+          absorbed into this one after the join, so {!Trace.merged} /
+          {!Trace.write_file} yield a time-ordered interleaving that is
+          monotone per worker *)
 }
 
 val default_options : options
 (** [jobs = Domain.recommended_domain_count ()], default config and
-    sharing, no timeout. *)
+    sharing, no timeout, no observability. *)
 
 val diversify : base:Types.config -> int -> Types.config
 (** The configuration worker [i] runs: worker 0 is [base] unchanged;

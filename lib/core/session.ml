@@ -10,6 +10,13 @@ type retention =
 
 type activation_state = Active | Released
 
+(* per-query observability bundle; see [attach_metrics] *)
+type obs = {
+  reg : Metrics.t;
+  q_count : Metrics.counter;
+  q_time : Metrics.histogram;
+}
+
 type t = {
   cdcl : Cdcl.t;
   activations : (int, activation_state) Hashtbl.t; (* activation var -> state *)
@@ -19,6 +26,7 @@ type t = {
   mutable cached_model : bool array option;
   mutable released_dirty : bool;
       (* a release happened since the last retention pass *)
+  mutable obs : obs option;
 }
 
 let create ?(config = Types.default) ?(retention = Drop_released) () =
@@ -30,6 +38,7 @@ let create ?(config = Types.default) ?(retention = Drop_released) () =
     last = Types.mk_stats ();
     cached_model = None;
     released_dirty = false;
+    obs = None;
   }
 
 let of_formula ?(config = Types.default) ?(retention = Drop_released) f =
@@ -41,6 +50,7 @@ let of_formula ?(config = Types.default) ?(retention = Drop_released) f =
     last = Types.mk_stats ();
     cached_model = None;
     released_dirty = false;
+    obs = None;
   }
 
 let set_retention t r = t.retention <- r
@@ -51,6 +61,23 @@ let queries t = t.queries
 let last_stats t = t.last
 let cumulative_stats t = Types.copy_stats (Cdcl.stats t.cdcl)
 let model t = t.cached_model
+
+(* --- observability -------------------------------------------------------- *)
+
+let attach_metrics t m =
+  Cdcl.set_instruments t.cdcl (Some (Metrics.solver_instruments m));
+  t.obs <-
+    Some
+      {
+        reg = m;
+        q_count = Metrics.counter m "session/queries";
+        q_time =
+          Metrics.histogram m "session/query_time_s"
+            ~bounds:Metrics.time_bounds;
+      }
+
+let metrics t = Option.map (fun o -> o.reg) t.obs
+let set_tracer t tr = Cdcl.set_tracer t.cdcl tr
 
 let add_clause t lits =
   t.cached_model <- None;
@@ -115,9 +142,19 @@ let apply_retention t =
 let solve ?(assumptions = []) ?max_conflicts ?max_decisions t =
   if t.queries > 0 then apply_retention t;
   let before = Types.copy_stats (Cdcl.stats t.cdcl) in
+  let t0 = match t.obs with Some _ -> Monotime.now_s () | None -> 0. in
   let outcome = Cdcl.solve ~assumptions ?max_conflicts ?max_decisions t.cdcl in
   t.queries <- t.queries + 1;
   t.last <- Types.diff_stats (Cdcl.stats t.cdcl) before;
+  (match t.obs with
+   | Some o ->
+     Metrics.incr o.q_count;
+     Metrics.observe o.q_time (Monotime.now_s () -. t0);
+     (* per-query deltas {e add} into the registry, so metrics stay
+        correct even when a caller runs many short-lived sessions
+        against one registry (e.g. BMC in from-scratch mode) *)
+     Metrics.add_stats o.reg t.last
+   | None -> ());
   t.cached_model <-
     (match outcome with Types.Sat m -> Some m | _ -> None);
   outcome

@@ -98,6 +98,24 @@ val queries : t -> int
 val last_stats : t -> Types.stats
 (** Statistics delta of the most recent query only. *)
 
+(* --- observability ------------------------------------------------------- *)
+
+val attach_metrics : t -> Metrics.t -> unit
+(** Points the session at a metric registry: the underlying solver gets
+    the standard {!Metrics.solver_instruments}, and every subsequent
+    query increments ["session/queries"], observes its duration in the
+    ["session/query_time_s"] histogram, and {e adds} its
+    {!last_stats}-style delta into the ["solver/*"] counters — so one
+    registry can aggregate across several sessions (the generalization
+    of {!Types.diff_stats} to whole workloads). *)
+
+val metrics : t -> Metrics.t option
+(** The registry attached with {!attach_metrics}, if any. *)
+
+val set_tracer : t -> Trace.sink option -> unit
+(** Forwards to {!Cdcl.set_tracer} on the underlying solver; each query
+    then appears in the trace as a [solve-begin] … [solve-end] span. *)
+
 val cumulative_stats : t -> Types.stats
 (** Totals across the session's lifetime (snapshot). *)
 

@@ -28,24 +28,53 @@ type report = {
   time_seconds : float;
 }
 
-let run_engine engine f =
+let run_engine ?metrics ?trace engine f =
   match engine with
   | Cdcl cfg ->
     let s = Cdcl.create ~config:cfg f in
+    (match metrics with
+     | Some m -> Cdcl.set_instruments s (Some (Metrics.solver_instruments m))
+     | None -> ());
+    Cdcl.set_tracer s trace;
     let outcome = Cdcl.solve s in
+    (match metrics with
+     | Some m -> Metrics.add_stats m (Cdcl.stats s)
+     | None -> ());
     (outcome, Some (Cdcl.stats s))
   | Dpll cfg ->
     let outcome, st = Dpll.solve ~config:cfg f in
+    (match metrics with Some m -> Metrics.add_stats m st | None -> ());
     (outcome, Some st)
   | Walksat cfg ->
     let r = Local_search.solve ~config:cfg f in
     (r.outcome, None)
   | Portfolio opts ->
+    (* explicit options on the engine win over the per-call arguments *)
+    let opts =
+      { opts with
+        Portfolio.metrics =
+          (match opts.Portfolio.metrics with Some _ as m -> m | None -> metrics);
+        trace =
+          (match opts.Portfolio.trace with Some _ as t -> t | None -> trace) }
+    in
     let r = Portfolio.solve ~options:opts f in
     (r.Portfolio.outcome, Some r.Portfolio.stats)
 
-let solve ?(engine = Cdcl Types.default) ?(pipeline = no_pipeline) f =
+let solve ?metrics ?trace ?(engine = Cdcl Types.default)
+    ?(pipeline = no_pipeline) f =
   let t0 = Unix.gettimeofday () in
+  let phase name body =
+    (match trace with
+     | Some tr -> Trace.emit tr (Trace.Phase_begin name)
+     | None -> ());
+    (match metrics with Some m -> Metrics.phase_begin m name | None -> ());
+    let r = body () in
+    (match metrics with Some m -> Metrics.phase_end m name | None -> ());
+    (match trace with
+     | Some tr -> Trace.emit tr (Trace.Phase_end name)
+     | None -> ());
+    r
+  in
   let preprocess_stats = ref None in
   let equivalence_merged = ref 0 in
   let rl_implicates = ref 0 in
@@ -54,38 +83,40 @@ let solve ?(engine = Cdcl Types.default) ?(pipeline = no_pipeline) f =
   let stage_preprocess (f, lift) =
     if not pipeline.preprocess then `Go (f, lift)
     else
-      match
-        Preprocess.run
-          ~probe_failed_literals:pipeline.probe_failed_literals f
-      with
-      | Preprocess.Unsat -> `Unsat
-      | Preprocess.Simplified simp ->
-        preprocess_stats := Some simp.Preprocess.stats;
-        `Go
-          ( simp.Preprocess.formula,
-            fun m -> lift (Preprocess.complete_model simp m) )
+      phase "pipeline/preprocess" (fun () ->
+        match
+          Preprocess.run
+            ~probe_failed_literals:pipeline.probe_failed_literals f
+        with
+        | Preprocess.Unsat -> `Unsat
+        | Preprocess.Simplified simp ->
+          preprocess_stats := Some simp.Preprocess.stats;
+          `Go
+            ( simp.Preprocess.formula,
+              fun m -> lift (Preprocess.complete_model simp m) ))
   in
   let stage_equivalence (f, lift) =
     if not pipeline.equivalence then `Go (f, lift)
     else
-      match Equivalence.detect f with
-      | Equivalence.Unsat_equiv -> `Unsat
-      | Equivalence.Reduced red ->
-        equivalence_merged := red.Equivalence.merged;
-        `Go
-          ( red.Equivalence.formula,
-            fun m ->
-              lift (Equivalence.complete_model ~rep:red.Equivalence.rep m) )
+      phase "pipeline/equivalence" (fun () ->
+        match Equivalence.detect f with
+        | Equivalence.Unsat_equiv -> `Unsat
+        | Equivalence.Reduced red ->
+          equivalence_merged := red.Equivalence.merged;
+          `Go
+            ( red.Equivalence.formula,
+              fun m ->
+                lift (Equivalence.complete_model ~rep:red.Equivalence.rep m) ))
   in
   let stage_rl (f, lift) =
     if pipeline.recursive_learning <= 0 then `Go (f, lift)
-    else begin
-      let g, r =
-        Recursive_learning.strengthen ~depth:pipeline.recursive_learning f
-      in
-      rl_implicates := List.length r.Recursive_learning.implicates;
-      if r.Recursive_learning.unsat then `Unsat else `Go (g, lift)
-    end
+    else
+      phase "pipeline/recursive_learning" (fun () ->
+        let g, r =
+          Recursive_learning.strengthen ~depth:pipeline.recursive_learning f
+        in
+        rl_implicates := List.length r.Recursive_learning.implicates;
+        if r.Recursive_learning.unsat then `Unsat else `Go (g, lift))
   in
   let finish outcome solver_stats =
     {
@@ -106,7 +137,9 @@ let solve ?(engine = Cdcl Types.default) ?(pipeline = no_pipeline) f =
   match staged with
   | `Unsat -> finish Types.Unsat None
   | `Go (g, lift) ->
-    let outcome, st = run_engine engine g in
+    let outcome, st =
+      phase "solve" (fun () -> run_engine ?metrics ?trace engine g)
+    in
     let outcome =
       match outcome with
       | Types.Sat m ->
@@ -121,8 +154,8 @@ let solve ?(engine = Cdcl Types.default) ?(pipeline = no_pipeline) f =
     in
     finish outcome st
 
-let solve_dimacs ?engine ?pipeline text =
-  solve ?engine ?pipeline (Cnf.Dimacs.parse_string text)
+let solve_dimacs ?metrics ?trace ?engine ?pipeline text =
+  solve ?metrics ?trace ?engine ?pipeline (Cnf.Dimacs.parse_string text)
 
 (* --- incremental front: simplify once, serve many queries ---------------- *)
 
@@ -152,8 +185,8 @@ module Incremental = struct
         let r = rep.(v) in
         if Lit.is_pos l then r else Lit.negate r
 
-  let open_session ?(config = Types.default) ?(pipeline = full_pipeline)
-      ?retention f =
+  let open_session ?metrics ?trace ?(config = Types.default)
+      ?(pipeline = full_pipeline) ?retention f =
     let preprocess_stats = ref None in
     let equivalence_merged = ref 0 in
     let rl_implicates = ref 0 in
@@ -200,6 +233,10 @@ module Incremental = struct
       end
       else Session.of_formula ~config ?retention !g
     in
+    (match metrics with
+     | Some m -> Session.attach_metrics session m
+     | None -> ());
+    (match trace with Some _ -> Session.set_tracer session trace | None -> ());
     let t =
       {
         session;

@@ -32,11 +32,32 @@ type report = {
   time_seconds : float;
 }
 
-val solve : ?engine:engine -> ?pipeline:pipeline -> Cnf.Formula.t -> report
+val solve :
+  ?metrics:Metrics.t ->
+  ?trace:Trace.sink ->
+  ?engine:engine ->
+  ?pipeline:pipeline ->
+  Cnf.Formula.t ->
+  report
 (** Models returned in [outcome] are models of the {e original}
-    formula. *)
+    formula.
 
-val solve_dimacs : ?engine:engine -> ?pipeline:pipeline -> string -> report
+    With [metrics], each enabled pipeline stage is timed under
+    [pipeline/preprocess] / [pipeline/equivalence] /
+    [pipeline/recursive_learning], the engine run under [solve], and
+    the engine's statistics and search-shape histograms land in the
+    registry (for the portfolio engine, merged across workers).  With
+    [trace], the same spans appear as [phase-begin]/[phase-end] events
+    around the solver's own event stream.  A [Portfolio] engine whose
+    options already carry a registry or sink keeps its own. *)
+
+val solve_dimacs :
+  ?metrics:Metrics.t ->
+  ?trace:Trace.sink ->
+  ?engine:engine ->
+  ?pipeline:pipeline ->
+  string ->
+  report
 (** Convenience: parse DIMACS text and solve. *)
 
 (** Incremental front-end: run the simplification pipeline {e once},
@@ -56,6 +77,8 @@ module Incremental : sig
   type t
 
   val open_session :
+    ?metrics:Metrics.t ->
+    ?trace:Trace.sink ->
     ?config:Types.config ->
     ?pipeline:pipeline ->
     ?retention:Session.retention ->
@@ -63,7 +86,10 @@ module Incremental : sig
     t
   (** Simplify once and open the session (default pipeline:
       {!full_pipeline}).  If simplification already refutes the formula,
-      every later query returns [Unsat]. *)
+      every later query returns [Unsat].  [metrics] / [trace] are
+      attached to the session ({!Session.attach_metrics} /
+      {!Session.set_tracer}), so every query contributes its per-query
+      delta and trace span. *)
 
   val session : t -> Session.t
   (** The underlying session (e.g. for retention tuning). *)

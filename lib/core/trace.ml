@@ -1,0 +1,173 @@
+(* Structured event log for solver runs.  See trace.mli for the
+   contract and docs/METRICS.md for the JSONL encoding. *)
+
+let schema_version = 1
+let schema_name = "satreda-trace"
+
+type event =
+  | Solve_begin of { query : int }
+  | Solve_end of { query : int; outcome : string }
+  | Phase_begin of string
+  | Phase_end of string
+  | Decision of { level : int; lit : Cnf.Lit.t }
+  | Propagation of { props : int; trail : int }
+  | Conflict of { level : int; trail : int }
+  | Learn of { lbd : int; size : int }
+  | Restart of { number : int }
+  | Reduce_db of { before : int; after : int }
+  | Import of { lbd : int; size : int }
+  | Export of { lbd : int; size : int }
+
+type record = { worker : int; seq : int; time_s : float; event : event }
+
+let outcome_label : Types.outcome -> string = function
+  | Types.Sat _ -> "sat"
+  | Types.Unsat -> "unsat"
+  | Types.Unsat_assuming _ -> "unsat-assuming"
+  | Types.Unknown why -> "unknown:" ^ why
+
+(* growable record buffer with a hard capacity; overflow is counted,
+   not silently ignored *)
+type sink = {
+  worker_id : int;
+  capacity : int;
+  mutable buf : record array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable dropped : int;
+}
+
+let dummy =
+  { worker = 0; seq = 0; time_s = 0.; event = Restart { number = 0 } }
+
+let default_capacity = 1_000_000
+
+let make_sink ?(worker = 0) ?(capacity = default_capacity) () =
+  {
+    worker_id = worker;
+    capacity = max 1 capacity;
+    buf = Array.make 1024 dummy;
+    len = 0;
+    next_seq = 0;
+    dropped = 0;
+  }
+
+let push s r =
+  if s.len >= s.capacity then s.dropped <- s.dropped + 1
+  else begin
+    if s.len = Array.length s.buf then begin
+      let bigger =
+        Array.make (min s.capacity (2 * Array.length s.buf)) dummy
+      in
+      Array.blit s.buf 0 bigger 0 s.len;
+      s.buf <- bigger
+    end;
+    s.buf.(s.len) <- r;
+    s.len <- s.len + 1
+  end
+
+let emit s event =
+  let seq = s.next_seq in
+  s.next_seq <- seq + 1;
+  push s
+    { worker = s.worker_id; seq; time_s = Monotime.since_start_s (); event }
+
+let records s = Array.sub s.buf 0 s.len
+let length s = s.len
+let dropped s = s.dropped
+let worker s = s.worker_id
+
+let absorb ~into src =
+  for i = 0 to src.len - 1 do
+    push into src.buf.(i)
+  done;
+  into.dropped <- into.dropped + src.dropped
+
+let merged sinks =
+  let all = Array.concat (List.map records sinks) in
+  (* per-sink timestamps are non-decreasing (Monotime), so a stable
+     sort on time keeps each worker's stream in emission order *)
+  let tagged = Array.mapi (fun i r -> (i, r)) all in
+  Array.sort
+    (fun (i, a) (j, b) ->
+       let c = Float.compare a.time_s b.time_s in
+       if c <> 0 then c else Stdlib.compare i j)
+    tagged;
+  Array.map snd tagged
+
+(* --- JSONL encoding ------------------------------------------------------- *)
+
+let event_fields = function
+  | Solve_begin { query } ->
+    [ ("ev", Json.String "solve-begin"); ("query", Json.Int query) ]
+  | Solve_end { query; outcome } ->
+    [
+      ("ev", Json.String "solve-end");
+      ("query", Json.Int query);
+      ("outcome", Json.String outcome);
+    ]
+  | Phase_begin name ->
+    [ ("ev", Json.String "phase-begin"); ("phase", Json.String name) ]
+  | Phase_end name ->
+    [ ("ev", Json.String "phase-end"); ("phase", Json.String name) ]
+  | Decision { level; lit } ->
+    [
+      ("ev", Json.String "decision");
+      ("level", Json.Int level);
+      ("lit", Json.Int (Cnf.Lit.to_dimacs lit));
+    ]
+  | Propagation { props; trail } ->
+    [
+      ("ev", Json.String "propagation");
+      ("props", Json.Int props);
+      ("trail", Json.Int trail);
+    ]
+  | Conflict { level; trail } ->
+    [
+      ("ev", Json.String "conflict");
+      ("level", Json.Int level);
+      ("trail", Json.Int trail);
+    ]
+  | Learn { lbd; size } ->
+    [ ("ev", Json.String "learn"); ("lbd", Json.Int lbd); ("size", Json.Int size) ]
+  | Restart { number } ->
+    [ ("ev", Json.String "restart"); ("number", Json.Int number) ]
+  | Reduce_db { before; after } ->
+    [
+      ("ev", Json.String "reduce-db");
+      ("before", Json.Int before);
+      ("after", Json.Int after);
+    ]
+  | Import { lbd; size } ->
+    [ ("ev", Json.String "import"); ("lbd", Json.Int lbd); ("size", Json.Int size) ]
+  | Export { lbd; size } ->
+    [ ("ev", Json.String "export"); ("lbd", Json.Int lbd); ("size", Json.Int size) ]
+
+let record_to_json r =
+  Json.Obj
+    (("t", Json.Float r.time_s) :: ("w", Json.Int r.worker)
+     :: ("seq", Json.Int r.seq) :: event_fields r.event)
+
+let header ?tool ~dropped:d () =
+  Json.Obj
+    ((("schema", Json.String schema_name) :: ("version", Json.Int schema_version)
+      ::
+      (match tool with Some t -> [ ("tool", Json.String t) ] | None -> []))
+     @ [ ("dropped", Json.Int d) ])
+
+let write_records oc ?tool ~dropped:d recs =
+  output_string oc (Json.to_string (header ?tool ~dropped:d ()));
+  output_char oc '\n';
+  Array.iter
+    (fun r ->
+       output_string oc (Json.to_string (record_to_json r));
+       output_char oc '\n')
+    recs
+
+let write_file ?tool sinks path =
+  let recs = merged sinks in
+  let d = List.fold_left (fun acc s -> acc + dropped s) 0 sinks in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write_records oc ?tool ~dropped:d recs)

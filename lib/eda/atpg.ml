@@ -155,9 +155,29 @@ let pp_summary ppf s =
     s.total s.detected s.redundant s.aborted (List.length s.vectors)
     s.sat_calls s.dropped_by_simulation s.decisions s.conflicts s.time_seconds
 
-let run ?(config = Sat.Types.default) ?(use_structural = false)
+let fault_time_hist metrics =
+  Option.map
+    (fun m ->
+       Sat.Metrics.histogram m "atpg/fault_time_s"
+         ~bounds:Sat.Metrics.time_bounds)
+    metrics
+
+let write_counters metrics s =
+  Option.iter
+    (fun m ->
+       let set name v = Sat.Metrics.set_counter (Sat.Metrics.counter m name) v in
+       set "atpg/faults" s.total;
+       set "atpg/detected" s.detected;
+       set "atpg/redundant" s.redundant;
+       set "atpg/aborted" s.aborted;
+       set "atpg/sat_calls" s.sat_calls;
+       set "atpg/dropped_by_simulation" s.dropped_by_simulation)
+    metrics
+
+let run ?metrics ?(config = Sat.Types.default) ?(use_structural = false)
     ?(fault_simulation = true) ?(random_patterns = 0) c =
   let t0 = Unix.gettimeofday () in
+  let fault_time = fault_time_hist metrics in
   let faults = fault_list c in
   let dropped = Hashtbl.create 64 in
   let detected = ref 0
@@ -198,7 +218,12 @@ let run ?(config = Sat.Types.default) ?(use_structural = false)
        end
        else begin
          incr sat_calls;
+         let ft0 = Sat.Monotime.now_s () in
          let outcome, st = generate_test ~config ~use_structural c f in
+         Option.iter
+           (fun h -> Sat.Metrics.observe h (Sat.Monotime.now_s () -. ft0))
+           fault_time;
+         Option.iter (fun m -> Sat.Metrics.add_stats m st) metrics;
          decisions := !decisions + st.Sat.Types.decisions;
          conflicts := !conflicts + st.Sat.Types.conflicts;
          match outcome with
@@ -219,18 +244,22 @@ let run ?(config = Sat.Types.default) ?(use_structural = false)
          | Aborted _ -> incr aborted
        end)
     faults;
-  {
-    total = List.length faults;
-    detected = !detected;
-    redundant = !redundant;
-    aborted = !aborted;
-    vectors = List.rev !vectors;
-    sat_calls = !sat_calls;
-    dropped_by_simulation = !dropped_count;
-    decisions = !decisions;
-    conflicts = !conflicts;
-    time_seconds = Unix.gettimeofday () -. t0;
-  }
+  let s =
+    {
+      total = List.length faults;
+      detected = !detected;
+      redundant = !redundant;
+      aborted = !aborted;
+      vectors = List.rev !vectors;
+      sat_calls = !sat_calls;
+      dropped_by_simulation = !dropped_count;
+      decisions = !decisions;
+      conflicts = !conflicts;
+      time_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  write_counters metrics s;
+  s
 
 (* Incremental formulation: one session; the fault-free circuit is
    encoded once, each fault's faulty cone is an activation group that is
@@ -238,11 +267,16 @@ let run ?(config = Sat.Types.default) ?(use_structural = false)
    retention pass then drops learned clauses polluted by released
    activation literals.  [on_query] observes each fault's per-query
    statistics delta. *)
-let run_incremental ?(config = Sat.Types.default)
+let run_incremental ?metrics ?trace ?(config = Sat.Types.default)
     ?(on_query = fun _ _ -> ()) c =
   let t0 = Unix.gettimeofday () in
+  let fault_time = fault_time_hist metrics in
   let enc = Circuit.Encode.encode c in
   let sess = Sat.Session.of_formula ~config enc.Circuit.Encode.formula in
+  Option.iter (Sat.Session.attach_metrics sess) metrics;
+  (match trace with
+   | Some _ -> Sat.Session.set_tracer sess trace
+   | None -> ());
   let fresh () = Lit.pos (Sat.Session.new_var sess) in
   let faults = fault_list c in
   let detected = ref 0
@@ -252,6 +286,7 @@ let run_incremental ?(config = Sat.Types.default)
   let inputs = N.inputs c in
   List.iter
     (fun f ->
+       let ft0 = Sat.Monotime.now_s () in
        let base_var = Sat.Session.nvars sess in
        let act = Sat.Session.new_activation sess in
        let guard clause = Sat.Session.add_clause_in sess ~group:act clause in
@@ -333,18 +368,25 @@ let run_incremental ?(config = Sat.Types.default)
        Sat.Session.release sess act;
        for v = base_var + 1 to Sat.Session.nvars sess - 1 do
          Sat.Session.add_clause sess [ Lit.neg_of_var v ]
-       done)
+       done;
+       Option.iter
+         (fun h -> Sat.Metrics.observe h (Sat.Monotime.now_s () -. ft0))
+         fault_time)
     faults;
   let st = Sat.Session.cumulative_stats sess in
-  {
-    total = List.length faults;
-    detected = !detected;
-    redundant = !redundant;
-    aborted = !aborted;
-    vectors = List.rev !vectors;
-    sat_calls = List.length faults;
-    dropped_by_simulation = 0;
-    decisions = st.Sat.Types.decisions;
-    conflicts = st.Sat.Types.conflicts;
-    time_seconds = Unix.gettimeofday () -. t0;
-  }
+  let s =
+    {
+      total = List.length faults;
+      detected = !detected;
+      redundant = !redundant;
+      aborted = !aborted;
+      vectors = List.rev !vectors;
+      sat_calls = List.length faults;
+      dropped_by_simulation = 0;
+      decisions = st.Sat.Types.decisions;
+      conflicts = st.Sat.Types.conflicts;
+      time_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  write_counters metrics s;
+  s

@@ -52,6 +52,7 @@ type summary = {
 val pp_summary : Format.formatter -> summary -> unit
 
 val run :
+  ?metrics:Sat.Metrics.t ->
   ?config:Sat.Types.config ->
   ?use_structural:bool ->
   ?fault_simulation:bool ->
@@ -62,9 +63,17 @@ val run :
     detected ones are dropped.  [random_patterns] (default 0) words of
     random vectors run first — the classical two-phase flow where
     random-pattern-testable faults never reach the deterministic
-    stage. *)
+    stage.
+
+    [metrics] attaches a registry: every deterministic SAT call's wall
+    time lands in the [atpg/fault_time_s] histogram and its solver
+    statistics are accumulated, and the summary is mirrored into the
+    [atpg/faults], [atpg/detected], [atpg/redundant], [atpg/aborted],
+    [atpg/sat_calls] and [atpg/dropped_by_simulation] counters. *)
 
 val run_incremental :
+  ?metrics:Sat.Metrics.t ->
+  ?trace:Sat.Trace.sink ->
   ?config:Sat.Types.config ->
   ?on_query:(fault -> Sat.Types.stats -> unit) ->
   Circuit.Netlist.t ->
@@ -78,7 +87,13 @@ val run_incremental :
     drops learned clauses polluted by released groups.  [on_query] is
     called after each SAT query with that query's statistics delta.  No
     fault simulation, so the SAT-call count is comparable with
-    [run ~fault_simulation:false]. *)
+    [run ~fault_simulation:false].
+
+    [metrics] / [trace] observe the run like {!run}: the session
+    contributes per-query deltas, each fault's wall time (cone encoding
+    + solve + release) lands in [atpg/fault_time_s], and the summary
+    counters are written.  [trace] attaches an event sink to the
+    underlying solver. *)
 
 val fault_simulate :
   Circuit.Netlist.t -> fault list -> bool array list -> fault list

@@ -85,11 +85,28 @@ let extract_inputs seq frames m =
        |> Array.of_list)
     frames
 
-let check ?(config = Sat.Types.default) ?(bad_output = "bad")
+let check ?metrics ?trace ?(config = Sat.Types.default) ?(bad_output = "bad")
     ?(incremental = true) ?timeout ~max_bound seq =
   S.validate seq;
   let t0 = Unix.gettimeofday () in
   let bad_node = bad_node_of seq bad_output in
+  (* per-bound observability: bound time histogram + progress gauge;
+     per-query solver deltas flow in through [Session.attach_metrics] *)
+  let bound_time =
+    Option.map
+      (fun m ->
+         Sat.Metrics.histogram m "bmc/bound_time_s"
+           ~bounds:Sat.Metrics.time_bounds)
+      metrics
+  in
+  let bound_gauge = Option.map (fun m -> Sat.Metrics.gauge m "bmc/bound") metrics in
+  let frames_counter =
+    Option.map (fun m -> Sat.Metrics.counter m "bmc/frames_encoded") metrics
+  in
+  let attach sess =
+    Option.iter (Session.attach_metrics sess) metrics;
+    match trace with Some _ -> Session.set_tracer sess trace | None -> ()
+  in
   let per_bound = ref [] in
   let total = Sat.Types.mk_stats () in
   let frames_encoded = ref 0 in
@@ -125,9 +142,11 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
     (* one session across all bounds: frames stay encoded, learned
        clauses and heuristic state carry over from bound to bound *)
     let sess = Session.create ~config () in
+    attach sess;
     let frames : (N.node_id -> Lit.t) list ref = ref [] in
     let state = ref (initial_state sess seq) in
     while !result = None && !k < max_bound do
+      let bt0 = Sat.Monotime.now_s () in
       let frame = encode_frame sess seq !state in
       incr frames_encoded;
       frames := frame :: !frames;
@@ -141,6 +160,10 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
       Sat.Types.add_stats_into total d;
       per_bound := (!k, d) :: !per_bound;
       state := List.map frame seq.S.next_state;
+      Option.iter
+        (fun h -> Sat.Metrics.observe h (Sat.Monotime.now_s () -. bt0))
+        bound_time;
+      Option.iter (fun g -> Sat.Metrics.set_gauge g (float_of_int !k)) bound_gauge;
       incr k
     done
   end
@@ -148,7 +171,9 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
     (* from-scratch reference mode (for comparison): every bound builds a
        fresh session and re-encodes frames 0..k *)
     while !result = None && !k < max_bound do
+      let bt0 = Sat.Monotime.now_s () in
       let sess = Session.create ~config () in
+      attach sess;
       let frames : (N.node_id -> Lit.t) list ref = ref [] in
       let state = ref (initial_state sess seq) in
       for _ = 0 to !k do
@@ -166,10 +191,17 @@ let check ?(config = Sat.Types.default) ?(bad_output = "bad")
       let d = Session.last_stats sess in
       Sat.Types.add_stats_into total d;
       per_bound := (!k, d) :: !per_bound;
+      Option.iter
+        (fun h -> Sat.Metrics.observe h (Sat.Monotime.now_s () -. bt0))
+        bound_time;
+      Option.iter (fun g -> Sat.Metrics.set_gauge g (float_of_int !k)) bound_gauge;
       incr k
     done;
   Atomic.set stop_monitor true;
   Option.iter Domain.join monitor;
+  Option.iter
+    (fun c -> Sat.Metrics.set_counter c !frames_encoded)
+    frames_counter;
   {
     result = Option.value ~default:No_counterexample !result;
     bound_reached = !k;
@@ -197,8 +229,8 @@ type induction_result =
    frame — earlier bounds were refuted by earlier iterations), and the
    step session turns the previous iteration's queried [bad] into a
    permanent [~bad] before appending the next frame. *)
-let prove_inductive ?(config = Sat.Types.default) ?(bad_output = "bad")
-    ?(max_k = 8) seq =
+let prove_inductive ?metrics ?(config = Sat.Types.default)
+    ?(bad_output = "bad") ?(max_k = 8) seq =
   S.validate seq;
   let bad_node = bad_node_of seq bad_output in
   (* base session: frames from the initial state *)
@@ -207,6 +239,11 @@ let prove_inductive ?(config = Sat.Types.default) ?(bad_output = "bad")
   let base_state = ref (initial_state base seq) in
   (* step session: frames from a free (arbitrary) state *)
   let step = Session.create ~config () in
+  Option.iter
+    (fun m ->
+       Session.attach_metrics base m;
+       Session.attach_metrics step m)
+    metrics;
   let step_state =
     ref (List.map (fun _ -> Lit.pos (Session.new_var step)) seq.S.init)
   in

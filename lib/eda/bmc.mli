@@ -31,6 +31,8 @@ type report = {
 }
 
 val check :
+  ?metrics:Sat.Metrics.t ->
+  ?trace:Sat.Trace.sink ->
   ?config:Sat.Types.config ->
   ?bad_output:string ->
   ?incremental:bool ->
@@ -51,7 +53,13 @@ val check :
     domain presses {!Sat.Cdcl.interrupt} on the active solver once the
     deadline passes; the interrupted query is reported in the statistics
     ([interrupts] counter) and the report carries [timed_out = true]
-    with all per-bound statistics intact. *)
+    with all per-bound statistics intact.
+
+    [metrics] attaches a registry: every underlying session contributes
+    its per-query deltas, each bound's wall time (encode + solve) lands
+    in the [bmc/bound_time_s] histogram, [bmc/bound] tracks the last
+    completed bound, and [bmc/frames_encoded] mirrors the report field.
+    [trace] attaches an event sink to every underlying solver. *)
 
 type induction_result =
   | Proved of int
@@ -63,6 +71,7 @@ type induction_result =
       (** neither proved nor refuted within [max_k] *)
 
 val prove_inductive :
+  ?metrics:Sat.Metrics.t ->
   ?config:Sat.Types.config ->
   ?bad_output:string ->
   ?max_k:int ->

@@ -21,14 +21,14 @@ let extract_vector c1 lit_of_node m =
       let v = m.(Cnf.Lit.var l) in
       if Cnf.Lit.is_pos l then v else not v)
 
-let check_sat ?(config = Sat.Types.default) ?engine
+let check_sat ?metrics ?trace ?(config = Sat.Types.default) ?engine
     ?(pipeline = Sat.Solver.no_pipeline) c1 c2 =
   let t0 = Unix.gettimeofday () in
   let f, lit_of_node = Miter.to_cnf c1 c2 in
   let engine =
     match engine with Some e -> e | None -> Sat.Solver.Cdcl config
   in
-  let rep = Sat.Solver.solve ~engine ~pipeline f in
+  let rep = Sat.Solver.solve ?metrics ?trace ~engine ~pipeline f in
   let verdict =
     match rep.Sat.Solver.outcome with
     | Sat.Types.Unsat -> Equivalent
@@ -43,8 +43,8 @@ let check_sat ?(config = Sat.Types.default) ?engine
     bdd_nodes = 0;
   }
 
-let check_rl ?(config = Sat.Types.default) ~depth c1 c2 =
-  check_sat ~config
+let check_rl ?metrics ?trace ?(config = Sat.Types.default) ~depth c1 c2 =
+  check_sat ?metrics ?trace ~config
     ~pipeline:{ Sat.Solver.no_pipeline with recursive_learning = depth }
     c1 c2
 

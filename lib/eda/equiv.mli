@@ -19,6 +19,8 @@ type report = {
 }
 
 val check_sat :
+  ?metrics:Sat.Metrics.t ->
+  ?trace:Sat.Trace.sink ->
   ?config:Sat.Types.config ->
   ?engine:Sat.Solver.engine ->
   ?pipeline:Sat.Solver.pipeline ->
@@ -26,7 +28,8 @@ val check_sat :
 (** Solves the miter; [pipeline] defaults to no preprocessing (set
     equivalency reasoning etc. for experiment E7).  [engine] overrides
     the solving engine — e.g. [Sat.Solver.Portfolio _] races diversified
-    workers on one hard miter; it defaults to [Cdcl config]. *)
+    workers on one hard miter; it defaults to [Cdcl config].  [metrics]
+    and [trace] are forwarded to {!Sat.Solver.solve}. *)
 
 val check_bdd :
   ?node_limit:int -> Circuit.Netlist.t -> Circuit.Netlist.t -> report
@@ -35,6 +38,8 @@ val check_bdd :
     bounds blow-up. *)
 
 val check_rl :
+  ?metrics:Sat.Metrics.t ->
+  ?trace:Sat.Trace.sink ->
   ?config:Sat.Types.config -> depth:int ->
   Circuit.Netlist.t -> Circuit.Netlist.t -> report
 (** SAT check with recursive-learning preprocessing of the miter CNF at

@@ -59,7 +59,8 @@ let product ?(match_states = false) s1 s2 =
     init = s1.S.init @ s2.S.init;
   }
 
-let check ?(config = Sat.Types.default) ?(max_k = 4) ?(bound = 16) s1 s2 =
+let check ?metrics ?trace ?(config = Sat.Types.default) ?(max_k = 4)
+    ?(bound = 16) s1 s2 =
   S.validate s1;
   S.validate s2;
   if List.length s1.S.primary_inputs <> List.length s2.S.primary_inputs then
@@ -74,7 +75,8 @@ let check ?(config = Sat.Types.default) ?(max_k = 4) ?(bound = 16) s1 s2 =
     if not same_state_count then None
     else
       match
-        Bmc.prove_inductive ~config ~max_k (product ~match_states:true s1 s2)
+        Bmc.prove_inductive ?metrics ~config ~max_k
+          (product ~match_states:true s1 s2)
       with
       | Bmc.Proved k -> Some (Equivalent k)
       | Bmc.Refuted _ | Bmc.Bound_reached -> None
@@ -84,10 +86,13 @@ let check ?(config = Sat.Types.default) ?(max_k = 4) ?(bound = 16) s1 s2 =
   | None -> (
       (* outputs-only property: refute with BMC, or try plain induction *)
       let prod = product ~match_states:false s1 s2 in
-      match Bmc.prove_inductive ~config ~max_k prod with
+      match Bmc.prove_inductive ?metrics ~config ~max_k prod with
       | Bmc.Proved k -> Equivalent k
       | Bmc.Refuted frames -> Different frames
       | Bmc.Bound_reached -> (
-          match (Bmc.check ~config ~max_bound:bound prod).Bmc.result with
+          match
+            (Bmc.check ?metrics ?trace ~config ~max_bound:bound prod)
+              .Bmc.result
+          with
           | Bmc.Counterexample frames -> Different frames
           | Bmc.No_counterexample -> Bounded_equivalent bound))

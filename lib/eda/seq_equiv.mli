@@ -17,10 +17,16 @@ type result =
       (** a distinguishing input sequence (one vector per cycle) *)
 
 val check :
+  ?metrics:Sat.Metrics.t ->
+  ?trace:Sat.Trace.sink ->
   ?config:Sat.Types.config ->
   ?max_k:int ->
   ?bound:int ->
   Circuit.Sequential.t -> Circuit.Sequential.t -> result
 (** [max_k] (default 4) bounds the induction attempt; [bound]
     (default 16) the fallback bounded search.  Raises
-    [Invalid_argument] when primary-input or output counts differ. *)
+    [Invalid_argument] when primary-input or output counts differ.
+    [metrics] observes the underlying induction and BMC sessions
+    (per-query solver deltas plus the [bmc/*] instruments of the
+    bounded fallback); [trace] is attached to the bounded fallback's
+    solvers. *)

@@ -1,0 +1,99 @@
+(* End-to-end CLI contract: SAT-competition exit codes and the
+   --metrics JSON surface, exercised through the real satsolve binary.
+   The binary and the example files are dune deps of the test runner. *)
+
+let satsolve = Filename.concat (Filename.concat ".." "bin") "satsolve.exe"
+let example f = Filename.concat (Filename.concat ".." "examples") f
+
+let run args =
+  Sys.command (Filename.quote_command satsolve args ~stdout:Filename.null)
+
+let exit_codes () =
+  Alcotest.(check int) "UNSAT exits 20" 20 (run [ example "php43.cnf" ]);
+  Alcotest.(check int) "SAT exits 10" 10 (run [ example "color5.cnf" ]);
+  (* local search cannot refute: UNKNOWN exits 0 *)
+  Alcotest.(check int) "UNKNOWN exits 0" 0
+    (run [ example "php43.cnf"; "--engine"; "walksat" ]);
+  Alcotest.(check int) "bad flag exits like cmdliner" 124
+    (run [ example "php43.cnf"; "--no-such-flag" ])
+
+let certify_exit_codes () =
+  Alcotest.(check int) "certified UNSAT exits 20" 20
+    (run [ example "php43.cnf"; "--certify" ]);
+  Alcotest.(check int) "certified SAT exits 10" 10
+    (run [ example "color5.cnf"; "--certify" ])
+
+let metrics_schema () =
+  let path = Filename.temp_file "satsolve_metrics" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Alcotest.(check int) "solve exits 20" 20
+         (run [ example "php43.cnf"; "--metrics"; path ]);
+       let ic = open_in_bin path in
+       let text = really_input_string ic (in_channel_length ic) in
+       close_in ic;
+       let j =
+         match Sat.Json.parse text with
+         | Ok j -> j
+         | Error e -> Alcotest.fail ("metrics file is not valid JSON: " ^ e)
+       in
+       let member k =
+         match Sat.Json.member k j with
+         | Some v -> v
+         | None -> Alcotest.fail ("missing field " ^ k)
+       in
+       Alcotest.(check string) "schema" Sat.Metrics.schema_name
+         (Option.get (Sat.Json.to_string_opt (member "schema")));
+       Alcotest.(check int) "version" Sat.Metrics.schema_version
+         (Option.get (Sat.Json.to_int (member "version")));
+       Alcotest.(check string) "tool" "satsolve"
+         (Option.get (Sat.Json.to_string_opt (member "tool")));
+       (* restoring through of_json proves the snapshot is schema-complete *)
+       (match Sat.Metrics.of_json j with
+        | Ok m ->
+          let d =
+            Sat.Metrics.counter_value (Sat.Metrics.counter m "solver/decisions")
+          in
+          Alcotest.(check bool) "decisions recorded" true (d > 0)
+        | Error e -> Alcotest.fail ("of_json refused the snapshot: " ^ e)))
+
+let trace_schema () =
+  let path = Filename.temp_file "satsolve_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Alcotest.(check int) "solve exits 20" 20
+         (run [ example "php43.cnf"; "--trace"; path ]);
+       let ic = open_in path in
+       let lines = ref [] in
+       (try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> close_in ic);
+       let lines = List.rev !lines in
+       Alcotest.(check bool) "has header + events" true (List.length lines > 1);
+       List.iteri
+         (fun i line ->
+            match Sat.Json.parse line with
+            | Error e ->
+              Alcotest.fail (Printf.sprintf "line %d invalid: %s" i e)
+            | Ok j ->
+              if i = 0 then
+                Alcotest.(check string) "header schema" Sat.Trace.schema_name
+                  (Option.get
+                     (Sat.Json.to_string_opt
+                        (Option.get (Sat.Json.member "schema" j))))
+              else (
+                ignore (Option.get (Sat.Json.member "t" j));
+                ignore (Option.get (Sat.Json.member "ev" j))))
+         lines)
+
+let suite =
+  [
+    Th.case "exit codes" exit_codes;
+    Th.case "certify exit codes" certify_exit_codes;
+    Th.case "--metrics schema" metrics_schema;
+    Th.case "--trace schema" trace_schema;
+  ]

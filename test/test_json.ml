@@ -1,0 +1,85 @@
+(* The hand-rolled JSON printer/parser behind the metrics and trace
+   surfaces: print/parse round trips, float fidelity, strictness. *)
+
+module J = Sat.Json
+
+let roundtrip v =
+  match J.parse (J.to_string v) with
+  | Ok v' -> J.equal v v'
+  | Error _ -> false
+
+let basic_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("t", J.Bool true);
+        ("f", J.Bool false);
+        ("i", J.Int (-42));
+        ("x", J.Float 3.25);
+        ("s", J.String "a \"quoted\" \\ line\nwith\ttabs");
+        ("l", J.List [ J.Int 1; J.List []; J.Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool) "round trip" true (roundtrip v);
+  Alcotest.(check bool)
+    "indented round trip" true
+    (match J.parse (J.to_string ~indent:true v) with
+     | Ok v' -> J.equal v v'
+     | Error _ -> false)
+
+let float_fidelity () =
+  List.iter
+    (fun f ->
+       match J.parse (J.to_string (J.Float f)) with
+       | Ok (J.Float f') -> Alcotest.(check (float 0.)) "exact" f f'
+       | Ok (J.Int i) -> Alcotest.(check (float 0.)) "as int" f (float_of_int i)
+       | _ -> Alcotest.fail "parse failed")
+    [ 0.; 1.; -1.5; 0.1; 1e-9; 1.7976931348623157e308; 4.9e-324;
+      3.141592653589793; 1e15; 123456.789 ]
+
+let special_floats_are_null () =
+  Alcotest.(check string) "nan" "null" (J.to_string (J.Float nan));
+  Alcotest.(check string) "inf" "null" (J.to_string (J.Float infinity))
+
+let parse_strictness () =
+  let bad s =
+    match J.parse s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "trailing garbage" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "trailing comma" true (bad "[1,]");
+  Alcotest.(check bool) "bare word" true (bad "truth");
+  Alcotest.(check bool) "empty input" true (bad "");
+  Alcotest.(check bool) "lone minus" true (bad "-")
+
+let parse_values () =
+  let ok s v =
+    match J.parse s with
+    | Ok v' -> J.equal v v'
+    | Error _ -> false
+  in
+  Alcotest.(check bool) "int" true (ok "17" (J.Int 17));
+  Alcotest.(check bool) "neg float" true (ok "-2.5e1" (J.Float (-25.)));
+  Alcotest.(check bool) "escape" true (ok {|"A\n"|} (J.String "A\n"));
+  Alcotest.(check bool) "ws" true
+    (ok " { \"a\" : [ 1 , 2 ] } " (J.Obj [ ("a", J.List [ J.Int 1; J.Int 2 ]) ]))
+
+let accessors () =
+  let v = J.Obj [ ("n", J.Int 3); ("x", J.Float 2.5); ("s", J.String "hi") ] in
+  let get f k = Option.get (f (Option.get (J.member k v))) in
+  Alcotest.(check int) "member int" 3 (get J.to_int "n");
+  Alcotest.(check (float 0.)) "int as float" 3.0 (get J.to_float "n");
+  Alcotest.(check (float 0.)) "float" 2.5 (get J.to_float "x");
+  Alcotest.(check string) "string" "hi" (get J.to_string_opt "s");
+  Alcotest.(check bool) "missing member" true (J.member "zz" v = None)
+
+let suite =
+  [
+    Th.case "print/parse round trip" basic_roundtrip;
+    Th.case "float fidelity" float_fidelity;
+    Th.case "nan/inf encode as null" special_floats_are_null;
+    Th.case "parser strictness" parse_strictness;
+    Th.case "parsed values" parse_values;
+    Th.case "accessors" accessors;
+  ]

@@ -46,6 +46,8 @@ let opts ?(jobs = 4) ?(share = true) ?timeout () =
     config = T.default;
     sharing = { P.default_sharing with P.share };
     timeout;
+    metrics = None;
+    trace = None;
   }
 
 (* --- core hooks ----------------------------------------------------------- *)
