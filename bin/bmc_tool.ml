@@ -2,14 +2,22 @@
    counter family or an ISCAS-89-style BENCH file with DFFs.
 
    bmc_tool [--bits N] [--buggy-at K] [--bound B] [--bench FILE --bad OUT]
-            [--timeout SECS] [--metrics FILE.json] [--trace FILE.jsonl]
-   bmc_tool --induction ... additionally attempts a k-induction proof. *)
+            [--inprocess] [--timeout SECS]
+            [--metrics FILE.json] [--trace FILE.jsonl]
+   bmc_tool --induction ... additionally attempts a k-induction proof.
+
+   There is no --no-elim here: the incremental BMC encoder grows the
+   formula frame by frame inside a session, where bounded variable
+   elimination is never applied (see Solver.Incremental). *)
 
 open Cmdliner
 
-let run bits buggy_at bound bench bad induction from_scratch stats timeout
-    metrics_path trace_path =
+let run bits buggy_at bound bench bad induction from_scratch stats inprocess
+    timeout metrics_path trace_path =
   let obs = Obs.setup ~tool:"bmc_tool" metrics_path trace_path in
+  let config =
+    { Sat.Types.default with Sat.Types.inprocessing = inprocess }
+  in
   let seq =
     match bench with
     | Some path -> Circuit.Bench_format.parse_sequential_file path
@@ -17,7 +25,7 @@ let run bits buggy_at bound bench bad induction from_scratch stats timeout
   in
   if induction then begin
     match
-      Eda.Bmc.prove_inductive ?metrics:obs.Obs.metrics ~bad_output:bad
+      Eda.Bmc.prove_inductive ?metrics:obs.Obs.metrics ~config ~bad_output:bad
         ~max_k:bound seq
     with
     | Eda.Bmc.Proved k -> Printf.printf "PROVED for all depths (k=%d)\n" k
@@ -28,7 +36,7 @@ let run bits buggy_at bound bench bad induction from_scratch stats timeout
       Printf.printf "inconclusive up to k=%d\n" bound
   end;
   let r =
-    Eda.Bmc.check ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace
+    Eda.Bmc.check ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace ~config
       ~incremental:(not from_scratch) ~bad_output:bad ?timeout
       ~max_bound:bound seq
   in
@@ -88,6 +96,11 @@ let from_scratch =
 let stats =
   Arg.(value & flag & info [ "stats" ] ~doc:"print per-bound query statistics")
 
+let inprocess =
+  Arg.(value & flag
+       & info [ "inprocess" ]
+         ~doc:"simplify the learnt-clause database during search")
+
 let timeout =
   Arg.(value & opt (some float) None
        & info [ "timeout" ]
@@ -98,7 +111,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bmc_tool" ~doc:"bounded model checker demo")
     Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction
-          $ from_scratch $ stats $ timeout $ Obs.metrics_term
+          $ from_scratch $ stats $ inprocess $ timeout $ Obs.metrics_term
           $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

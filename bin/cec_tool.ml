@@ -1,11 +1,12 @@
 (* Combinational equivalence checking of two BENCH netlists.
 
    cec_tool A.bench B.bench [--method sat|bdd|rl|aig|sweep] [--jobs N]
+            [--no-elim] [--inprocess]
             [--metrics FILE.json] [--trace FILE.jsonl] *)
 
 open Cmdliner
 
-let run a b method_ jobs metrics_path trace_path =
+let run a b method_ jobs no_elim inprocess metrics_path trace_path =
   let obs = Obs.setup ~tool:"cec_tool" metrics_path trace_path in
   let metrics = obs.Obs.metrics and trace = obs.Obs.trace in
   let c1 = Circuit.Bench_format.parse_file a in
@@ -17,15 +18,22 @@ let run a b method_ jobs metrics_path trace_path =
   let report =
     match method_ with
     | "sat" ->
+      let config =
+        { Sat.Types.default with Sat.Types.inprocessing = inprocess }
+      in
       let engine =
         if jobs > 1 then
           Some
             (Sat.Solver.Portfolio
-               { Sat.Portfolio.default_options with Sat.Portfolio.jobs })
-        else None
+               { Sat.Portfolio.default_options with
+                 Sat.Portfolio.jobs;
+                 config })
+        else Some (Sat.Solver.Cdcl config)
       in
-      Eda.Equiv.check_sat ?metrics ?trace ?engine
-        ~pipeline:Sat.Solver.full_pipeline c1 c2
+      let pipeline =
+        { Sat.Solver.full_pipeline with Sat.Solver.elim = not no_elim }
+      in
+      Eda.Equiv.check_sat ?metrics ?trace ?engine ~pipeline c1 c2
     | "bdd" -> Eda.Equiv.check_bdd c1 c2
     | "rl" -> Eda.Equiv.check_rl ?metrics ?trace ~depth:1 c1 c2
     | "aig" -> Eda.Equiv.check_aig c1 c2
@@ -67,10 +75,22 @@ let jobs =
          ~doc:"solve the miter with N diversified parallel workers \
                (sat method only)")
 
+let no_elim =
+  Arg.(value & flag
+       & info [ "no-elim" ]
+         ~doc:"disable bounded variable elimination on the miter CNF \
+               (sat method only)")
+
+let inprocess =
+  Arg.(value & flag
+       & info [ "inprocess" ]
+         ~doc:"simplify the learnt-clause database during search \
+               (sat method only)")
+
 let cmd =
   Cmd.v
     (Cmd.info "cec_tool" ~doc:"combinational equivalence checker")
-    Term.(const run $ a $ b $ method_ $ jobs $ Obs.metrics_term
-          $ Obs.trace_term)
+    Term.(const run $ a $ b $ method_ $ jobs $ no_elim $ inprocess
+          $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,17 +1,21 @@
 (* DIMACS CNF solver front-end.
 
-   satsolve FILE [--engine cdcl|dpll|walksat] [--preprocess] [--equiv]
-                 [--rl DEPTH] [--seed N] [--stats]
+   satsolve FILE [--engine cdcl|dpll|walksat] [--preprocess] [--no-elim]
+                 [--inprocess] [--equiv] [--rl DEPTH] [--seed N] [--stats]
                  [--jobs N] [--timeout SECS] [--no-share]
                  [--metrics FILE.json] [--trace FILE.jsonl]              *)
 
 open Cmdliner
 
-let solve_file path engine_name preprocess equiv rl seed stats certify jobs
-    timeout no_share metrics_path trace_path =
+let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
+    stats certify jobs timeout no_share metrics_path trace_path =
   let obs = Obs.setup ~tool:"satsolve" metrics_path trace_path in
   let formula = Cnf.Dimacs.parse_file path in
-  let config = { Sat.Types.default with Sat.Types.random_seed = seed } in
+  let config =
+    { Sat.Types.default with
+      Sat.Types.random_seed = seed;
+      inprocessing = inprocess }
+  in
   if certify then begin
     let outcome, verdict = Sat.Proof.solve_certified ~config formula in
     (match outcome with
@@ -69,6 +73,9 @@ let solve_file path engine_name preprocess equiv rl seed stats certify jobs
   let pipeline =
     {
       Sat.Solver.preprocess;
+      (* Solver.solve additionally forces elimination off when the
+         engine logs proofs (--certify takes its own path above) *)
+      elim = not no_elim;
       probe_failed_literals = false;
       equivalence = equiv;
       recursive_learning = rl;
@@ -99,10 +106,7 @@ let solve_file path engine_name preprocess equiv rl seed stats certify jobs
      | Some st -> Format.printf "c %a@." Sat.Types.pp_stats st
      | None -> ());
     (match report.Sat.Solver.preprocess_stats with
-     | Some p ->
-       Printf.printf "c preprocess units=%d pures=%d subsumed=%d strengthened=%d\n"
-         p.Sat.Preprocess.units p.Sat.Preprocess.pures p.Sat.Preprocess.subsumed
-         p.Sat.Preprocess.strengthened
+     | Some p -> Format.printf "c preprocess %a@." Sat.Preprocess.pp_stats p
      | None -> ());
     if report.Sat.Solver.equivalence_merged > 0 then
       Printf.printf "c equivalence merged %d vars\n"
@@ -120,6 +124,19 @@ let engine =
   Arg.(value & opt string "cdcl" & info [ "engine" ] ~doc:"cdcl, dpll or walksat")
 
 let preprocess = Arg.(value & flag & info [ "preprocess" ] ~doc:"enable preprocessing")
+
+let no_elim =
+  Arg.(value & flag
+       & info [ "no-elim" ]
+         ~doc:"disable bounded variable elimination within --preprocess \
+               (elimination is also disabled automatically when proofs \
+               are logged)")
+
+let inprocess =
+  Arg.(value & flag
+       & info [ "inprocess" ]
+         ~doc:"simplify the learnt-clause database during search \
+               (subsumption + vivification at restart boundaries)")
 let equiv = Arg.(value & flag & info [ "equiv" ] ~doc:"equivalency reasoning")
 let rl = Arg.(value & opt int 0 & info [ "rl" ] ~doc:"recursive learning depth")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
@@ -147,8 +164,8 @@ let no_share =
 let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~doc:"SAT solver for DIMACS CNF")
-    Term.(const solve_file $ file $ engine $ preprocess $ equiv $ rl $ seed
-          $ stats $ certify $ jobs $ timeout $ no_share $ Obs.metrics_term
-          $ Obs.trace_term)
+    Term.(const solve_file $ file $ engine $ preprocess $ no_elim $ inprocess
+          $ equiv $ rl $ seed $ stats $ certify $ jobs $ timeout $ no_share
+          $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

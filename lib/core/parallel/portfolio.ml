@@ -192,6 +192,7 @@ let solve_sequential ~opts f =
   (match opts.metrics with
    | Some m ->
      Cdcl.set_instruments s (Some (Metrics.solver_instruments m));
+     Cdcl.set_metrics s (Some m);
      Metrics.set_gauge (Metrics.gauge m "portfolio/jobs") 1.
    | None -> ());
   Cdcl.set_tracer s opts.trace;
@@ -243,9 +244,11 @@ let solve_parallel ~opts f =
   in
   Array.iteri
     (fun i s ->
-       if worker_regs <> [||] then
+       if worker_regs <> [||] then begin
          Cdcl.set_instruments s
            (Some (Metrics.solver_instruments worker_regs.(i)));
+         Cdcl.set_metrics s (Some worker_regs.(i))
+       end;
        if worker_sinks <> [||] then Cdcl.set_tracer s (Some worker_sinks.(i)))
     solvers;
   let lock = Mutex.create () in

@@ -7,12 +7,22 @@ type stats = {
   mutable subsumed : int;
   mutable strengthened : int;
   mutable failed_literals : int;
+  mutable eliminated : int;
+  mutable elim_clauses_removed : int;
+  mutable elim_resolvents : int;
   mutable rounds : int;
+}
+
+type elimination = {
+  evar : int;
+  pos : Clause.t list;
+  neg : Clause.t list;
 }
 
 type simplified = {
   formula : Cnf.Formula.t;
   fix : (int * bool) list;
+  elim : elimination list;
   stats : stats;
 }
 
@@ -25,6 +35,7 @@ type state = {
   mutable clauses : Clause.t list;
   assign : int array; (* var -> -1/0/1 *)
   mutable fix : (int * bool) list;
+  mutable elim : elimination list; (* newest first *)
   st : stats;
 }
 
@@ -185,6 +196,267 @@ let strengthen_pass s =
   s.clauses <- Array.to_list arr |> List.map ( ! );
   !changed
 
+(* --- bounded variable elimination ---------------------------------------- *)
+
+(* The pass works over its own growable clause store with per-literal
+   occurrence lists.  Clause slots are immutable once written: removing or
+   strengthening a clause kills its slot and (for strengthening) adds the
+   replacement under a fresh index, so an occurrence entry [i] in
+   [occ.(l)] is valid exactly while [alive.(i)] holds.  Stale entries are
+   skipped on traversal — the SatELite discipline, matching the solver's
+   lazy watcher deletion. *)
+let bve_pass s ~frozen ~clause_cap ~occ_cap =
+  let nlits = 2 * max 1 s.nvars in
+  let empty = Clause.of_list [] in
+  let cl = ref (Array.make (max 16 (2 * List.length s.clauses)) empty) in
+  let alive = ref (Array.make (Array.length !cl) false) in
+  let n = ref 0 in
+  let occ = Array.make nlits [] in
+  let touched = Queue.create () in
+  let changed = ref false in
+  let grow () =
+    let cap = 2 * Array.length !cl in
+    let c2 = Array.make cap empty in
+    Array.blit !cl 0 c2 0 !n;
+    cl := c2;
+    let a2 = Array.make cap false in
+    Array.blit !alive 0 a2 0 !n;
+    alive := a2
+  in
+  let push_raw c =
+    if !n = Array.length !cl then grow ();
+    let i = !n in
+    !cl.(i) <- c;
+    !alive.(i) <- true;
+    n := i + 1;
+    List.iter (fun l -> occ.(l) <- i :: occ.(l)) (Clause.to_list c);
+    i
+  in
+  let kill i = !alive.(i) <- false in
+  (* Insert a clause simplified against the current fixed assignment:
+     satisfied clauses vanish, false literals are dropped, units are
+     fixed, tautologies are discarded outright. *)
+  let add ~touch c =
+    let lits = Clause.to_list c in
+    if (not (Clause.is_tautology c))
+       && not (List.exists (fun l -> lit_value s l = 1) lits)
+    then begin
+      let free = List.filter (fun l -> lit_value s l <> 0) lits in
+      match free with
+      | [] -> raise Found_unsat
+      | [ l ] ->
+        fix_lit s `Unit l;
+        changed := true
+      | _ ->
+        let i = push_raw (Clause.of_list free) in
+        if touch then Queue.add i touched
+    end
+    else if List.length lits > 0 && not (Clause.is_tautology c) then
+      changed := true (* a satisfied clause was dropped *)
+  in
+  (* Backward subsumption and self-subsuming resolution seeded from one
+     clause — run over every resolvent the elimination loop inserts. *)
+  let backward ci =
+    if !alive.(ci) then begin
+      let c = !cl.(ci) in
+      let lits = Clause.to_list c in
+      (* subsumption candidates share c's rarest literal *)
+      let rare =
+        List.fold_left
+          (fun best l ->
+             match best with
+             | Some b when List.length occ.(b) <= List.length occ.(l) -> best
+             | Some _ | None -> Some l)
+          None lits
+      in
+      (match rare with
+       | None -> ()
+       | Some l ->
+         List.iter
+           (fun cj ->
+              if cj <> ci && !alive.(cj)
+                 && Clause.size c <= Clause.size !cl.(cj)
+                 && Clause.subsumes c !cl.(cj)
+              then begin
+                kill cj;
+                s.st.subsumed <- s.st.subsumed + 1;
+                changed := true
+              end)
+           occ.(l));
+      (* self-subsumption: d ⊇ (c \ {l}) ∪ {¬l} loses ¬l *)
+      List.iter
+        (fun l ->
+           if !alive.(ci) then begin
+             let rest =
+               List.filter (fun m -> not (Lit.equal m l)) lits
+             in
+             List.iter
+               (fun cj ->
+                  if cj <> ci && !alive.(cj) then begin
+                    let d = !cl.(cj) in
+                    if Clause.mem (Lit.negate l) d
+                       && List.for_all (fun m -> Clause.mem m d) rest
+                    then begin
+                      kill cj;
+                      s.st.strengthened <- s.st.strengthened + 1;
+                      changed := true;
+                      add ~touch:true
+                        (Clause.of_list
+                           (List.filter
+                              (fun m -> not (Lit.equal m (Lit.negate l)))
+                              (Clause.to_list d)))
+                    end
+                  end)
+               occ.(Lit.negate l)
+           end)
+        lits
+    end
+  in
+  let drain () =
+    while not (Queue.is_empty touched) do
+      backward (Queue.pop touched)
+    done
+  in
+  let try_eliminate v =
+    if s.assign.(v) < 0 && not frozen.(v) then begin
+      let lp = Lit.pos v and ln = Lit.neg_of_var v in
+      let pos = List.filter (fun i -> !alive.(i)) occ.(lp) in
+      let neg = List.filter (fun i -> !alive.(i)) occ.(ln) in
+      let np = List.length pos and nn = List.length neg in
+      if np + nn > 0 && np <= occ_cap && nn <= occ_cap then begin
+        (* stage the resolvent set; abort if one resolvent exceeds the
+           clause-size cap or the set outgrows the clauses removed *)
+        let limit = np + nn in
+        let resolve_pair i j =
+          let ci =
+            List.filter (fun l -> Lit.var l <> v) (Clause.to_list !cl.(i))
+          in
+          let cj =
+            List.filter (fun l -> Lit.var l <> v) (Clause.to_list !cl.(j))
+          in
+          Clause.of_list (ci @ cj)
+        in
+        let stage pairs =
+          let resolvents = ref [] in
+          let count = ref 0 in
+          let ok = ref true in
+          (try
+             List.iter
+               (fun (i, j) ->
+                  let r = resolve_pair i j in
+                  if not (Clause.is_tautology r) then begin
+                    if Clause.size r > clause_cap then begin
+                      ok := false;
+                      raise Exit
+                    end;
+                    incr count;
+                    if !count > limit then begin
+                      ok := false;
+                      raise Exit
+                    end;
+                    resolvents := r :: !resolvents
+                  end)
+               pairs
+           with Exit -> ());
+          if !ok then Some (!resolvents, !count) else None
+        in
+        (* Definition substitution (SatELite): when [v] is the output of
+           an AND/OR-shaped gate — one clause (p ∨ m₁ ∨ … ∨ mₖ) whose
+           every [mᵢ] has a matching binary (¬p ∨ ¬mᵢ) — only gate ×
+           non-gate resolvents are needed; non-gate × non-gate pairs are
+           implied by them.  Tseitin-encoded netlists are full of such
+           definitions, and the restricted set lets fanout variables be
+           eliminated where the full product would blow the bound. *)
+        let find_definition p side_p side_n =
+          List.find_map
+            (fun i ->
+               let others =
+                 List.filter (fun l -> not (Lit.equal l p))
+                   (Clause.to_list !cl.(i))
+               in
+               if others = [] then None
+               else
+                 let bins =
+                   List.map
+                     (fun m ->
+                        List.find_opt
+                          (fun j ->
+                             Clause.size !cl.(j) = 2
+                             && List.exists (Lit.equal (Lit.negate m))
+                                  (Clause.to_list !cl.(j)))
+                          side_n)
+                     others
+                 in
+                 if List.for_all Option.is_some bins then
+                   Some (i, List.filter_map Fun.id bins)
+                 else None)
+            side_p
+        in
+        let substitution_pairs () =
+          let pairs_for (def, bins) side_p side_n =
+            let rest_n =
+              List.filter (fun j -> not (List.mem j bins)) side_n
+            in
+            let rest_p = List.filter (fun i -> i <> def) side_p in
+            List.map (fun j -> (def, j)) rest_n
+            @ List.concat_map
+                (fun b -> List.map (fun i -> (i, b)) rest_p)
+                bins
+          in
+          match find_definition lp pos neg with
+          | Some d -> Some (pairs_for d pos neg)
+          | None -> (
+              match find_definition ln neg pos with
+              | Some d -> Some (pairs_for d neg pos)
+              | None -> None)
+        in
+        let full_pairs =
+          List.concat_map (fun i -> List.map (fun j -> (i, j)) neg) pos
+        in
+        let staged =
+          match substitution_pairs () with
+          | Some pairs -> stage pairs
+          | None -> stage full_pairs
+        in
+        match staged with
+        | None -> ()
+        | Some (resolvents, count) ->
+          (* commit: push the removed clauses on the elimination stack
+             (complete_model replays them), then swap in the resolvents *)
+          s.elim <-
+            { evar = v;
+              pos = List.map (fun i -> !cl.(i)) pos;
+              neg = List.map (fun i -> !cl.(i)) neg }
+            :: s.elim;
+          List.iter kill pos;
+          List.iter kill neg;
+          s.st.eliminated <- s.st.eliminated + 1;
+          s.st.elim_clauses_removed <- s.st.elim_clauses_removed + limit;
+          s.st.elim_resolvents <- s.st.elim_resolvents + count;
+          List.iter (fun r -> add ~touch:true r) resolvents;
+          changed := true;
+          drain ()
+      end
+    end
+  in
+  List.iter (fun c -> add ~touch:false c) s.clauses;
+  (* cheapest variables first: few occurrences means few resolvents *)
+  let order = Array.init s.nvars (fun v -> v) in
+  let cost = Array.make (max 1 s.nvars) 0 in
+  for i = 0 to !n - 1 do
+    if !alive.(i) then
+      List.iter (fun l -> cost.(Lit.var l) <- cost.(Lit.var l) + 1)
+        (Clause.to_list !cl.(i))
+  done;
+  Array.sort (fun a b -> Int.compare cost.(a) cost.(b)) order;
+  Array.iter try_eliminate order;
+  let out = ref [] in
+  for i = !n - 1 downto 0 do
+    if !alive.(i) then out := !cl.(i) :: !out
+  done;
+  s.clauses <- !out;
+  !changed
+
 let probe s =
   let f = Cnf.Formula.of_clauses ~nvars:s.nvars s.clauses in
   let bcp = Bcp.create f in
@@ -225,20 +497,26 @@ let probe s =
   !changed
 
 let run ?(subsumption = true) ?(strengthen = true) ?(pures = true)
-    ?(probe_failed_literals = false) f =
+    ?(probe_failed_literals = false) ?(elim = true) ?(frozen = [])
+    ?(elim_clause_cap = 8) ?(elim_occ_cap = 10) f =
   let st =
     { units = 0; pures = 0; subsumed = 0; strengthened = 0;
-      failed_literals = 0; rounds = 0 }
+      failed_literals = 0; eliminated = 0; elim_clauses_removed = 0;
+      elim_resolvents = 0; rounds = 0 }
   in
+  let nvars = Cnf.Formula.nvars f in
   let s =
     {
-      nvars = Cnf.Formula.nvars f;
+      nvars;
       clauses = Array.to_list (Cnf.Formula.clauses f);
-      assign = Array.make (max 1 (Cnf.Formula.nvars f)) (-1);
+      assign = Array.make (max 1 nvars) (-1);
       fix = [];
+      elim = [];
       st;
     }
   in
+  let frozen_arr = Array.make (max 1 nvars) false in
+  List.iter (fun v -> if v >= 0 && v < nvars then frozen_arr.(v) <- true) frozen;
   let subsumption_on = subsumption in
   try
     let continue = ref true in
@@ -248,18 +526,70 @@ let run ?(subsumption = true) ?(strengthen = true) ?(pures = true)
       let c2 = if pures then pure_literals s else false in
       let c3 = if subsumption_on then subsume_pass s else false in
       let c4 = if strengthen then strengthen_pass s else false in
-      let c5 = if probe_failed_literals then probe s else false in
-      continue := (c1 || c2 || c3 || c4 || c5) && st.rounds < 20
+      let c5 =
+        if elim then
+          bve_pass s ~frozen:frozen_arr ~clause_cap:elim_clause_cap
+            ~occ_cap:elim_occ_cap
+        else false
+      in
+      let c6 = if probe_failed_literals then probe s else false in
+      continue := (c1 || c2 || c3 || c4 || c5 || c6) && st.rounds < 20
     done;
     Simplified
       {
         formula = Cnf.Formula.of_clauses ~nvars:s.nvars s.clauses;
         fix = List.rev s.fix;
+        elim = s.elim;
         stats = st;
       }
   with Found_unsat -> Unsat
 
 let complete_model (simp : simplified) model =
-  let m = Array.copy model in
+  (* the fixes and the elimination stack may mention variables past the
+     model array's end when callers hand in a short model *)
+  let clause_need acc c =
+    List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc
+      (Clause.to_list c)
+  in
+  let need =
+    List.fold_left (fun acc (v, _) -> max acc (v + 1)) (Array.length model)
+      simp.fix
+  in
+  let need =
+    List.fold_left
+      (fun acc e ->
+         let acc = max acc (e.evar + 1) in
+         let acc = List.fold_left clause_need acc e.pos in
+         List.fold_left clause_need acc e.neg)
+      need simp.elim
+  in
+  let m =
+    if need > Array.length model then
+      Array.append model (Array.make (need - Array.length model) false)
+    else Array.copy model
+  in
   List.iter (fun (v, b) -> m.(v) <- b) simp.fix;
+  (* Replay newest-first.  For each eliminated variable, every resolvent
+     of its clause pair set is satisfied by [m] (it either survived to
+     the final formula or was removed by a step replayed later), so one
+     of the two values of [evar] satisfies all stored clauses: [true]
+     unless no positive clause needs it. *)
+  List.iter
+    (fun e ->
+       let others_sat c =
+         List.exists
+           (fun l ->
+              let v = Lit.var l in
+              v <> e.evar && (if Lit.is_pos l then m.(v) else not m.(v)))
+           (Clause.to_list c)
+       in
+       m.(e.evar) <- List.exists (fun c -> not (others_sat c)) e.pos)
+    simp.elim;
   m
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "units=%d pures=%d subsumed=%d strengthened=%d failed_literals=%d \
+     vars_eliminated=%d clauses_removed=%d resolvents_added=%d rounds=%d"
+    st.units st.pures st.subsumed st.strengthened st.failed_literals
+    st.eliminated st.elim_clauses_removed st.elim_resolvents st.rounds

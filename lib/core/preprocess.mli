@@ -1,10 +1,45 @@
 (** CNF preprocessing — the [Preprocess()] step of Figure 2.
 
     Passes: unit propagation, pure-literal elimination, clause
-    subsumption, self-subsuming resolution (clause strengthening), and
-    optional failed-literal probing.  Variable numbering is preserved;
-    eliminated variables are recorded with the value that any model must
-    (or may safely) give them. *)
+    subsumption, self-subsuming resolution (clause strengthening),
+    SatELite-style bounded variable elimination, and optional
+    failed-literal probing.  Variable numbering is preserved; variables
+    the preprocessor decides are recorded in {!simplified.fix}, and
+    variables it {e eliminates by resolution} are recorded on the
+    {!simplified.elim} stack that {!complete_model} replays.
+
+    {2 Bounded variable elimination}
+
+    A variable [v] is eliminated by replacing the clauses containing it
+    with all non-tautological resolvents on [v] (Davis–Putnam
+    resolution), {e bounded} so the clause database never grows: the
+    elimination is committed only when the resolvent set is no larger
+    than the set of clauses removed, no resolvent exceeds
+    [elim_clause_cap] literals, and neither polarity of [v] occurs more
+    than [elim_occ_cap] times.  Backward subsumption and self-subsuming
+    resolution run interleaved on a queue of touched (freshly inserted)
+    clauses, so resolvents are immediately simplified against the rest
+    of the database.
+
+    When [v] is the output of an AND/OR-shaped gate — one clause
+    [(v ∨ m₁ ∨ … ∨ mₖ)] with a matching binary [(¬v ∨ ¬mᵢ)] for every
+    [mᵢ] (or the mirror image on [¬v]) — elimination switches to
+    {e definition substitution}: only gate × non-gate resolvents are
+    generated, because non-gate × non-gate resolvents are implied by
+    them.  Tseitin-encoded netlists consist almost entirely of such
+    definitions, so substitution is what lets fanout gate variables be
+    eliminated where the full resolvent product would blow the bound.
+
+    Elimination is satisfiability-preserving but not model-preserving:
+    a model of the simplified formula says nothing about an eliminated
+    variable.  {!complete_model} therefore replays the elimination
+    stack newest-first, choosing each eliminated variable's value so
+    that every clause removed on its behalf is satisfied.
+
+    Because eliminated clauses disappear without a resolution
+    certificate the {!module:Proof} checker could replay,
+    [Solver.solve] forces [elim] off whenever the engine has
+    [proof_logging] on; see {!module:Solver}. *)
 
 type stats = {
   mutable units : int;
@@ -12,8 +47,24 @@ type stats = {
   mutable subsumed : int;
   mutable strengthened : int;
   mutable failed_literals : int;
+  mutable eliminated : int;  (** variables removed by bounded elimination *)
+  mutable elim_clauses_removed : int;
+      (** clauses deleted by bounded elimination (the resolvents that
+          replace them are counted in [elim_resolvents]) *)
+  mutable elim_resolvents : int;
+      (** resolvent clauses inserted by bounded elimination *)
   mutable rounds : int;
 }
+
+type elimination = {
+  evar : int;  (** the eliminated variable *)
+  pos : Cnf.Clause.t list;
+      (** clauses containing [evar] positively at elimination time *)
+  neg : Cnf.Clause.t list;
+      (** clauses containing [evar] negatively at elimination time *)
+}
+(** One frame of the elimination stack: everything {!complete_model}
+    needs to reconstruct a value for [evar]. *)
 
 type simplified = {
   formula : Cnf.Formula.t;
@@ -21,6 +72,9 @@ type simplified = {
   fix : (int * bool) list;
       (** values for variables the preprocessor decided (units, pures,
           failed literals) *)
+  elim : elimination list;
+      (** elimination stack, newest first — replayed by
+          {!complete_model} in exactly this order *)
   stats : stats;
 }
 
@@ -31,15 +85,45 @@ val run :
   ?strengthen:bool ->
   ?pures:bool ->
   ?probe_failed_literals:bool ->
+  ?elim:bool ->
+  ?frozen:int list ->
+  ?elim_clause_cap:int ->
+  ?elim_occ_cap:int ->
   Cnf.Formula.t ->
   result
-(** Defaults: subsumption, strengthening and pure literals on, probing
-    off.  Disable [pures] when the formula will be extended later
+(** Defaults: subsumption, strengthening, pure literals and bounded
+    variable elimination on; probing off; [frozen = []];
+    [elim_clause_cap = 8] (longest resolvent committed — long resolvents
+    also make poor watch-list citizens, so the cap is deliberately
+    tighter than the subsumption limits);
+    [elim_occ_cap = 10] (most occurrences per polarity of an
+    elimination candidate).
+
+    [frozen] lists variables bounded elimination must not touch.
+    Freeze every variable that later clauses or assumptions may
+    mention: an eliminated variable no longer occurs in the simplified
+    formula, so constraining it afterwards would be silently
+    meaningless.  [Sat.Session] growth variables and incremental
+    assumption variables are the canonical frozen set —
+    [Solver.Incremental] goes further and disables [elim] entirely
+    because its sessions may grow clauses over {e any} original
+    variable.
+
+    Disable [pures] when the formula will be extended later
     (incremental sessions): unlike units and failed literals, a pure
     literal's fixed value is merely satisfiability-preserving, not
     implied, so it must not be baked into a formula that can still
     grow. *)
 
 val complete_model : simplified -> bool array -> bool array
-(** Patches a model of the simplified formula into a model of the
-    original. *)
+(** Extends a model of the simplified formula to a model of the
+    original: applies {!simplified.fix}, then replays the elimination
+    stack newest-first, setting each eliminated variable to satisfy
+    the clauses that were removed on its behalf.  The input array is
+    not mutated; the result is grown if the stack mentions variables
+    past its end. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line rendering of every counter, including
+    [vars_eliminated]/[clauses_removed]/[resolvents_added] from
+    bounded elimination. *)

@@ -6,18 +6,27 @@ type engine =
 
 type pipeline = {
   preprocess : bool;
+  elim : bool;
   probe_failed_literals : bool;
   equivalence : bool;
   recursive_learning : int;
 }
 
 let no_pipeline =
-  { preprocess = false; probe_failed_literals = false; equivalence = false;
-    recursive_learning = 0 }
+  { preprocess = false; elim = false; probe_failed_literals = false;
+    equivalence = false; recursive_learning = 0 }
 
 let full_pipeline =
-  { preprocess = true; probe_failed_literals = false; equivalence = true;
-    recursive_learning = 1 }
+  { preprocess = true; elim = true; probe_failed_literals = false;
+    equivalence = true; recursive_learning = 1 }
+
+(* Bounded variable elimination removes clauses without a resolution
+   step the RUP checker could replay, so it is forced off whenever the
+   chosen engine records proofs. *)
+let engine_logs_proofs = function
+  | Cdcl c | Dpll c -> c.Types.proof_logging
+  | Walksat _ -> false
+  | Portfolio o -> o.Portfolio.config.Types.proof_logging
 
 type report = {
   outcome : Types.outcome;
@@ -35,6 +44,7 @@ let run_engine ?metrics ?trace engine f =
     (match metrics with
      | Some m -> Cdcl.set_instruments s (Some (Metrics.solver_instruments m))
      | None -> ());
+    Cdcl.set_metrics s metrics;
     Cdcl.set_tracer s trace;
     let outcome = Cdcl.solve s in
     (match metrics with
@@ -84,13 +94,26 @@ let solve ?metrics ?trace ?(engine = Cdcl Types.default)
     if not pipeline.preprocess then `Go (f, lift)
     else
       phase "pipeline/preprocess" (fun () ->
+        let elim = pipeline.elim && not (engine_logs_proofs engine) in
         match
-          Preprocess.run
+          Preprocess.run ~elim
             ~probe_failed_literals:pipeline.probe_failed_literals f
         with
         | Preprocess.Unsat -> `Unsat
         | Preprocess.Simplified simp ->
           preprocess_stats := Some simp.Preprocess.stats;
+          (match metrics with
+           | Some m ->
+             let st = simp.Preprocess.stats in
+             let c name v = Metrics.incr ~by:v (Metrics.counter m name) in
+             c "preprocess/units" st.Preprocess.units;
+             c "preprocess/pures" st.Preprocess.pures;
+             c "preprocess/subsumed" st.Preprocess.subsumed;
+             c "preprocess/strengthened" st.Preprocess.strengthened;
+             c "preprocess/failed_literals" st.Preprocess.failed_literals;
+             c "preprocess/vars_eliminated" st.Preprocess.eliminated;
+             c "preprocess/clauses_removed" st.Preprocess.elim_clauses_removed
+           | None -> ());
           `Go
             ( simp.Preprocess.formula,
               fun m -> lift (Preprocess.complete_model simp m) ))
@@ -199,9 +222,12 @@ module Incremental = struct
          but not implied, so it may not be baked into a formula the
          session will keep growing.  Units and failed literals ARE
          implied; they are re-asserted below so query models include
-         them. *)
+         them.  [elim] off: session growth may constrain any original
+         variable, and an eliminated variable no longer exists in the
+         simplified formula — there is no safe frozen set short of
+         everything, so bounded elimination is disabled outright. *)
       match
-        Preprocess.run ~pures:false
+        Preprocess.run ~pures:false ~elim:false
           ~probe_failed_literals:pipeline.probe_failed_literals !g
       with
       | Preprocess.Unsat -> unsat := true

@@ -15,13 +15,23 @@ type engine =
 
 type pipeline = {
   preprocess : bool;           (** unit/pure/subsumption/strengthening *)
+  elim : bool;
+      (** bounded variable elimination inside the preprocess stage
+          ({!Preprocess.run}'s [elim]).  Forced off — regardless of this
+          flag — when the engine's configuration has
+          [Types.config.proof_logging] on: elimination removes clauses
+          without a resolution step a reverse-unit-propagation
+          certificate could replay, so {!module:Proof} checking and
+          elimination are mutually exclusive. *)
   probe_failed_literals : bool;
   equivalence : bool;          (** equivalency reasoning (Sec. 6) *)
   recursive_learning : int;    (** recursion depth; 0 disables (Sec. 4.2) *)
 }
 
 val no_pipeline : pipeline
+
 val full_pipeline : pipeline
+(** Everything on ([elim] included), probing off. *)
 
 type report = {
   outcome : Types.outcome;
@@ -46,7 +56,12 @@ val solve :
     [pipeline/preprocess] / [pipeline/equivalence] /
     [pipeline/recursive_learning], the engine run under [solve], and
     the engine's statistics and search-shape histograms land in the
-    registry (for the portfolio engine, merged across workers).  With
+    registry (for the portfolio engine, merged across workers).  The
+    preprocess stage additionally emits [preprocess/*] counters —
+    [units], [pures], [subsumed], [strengthened], [failed_literals],
+    [vars_eliminated], [clauses_removed] — and a Cdcl engine with
+    [Types.config.inprocessing] emits [inprocess/*] counters plus a
+    ["simplify"] phase span per pass (see {!Cdcl.set_metrics}).  With
     [trace], the same spans appear as [phase-begin]/[phase-end] events
     around the solver's own event stream.  A [Portfolio] engine whose
     options already carry a registry or sink keeps its own. *)
@@ -66,8 +81,13 @@ val solve_dimacs :
 
     The pipeline is adapted for a formula that keeps growing:
     pure-literal elimination is disabled (its fixes are not implied, so
-    they could contradict later clauses), while unit and failed-literal
-    fixes are re-asserted inside the session.  Clauses and assumptions
+    they could contradict later clauses), bounded variable elimination
+    is disabled (later clauses may constrain {e any} original variable,
+    and an eliminated variable no longer exists in the simplified
+    formula — the only safe frozen set would be every variable), while
+    unit and failed-literal fixes are re-asserted inside the session.
+    Callers who know which variables future clauses can mention may use
+    {!Preprocess.run} with [frozen] directly instead.  Clauses and assumptions
     supplied later are rewritten through the equivalence substitution
     before reaching the solver, and satisfying models are completed per
     query.  Note [Unsat_assuming] cores are reported over the

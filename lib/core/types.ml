@@ -21,6 +21,8 @@ type config = {
   max_conflicts : int option;
   max_decisions : int option;
   proof_logging : bool;
+  inprocessing : bool;
+  inprocess_interval : int;
 }
 
 let default =
@@ -36,6 +38,8 @@ let default =
     max_conflicts = None;
     max_decisions = None;
     proof_logging = false;
+    inprocessing = false;
+    inprocess_interval = 4000;
   }
 
 let grasp_like =

@@ -50,6 +50,16 @@ type config = {
   proof_logging : bool;
       (** record every learned clause so {!module:Proof} can replay the
           derivation as a reverse-unit-propagation (RUP) proof *)
+  inprocessing : bool;
+      (** simplify the learnt-clause database during search: at restart
+          boundaries (so it never fires under [No_restarts]) the solver
+          runs a budgeted pass of learnt-clause subsumption and
+          vivification (distillation).  Off by default.  Sound with
+          [proof_logging]: every shortened clause is itself
+          reverse-unit-propagation derivable and is appended to the
+          proof. *)
+  inprocess_interval : int;
+      (** minimum conflicts between two inprocessing passes *)
 }
 
 val default : config

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in the documentation resolve.
+
+Scans README.md, the top-level guides (DESIGN.md, EXPERIMENTS.md,
+ROADMAP.md, CHANGES.md) and docs/*.md for [text](target) links and
+checks that every non-URL target exists relative to the file that
+mentions it.  Anchors (#...) are stripped before the existence check.
+
+odoc {!module} cross-references inside doc/*.mld and the .mli files are
+deliberately out of scope here: the repo builds docs with fatal odoc
+warnings (see the api-docs CI job), so a broken {!ref} already fails
+`dune build @doc`.
+
+Exit status: 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+                 "CHANGES.md"):
+        p = ROOT / name
+        if p.exists():
+            yield p
+    yield from sorted((ROOT / "docs").glob("*.md"))
+
+
+def check(path):
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            errors.append(f"{path.relative_to(ROOT)}:{line}: "
+                          f"broken link -> {target}")
+    return errors
+
+
+def main():
+    errors = []
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        errors.extend(check(path))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

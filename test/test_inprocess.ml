@@ -1,0 +1,157 @@
+(* Guards for the in-search simplification hook (learnt-clause
+   subsumption + vivification at restart boundaries) and for bounded
+   variable elimination under incremental growth.
+
+   The answer sweep reuses the corpus recorded in test_watches.ml:
+   inprocessing may legally change the search path but never an answer,
+   and the watch invariant must survive the detach/re-attach cycle that
+   vivification performs on live clauses. *)
+
+(* The corpus instances are small (tens of conflicts), so the default
+   Luby-100 schedule would never restart and the hook — which only fires
+   at restart boundaries — would sit idle.  A fast Luby-10 schedule with
+   a short interval makes it fire hundreds of times across the sweep;
+   restart policy never affects answers, so the recorded corpus is still
+   the arbiter. *)
+let inprocess_config =
+  { Sat.Types.default with
+    Sat.Types.inprocessing = true;
+    inprocess_interval = 20;
+    restarts = Sat.Types.Luby 10 }
+
+let corpus_answers_preserved () =
+  let total = Sat.Cdcl.{ inp_rounds = 0; inp_subsumed = 0;
+                         inp_vivified = 0; inp_vivified_lits = 0 } in
+  for seed = 0 to 299 do
+    let f = Test_watches.random_3sat ~seed ~nvars:40 ~ratio:4.26 in
+    let s = Sat.Cdcl.create ~config:inprocess_config f in
+    let o = Sat.Cdcl.solve s in
+    (match Sat.Cdcl.check_watches s with
+     | Ok () -> ()
+     | Error msg -> Alcotest.failf "seed %d: %s" seed msg);
+    let i = Sat.Cdcl.inprocess_stats s in
+    total.Sat.Cdcl.inp_rounds <- total.Sat.Cdcl.inp_rounds + i.Sat.Cdcl.inp_rounds;
+    total.Sat.Cdcl.inp_subsumed <-
+      total.Sat.Cdcl.inp_subsumed + i.Sat.Cdcl.inp_subsumed;
+    total.Sat.Cdcl.inp_vivified <-
+      total.Sat.Cdcl.inp_vivified + i.Sat.Cdcl.inp_vivified;
+    let c = if Th.outcome_sat o then 'S' else 'U' in
+    if c <> Test_watches.recorded_answers.[seed] then
+      Alcotest.failf "seed %d: answer %c differs from recorded %c" seed c
+        Test_watches.recorded_answers.[seed];
+    if c = 'S' then begin
+      let m = Th.model_of o in
+      Cnf.Formula.iter_clauses f (fun cl ->
+          if
+            not
+              (List.exists
+                 (fun l -> m.(Cnf.Lit.var l) = Cnf.Lit.is_pos l)
+                 (Cnf.Clause.to_list cl))
+          then Alcotest.failf "seed %d: model leaves a clause false" seed)
+    end
+  done;
+  (* the sweep must actually exercise the hook, not just schedule it *)
+  Alcotest.(check bool) "inprocessing ran" true (total.Sat.Cdcl.inp_rounds > 0);
+  Alcotest.(check bool) "inprocessing simplified something" true
+    (total.Sat.Cdcl.inp_subsumed + total.Sat.Cdcl.inp_vivified > 0)
+
+let proof_checks_with_inprocessing () =
+  (* vivification under proof logging appends the shortened clause as a
+     RUP step; the refutation must still certify end to end *)
+  let php n m =
+    let v i j = (i * m) + j + 1 in
+    let cls = ref [] in
+    for i = 0 to n - 1 do
+      cls := List.init m (fun j -> v i j) :: !cls
+    done;
+    for j = 0 to m - 1 do
+      for i1 = 0 to n - 1 do
+        for i2 = i1 + 1 to n - 1 do
+          cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+        done
+      done
+    done;
+    Th.formula_of !cls
+  in
+  let f = php 7 6 in
+  let config =
+    { inprocess_config with
+      Sat.Types.proof_logging = true;
+      inprocess_interval = 50 }
+  in
+  let s = Sat.Cdcl.create ~config f in
+  (match Sat.Cdcl.solve s with
+   | Sat.Types.Unsat -> ()
+   | _ -> Alcotest.fail "php(7,6) must be UNSAT");
+  Alcotest.(check bool) "inprocessing ran on php" true
+    ((Sat.Cdcl.inprocess_stats s).Sat.Cdcl.inp_rounds > 0);
+  match Sat.Proof.check f (Sat.Cdcl.proof s) with
+  | Sat.Proof.Valid_refutation -> ()
+  | Sat.Proof.Valid_derivation ->
+    Alcotest.fail "proof valid but empty clause missing"
+  | Sat.Proof.Invalid_step i -> Alcotest.failf "proof invalid at step %d" i
+
+(* Bounded variable elimination with a frozen set must stay sound when
+   the formula later grows with clauses over the frozen variables — the
+   Session workflow that Solver.Incremental documents for callers who
+   know their growth variables in advance.  Unit/failed-literal fixes
+   are re-asserted inside the session, exactly as Incremental does. *)
+let frozen_growth_sound () =
+  let module P = Sat.Preprocess in
+  for seed = 0 to 99 do
+    let rng = Sat.Rng.create (seed + 1_000) in
+    let nvars = 8 + Sat.Rng.int rng 8 in
+    let nfrozen = 2 + Sat.Rng.int rng 4 in
+    let frozen = List.init nfrozen (fun v -> v) in
+    let f = Th.random_cnf rng nvars (2 * nvars + Sat.Rng.int rng nvars) 4 in
+    let growth =
+      List.init
+        (1 + Sat.Rng.int rng 4)
+        (fun _ ->
+           List.init
+             (1 + Sat.Rng.int rng 2)
+             (fun _ ->
+                Cnf.Lit.of_var (Sat.Rng.int rng nfrozen) (Sat.Rng.bool rng)))
+    in
+    let combined = Cnf.Formula.create ~nvars () in
+    Cnf.Formula.iter_clauses f (fun c ->
+        Cnf.Formula.add_clause_l combined (Cnf.Clause.to_list c));
+    List.iter (Cnf.Formula.add_clause_l combined) growth;
+    let dpll, _ = Sat.Dpll.solve combined in
+    let expected = Th.outcome_sat dpll in
+    match P.run ~pures:false ~frozen f with
+    | P.Unsat ->
+      if expected then Alcotest.failf "seed %d: preprocessing wrongly UNSAT" seed
+    | P.Simplified s ->
+      let sess = Sat.Session.of_formula s.P.formula in
+      List.iter
+        (fun (v, b) -> Sat.Session.add_clause sess [ Cnf.Lit.of_var v b ])
+        s.P.fix;
+      ignore (Sat.Session.solve sess);
+      List.iter (Sat.Session.add_clause sess) growth;
+      (match Sat.Session.solve sess with
+       | Sat.Types.Sat _ ->
+         if not expected then
+           Alcotest.failf "seed %d: session SAT but combined UNSAT" seed;
+         let m =
+           match Sat.Session.model sess with
+           | Some m -> m
+           | None -> Alcotest.failf "seed %d: SAT without a model" seed
+         in
+         let full = P.complete_model s m in
+         if not (Cnf.Formula.eval (fun v -> full.(v)) combined) then
+           Alcotest.failf "seed %d: completed model violates combined formula"
+             seed
+       | Sat.Types.Unsat ->
+         if expected then
+           Alcotest.failf "seed %d: session UNSAT but combined SAT" seed
+       | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ ->
+         Alcotest.failf "seed %d: inconclusive session query" seed)
+  done
+
+let suite =
+  [
+    Th.case "inprocessing preserves recorded answers" corpus_answers_preserved;
+    Th.case "proof checks with inprocessing" proof_checks_with_inprocessing;
+    Th.case "frozen elimination sound under session growth" frozen_growth_sound;
+  ]

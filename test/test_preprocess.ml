@@ -61,6 +61,73 @@ let probing_finds_failed_literals () =
     Alcotest.(check bool) "x1 fixed true" true m.(0)
   | P.Unsat -> Alcotest.fail "unexpected unsat"
 
+(* --- bounded variable elimination -------------------------------------- *)
+
+let bve_eliminates_and_reconstructs () =
+  (* x2 has one positive and two negative occurrences; its only
+     non-tautological resolvent (1 3) replaces three clauses.  Pures are
+     off so elimination is what does the work. *)
+  let f = Th.formula_of [ [ 1; 2 ]; [ -2; 3 ]; [ -1; -2 ] ] in
+  match P.run ~pures:false f with
+  | P.Unsat -> Alcotest.fail "not unsat"
+  | P.Simplified s ->
+    Alcotest.(check bool) "elimination fired" true (s.P.stats.P.eliminated > 0);
+    (match Th.solve_cdcl s.P.formula with
+     | Sat.Types.Sat m ->
+       let full = P.complete_model s m in
+       Alcotest.(check bool) "reconstructed model satisfies original" true
+         (Cnf.Formula.eval (fun v -> full.(v)) f)
+     | _ -> Alcotest.fail "simplified formula must stay SAT")
+
+let bve_respects_frozen () =
+  let f = Th.formula_of [ [ 1; 2 ]; [ -2; 3 ]; [ -1; -2 ] ] in
+  match P.run ~pures:false ~frozen:[ 0; 1; 2 ] f with
+  | P.Unsat -> Alcotest.fail "not unsat"
+  | P.Simplified s ->
+    Alcotest.(check int) "nothing eliminated when all vars frozen" 0
+      s.P.stats.P.eliminated;
+    Alcotest.(check (list (pair int bool))) "no fixes invented" [] s.P.fix
+
+let bve_respects_caps () =
+  (* every variable resolves to at least one non-tautological resolvent,
+     so a clause cap of 0 must abort every elimination attempt *)
+  let f = Th.formula_of [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ]; [ -3; 1 ] ] in
+  match
+    P.run ~subsumption:false ~strengthen:false ~pures:false ~elim_clause_cap:0
+      f
+  with
+  | P.Unsat -> Alcotest.fail "not unsat"
+  | P.Simplified s ->
+    Alcotest.(check int) "clause cap blocks elimination" 0
+      s.P.stats.P.eliminated;
+    Alcotest.(check int) "clauses untouched" 4
+      (Cnf.Formula.nclauses s.P.formula)
+
+let prop_bve_vs_dpll =
+  (* verdicts against an independent DPLL arbiter, and every SAT model
+     reconstructed through the elimination stack must satisfy the
+     original clauses *)
+  QCheck.Test.make ~name:"bve preserves verdicts and reconstructs models"
+    ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+       let rng = Sat.Rng.create (seed + 11) in
+       let nvars = 4 + Sat.Rng.int rng 12 in
+       let f = Th.random_cnf rng nvars (2 + Sat.Rng.int rng (4 * nvars)) 4 in
+       let dpll, _ = Sat.Dpll.solve f in
+       let expected = Th.outcome_sat dpll in
+       match P.run f with
+       | P.Unsat -> not expected
+       | P.Simplified s -> (
+           match Th.solve_cdcl s.P.formula with
+           | Sat.Types.Sat m ->
+             expected
+             &&
+             let full = P.complete_model s m in
+             Cnf.Formula.eval (fun v -> full.(v)) f
+           | Sat.Types.Unsat -> not expected
+           | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> false))
+
 let prop_equisatisfiable_and_model_complete =
   QCheck.Test.make ~name:"preprocessing preserves satisfiability" ~count:150
     QCheck.(int_bound 100_000)
@@ -88,5 +155,9 @@ let suite =
     Th.case "subsumption" subsumption_removes;
     Th.case "strengthening" strengthening_fires;
     Th.case "failed literal probing" probing_finds_failed_literals;
+    Th.case "bve eliminates and reconstructs" bve_eliminates_and_reconstructs;
+    Th.case "bve respects frozen" bve_respects_frozen;
+    Th.case "bve respects caps" bve_respects_caps;
+    Th.qcheck prop_bve_vs_dpll;
     Th.qcheck prop_equisatisfiable_and_model_complete;
   ]
