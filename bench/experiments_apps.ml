@@ -115,9 +115,10 @@ let e10 () =
        in
        Util.row "%-20s | %-22s | %-20s | %-22s@." name (label b)
          (verdict_label s.Eda.Equiv.time_seconds s.Eda.Equiv.verdict)
-         (Printf.sprintf "%s %5d prv"
-            (verdict_label w.Eda.Sweep.time_seconds w.Eda.Sweep.verdict)
-            w.Eda.Sweep.stats.Eda.Sweep.proved))
+         (Printf.sprintf "%s %5d mrg"
+            (verdict_label w.Eda.Sweep.times.Eda.Sweep.total_s
+               w.Eda.Sweep.verdict)
+            w.Eda.Sweep.stats.Eda.Sweep.merges))
     families;
   (* the AIG route: structural merging before any SAT call *)
   Util.row "@.AIG-merged miters (hash-consing discharges shared logic):@.";

@@ -1,0 +1,274 @@
+(* Experiment E27: fraiging CEC vs the monolithic miter.
+
+   Two engines on the same equivalence checks, interleaved (one rep =
+   both engines back to back, so machine drift hits them equally),
+   best-of-[reps] wall clock per engine:
+
+     mono    one miter CNF through the full preprocessing pipeline,
+             solved in a single budgeted SAT call (the E10/E26 route)
+     fraig   the sweeping pipeline: structural hashing into one AIG,
+             simulation-derived candidate classes, incremental SAT
+             proofs that merge the graph as they land
+
+   Families: array and Wallace multipliers against their XOR-decomposed
+   rewrites (the synthesis-redundancy CEC shape, dense in internal
+   equivalences) plus a cross-architecture pair (array vs Wallace) where
+   internal cut points are scarce and fraiging has to earn its keep at
+   the outputs.  Verdicts are cross-checked between the engines on every
+   instance where both are definite, and against BDDs on the small
+   overlap.  The "beyond" instances are sized past the old mult6/wall7
+   ceiling: the monolithic engine runs into its conflict budget there
+   while fraig still finishes.
+
+   Flags (read from the bench command line, after "--"):
+     --smoke   tiny instance sizes: asserts the harness runs end to end
+     --json    also write BENCH_cec.json in the current dir *)
+
+module T = Sat.Types
+
+type row = {
+  name : string;
+  family : string;
+  answer : string;       (* fraig verdict: eq / neq / ? *)
+  mono_answer : string;
+  fraig_s : float;
+  mono_s : float;
+  aig_nodes : int;
+  fraig_nodes : int;
+  merges : int;
+  sat_calls : int;
+}
+
+let smoke () = Array.exists (( = ) "--smoke") Sys.argv
+let json () = Array.exists (( = ) "--json") Sys.argv
+
+(* the monolithic engine gets a conflict budget: past the old ceiling it
+   is the one that gives up, and the budget keeps full runs bounded *)
+let mono_conflicts = 400_000
+
+let mono_config = { T.default with T.max_conflicts = Some mono_conflicts }
+
+let verdict_tag = function
+  | Eda.Equiv.Equivalent -> "eq"
+  | Eda.Equiv.Inequivalent _ -> "neq"
+  | Eda.Equiv.Inconclusive _ -> "?"
+
+let run_case ~reps ~family name mk_pair =
+  let fraig_best = ref infinity and mono_best = ref infinity in
+  let fraig_tag = ref "?" and mono_tag = ref "?" in
+  let aig_nodes = ref 0 and fraig_nodes = ref 0 in
+  let merges = ref 0 and sat_calls = ref 0 in
+  for _ = 1 to reps do
+    let c1, c2 = mk_pair () in
+    let w = Eda.Sweep.check c1 c2 in
+    let ft = w.Eda.Sweep.times.Eda.Sweep.total_s in
+    if ft < !fraig_best then fraig_best := ft;
+    fraig_tag := verdict_tag w.Eda.Sweep.verdict;
+    aig_nodes := w.Eda.Sweep.stats.Eda.Sweep.aig_nodes;
+    fraig_nodes := w.Eda.Sweep.stats.Eda.Sweep.fraig_nodes;
+    merges := w.Eda.Sweep.stats.Eda.Sweep.merges;
+    sat_calls := w.Eda.Sweep.stats.Eda.Sweep.sat_calls;
+    let m =
+      Eda.Equiv.check_sat ~config:mono_config
+        ~pipeline:Sat.Solver.full_pipeline c1 c2
+    in
+    if m.Eda.Equiv.time_seconds < !mono_best then
+      mono_best := m.Eda.Equiv.time_seconds;
+    mono_tag := verdict_tag m.Eda.Equiv.verdict;
+    (* definite verdicts must agree *)
+    if !fraig_tag <> "?" && !mono_tag <> "?" && !fraig_tag <> !mono_tag then
+      failwith
+        (Printf.sprintf "%s: fraig says %s, mono says %s" name !fraig_tag
+           !mono_tag)
+  done;
+  {
+    name;
+    family;
+    answer = !fraig_tag;
+    mono_answer = !mono_tag;
+    fraig_s = !fraig_best;
+    mono_s = !mono_best;
+    aig_nodes = !aig_nodes;
+    fraig_nodes = !fraig_nodes;
+    merges = !merges;
+    sat_calls = !sat_calls;
+  }
+
+(* --- instance families --------------------------------------------------- *)
+
+let mult_xor bits () =
+  let c = Circuit.Generators.multiplier ~bits in
+  (c, Circuit.Transform.rewrite_xor (Circuit.Generators.multiplier ~bits))
+
+let wall_xor bits () =
+  let c = Circuit.Generators.wallace_multiplier ~bits in
+  ( c,
+    Circuit.Transform.rewrite_xor
+      (Circuit.Generators.wallace_multiplier ~bits) )
+
+let cross bits () =
+  ( Circuit.Generators.multiplier ~bits,
+    Circuit.Generators.wallace_multiplier ~bits )
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | l ->
+    let n = List.length l in
+    let a = Array.of_list l in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let write_json path ~mode rows medians beyond bdd_checked =
+  let oc = open_out path in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"satreda-bench\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"version\": %d,\n" Sat.Metrics.schema_version);
+  Buffer.add_string b "  \"experiment\": \"E27\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b
+    (Printf.sprintf "  \"mono_conflict_budget\": %d,\n" mono_conflicts);
+  Buffer.add_string b "  \"cec\": [\n";
+  List.iteri
+    (fun i r ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "    {\"name\": \"%s\", \"family\": \"%s\", \"fraig\": \"%s\", \
+             \"mono\": \"%s\", \"fraig_s\": %.6f, \"mono_s\": %.6f, \
+             \"speedup\": %.3f, \"aig_nodes\": %d, \"fraig_nodes\": %d, \
+             \"merges\": %d, \"sat_calls\": %d}%s\n"
+            r.name r.family r.answer r.mono_answer r.fraig_s r.mono_s
+            (r.mono_s /. r.fraig_s) r.aig_nodes r.fraig_nodes r.merges
+            r.sat_calls
+            (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"median_speedup_by_family\": {\n";
+  List.iteri
+    (fun i (fam, m) ->
+       Buffer.add_string b
+         (Printf.sprintf "    \"%s\": %.3f%s\n" fam m
+            (if i = List.length medians - 1 then "" else ",")))
+    medians;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"beyond_mono_budget\": [";
+  Buffer.add_string b
+    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") beyond));
+  Buffer.add_string b "],\n";
+  Buffer.add_string b "  \"bdd_cross_checked\": [";
+  Buffer.add_string b
+    (String.concat ", " (List.map (Printf.sprintf "\"%s\"") bdd_checked));
+  Buffer.add_string b "]\n}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let e27 () =
+  let smoke = smoke () in
+  let mode = if smoke then "smoke" else "full" in
+  Util.header "E27 fraiging CEC vs the monolithic miter"
+    "structural hashing + simulation classes + incremental SAT sweeping, \
+     interleaved A/B against one budgeted miter CNF";
+  let reps = if smoke then 1 else 5 in
+  let rows = ref [] in
+  let case ?(reps = reps) ~family name mk =
+    rows := run_case ~reps ~family name mk :: !rows
+  in
+  List.iter
+    (fun bits ->
+       case ~family:"mult" (Printf.sprintf "mult%d-xor" bits) (mult_xor bits))
+    (if smoke then [ 3 ] else [ 4; 5; 6 ]);
+  List.iter
+    (fun bits ->
+       case ~family:"wall" (Printf.sprintf "wall%d-xor" bits) (wall_xor bits))
+    (if smoke then [ 4 ] else [ 5; 6; 7 ]);
+  List.iter
+    (fun bits ->
+       case ~family:"cross" (Printf.sprintf "mult-vs-wall%d" bits)
+         (cross bits))
+    (if smoke then [ 3 ] else [ 4; 5 ]);
+  (* past the old mult6/wall7 ceiling: the monolithic engine hits its
+     conflict budget, fraig still finishes (best-of-1 — these are the
+     expensive anchors) *)
+  if not smoke then begin
+    List.iter
+      (fun bits ->
+         case ~reps:1 ~family:"beyond" (Printf.sprintf "mult%d-xor" bits)
+           (mult_xor bits))
+      [ 7; 8 ];
+    List.iter
+      (fun bits ->
+         case ~reps:1 ~family:"beyond" (Printf.sprintf "wall%d-xor" bits)
+           (wall_xor bits))
+      [ 8; 9 ]
+  end;
+  let rows = List.rev !rows in
+  Util.row "%-16s %-6s %-4s %-6s %9s %9s %8s %7s %7s@." "instance" "family"
+    "ans" "mono" "fraig" "mono" "speedup" "merges" "nodes";
+  Util.line ();
+  List.iter
+    (fun r ->
+       Util.row "%-16s %-6s %-4s %-6s %8.3fs %8.3fs %7.2fx %7d %7d@." r.name
+         r.family r.answer r.mono_answer r.fraig_s r.mono_s
+         (r.mono_s /. r.fraig_s) r.merges r.fraig_nodes)
+    rows;
+  let medians =
+    List.map
+      (fun fam ->
+         ( fam,
+           median
+             (List.filter_map
+                (fun r ->
+                   if r.family = fam then Some (r.mono_s /. r.fraig_s)
+                   else None)
+                rows) ))
+      (if smoke then [ "mult"; "wall"; "cross" ]
+       else [ "mult"; "wall"; "cross"; "beyond" ])
+  in
+  List.iter
+    (fun (fam, m) -> Util.row "median speedup %-6s %.2fx@." fam m)
+    medians;
+  let beyond =
+    List.filter_map
+      (fun r ->
+         if r.family = "beyond" && r.answer <> "?" && r.mono_answer = "?"
+         then Some r.name
+         else None)
+      rows
+  in
+  if beyond <> [] then
+    Util.row "fraig-only (mono exhausted %d conflicts): %s@." mono_conflicts
+      (String.concat ", " beyond);
+  (* BDD cross-check on the small overlap: three definite verdicts per
+     instance, all must agree *)
+  let bdd_checked =
+    List.filter_map
+      (fun (name, mk) ->
+         let c1, c2 = mk () in
+         let b = Eda.Equiv.check_bdd c1 c2 in
+         let f = Eda.Equiv.check_fraig c1 c2 in
+         match (b.Eda.Equiv.verdict, f.Eda.Equiv.verdict) with
+         | Eda.Equiv.Equivalent, Eda.Equiv.Equivalent -> Some name
+         | Eda.Equiv.Inequivalent _, Eda.Equiv.Inequivalent _ -> Some name
+         | Eda.Equiv.Inconclusive _, _ -> None
+         | _ -> failwith (name ^ ": BDD and fraig disagree"))
+      (if smoke then [ ("mult3-xor", mult_xor 3) ]
+       else
+         [
+           ("mult4-xor", mult_xor 4);
+           ("wall5-xor", wall_xor 5);
+           ("mult-vs-wall4", cross 4);
+         ])
+  in
+  Util.row "BDD cross-checked: %s@." (String.concat ", " bdd_checked);
+  if json () then begin
+    write_json "BENCH_cec.json" ~mode rows medians beyond bdd_checked;
+    Util.row "@.wrote BENCH_cec.json (%s mode)@." mode
+  end;
+  Util.row
+    "@.mono solves one miter CNF through the full preprocessing pipeline \
+     under a %d-conflict budget; fraig sweeps the shared-input AIG with \
+     simulation-guided incremental SAT.  Best of %d interleaved run(s) per \
+     engine; definite verdicts cross-checked between engines and against \
+     BDDs on the small overlap.@."
+    mono_conflicts reps

@@ -33,6 +33,7 @@ let experiments =
     ("E24", "propagation throughput + parse timing", Experiments_propagation.e24);
     ("E25", "observability overhead (metrics + tracing)", Experiments_observability.e25);
     ("E26", "preprocessing ablation (BVE + inprocessing)", Experiments_preprocessing.e26);
+    ("E27", "fraiging CEC vs monolithic miter", Experiments_fraig.e27);
   ]
 
 let () =

@@ -1,8 +1,9 @@
 (* Emit the built-in circuit generators as BENCH files.
 
    bench_gen FAMILY [--bits N] [--seed S] [-o FILE] [--metrics FILE.json]
-   families: c17 fig1 fig3 ripple carryskip multiplier comparator parity
-             mux alu random majority *)
+   families: c17 fig1 fig3 ripple carryskip kogge multiplier wallace
+             comparator parity mux alu random majority barrel decoder
+             priority *)
 
 open Cmdliner
 
@@ -15,13 +16,18 @@ let run family bits seed out metrics_path trace_path =
     | "fig3" -> Circuit.Generators.fig3 ()
     | "ripple" -> Circuit.Generators.ripple_adder ~bits
     | "carryskip" -> Circuit.Generators.carry_skip_adder ~bits ~block:(max 1 (bits / 2))
+    | "kogge" -> Circuit.Generators.kogge_stone_adder ~bits
     | "multiplier" -> Circuit.Generators.multiplier ~bits
+    | "wallace" -> Circuit.Generators.wallace_multiplier ~bits
     | "comparator" -> Circuit.Generators.comparator ~bits
     | "parity" -> Circuit.Generators.parity ~bits
     | "mux" -> Circuit.Generators.mux_tree ~select_bits:bits
     | "alu" -> Circuit.Generators.alu ~bits
     | "random" -> Circuit.Generators.random_circuit ~inputs:bits ~gates:(bits * 6) ~seed
     | "majority" -> Circuit.Generators.majority3 ()
+    | "barrel" -> Circuit.Generators.barrel_shifter ~bits
+    | "decoder" -> Circuit.Generators.decoder ~select_bits:bits
+    | "priority" -> Circuit.Generators.priority_encoder ~bits
     | other ->
       Printf.eprintf "unknown family %s\n" other;
       exit 2

@@ -1,23 +1,48 @@
 (* Combinational equivalence checking of two BENCH netlists.
 
-   cec_tool A.bench B.bench [--method sat|bdd|rl|aig|sweep] [--jobs N]
-            [--no-elim] [--inprocess]
-            [--metrics FILE.json] [--trace FILE.jsonl] *)
+   cec_tool A.bench B.bench [--engine mono|fraig|bdd] [--stats]
+            [--jobs N] [--no-elim] [--inprocess]
+            [--metrics FILE.json] [--trace FILE.jsonl]
+
+   The default engine is the fraiging pipeline: structural hashing,
+   simulation-derived candidate classes, incremental SAT sweeping.
+   "mono" solves the monolithic miter CNF; "bdd" compares canonical
+   output functions.  The legacy --method spellings (sat, rl, aig,
+   sweep) are kept as deprecated aliases. *)
 
 open Cmdliner
 
-let run a b method_ jobs no_elim inprocess metrics_path trace_path =
+let run a b engine method_ stats jobs no_elim inprocess metrics_path
+    trace_path =
   let obs = Obs.setup ~tool:"cec_tool" metrics_path trace_path in
   let metrics = obs.Obs.metrics and trace = obs.Obs.trace in
   let c1 = Circuit.Bench_format.parse_file a in
   let c2 = Circuit.Bench_format.parse_file b in
-  if jobs > 1 && method_ <> "sat" then begin
-    Printf.eprintf "--jobs requires --method sat\n";
+  let engine =
+    match (engine, method_) with
+    | Some e, _ -> e
+    | None, Some m ->
+      Printf.eprintf "warning: --method is deprecated, use --engine\n%!";
+      (match m with "sat" -> "mono" | "sweep" -> "fraig" | m -> m)
+    | None, None -> "fraig"
+  in
+  if jobs > 1 && engine <> "mono" then begin
+    Printf.eprintf "--jobs requires --engine mono\n";
     exit 2
   end;
+  let sweep_report = ref None in
   let report =
-    match method_ with
-    | "sat" ->
+    match engine with
+    | "fraig" ->
+      let r = Eda.Sweep.check ?metrics ?trace c1 c2 in
+      sweep_report := Some r;
+      {
+        Eda.Equiv.verdict = r.Eda.Sweep.verdict;
+        time_seconds = r.Eda.Sweep.times.Eda.Sweep.total_s;
+        sat_stats = r.Eda.Sweep.solver_stats;
+        bdd_nodes = r.Eda.Sweep.stats.Eda.Sweep.fraig_nodes;
+      }
+    | "mono" ->
       let config =
         { Sat.Types.default with Sat.Types.inprocessing = inprocess }
       in
@@ -37,18 +62,32 @@ let run a b method_ jobs no_elim inprocess metrics_path trace_path =
     | "bdd" -> Eda.Equiv.check_bdd c1 c2
     | "rl" -> Eda.Equiv.check_rl ?metrics ?trace ~depth:1 c1 c2
     | "aig" -> Eda.Equiv.check_aig c1 c2
-    | "sweep" ->
-      let r = Eda.Sweep.check c1 c2 in
-      {
-        Eda.Equiv.verdict = r.Eda.Sweep.verdict;
-        time_seconds = r.Eda.Sweep.time_seconds;
-        sat_stats = None;
-        bdd_nodes = 0;
-      }
     | other ->
-      Printf.eprintf "unknown method %s (sat|bdd|rl|aig|sweep)\n" other;
+      Printf.eprintf "unknown engine %s (mono|fraig|bdd)\n" other;
       exit 2
   in
+  if stats then begin
+    (match !sweep_report with
+     | Some r ->
+       let s = r.Eda.Sweep.stats and t = r.Eda.Sweep.times in
+       Printf.printf
+         "stats: aig_nodes=%d fraig_nodes=%d classes=%d candidates=%d \
+          merges=%d refuted=%d skipped=%d refinement_rounds=%d \
+          sat_calls=%d sim_words=%d\n"
+         s.Eda.Sweep.aig_nodes s.Eda.Sweep.fraig_nodes s.Eda.Sweep.classes
+         s.Eda.Sweep.candidates s.Eda.Sweep.merges s.Eda.Sweep.refuted
+         s.Eda.Sweep.skipped s.Eda.Sweep.refinement_rounds
+         s.Eda.Sweep.sat_calls s.Eda.Sweep.simulation_words;
+       Printf.printf "phases: simulate=%.3fs refine=%.3fs prove=%.3fs\n"
+         t.Eda.Sweep.simulate_s t.Eda.Sweep.refine_s t.Eda.Sweep.prove_s
+     | None -> ());
+    (match report.Eda.Equiv.sat_stats with
+     | Some st ->
+       Printf.printf "solver: decisions=%d conflicts=%d propagations=%d\n"
+         st.Sat.Types.decisions st.Sat.Types.conflicts
+         st.Sat.Types.propagations
+     | None -> ())
+  end;
   match report.Eda.Equiv.verdict with
   | Eda.Equiv.Equivalent ->
     Printf.printf "EQUIVALENT (%.3fs)\n" report.Eda.Equiv.time_seconds;
@@ -65,32 +104,43 @@ let run a b method_ jobs no_elim inprocess metrics_path trace_path =
 let a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A" ~doc:"first netlist")
 let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"second netlist")
 
+let engine =
+  Arg.(value & opt (some string) None
+       & info [ "engine" ]
+         ~doc:"mono (one miter CNF), fraig (AIG sweeping; default) or bdd")
+
 let method_ =
-  Arg.(value & opt string "sat"
-       & info [ "method" ] ~doc:"sat, bdd, rl, aig or sweep")
+  Arg.(value & opt (some string) None
+       & info [ "method" ]
+         ~doc:"deprecated alias of --engine (sat=mono, sweep=fraig)")
+
+let stats =
+  Arg.(value & flag
+       & info [ "stats" ]
+         ~doc:"print per-phase times and sweep counters before the verdict")
 
 let jobs =
   Arg.(value & opt int 1
        & info [ "jobs" ]
          ~doc:"solve the miter with N diversified parallel workers \
-               (sat method only)")
+               (mono engine only)")
 
 let no_elim =
   Arg.(value & flag
        & info [ "no-elim" ]
          ~doc:"disable bounded variable elimination on the miter CNF \
-               (sat method only)")
+               (mono engine only)")
 
 let inprocess =
   Arg.(value & flag
        & info [ "inprocess" ]
          ~doc:"simplify the learnt-clause database during search \
-               (sat method only)")
+               (mono engine only)")
 
 let cmd =
   Cmd.v
     (Cmd.info "cec_tool" ~doc:"combinational equivalence checker")
-    Term.(const run $ a $ b $ method_ $ jobs $ no_elim $ inprocess
-          $ Obs.metrics_term $ Obs.trace_term)
+    Term.(const run $ a $ b $ engine $ method_ $ stats $ jobs $ no_elim
+          $ inprocess $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

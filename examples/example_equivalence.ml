@@ -43,7 +43,7 @@ let () =
       | Eda.Equiv.Equivalent -> "EQUIVALENT"
       | Eda.Equiv.Inequivalent _ -> "DIFFER"
       | Eda.Equiv.Inconclusive _ -> "INCONCLUSIVE")
-     r.Eda.Sweep.time_seconds r.Eda.Sweep.stats.Eda.Sweep.proved);
+     r.Eda.Sweep.times.Eda.Sweep.total_s r.Eda.Sweep.stats.Eda.Sweep.merges);
 
   Format.printf "@.-- with an injected bug --@.";
   let buggy, what = Circuit.Transform.inject_bug ~seed:13 revised in

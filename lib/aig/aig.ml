@@ -1,6 +1,7 @@
 (* Nodes: node 0 is the constant (TRUE when referenced uncomplemented);
    inputs and ANDs follow.  An edge (lit) packs a node index and a
-   complement bit, like CNF literals. *)
+   complement bit, like CNF literals.  Creation order is a topological
+   order: an AND's children always have smaller node indices. *)
 
 type lit = int
 
@@ -9,16 +10,20 @@ type node =
   | Input of int
   | And of lit * lit
 
+type view = node = Const | Input of int | And of lit * lit
+
 type man = {
   nodes : node Sat.Vec.t;
   strash : (lit * lit, int) Hashtbl.t;
+  input_ids : int Sat.Vec.t;  (* input ordinal -> node index *)
   mutable inputs : int;
+  mutable ands : int;
 }
 
 let create () =
   let m =
     { nodes = Sat.Vec.create ~dummy:Const (); strash = Hashtbl.create 256;
-      inputs = 0 }
+      input_ids = Sat.Vec.create ~dummy:(-1) (); inputs = 0; ands = 0 }
   in
   Sat.Vec.push m.nodes Const;
   m
@@ -26,12 +31,14 @@ let create () =
 let const_true : lit = 0
 let const_false : lit = 1
 let node_of (l : lit) = l lsr 1
+let of_node (id : int) : lit = id * 2
 let neg (l : lit) : lit = l lxor 1
 let is_complemented l = l land 1 = 1
 
 let add_input m =
   let id = Sat.Vec.size m.nodes in
   Sat.Vec.push m.nodes (Input m.inputs);
+  Sat.Vec.push m.input_ids id;
   m.inputs <- m.inputs + 1;
   (id * 2 : lit)
 
@@ -39,41 +46,94 @@ let num_inputs m = m.inputs
 
 let input m i =
   if i < 0 || i >= m.inputs then raise Not_found;
-  (* inputs occupy consecutive node slots after the constant *)
-  let found = ref (-1) in
-  Sat.Vec.iter
-    (let id = ref (-1) in
-     fun node ->
-       incr id;
-       match node with
-       | Input k -> if k = i then found := !id
-       | Const | And _ -> ())
-    m.nodes;
-  ((!found * 2) : lit)
+  (Sat.Vec.get m.input_ids i * 2 : lit)
 
-let num_ands m =
-  let n = ref 0 in
-  Sat.Vec.iter (function And _ -> incr n | Const | Input _ -> ()) m.nodes;
-  !n
+let num_ands m = m.ands
 
 let node_count m = Sat.Vec.size m.nodes
 
-let and_ m a b =
+let view m id = Sat.Vec.get m.nodes id
+
+(* The underlying AND node of an edge, if any. *)
+let node_children m l =
+  match Sat.Vec.get m.nodes (node_of l) with
+  | And (x, y) -> Some (x, y)
+  | Const | Input _ -> None
+
+let rec and_ m a b =
+  (* level-one identities *)
   if a = const_false || b = const_false then const_false
   else if a = const_true then b
   else if b = const_true then a
   else if a = b then a
   else if a = neg b then const_false
-  else begin
-    let x, y = if a <= b then (a, b) else (b, a) in
-    match Hashtbl.find_opt m.strash (x, y) with
-    | Some id -> (id * 2 : lit)
+  else
+    match two_level m a b with
+    | Some r -> r
     | None ->
-      let id = Sat.Vec.size m.nodes in
-      Sat.Vec.push m.nodes (And (x, y));
-      Hashtbl.add m.strash (x, y) id;
-      (id * 2 : lit)
-  end
+      let x, y = if a <= b then (a, b) else (b, a) in
+      (match Hashtbl.find_opt m.strash (x, y) with
+       | Some id -> (id * 2 : lit)
+       | None ->
+         let id = Sat.Vec.size m.nodes in
+         Sat.Vec.push m.nodes (And (x, y));
+         Hashtbl.add m.strash (x, y) id;
+         m.ands <- m.ands + 1;
+         (id * 2 : lit))
+
+(* Two-level rewriting (the bounded AIG cleanup rules): each rule
+   inspects at most the children of the two operands, so it is O(1),
+   and every right-hand side is an existing edge, a constant, or a
+   recursive [and_] over strictly older nodes — terminating and never
+   growing the graph. *)
+and two_level m a b =
+  match one_sided m a b with
+  | Some _ as r -> r
+  | None ->
+    (match one_sided m b a with
+     | Some _ as r -> r
+     | None -> both_sided m a b)
+
+(* Rules keyed on [a]'s underlying AND node. *)
+and one_sided m a b =
+  match node_children m a with
+  | None -> None
+  | Some (x, y) ->
+    if not (is_complemented a) then
+      if b = x || b = y then Some a (* absorption: (x&y) & x = x&y *)
+      else if b = neg x || b = neg y then
+        Some const_false (* contradiction: (x&y) & ~x = 0 *)
+      else None
+    else if b = neg x || b = neg y then
+      Some b (* ~x -> ~(x&y), so ~(x&y) & ~x = ~x *)
+    else if b = x then Some (and_ m x (neg y)) (* substitution *)
+    else if b = y then Some (and_ m y (neg x))
+    else None
+
+(* Rules needing both operands' AND nodes. *)
+and both_sided m a b =
+  match node_children m a, node_children m b with
+  | Some (x, y), Some (w, z) ->
+    let pa = not (is_complemented a) and pb = not (is_complemented b) in
+    if pa && pb then
+      if x = neg w || x = neg z || y = neg w || y = neg z then
+        Some const_false (* children contradict across the two ANDs *)
+      else None
+    else if (not pa) && not pb then
+      (* resolution: ~(s&t) & ~(s&~t) = ~s *)
+      if (x = w && y = neg z) || (x = z && y = neg w) then Some (neg x)
+      else if (y = w && x = neg z) || (y = z && x = neg w) then Some (neg y)
+      else None
+    else begin
+      (* one plain, one complemented: s&t forces a child of the
+         complemented AND false, so the complemented edge is true *)
+      let (s, t), (u, v), plain =
+        if pa then ((x, y), (w, z), a) else ((w, z), (x, y), b)
+      in
+      if u = neg s || u = neg t || v = neg s || v = neg t then Some plain
+      else None
+    end
+  | _ -> None
 
 let or_ m a b = neg (and_ m (neg a) (neg b))
 
@@ -102,6 +162,26 @@ let eval m inputs l =
     if is_complemented l then not v else v
   in
   edge_val l
+
+let word_mask = (1 lsl Circuit.Simulate.word_width) - 1
+
+let sim_words m inputs =
+  if Array.length inputs < m.inputs then
+    invalid_arg "Aig.sim_words: input word count mismatch";
+  let n = Sat.Vec.size m.nodes in
+  let out = Array.make n 0 in
+  let edge l =
+    let v = out.(node_of l) in
+    if is_complemented l then lnot v land word_mask else v
+  in
+  for id = 0 to n - 1 do
+    out.(id) <-
+      (match Sat.Vec.get m.nodes id with
+       | Const -> word_mask
+       | Input k -> inputs.(k) land word_mask
+       | And (a, b) -> edge a land edge b)
+  done;
+  out
 
 let build_from m circuit input_edges =
   let values = Array.make (max 1 (Circuit.Netlist.num_nodes circuit)) const_false in
@@ -165,6 +245,28 @@ let merge_netlists c1 c2 =
   in
   (m, pairs)
 
+let cleanup m ~outputs =
+  let fresh = create () in
+  let input_edges = Array.init m.inputs (fun _ -> add_input fresh) in
+  let memo = Array.make (Sat.Vec.size m.nodes) (-1) in
+  let rec edge l =
+    let e = node (node_of l) in
+    if is_complemented l then neg e else e
+  and node id =
+    if memo.(id) >= 0 then memo.(id)
+    else begin
+      let e =
+        match Sat.Vec.get m.nodes id with
+        | Const -> const_true
+        | Input k -> input_edges.(k)
+        | And (a, b) -> and_ fresh (edge a) (edge b)
+      in
+      memo.(id) <- e;
+      e
+    end
+  in
+  (fresh, List.map edge outputs)
+
 let to_netlist m ~outputs =
   let c = Circuit.Netlist.create () in
   let node_map = Array.make (Sat.Vec.size m.nodes) (-1) in
@@ -225,3 +327,105 @@ let to_cnf m =
         [ out; Cnf.Lit.negate la; Cnf.Lit.negate lb ]
   done;
   (f, lit_of)
+
+module Session_cnf = struct
+  type nonrec t = {
+    man : man;
+    sess : Sat.Session.t;
+    mutable vars : int array;            (* node -> session var, -1 = none *)
+    mutable groups : Cnf.Lit.t option array;  (* node -> activation literal *)
+    mutable stamp : int array;           (* cone-walk visit marks *)
+    mutable stamp_id : int;
+    mutable emitted : int;
+  }
+
+  let create ?config man =
+    {
+      man;
+      sess = Sat.Session.create ?config ();
+      vars = Array.make 64 (-1);
+      groups = Array.make 64 None;
+      stamp = Array.make 64 0;
+      stamp_id = 0;
+      emitted = 0;
+    }
+
+  let session t = t.sess
+
+  (* the manager may have grown since the last call *)
+  let sync t =
+    let n = Sat.Vec.size t.man.nodes in
+    if Array.length t.vars < n then begin
+      let cap = max n (2 * Array.length t.vars) in
+      let vars = Array.make cap (-1) in
+      Array.blit t.vars 0 vars 0 (Array.length t.vars);
+      let groups = Array.make cap None in
+      Array.blit t.groups 0 groups 0 (Array.length t.groups);
+      let stamp = Array.make cap 0 in
+      Array.blit t.stamp 0 stamp 0 (Array.length t.stamp);
+      t.vars <- vars;
+      t.groups <- groups;
+      t.stamp <- stamp
+    end
+
+  let lit_of_emitted t l =
+    let base = Cnf.Lit.pos t.vars.(node_of l) in
+    if is_complemented l then Cnf.Lit.negate base else base
+
+  let rec ensure t id =
+    if t.vars.(id) < 0 then
+      match Sat.Vec.get t.man.nodes id with
+      | Const ->
+        let v = Sat.Session.new_var t.sess in
+        t.vars.(id) <- v;
+        Sat.Session.add_clause t.sess [ Cnf.Lit.pos v ]
+      | Input _ -> t.vars.(id) <- Sat.Session.new_var t.sess
+      | And (a, b) ->
+        ensure t (node_of a);
+        ensure t (node_of b);
+        let v = Sat.Session.new_var t.sess in
+        t.vars.(id) <- v;
+        let g = Sat.Session.new_activation t.sess in
+        t.groups.(id) <- Some g;
+        t.emitted <- t.emitted + 1;
+        let out = Cnf.Lit.pos v in
+        let la = lit_of_emitted t a and lb = lit_of_emitted t b in
+        Sat.Session.add_clause_in t.sess ~group:g [ Cnf.Lit.negate out; la ];
+        Sat.Session.add_clause_in t.sess ~group:g [ Cnf.Lit.negate out; lb ];
+        Sat.Session.add_clause_in t.sess ~group:g
+          [ out; Cnf.Lit.negate la; Cnf.Lit.negate lb ]
+
+  let lit_of t l =
+    sync t;
+    ensure t (node_of l);
+    lit_of_emitted t l
+
+  let assumptions t edges =
+    sync t;
+    List.iter (fun l -> ensure t (node_of l)) edges;
+    t.stamp_id <- t.stamp_id + 1;
+    let acc = ref [] in
+    let rec walk id =
+      if t.stamp.(id) <> t.stamp_id then begin
+        t.stamp.(id) <- t.stamp_id;
+        match Sat.Vec.get t.man.nodes id with
+        | Const | Input _ -> ()
+        | And (a, b) ->
+          (match t.groups.(id) with
+           | Some g when Sat.Session.is_active t.sess g -> acc := g :: !acc
+           | Some _ | None -> ());
+          walk (node_of a);
+          walk (node_of b)
+      end
+    in
+    List.iter (fun l -> walk (node_of l)) edges;
+    !acc
+
+  let release t l =
+    sync t;
+    match t.groups.(node_of l) with
+    | Some g -> if Sat.Session.is_active t.sess g then Sat.Session.release t.sess g
+    | None -> ()
+
+  let emitted_nodes t = t.emitted
+end

@@ -4,7 +4,15 @@
     The normal form behind most SAT-based EDA flows: conversion to AIG
     is itself a structural-hashing pass, two circuits built into one
     manager share all common logic, and the CNF translation emits three
-    clauses per AND node. *)
+    clauses per AND node.
+
+    Construction applies {e two-level rewriting} on top of the level-one
+    identities: absorption ([(x & y) & x = x & y]), two-level
+    contradiction ([(x & y) & ~x = 0], including between two AND
+    children), substitution ([~(x & y) & x = x & ~y]) and resolution
+    ([~(x & y) & ~(x & ~y) = ~x]).  Together with constant propagation
+    these are the bounded cleanup rules of a fraiging front-end: they
+    fire in O(1) per node and never grow the graph. *)
 
 type man
 (** A manager; owns the node table. *)
@@ -32,17 +40,36 @@ val num_ands : man -> int
 val neg : lit -> lit
 val is_complemented : lit -> bool
 
+val node_of : lit -> int
+(** The node index under an edge. *)
+
+val of_node : int -> lit
+(** The uncomplemented edge of a node index. *)
+
 val and_ : man -> lit -> lit -> lit
-(** Hash-consed with the usual simplifications
-    ([a & a = a], [a & ~a = 0], constants). *)
+(** Hash-consed with the level-one simplifications ([a & a = a],
+    [a & ~a = 0], constants) plus the two-level rewriting rules above. *)
 
 val or_ : man -> lit -> lit -> lit
 val xor : man -> lit -> lit -> lit
 val mux : man -> lit -> lit -> lit -> lit
 (** [mux m s t e] = if [s] then [t] else [e]. *)
 
+type view = Const | Input of int | And of lit * lit
+
+val view : man -> int -> view
+(** Structure of a node, for algorithms that walk the graph (sweeping,
+    cone extraction).  Node indices are a topological order: an AND's
+    children always have smaller indices. *)
+
 val eval : man -> bool array -> lit -> bool
 (** Input values in creation order. *)
+
+val sim_words : man -> int array -> int array
+(** 62-way bit-parallel simulation: each input carries
+    [Circuit.Simulate.word_width] packed patterns; returns the packed
+    word per node (indexed by node, not edge).  One linear pass over the
+    node table. *)
 
 val of_netlist : Circuit.Netlist.t -> man * (string * lit) list
 (** Converts a combinational netlist; returns the manager and the named
@@ -55,6 +82,13 @@ val merge_netlists :
     structure is hash-consed away — and returns the paired output
     edges.  Raises [Invalid_argument] on interface mismatch. *)
 
+val cleanup : man -> outputs:lit list -> man * lit list
+(** Dangling-node sweep: rebuilds the cones of [outputs] in a fresh
+    manager through the rewriting constructor, re-applying constant
+    propagation and the two-level rules, and drops every node not
+    reachable from the outputs.  The input interface (count and order)
+    is preserved even for inputs no output depends on. *)
+
 val to_netlist : man -> outputs:(string * lit) list -> Circuit.Netlist.t
 (** Re-materialises as a gate netlist (AND/NOT gates). *)
 
@@ -64,3 +98,43 @@ val to_cnf : man -> Cnf.Formula.t * (lit -> Cnf.Lit.t)
 
 val node_count : man -> int
 (** Inputs + AND nodes + the constant. *)
+
+(** Incremental per-node CNF emission into a {!Sat.Session}.
+
+    The substrate of SAT sweeping: instead of translating the whole
+    graph up front, clauses are emitted lazily, cone by cone, as the
+    sweep queries nodes — and each AND node's three clauses live in
+    their own session {e activation group}, so the clauses of a node
+    that is later merged away can be {!release}d (the session's
+    retention policy then also drops learned clauses polluted by the
+    dead group). *)
+module Session_cnf : sig
+  type t
+
+  val create : ?config:Sat.Types.config -> man -> t
+  (** A fresh empty session over the manager.  The manager may keep
+      growing after this call; new nodes are picked up lazily. *)
+
+  val session : t -> Sat.Session.t
+  (** The underlying session — for solving, budgets, metrics, tracing. *)
+
+  val lit_of : t -> lit -> Cnf.Lit.t
+  (** The session literal of an edge.  On first touch of a node this
+      emits the defining clauses of its whole cone (three clauses per
+      AND node, each node's clauses in a fresh activation group; the
+      constant node gets a permanent unit; inputs get a bare
+      variable). *)
+
+  val assumptions : t -> lit list -> Cnf.Lit.t list
+  (** Activation literals of every live AND group in the cones of the
+      given edges (emitting the cones first if needed) — the assumption
+      set that switches exactly those definitions on for one query. *)
+
+  val release : t -> lit -> unit
+  (** Drops the defining clause group of the edge's node.  Only legal
+      once nothing will reference the node again (a node merged away by
+      sweeping); releasing a node without a group is a no-op. *)
+
+  val emitted_nodes : t -> int
+  (** Number of AND nodes whose clauses have been emitted so far. *)
+end

@@ -2,7 +2,7 @@ module N = Circuit.Netlist
 module Gate = Circuit.Gate
 module Miter = Circuit.Miter
 
-type verdict =
+type verdict = Verdict.t =
   | Equivalent
   | Inequivalent of bool array
   | Inconclusive of string
@@ -156,3 +156,16 @@ let check_aig ?(config = Sat.Types.default) c1 c2 =
       | Sat.Types.Unknown why ->
         finish ~stats (Inconclusive why) (Aig.node_count m)
     end
+
+let check_fraig ?metrics ?trace ?config ?words ?seed ?candidate_conflicts c1
+    c2 =
+  let r =
+    Sweep.check ?config ?words ?seed ?candidate_conflicts ?metrics ?trace c1
+      c2
+  in
+  {
+    verdict = r.Sweep.verdict;
+    time_seconds = r.Sweep.times.Sweep.total_s;
+    sat_stats = r.Sweep.solver_stats;
+    bdd_nodes = r.Sweep.stats.Sweep.fraig_nodes;
+  }

@@ -4,7 +4,7 @@
     canonical output functions and compares them — the head-to-head of
     experiment E10. *)
 
-type verdict =
+type verdict = Verdict.t =
   | Equivalent
   | Inequivalent of bool array
       (** a distinguishing input vector, in input order *)
@@ -53,3 +53,18 @@ val check_aig :
     edges are discharged without any SAT call, and the residue is a
     compact three-clauses-per-node miter CNF.  [bdd_nodes] reports the
     AIG node count. *)
+
+val check_fraig :
+  ?metrics:Sat.Metrics.t ->
+  ?trace:Sat.Trace.sink ->
+  ?config:Sat.Types.config ->
+  ?words:int ->
+  ?seed:int ->
+  ?candidate_conflicts:int ->
+  Circuit.Netlist.t -> Circuit.Netlist.t -> report
+(** The full fraiging pipeline of {!Sweep.check}: structural hashing
+    into one AIG, simulation-derived candidate classes, incremental SAT
+    sweeping with merge-on-proof and counterexample-driven refinement.
+    The default CEC engine.  [bdd_nodes] reports the live node count of
+    the functionally reduced AIG; use {!Sweep.check} directly for the
+    per-phase breakdown. *)

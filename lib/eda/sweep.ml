@@ -1,224 +1,383 @@
 module N = Circuit.Netlist
 module Lit = Cnf.Lit
+module Scnf = Aig.Session_cnf
+
+type phase_times = {
+  simulate_s : float;
+  refine_s : float;
+  prove_s : float;
+  total_s : float;
+}
 
 type stats = {
+  aig_nodes : int;
+  fraig_nodes : int;
   simulation_words : int;
-  candidate_pairs : int;
-  proved : int;
+  classes : int;
+  candidates : int;
+  merges : int;
   refuted : int;
+  skipped : int;
+  refinement_rounds : int;
   sat_calls : int;
   decisions : int;
   conflicts : int;
 }
 
 type report = {
-  verdict : Equiv.verdict;
+  verdict : Verdict.t;
   stats : stats;
-  time_seconds : float;
+  times : phase_times;
+  solver_stats : Sat.Types.stats option;
 }
 
-let mask = (1 lsl Circuit.Simulate.word_width) - 1
+let word_mask = (1 lsl Circuit.Simulate.word_width) - 1
 
-(* the merged (two circuits, shared inputs) netlist plus the original
-   output correspondences *)
-let merge c1 c2 =
-  let m = N.create () in
-  let shared =
-    List.mapi (fun i _ -> N.add_input ~name:(Printf.sprintf "pi%d" i) m)
-      (N.inputs c1)
-  in
-  let input_map ins =
-    let table = Hashtbl.create 16 in
-    List.iter2 (fun src dst -> Hashtbl.replace table src dst) ins shared;
-    fun id -> Hashtbl.find_opt table id
-  in
-  let map1 = N.import c1 ~into:m ~map_node:(input_map (N.inputs c1)) in
-  let map2 = N.import c2 ~into:m ~map_node:(input_map (N.inputs c2)) in
-  let pairs =
-    List.map2
-      (fun a b -> (map1.(a), map2.(b)))
-      (N.output_ids c1) (N.output_ids c2)
-  in
-  (m, pairs)
+let empty_stats =
+  { aig_nodes = 0; fraig_nodes = 0; simulation_words = 0; classes = 0;
+    candidates = 0; merges = 0; refuted = 0; skipped = 0;
+    refinement_rounds = 0; sat_calls = 0; decisions = 0; conflicts = 0 }
 
-(* signatures: packed simulation words per node, newest first; the
-   canonical key complements so that a node and its inverse collide *)
-let canonical sig_ =
-  match sig_ with
-  | [] -> ([], false)
-  | w :: _ ->
-    if w land 1 = 1 then (List.map (fun x -> lnot x land mask) sig_, true)
-    else (sig_, false)
-
-let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77) c1 c2 =
-  let t0 = Unix.gettimeofday () in
-  let fail_stats =
-    { simulation_words = 0; candidate_pairs = 0; proved = 0; refuted = 0;
-      sat_calls = 0; decisions = 0; conflicts = 0 }
+let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
+    ?(candidate_conflicts = 20_000) ?metrics ?trace c1 c2 =
+  let t_start = Unix.gettimeofday () in
+  let words = max 1 words in
+  let sim_t = ref 0. and refine_t = ref 0. and prove_t = ref 0. in
+  let timed acc name f =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      match metrics with Some m -> Sat.Metrics.time m name f | None -> f ()
+    in
+    acc := !acc +. (Unix.gettimeofday () -. t0);
+    r
+  in
+  let finish ?solver_stats verdict stats =
+    let total = Unix.gettimeofday () -. t_start in
+    Option.iter
+      (fun m ->
+         let add name v = Sat.Metrics.incr ~by:v (Sat.Metrics.counter m name) in
+         add "sweep/classes" stats.classes;
+         add "sweep/candidates" stats.candidates;
+         add "sweep/merges" stats.merges;
+         add "sweep/refuted" stats.refuted;
+         add "sweep/skipped" stats.skipped;
+         add "sweep/sat_calls" stats.sat_calls;
+         add "sweep/refinement_rounds" stats.refinement_rounds;
+         add "sweep/simulation_words" stats.simulation_words;
+         Sat.Metrics.set_gauge
+           (Sat.Metrics.gauge m "sweep/aig_nodes")
+           (float_of_int stats.aig_nodes);
+         Sat.Metrics.set_gauge
+           (Sat.Metrics.gauge m "sweep/fraig_nodes")
+           (float_of_int stats.fraig_nodes))
+      metrics;
+    {
+      verdict;
+      stats;
+      times =
+        { simulate_s = !sim_t; refine_s = !refine_t; prove_s = !prove_t;
+          total_s = total };
+      solver_stats;
+    }
   in
   if List.length (N.inputs c1) <> List.length (N.inputs c2)
      || List.length (N.outputs c1) <> List.length (N.outputs c2)
-  then
-    { verdict = Equiv.Inequivalent [||]; stats = fail_stats;
-      time_seconds = Unix.gettimeofday () -. t0 }
+  then finish (Verdict.Inequivalent [||]) empty_stats
   else begin
-    let m, out_pairs = merge c1 c2 in
-    let n = N.num_nodes m in
-    let enc = Circuit.Encode.encode m in
-    let lit x = enc.Circuit.Encode.lit_of_node x in
-    (* one session for the whole sweep: every candidate-pair query and
-       every merge clause reuses the same learned-clause database *)
-    let sess = Sat.Session.of_formula ~config enc.Circuit.Encode.formula in
-    let n_inputs = List.length (N.inputs m) in
-    (* initial random simulation *)
+    (* 1. structural phase: hash both circuits into one AIG over shared
+       inputs (common logic merges for free, the two-level rules do a
+       bounded cleanup) *)
+    let old_man, out_pairs = Aig.merge_netlists c1 c2 in
+    let n_old = Aig.node_count old_man in
+    let n_inputs = List.length (N.inputs c1) in
     let rng = Sat.Rng.create seed in
-    let sigs = Array.make (max 1 n) [] in
-    let sim_words = ref 0 in
-    let add_simulation node_bits =
-      incr sim_words;
-      for x = 0 to n - 1 do
-        sigs.(x) <- node_bits x :: sigs.(x)
-      done
+    (* 2. the functionally reduced AIG under construction, and the lazy
+       per-node CNF session behind the candidate proofs *)
+    let nm = Aig.create () in
+    for _ = 1 to n_inputs do ignore (Aig.add_input nm) done;
+    let scnf = Scnf.create ~config nm in
+    let sess = Scnf.session scnf in
+    Option.iter (fun m -> Sat.Session.attach_metrics sess m) metrics;
+    Option.iter (fun tr -> Sat.Session.set_tracer sess (Some tr)) trace;
+    (* input variables exist up front so counterexample models always
+       cover the primary inputs *)
+    let input_lits =
+      Array.init n_inputs (fun i -> Scnf.lit_of scnf (Aig.input nm i))
     in
-    for _ = 1 to words do
-      let ws = Circuit.Simulate.random_words rng n_inputs in
-      let values = Circuit.Simulate.parallel_all m ws in
-      add_simulation (fun x -> values.(x))
-    done;
-    (* union-find with complementation phases *)
-    let parent = Array.init (max 1 n) (fun x -> x) in
-    let phase = Array.make (max 1 n) false in
-    let rec find x =
-      if parent.(x) = x then (x, false)
-      else begin
-        let r, p = find parent.(x) in
-        parent.(x) <- r;
-        phase.(x) <- phase.(x) <> p;
-        (r, phase.(x))
+    (* --- signatures: packed simulation words per fraig node ------------- *)
+    let cap = ref (max 64 (2 * n_old)) in
+    let sigs = ref (Array.make !cap [||]) in
+    let merged : Aig.lit option array ref = ref (Array.make !cap None) in
+    let seen = ref (Array.make !cap false) in
+    let grow_to n =
+      if n > !cap then begin
+        let c = max n (2 * !cap) in
+        let s = Array.make c [||] in
+        Array.blit !sigs 0 s 0 !cap;
+        let mg = Array.make c None in
+        Array.blit !merged 0 mg 0 !cap;
+        let sn = Array.make c false in
+        Array.blit !seen 0 sn 0 !cap;
+        sigs := s;
+        merged := mg;
+        seen := sn;
+        cap := c
       end
     in
-    let proved = ref 0 and refuted = ref 0 and pairs_tried = ref 0 in
-    let sat_calls = ref 0 in
-    (* one implication direction: rep=a-val forces n=b-val *)
-    let unsat_under assumptions =
-      incr sat_calls;
-      match Sat.Session.solve ~assumptions sess with
-      | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> `Unsat
-      | Sat.Types.Sat model -> `Sat model
-      | Sat.Types.Unknown _ -> `Unknown
+    let nwords = ref 0 in
+    let sim_words_count = ref 0 in
+    let append_sim_word input_word =
+      let vals = Aig.sim_words nm input_word in
+      grow_to (Array.length vals);
+      for id = 0 to Array.length vals - 1 do
+        let old = (!sigs).(id) in
+        let a = Array.make (!nwords + 1) 0 in
+        Array.blit old 0 a 0 !nwords;
+        a.(!nwords) <- vals.(id);
+        (!sigs).(id) <- a
+      done;
+      incr nwords;
+      incr sim_words_count
     in
-    let prove_pair rep x pol =
-      (* conjecture: x = rep xor pol *)
-      let lr = lit rep and lx = lit x in
-      let lx' = if pol then Lit.negate lx else lx in
-      incr pairs_tried;
-      match unsat_under [ lr; Lit.negate lx' ] with
+    let compute_sig v =
+      match Aig.view nm v with
+      | Aig.And (a, b) ->
+        let sa = (!sigs).(Aig.node_of a) and sb = (!sigs).(Aig.node_of b) in
+        let ca = Aig.is_complemented a and cb = Aig.is_complemented b in
+        Array.init !nwords (fun w ->
+            let va = if ca then lnot sa.(w) land word_mask else sa.(w) in
+            let vb = if cb then lnot sb.(w) land word_mask else sb.(w) in
+            va land vb)
+      | Aig.Const | Aig.Input _ -> assert false
+    in
+    let phase id = ((!sigs).(id)).(0) land 1 = 1 in
+    let canon id =
+      let a = (!sigs).(id) in
+      let ph = a.(0) land 1 = 1 in
+      let rec go w =
+        if w >= !nwords then []
+        else (if ph then lnot a.(w) land word_mask else a.(w)) :: go (w + 1)
+      in
+      go 0
+    in
+    (* --- candidate classes --------------------------------------------- *)
+    let table : (int list, int list ref) Hashtbl.t = Hashtbl.create 256 in
+    let inserted = ref [] in
+    let dirty = ref false in
+    let classes_formed = ref 0 in
+    (* a class counts once its representative meets its first challenger
+       (merged challengers never enter the bucket, so bucket size alone
+       undercounts) *)
+    let challenged = Hashtbl.create 64 in
+    let insert v =
+      let key = canon v in
+      match Hashtbl.find_opt table key with
+      | Some b -> b := !b @ [ v ]
+      | None -> Hashtbl.replace table key (ref [ v ])
+    in
+    let register v =
+      inserted := v :: !inserted;
+      insert v
+    in
+    let rebuild () =
+      Hashtbl.reset table;
+      List.iter
+        (fun v -> if (!merged).(v) = None then insert v)
+        (List.rev !inserted)
+    in
+    let lookup v =
+      if !dirty then begin
+        timed refine_t "sweep/refine" rebuild;
+        dirty := false
+      end;
+      Hashtbl.find_opt table (canon v)
+    in
+    (* --- counters ------------------------------------------------------ *)
+    let candidates = ref 0 and merges = ref 0 and refuted = ref 0 in
+    let skipped = ref 0 and rounds = ref 0 and sat_calls = ref 0 in
+    let solve_with ?max_conflicts assumptions =
+      incr sat_calls;
+      timed prove_t "sweep/prove" (fun () ->
+          Sat.Session.solve ~assumptions ?max_conflicts sess)
+    in
+    (* a counterexample becomes one more simulation word: its pattern in
+       bit 0, fresh random patterns in the remaining 61 bits *)
+    let refine model =
+      incr rounds;
+      timed sim_t "sweep/simulate" (fun () ->
+          let word = Circuit.Simulate.random_words rng n_inputs in
+          for i = 0 to n_inputs - 1 do
+            let bit =
+              let l = input_lits.(i) in
+              let var = Lit.var l in
+              if var < Array.length model then
+                if Lit.is_pos l then model.(var) else not model.(var)
+              else Sat.Rng.bool rng
+            in
+            word.(i) <- word.(i) land lnot 1 lor (if bit then 1 else 0)
+          done;
+          append_sim_word word);
+      dirty := true
+    in
+    let prove r v pol =
+      incr candidates;
+      let lr = Scnf.lit_of scnf (Aig.of_node r) in
+      let lv = Scnf.lit_of scnf (Aig.of_node v) in
+      let lv' = if pol then Lit.negate lv else lv in
+      let acts = Scnf.assumptions scnf [ Aig.of_node r; Aig.of_node v ] in
+      let query extra =
+        match solve_with ~max_conflicts:candidate_conflicts (extra @ acts) with
+        | Sat.Types.Sat model -> `Sat model
+        | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> `Unsat
+        | Sat.Types.Unknown _ -> `Unknown
+      in
+      match query [ lr; Lit.negate lv' ] with
       | `Sat model -> `Refuted model
       | `Unknown -> `Unknown
       | `Unsat -> (
-          match unsat_under [ Lit.negate lr; lx' ] with
+          match query [ Lit.negate lr; lv' ] with
           | `Sat model -> `Refuted model
           | `Unknown -> `Unknown
-          | `Unsat ->
-            Sat.Session.add_clause sess [ Lit.negate lr; lx' ];
-            Sat.Session.add_clause sess [ lr; Lit.negate lx' ];
-            `Proved)
+          | `Unsat -> `Proved)
     in
-    let refine_with_model model =
-      (* a counterexample distinguishes many pairs at once: fold the
-         model in as one more signature bit-pattern *)
-      add_simulation (fun x ->
-          let l = lit x in
-          let v = model.(Lit.var l) in
-          if (if Lit.is_pos l then v else not v) then mask else 0)
+    (* prove-or-split loop for one fresh node; every refutation strictly
+       separates the node from its current representative, so this
+       terminates *)
+    let rec classify v =
+      match lookup v with
+      | Some bucket -> (
+          match
+            List.find_opt (fun r -> r <> v && (!merged).(r) = None) !bucket
+          with
+          | Some r -> (
+              if not (Hashtbl.mem challenged r) then begin
+                Hashtbl.add challenged r ();
+                incr classes_formed
+              end;
+              let pol = phase v <> phase r in
+              match prove r v pol with
+              | `Proved ->
+                incr merges;
+                let rt = Aig.of_node r in
+                let target = if pol then Aig.neg rt else rt in
+                (!merged).(v) <- Some target;
+                (* the merged node is dead: drop its clause group (the
+                   session retention pass also sheds learned clauses
+                   polluted by it) *)
+                Scnf.release scnf (Aig.of_node v);
+                Some target
+              | `Refuted model ->
+                incr refuted;
+                refine model;
+                classify v
+              | `Unknown ->
+                incr skipped;
+                register v;
+                None)
+          | None ->
+            register v;
+            None)
+      | None ->
+        register v;
+        None
     in
-    let round () =
-      let classes = Hashtbl.create 64 in
-      for x = n - 1 downto 0 do
-        let key, _ = canonical sigs.(x) in
-        Hashtbl.replace classes key (x :: Option.value ~default:[]
-                                       (Hashtbl.find_opt classes key))
-      done;
-      let progress = ref false in
-      Hashtbl.iter
-        (fun _ members ->
-           match members with
-           | [] | [ _ ] -> ()
-           | rep0 :: rest ->
-             List.iter
-               (fun x ->
-                  let r_rep, p_rep = find rep0 in
-                  let r_x, p_x = find x in
-                  if r_rep <> r_x then begin
-                    (* recheck signatures: a counterexample from earlier
-                       in this round may already distinguish them *)
-                    let _, comp_rep = canonical sigs.(rep0) in
-                    let _, comp_x = canonical sigs.(x) in
-                    let key_rep, _ = canonical sigs.(rep0) in
-                    let key_x, _ = canonical sigs.(x) in
-                    if key_rep = key_x then begin
-                      let pol = comp_rep <> comp_x in
-                      (* polarity between the union-find roots *)
-                      let root_pol = pol <> p_rep <> p_x in
-                      match prove_pair r_rep r_x root_pol with
-                      | `Proved ->
-                        parent.(r_x) <- r_rep;
-                        phase.(r_x) <- root_pol;
-                        incr proved;
-                        progress := true
-                      | `Refuted model ->
-                        refine_with_model model;
-                        incr refuted;
-                        progress := true
-                      | `Unknown -> ()
-                    end
-                  end)
-               rest)
-        classes;
-      !progress
+    (* merged-away nodes can resurface through a structural-hash hit *)
+    let rec resolve e =
+      match (!merged).(Aig.node_of e) with
+      | Some t -> resolve (if Aig.is_complemented e then Aig.neg t else t)
+      | None -> e
     in
-    let rounds = ref 0 in
-    while round () && !rounds < 20 do
-      incr rounds
+    (* 3. seed the classes: random simulation over constant and inputs *)
+    timed sim_t "sweep/simulate" (fun () ->
+        for _ = 1 to words do
+          append_sim_word (Circuit.Simulate.random_words rng n_inputs)
+        done);
+    grow_to (Aig.node_count nm);
+    timed refine_t "sweep/refine" (fun () ->
+        for id = 0 to Aig.node_count nm - 1 do
+          (!seen).(id) <- true;
+          register id
+        done);
+    (* 4. fraig loop: rebuild the merged AIG inputs-outward over
+       representatives, proving or splitting every candidate *)
+    let repr = Array.make (max 1 n_old) Aig.const_false in
+    let map_edge l =
+      let e = repr.(Aig.node_of l) in
+      if Aig.is_complemented l then Aig.neg e else e
+    in
+    let known = ref (Aig.node_count nm) in
+    for id = 0 to n_old - 1 do
+      match Aig.view old_man id with
+      | Aig.Const -> repr.(id) <- Aig.const_true
+      | Aig.Input k -> repr.(id) <- Aig.input nm k
+      | Aig.And (a, b) ->
+        let cand = Aig.and_ nm (map_edge a) (map_edge b) in
+        let nnow = Aig.node_count nm in
+        if nnow > !known then begin
+          grow_to nnow;
+          timed sim_t "sweep/simulate" (fun () ->
+              for v = !known to nnow - 1 do
+                (!sigs).(v) <- compute_sig v
+              done);
+          known := nnow
+        end;
+        let e = resolve cand in
+        let v = Aig.node_of e in
+        repr.(id) <-
+          (match Aig.view nm v with
+           | Aig.And _ when not (!seen).(v) ->
+             (!seen).(v) <- true;
+             (match classify v with
+              | Some t -> if Aig.is_complemented e then Aig.neg t else t
+              | None -> e)
+           | Aig.And _ | Aig.Const | Aig.Input _ -> e)
     done;
-    (* final output comparison *)
-    let rec outputs_equal = function
-      | [] -> Equiv.Equivalent
-      | (a, b) :: rest ->
-        let r_a, p_a = find a and r_b, p_b = find b in
-        if r_a = r_b && p_a = p_b then outputs_equal rest
-        else begin
-          let la = lit a and lb = lit b in
-          let cex model =
-            Array.init n_inputs (fun i ->
-                let l = lit i in
-                let v = model.(Cnf.Lit.var l) in
-                if Cnf.Lit.is_pos l then v else not v)
-          in
-          match unsat_under [ la; Lit.negate lb ] with
-          | `Sat model -> Equiv.Inequivalent (cex model)
-          | `Unknown -> Equiv.Inconclusive "budget"
-          | `Unsat -> (
-              match unsat_under [ Lit.negate la; lb ] with
-              | `Sat model -> Equiv.Inequivalent (cex model)
-              | `Unknown -> Equiv.Inconclusive "budget"
-              | `Unsat -> outputs_equal rest)
-        end
+    (* 5. outputs: pairs usually collapse to the same fraig edge; the
+       residue falls to final queries under the caller's budgets only *)
+    let remaining =
+      List.filter_map
+        (fun (a, b) ->
+           let ea = resolve (map_edge a) and eb = resolve (map_edge b) in
+           if ea = eb then None else Some (ea, eb))
+        out_pairs
     in
-    let verdict = outputs_equal out_pairs in
+    let cex model =
+      Array.init n_inputs (fun i ->
+          let l = input_lits.(i) in
+          let var = Lit.var l in
+          var < Array.length model
+          && (if Lit.is_pos l then model.(var) else not model.(var)))
+    in
+    let rec outputs_equal = function
+      | [] -> Verdict.Equivalent
+      | (ea, eb) :: rest -> (
+          let la = Scnf.lit_of scnf ea and lb = Scnf.lit_of scnf eb in
+          let acts = Scnf.assumptions scnf [ ea; eb ] in
+          match solve_with (la :: Lit.negate lb :: acts) with
+          | Sat.Types.Sat model -> Verdict.Inequivalent (cex model)
+          | Sat.Types.Unknown _ -> Verdict.Inconclusive "budget"
+          | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> (
+              match solve_with (Lit.negate la :: lb :: acts) with
+              | Sat.Types.Sat model -> Verdict.Inequivalent (cex model)
+              | Sat.Types.Unknown _ -> Verdict.Inconclusive "budget"
+              | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
+                outputs_equal rest))
+    in
+    let verdict = outputs_equal remaining in
     let st = Sat.Session.cumulative_stats sess in
-    {
-      verdict;
-      stats =
-        {
-          simulation_words = !sim_words;
-          candidate_pairs = !pairs_tried;
-          proved = !proved;
-          refuted = !refuted;
-          sat_calls = !sat_calls;
-          decisions = st.Sat.Types.decisions;
-          conflicts = st.Sat.Types.conflicts;
-        };
-      time_seconds = Unix.gettimeofday () -. t0;
-    }
+    finish ~solver_stats:st verdict
+      {
+        aig_nodes = n_old;
+        fraig_nodes = Aig.node_count nm - !merges;
+        simulation_words = !sim_words_count;
+        classes = !classes_formed;
+        candidates = !candidates;
+        merges = !merges;
+        refuted = !refuted;
+        skipped = !skipped;
+        refinement_rounds = !rounds;
+        sat_calls = !sat_calls;
+        decisions = st.Sat.Types.decisions;
+        conflicts = st.Sat.Types.conflicts;
+      }
   end

@@ -1,0 +1,11 @@
+type t =
+  | Equivalent
+  | Inequivalent of bool array
+  | Inconclusive of string
+
+let pp ppf = function
+  | Equivalent -> Format.fprintf ppf "equivalent"
+  | Inequivalent v ->
+    Format.fprintf ppf "inequivalent at [%s]"
+      (String.init (Array.length v) (fun i -> if v.(i) then '1' else '0'))
+  | Inconclusive why -> Format.fprintf ppf "inconclusive (%s)" why

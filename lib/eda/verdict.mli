@@ -1,0 +1,16 @@
+(** Equivalence-checking verdicts, shared by every CEC engine.
+
+    Lives in its own module so that the engines can depend on each
+    other in either direction: {!Equiv} re-exports the type (with its
+    constructors) for the established [Equiv.verdict] surface, and the
+    fraiging pipeline in {!Sweep} produces the same type without
+    depending on {!Equiv}. *)
+
+type t =
+  | Equivalent
+  | Inequivalent of bool array
+      (** a distinguishing input vector, in input order *)
+  | Inconclusive of string
+      (** resource budget exhausted (SAT) or node limit hit (BDD) *)
+
+val pp : Format.formatter -> t -> unit

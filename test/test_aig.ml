@@ -115,6 +115,148 @@ let aig_based_cec () =
   Alcotest.(check bool) "equivalent via AIG miter" false
     (Th.outcome_sat (Th.solve_cdcl f))
 
+let two_level_rewriting () =
+  let m = A.create () in
+  let x = A.add_input m in
+  let y = A.add_input m in
+  let xy = A.and_ m x y in
+  (* absorption *)
+  Alcotest.(check bool) "(x&y)&x = x&y" true (A.and_ m xy x = xy);
+  (* contradiction *)
+  Alcotest.(check bool) "(x&y)&~x = 0" true
+    (A.and_ m xy (A.neg x) = A.const_false);
+  (* complemented implication *)
+  Alcotest.(check bool) "~(x&y)&~x = ~x" true
+    (A.and_ m (A.neg xy) (A.neg x) = A.neg x);
+  (* substitution: ~(x&y)&x = x&~y *)
+  Alcotest.(check bool) "~(x&y)&x = x&~y" true
+    (A.and_ m (A.neg xy) x = A.and_ m x (A.neg y));
+  (* resolution: ~(x&y)&~(x&~y) = ~x *)
+  let xny = A.and_ m x (A.neg y) in
+  Alcotest.(check bool) "resolution" true
+    (A.and_ m (A.neg xy) (A.neg xny) = A.neg x);
+  (* cross-AND contradiction: (x&y)&(s&~y)... shares literal y *)
+  let z = A.add_input m in
+  let zy = A.and_ m z (A.neg y) in
+  Alcotest.(check bool) "(x&y)&(z&~y) = 0" true
+    (A.and_ m xy zy = A.const_false)
+
+let rewriting_preserves_semantics () =
+  (* random AND trees built through the rewriting constructor must agree
+     with a reference evaluation *)
+  let rng = Sat.Rng.create 99 in
+  for _ = 1 to 50 do
+    let m = A.create () in
+    let n_in = 4 in
+    let ins = Array.init n_in (fun _ -> A.add_input m) in
+    (* reference: edge -> (bool array -> bool) closure via A.eval *)
+    let pool = ref (Array.to_list ins) in
+    for _ = 1 to 25 do
+      let pick () =
+        let l = !pool in
+        let e = List.nth l (Sat.Rng.int rng (List.length l)) in
+        if Sat.Rng.bool rng then A.neg e else e
+      in
+      let e = A.and_ m (pick ()) (pick ()) in
+      pool := e :: !pool
+    done;
+    (* semantics: every pool edge evaluates like the AND/NOT tree it was
+       built from — cross-checked against sim_words below *)
+    for mask = 0 to (1 lsl n_in) - 1 do
+      let vals = Array.init n_in (fun i -> mask land (1 lsl i) <> 0) in
+      let words = Array.init n_in (fun i -> if vals.(i) then 1 else 0) in
+      let sim = A.sim_words m words in
+      List.iter
+        (fun e ->
+           let by_eval = A.eval m vals e in
+           let w = sim.(A.node_of e) land 1 <> 0 in
+           let by_sim = if A.is_complemented e then not w else w in
+           Alcotest.(check bool) "eval agrees with sim_words" by_eval by_sim)
+        !pool
+    done
+  done
+
+let sim_words_parallel () =
+  let c = Circuit.Generators.multiplier ~bits:3 in
+  let m, outs = A.of_netlist c in
+  let n_in = List.length (N.inputs c) in
+  let rng = Sat.Rng.create 5 in
+  let words = Circuit.Simulate.random_words rng n_in in
+  let sim = A.sim_words m words in
+  (* each bit lane of the packed word is one ordinary evaluation *)
+  for lane = 0 to Circuit.Simulate.word_width - 1 do
+    let ins = Array.init n_in (fun i -> words.(i) land (1 lsl lane) <> 0) in
+    List.iter
+      (fun (_, e) ->
+         let w = sim.(A.node_of e) land (1 lsl lane) <> 0 in
+         let v = if A.is_complemented e then not w else w in
+         Alcotest.(check bool) "lane matches eval" (A.eval m ins e) v)
+      outs
+  done
+
+let cleanup_sweeps_dangling () =
+  let m = A.create () in
+  let a = A.add_input m in
+  let b = A.add_input m in
+  let c = A.add_input m in
+  let keep = A.and_ m a b in
+  let _dangling = A.and_ m (A.xor m a c) (A.or_ m b c) in
+  let total = A.num_ands m in
+  let m2, outs = A.cleanup m ~outputs:[ keep; A.neg keep ] in
+  Alcotest.(check bool) "dangling dropped" true (A.num_ands m2 < total);
+  Alcotest.(check int) "inputs preserved" (A.num_inputs m) (A.num_inputs m2);
+  (match outs with
+   | [ k; nk ] ->
+     Alcotest.(check bool) "complement preserved" true (nk = A.neg k);
+     for mask = 0 to 7 do
+       let ins = Array.init 3 (fun i -> mask land (1 lsl i) <> 0) in
+       Alcotest.(check bool) "cleanup preserves function"
+         (A.eval m ins keep) (A.eval m2 ins k)
+     done
+   | _ -> Alcotest.fail "two outputs expected")
+
+let session_cnf_incremental () =
+  let c = Circuit.Generators.ripple_adder ~bits:3 in
+  let m, outs = A.of_netlist c in
+  let scnf = A.Session_cnf.create m in
+  let sess = A.Session_cnf.session scnf in
+  Alcotest.(check int) "lazy: nothing emitted" 0
+    (A.Session_cnf.emitted_nodes scnf);
+  let (_, o0) = List.hd outs in
+  let l0 = A.Session_cnf.lit_of scnf o0 in
+  let emitted_one = A.Session_cnf.emitted_nodes scnf in
+  Alcotest.(check bool) "cone emitted" true (emitted_one > 0);
+  Alcotest.(check bool) "only the cone" true (emitted_one <= A.num_ands m);
+  (* solving under the cone's activation groups constrains the output *)
+  let acts = A.Session_cnf.assumptions scnf [ o0 ] in
+  let n_in = List.length (N.inputs c) in
+  let rng = Sat.Rng.create 8 in
+  for _ = 1 to 10 do
+    let ins = Array.init n_in (fun _ -> Sat.Rng.bool rng) in
+    let in_lits =
+      List.init n_in (fun i ->
+          let l = A.Session_cnf.lit_of scnf (A.input m i) in
+          if ins.(i) then l else Cnf.Lit.negate l)
+    in
+    let expected = (Circuit.Simulate.eval_outputs c ins).(0) in
+    let goal = if expected then Cnf.Lit.negate l0 else l0 in
+    (* asserting the wrong polarity under the cone must be UNSAT *)
+    match Sat.Session.solve ~assumptions:(goal :: (in_lits @ acts)) sess with
+    | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> ()
+    | _ -> Alcotest.fail "cone clauses must pin the output"
+  done;
+  (* releasing a node's group makes its definition vanish *)
+  let n_and =
+    let rec find id =
+      match A.view m id with A.And _ -> id | _ -> find (id + 1)
+    in
+    find 0
+  in
+  A.Session_cnf.release scnf (A.of_node n_and);
+  let acts' = A.Session_cnf.assumptions scnf [ o0 ] in
+  Alcotest.(check bool) "released group dropped from assumptions" true
+    (List.length acts' < List.length acts)
+
 let suite =
   [
     Th.case "constants" constants_and_identities;
@@ -124,4 +266,9 @@ let suite =
     Th.case "merge sharing" merge_shares_structure;
     Th.case "cnf translation" cnf_translation;
     Th.case "aig cec" aig_based_cec;
+    Th.case "two-level rewriting" two_level_rewriting;
+    Th.case "rewriting semantics" rewriting_preserves_semantics;
+    Th.case "sim words" sim_words_parallel;
+    Th.case "cleanup" cleanup_sweeps_dangling;
+    Th.case "session cnf" session_cnf_incremental;
   ]

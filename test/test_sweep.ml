@@ -16,6 +16,10 @@ let equivalent_pairs_proven () =
        Circuit.Transform.double_invert ~seed:3 (Circuit.Generators.parity ~bits:6));
       ("self", Circuit.Generators.alu ~bits:2,
        Circuit.Netlist.copy (Circuit.Generators.alu ~bits:2));
+      ("mult vs wallace", Circuit.Generators.multiplier ~bits:4,
+       Circuit.Generators.wallace_multiplier ~bits:4);
+      ("ripple vs kogge", Circuit.Generators.ripple_adder ~bits:8,
+       Circuit.Generators.kogge_stone_adder ~bits:8);
     ]
 
 let counterexamples_valid () =
@@ -54,8 +58,11 @@ let internal_equivalences_found () =
   let c = Circuit.Generators.multiplier ~bits:3 in
   let c2 = Circuit.Transform.rewrite_xor c in
   let r = S.check c c2 in
-  Alcotest.(check bool) "pairs proved" true (r.S.stats.S.proved > 0);
-  Alcotest.(check bool) "simulation ran" true (r.S.stats.S.simulation_words > 0)
+  Alcotest.(check bool) "candidates seen" true (r.S.stats.S.candidates > 0);
+  Alcotest.(check bool) "pairs merged" true (r.S.stats.S.merges > 0);
+  Alcotest.(check bool) "simulation ran" true (r.S.stats.S.simulation_words > 0);
+  Alcotest.(check bool) "miter shrank" true
+    (r.S.stats.S.fraig_nodes < r.S.stats.S.aig_nodes)
 
 let refinement_on_counterexamples () =
   (* random circuits vs their mutants force refinement *)
@@ -65,7 +72,43 @@ let refinement_on_counterexamples () =
   (* with a single seed word, some candidates are spurious and must be
      refuted (statistically certain on 40-gate circuits) *)
   Alcotest.(check bool) "some activity" true
-    (r.S.stats.S.proved + r.S.stats.S.refuted > 0)
+    (r.S.stats.S.merges + r.S.stats.S.refuted > 0);
+  Alcotest.(check bool) "refutations resimulate" true
+    (r.S.stats.S.refuted = 0
+     || r.S.stats.S.refinement_rounds > 0)
+
+let phase_times_cover_total () =
+  let c = Circuit.Generators.multiplier ~bits:4 in
+  let c2 = Circuit.Transform.rewrite_xor c in
+  let r = S.check c c2 in
+  let t = r.S.times in
+  Alcotest.(check bool) "non-negative" true
+    (t.S.simulate_s >= 0. && t.S.refine_s >= 0. && t.S.prove_s >= 0.);
+  Alcotest.(check bool) "phases within total" true
+    (t.S.simulate_s +. t.S.refine_s +. t.S.prove_s <= t.S.total_s +. 0.05)
+
+let budget_skips_not_fatal () =
+  (* a 1-conflict budget per candidate forces skips on a multiplier, but
+     the verdict must still be derived (final queries are unbudgeted) *)
+  let c = Circuit.Generators.multiplier ~bits:4 in
+  let c2 = Circuit.Transform.rewrite_xor c in
+  let r = S.check ~candidate_conflicts:1 c c2 in
+  match r.S.verdict with
+  | Eda.Equiv.Equivalent -> ()
+  | Eda.Equiv.Inequivalent _ -> Alcotest.fail "false negative under budget"
+  | Eda.Equiv.Inconclusive why -> Alcotest.failf "inconclusive: %s" why
+
+let metrics_populated () =
+  let m = Sat.Metrics.create () in
+  let c = Circuit.Generators.multiplier ~bits:3 in
+  let c2 = Circuit.Transform.rewrite_xor c in
+  let r = S.check ~metrics:m c c2 in
+  Alcotest.(check int) "sweep/merges counter"
+    r.S.stats.S.merges
+    (Sat.Metrics.counter_value (Sat.Metrics.counter m "sweep/merges"));
+  Alcotest.(check int) "sweep/sat_calls counter"
+    r.S.stats.S.sat_calls
+    (Sat.Metrics.counter_value (Sat.Metrics.counter m "sweep/sat_calls"))
 
 let interface_mismatch () =
   let a = Circuit.Generators.parity ~bits:3 in
@@ -74,6 +117,53 @@ let interface_mismatch () =
   | Eda.Equiv.Inequivalent _ -> ()
   | _ -> Alcotest.fail "interface mismatch"
 
+(* the satellite property: fraig vs BDD vs monolithic miter on 300+
+   random pairs, equivalent and mutated, with counterexamples validated
+   by simulation *)
+let engines_agree_on_random_pairs () =
+  let rng = Sat.Rng.create 4242 in
+  let checked = ref 0 in
+  for seed = 1 to 150 do
+    let inputs = 4 + Sat.Rng.int rng 4 in
+    let gates = 15 + Sat.Rng.int rng 30 in
+    let c1 =
+      Circuit.Generators.random_circuit ~inputs ~gates ~seed:(seed * 17)
+    in
+    let variants =
+      [
+        Circuit.Transform.demorgan ~seed c1;
+        (* a mutant; occasionally functionally benign *)
+        fst (Circuit.Transform.inject_bug ~seed c1);
+      ]
+    in
+    List.iter
+      (fun c2 ->
+         incr checked;
+         let f = Eda.Equiv.check_fraig ~seed c1 c2 in
+         let b = Eda.Equiv.check_bdd c1 c2 in
+         let s = Eda.Equiv.check_sat c1 c2 in
+         let tag = function
+           | Eda.Equiv.Equivalent -> "eq"
+           | Eda.Equiv.Inequivalent _ -> "neq"
+           | Eda.Equiv.Inconclusive _ -> "?"
+         in
+         let tf = tag f.Eda.Equiv.verdict
+         and tb = tag b.Eda.Equiv.verdict
+         and ts = tag s.Eda.Equiv.verdict in
+         if tf <> tb || tf <> ts then
+           Alcotest.failf
+             "seed %d: fraig=%s bdd=%s mono=%s" seed tf tb ts;
+         match f.Eda.Equiv.verdict with
+         | Eda.Equiv.Inequivalent vec ->
+           let o1 = Circuit.Simulate.eval_outputs c1 vec in
+           let o2 = Circuit.Simulate.eval_outputs c2 vec in
+           if o1 = o2 then
+             Alcotest.failf "seed %d: fraig cex does not distinguish" seed
+         | _ -> ())
+      variants
+  done;
+  Alcotest.(check bool) "300+ pairs" true (!checked >= 300)
+
 let suite =
   [
     Th.case "equivalent pairs" equivalent_pairs_proven;
@@ -81,5 +171,9 @@ let suite =
     Th.case "agrees with miter" agrees_with_miter;
     Th.case "internal equivalences" internal_equivalences_found;
     Th.case "refinement" refinement_on_counterexamples;
+    Th.case "phase times" phase_times_cover_total;
+    Th.case "budget skips" budget_skips_not_fatal;
+    Th.case "metrics" metrics_populated;
     Th.case "interface mismatch" interface_mismatch;
+    Th.case "engines agree x300" engines_agree_on_random_pairs;
   ]
