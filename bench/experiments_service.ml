@@ -1,0 +1,362 @@
+(* Experiment E28: the SAT service daemon (satd).
+
+   Three measurements:
+
+   1. warm result cache — a repeated-CEC query stream (the same miters
+      re-verified over and over, as a CI loop would) through one
+      scheduler, cache off vs cache on; acceptance: cached median
+      per-query latency at least 2x better;
+   2. warm session pool — an incrementally grown clause chain (a BMC
+      unrolling shape): each query extends the previous one, cache on
+      resumes the pooled session at the longest prefix instead of
+      solving from scratch;
+   3. throughput scaling — a live daemon on a Unix socket, 8 concurrent
+      client domains hammering it with real (uncached) queries, for
+      worker-pool sizes 1/2/4.
+
+   --smoke   tiny instance sizes: asserts the harness runs end to end
+   --json    also write BENCH_service.json in the current dir          *)
+
+module J = Sat.Json
+module T = Sat.Types
+module P = Service.Protocol
+
+let smoke () = Array.exists (( = ) "--smoke") Sys.argv
+let json () = Array.exists (( = ) "--json") Sys.argv
+
+let clauses_of f =
+  let out = ref [] in
+  Cnf.Formula.iter_clauses f (fun c ->
+      out := List.map Cnf.Lit.to_dimacs (Cnf.Clause.to_list c) :: !out);
+  List.rev !out
+
+let miter_clauses a b = clauses_of (fst (Circuit.Miter.to_cnf a b))
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let sum = List.fold_left ( +. ) 0.
+
+(* --- 1: repeated-CEC stream through the result cache --------------------- *)
+
+type cache_row = {
+  label : string;
+  distinct : int;
+  repeats : int;
+  cold_median_s : float;
+  warm_median_s : float;
+  cold_total_s : float;
+  warm_total_s : float;
+  speedup : float;
+}
+
+let cec_stream ~smoke =
+  let g = Circuit.Generators.multiplier in
+  let w = Circuit.Generators.wallace_multiplier in
+  let named =
+    if smoke then
+      [
+        ("cec-mult2", miter_clauses (g ~bits:2) (w ~bits:2));
+        ("cec-add4",
+         miter_clauses
+           (Circuit.Generators.ripple_adder ~bits:4)
+           (Circuit.Generators.kogge_stone_adder ~bits:4));
+      ]
+    else
+      [
+        ("cec-mult4", miter_clauses (g ~bits:4) (w ~bits:4));
+        ("cec-mult5", miter_clauses (g ~bits:5) (w ~bits:5));
+        ("cec-add12",
+         miter_clauses
+           (Circuit.Generators.ripple_adder ~bits:12)
+           (Circuit.Generators.kogge_stone_adder ~bits:12));
+        ("cec-alu3",
+         miter_clauses
+           (Circuit.Generators.alu ~bits:3)
+           (Circuit.Transform.simplify (Circuit.Generators.alu ~bits:3)));
+      ]
+  in
+  let repeats = if smoke then 3 else 6 in
+  (* interleave: q1 q2 ... qk, q1 q2 ... qk, ... — a CI loop shape *)
+  let stream =
+    List.concat_map (fun _ -> named) (List.init repeats (fun i -> i))
+  in
+  (named, repeats, stream)
+
+let run_stream ~use_cache stream =
+  let sch = Service.Scheduler.create ~jobs:1 () in
+  let times =
+    List.map
+      (fun (_, cls) ->
+         let t0 = Unix.gettimeofday () in
+         (match Service.Scheduler.solve sch (P.mk_solve ~use_cache cls) with
+          | Ok a ->
+            (match a.Service.Scheduler.outcome with
+             | T.Unknown r -> failwith ("E28: query did not finish: " ^ r)
+             | _ -> ())
+          | Error _ -> failwith "E28: scheduler refused a query");
+         Unix.gettimeofday () -. t0)
+      stream
+  in
+  Service.Scheduler.shutdown sch;
+  times
+
+let bench_result_cache ~smoke =
+  let named, repeats, stream = cec_stream ~smoke in
+  let cold = run_stream ~use_cache:false stream in
+  let warm = run_stream ~use_cache:true stream in
+  (* the first round of the cached run populates the cache; judge the
+     steady state on the repeat rounds only *)
+  let k = List.length named in
+  let drop_first l = List.filteri (fun i _ -> i >= k) l in
+  let cold_m = median (drop_first cold) in
+  let warm_m = median (drop_first warm) in
+  {
+    label = "repeated-cec";
+    distinct = k;
+    repeats;
+    cold_median_s = cold_m;
+    warm_median_s = warm_m;
+    cold_total_s = sum cold;
+    warm_total_s = sum warm;
+    speedup = (if warm_m > 0. then cold_m /. warm_m else infinity);
+  }
+
+(* --- 2: incrementally grown chain through the session pool ---------------- *)
+
+let grown_chain ~smoke =
+  (* base formula plus a growing tail of constraints: query i sees the
+     base and the first i tail blocks — every query extends the last *)
+  let nvars = if smoke then 30 else 140 in
+  let base = clauses_of (Util.random_3sat ~seed:11 ~nvars ~ratio:3.5) in
+  let steps = if smoke then 3 else 8 in
+  let block_size = if smoke then 8 else 40 in
+  let tail =
+    clauses_of
+      (Util.random_3sat ~seed:42 ~nvars ~ratio:10.)
+  in
+  let block i = List.filteri (fun j _ -> j / block_size = i) tail in
+  List.init steps (fun i ->
+      base @ List.concat (List.init (i + 1) block))
+
+let bench_session_pool ~smoke =
+  let queries = grown_chain ~smoke in
+  let run use_cache =
+    run_stream ~use_cache (List.map (fun cls -> ("grown", cls)) queries)
+  in
+  let cold = run false in
+  let warm = run true in
+  (* every warm query after the first resumes the previous one *)
+  let cold_m = median (List.tl cold) in
+  let warm_m = median (List.tl warm) in
+  {
+    label = "grown-chain";
+    distinct = List.length queries;
+    repeats = 1;
+    cold_median_s = cold_m;
+    warm_median_s = warm_m;
+    cold_total_s = sum cold;
+    warm_total_s = sum warm;
+    speedup = (if warm_m > 0. then cold_m /. warm_m else infinity);
+  }
+
+(* --- 3: throughput scaling on a live daemon ------------------------------- *)
+
+type scale_row = {
+  jobs : int;
+  clients : int;
+  per_client : int;
+  wall_s : float;
+  qps : float;
+  all_correct : bool;
+}
+
+let throughput_workload ~smoke =
+  (* mixed SAT/UNSAT with enough search per query that solving, not
+     socket plumbing, dominates — otherwise pool scaling is invisible.
+     Expected statuses are computed here, once, by a reference solve. *)
+  let formulas =
+    if smoke then [ Util.pigeonhole 5 5; Util.pigeonhole 5 4 ]
+    else
+      [
+        Util.pigeonhole 8 8;
+        Util.pigeonhole 8 7;
+        Util.random_3sat ~seed:4 ~nvars:150 ~ratio:4.26;
+        Util.pigeonhole 9 8;
+      ]
+  in
+  List.map
+    (fun f ->
+       let expect =
+         match Sat.Cdcl.solve (Sat.Cdcl.create f) with
+         | T.Sat _ -> "sat"
+         | T.Unsat | T.Unsat_assuming _ -> "unsat"
+         | T.Unknown r -> failwith ("E28: reference solve unknown: " ^ r)
+       in
+       (expect, clauses_of f))
+    formulas
+
+let bench_throughput ~smoke ~jobs =
+  let workload = throughput_workload ~smoke in
+  let clients = 8 in
+  let per_client = if smoke then 2 else List.length workload in
+  let dir = Filename.temp_file "satd_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let path = Filename.concat dir "satd.sock" in
+  let server =
+    Service.Server.create
+      { Service.Server.default_config with
+        Service.Server.unix_path = Some path;
+        jobs;
+        max_queue = 256 }
+  in
+  let runner = Domain.spawn (fun () -> Service.Server.run server) in
+  let rec await n =
+    if n = 0 then failwith "E28: daemon never came up";
+    match Service.Client.connect_unix path with
+    | c -> Service.Client.close c
+    | exception Unix.Unix_error _ ->
+      Unix.sleepf 0.02;
+      await (n - 1)
+  in
+  await 250;
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    Array.init clients (fun ci ->
+        Domain.spawn (fun () ->
+            let c = Service.Client.connect_unix path in
+            let ok = ref true in
+            for q = 0 to per_client - 1 do
+              let expect, cls =
+                List.nth workload ((ci + q) mod List.length workload)
+              in
+              match
+                Service.Client.solve c (P.mk_solve ~use_cache:false cls)
+              with
+              | Ok r -> if r.P.r_status <> expect then ok := false
+              | Error _ -> ok := false
+            done;
+            Service.Client.close c;
+            !ok))
+  in
+  let oks = Array.map Domain.join doms in
+  let wall = Unix.gettimeofday () -. t0 in
+  Service.Server.stop server;
+  Domain.join runner;
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let total = clients * per_client in
+  {
+    jobs;
+    clients;
+    per_client;
+    wall_s = wall;
+    qps = float_of_int total /. wall;
+    all_correct = Array.for_all Fun.id oks;
+  }
+
+(* --- report --------------------------------------------------------------- *)
+
+let json_of_cache_row r =
+  J.Obj
+    [
+      ("label", J.String r.label);
+      ("distinct", J.Int r.distinct);
+      ("repeats", J.Int r.repeats);
+      ("cold_median_s", J.Float r.cold_median_s);
+      ("warm_median_s", J.Float r.warm_median_s);
+      ("cold_total_s", J.Float r.cold_total_s);
+      ("warm_total_s", J.Float r.warm_total_s);
+      ("speedup",
+       if Float.is_finite r.speedup then J.Float r.speedup
+       else J.String "inf");
+    ]
+
+let json_of_scale_row r =
+  J.Obj
+    [
+      ("jobs", J.Int r.jobs);
+      ("clients", J.Int r.clients);
+      ("queries", J.Int (r.clients * r.per_client));
+      ("wall_s", J.Float r.wall_s);
+      ("qps", J.Float r.qps);
+      ("all_correct", J.Bool r.all_correct);
+    ]
+
+(* worker-pool speedup is bounded by the machine: a pool of 4 on a
+   single-core host cannot beat a pool of 1 on CPU-bound queries *)
+let host_cores () = Domain.recommended_domain_count ()
+
+let e28 () =
+  let smoke = smoke () in
+  let mode = if smoke then "smoke" else "full" in
+  Util.header "E28 SAT service daemon (satd)"
+    "tentpole contract: warm-cache median speedup >= 2x on a \
+     repeated-CEC stream; throughput scales with the worker pool \
+     under 8 concurrent clients";
+  let show r =
+    Util.row "%-14s %4dx%-3d %11.4fs %11.4fs %9.1fx   (totals %.2fs vs %.2fs)@."
+      r.label r.distinct r.repeats r.cold_median_s r.warm_median_s
+      (if Float.is_finite r.speedup then r.speedup else 9999.)
+      r.cold_total_s r.warm_total_s
+  in
+  Util.row "%-14s %-8s %12s %12s %10s@." "stream" "shape" "cold-median"
+    "warm-median" "speedup";
+  Util.line ();
+  let cache_row = bench_result_cache ~smoke in
+  show cache_row;
+  let session_row = bench_session_pool ~smoke in
+  show session_row;
+  Util.row
+    "@.throughput: 8 concurrent clients on a Unix-socket daemon (%d \
+     core%s available — pool speedup saturates at min(jobs, cores)):@."
+    (host_cores ())
+    (if host_cores () = 1 then "" else "s");
+  Util.row "%6s %8s %9s %10s %8s %9s@." "jobs" "clients" "queries" "wall"
+    "qps" "correct";
+  Util.line ();
+  let pool_sizes = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let scale_rows =
+    List.map
+      (fun jobs ->
+         let r = bench_throughput ~smoke ~jobs in
+         Util.row "%6d %8d %9d %9.3fs %8.1f %9s@." r.jobs r.clients
+           (r.clients * r.per_client) r.wall_s r.qps
+           (if r.all_correct then "yes" else "NO");
+         r)
+      pool_sizes
+  in
+  if json () then begin
+    let doc =
+      J.Obj
+        [
+          ("schema", J.String "satreda-bench");
+          ("version", J.Int 1);
+          ("experiment", J.String "E28");
+          ("mode", J.String mode);
+          ("cache",
+           J.List [ json_of_cache_row cache_row; json_of_cache_row session_row ]);
+          ("host_cores", J.Int (host_cores ()));
+          ("scaling", J.List (List.map json_of_scale_row scale_rows));
+        ]
+    in
+    let oc = open_out "BENCH_service.json" in
+    output_string oc (J.to_string ~indent:true doc);
+    output_char oc '\n';
+    close_out oc;
+    Util.row "@.wrote BENCH_service.json (%s mode)@." mode
+  end;
+  Util.row
+    "@.cold runs every query from scratch (use_cache:false); warm serves \
+     exact repeats from the result cache and grown chains from the pooled \
+     warm session.  Medians exclude the first (cache-filling) round.  \
+     Throughput rows run real uncached queries end to end over the \
+     socket; on an N-core host qps grows with the pool up to N workers \
+     and then flattens (the JSON records host_cores so single-core \
+     results are not misread as a scaling failure).@."

@@ -34,6 +34,7 @@ let experiments =
     ("E25", "observability overhead (metrics + tracing)", Experiments_observability.e25);
     ("E26", "preprocessing ablation (BVE + inprocessing)", Experiments_preprocessing.e26);
     ("E27", "fraiging CEC vs monolithic miter", Experiments_fraig.e27);
+    ("E28", "SAT service daemon (satd)", Experiments_service.e28);
   ]
 
 let () =

@@ -1,0 +1,222 @@
+(* Command-line client for the satd daemon.
+
+   satc solve FILE [-a LITS] [--timeout-ms N] [--max-conflicts N]
+              [--tenant T] [--no-cache]
+   satc ping | stats | shutdown
+   Common: --socket PATH | --tcp HOST:PORT                               *)
+
+open Cmdliner
+
+let split_hostport s =
+  match String.rindex_opt s ':' with
+  | None -> Error (`Msg "expected HOST:PORT")
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port with
+     | Some p when p > 0 && p < 65536 ->
+       Ok ((if host = "" then "127.0.0.1" else host), p)
+     | _ -> Error (`Msg "expected HOST:PORT"))
+
+let hostport =
+  Arg.conv
+    (split_hostport,
+     fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let connect socket tcp =
+  match socket, tcp with
+  | Some path, _ ->
+    (try Service.Client.connect_unix path
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "satc: cannot connect to %s (%s)\n" path
+         (Unix.error_message e);
+       exit 2)
+  | None, Some (host, port) ->
+    (try Service.Client.connect_tcp host port
+     with
+     | Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "satc: cannot connect to %s:%d (%s)\n" host port
+         (Unix.error_message e);
+       exit 2
+     | Not_found ->
+       Printf.eprintf "satc: cannot resolve %s\n" host;
+       exit 2)
+  | None, None ->
+    Printf.eprintf "satc: one of --socket or --tcp is required\n";
+    exit 2
+
+let fail_reply what = function
+  | Error e ->
+    Printf.eprintf "satc: %s failed: %s\n" what e;
+    exit 2
+  | Ok (r : Service.Protocol.reply) ->
+    (match r.Service.Protocol.r_error with
+     | Some (code, msg) ->
+       Printf.eprintf "satc: %s: %s (%s)\n" what
+         (Service.Protocol.error_code_string code)
+         msg;
+       exit
+         (match code with Service.Protocol.Overloaded -> 3 | _ -> 2)
+     | None -> r)
+
+(* read all of stdin (a pipe: no length to preallocate) *)
+let read_stdin () =
+  let b = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let n = input stdin chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+let load_formula path =
+  let f =
+    if path = "-" then Cnf.Dimacs.parse_string (read_stdin ())
+    else if Sys.file_exists path then Cnf.Dimacs.parse_file path
+    else begin
+      Printf.eprintf "satc: no such file %s\n" path;
+      exit 2
+    end
+  in
+  let clauses = ref [] in
+  Cnf.Formula.iter_clauses f (fun c ->
+      clauses :=
+        List.map Cnf.Lit.to_dimacs (Cnf.Clause.to_list c) :: !clauses);
+  (List.rev !clauses, Cnf.Formula.nvars f)
+
+let solve_cmd socket tcp file assumptions timeout_ms max_conflicts tenant
+    no_cache quiet =
+  let clauses, nvars = load_formula file in
+  let params =
+    Service.Protocol.mk_solve ~nvars ~assumptions ?timeout_ms ?max_conflicts
+      ~tenant ~use_cache:(not no_cache) clauses
+  in
+  let c = connect socket tcp in
+  let r = fail_reply "solve" (Service.Client.solve c params) in
+  Service.Client.close c;
+  (match r.Service.Protocol.r_status with
+   | "sat" ->
+     print_endline "s SATISFIABLE";
+     (match r.Service.Protocol.r_model with
+      | Some m when not quiet ->
+        let buf = Buffer.create 256 in
+        Buffer.add_string buf "v ";
+        Array.iteri
+          (fun v b ->
+             Buffer.add_string
+               buf
+               (string_of_int (if b then v + 1 else -(v + 1)));
+             Buffer.add_char buf ' ')
+          m;
+        Buffer.add_string buf "0";
+        print_endline (Buffer.contents buf)
+      | _ -> ())
+   | "unsat" -> print_endline "s UNSATISFIABLE"
+   | "unknown" ->
+     Printf.printf "s UNKNOWN (%s)\n"
+       (Option.value ~default:"?" r.Service.Protocol.r_reason)
+   | other -> Printf.printf "s UNKNOWN (unexpected status %s)\n" other);
+  if not quiet then
+    Printf.printf "c service time %.4fs%s%s\n"
+      r.Service.Protocol.r_time_s
+      (if r.Service.Protocol.r_cached then " (cached)" else "")
+      (if r.Service.Protocol.r_warm then " (warm session)" else "");
+  (* SAT-competition exit codes, like satsolve *)
+  match r.Service.Protocol.r_status with
+  | "sat" -> exit 10
+  | "unsat" -> exit 20
+  | _ -> exit 0
+
+let ping_cmd socket tcp =
+  let c = connect socket tcp in
+  let _ = fail_reply "ping" (Service.Client.ping c) in
+  Service.Client.close c;
+  print_endline "ok"
+
+let stats_cmd socket tcp =
+  let c = connect socket tcp in
+  let r = fail_reply "stats" (Service.Client.stats c) in
+  Service.Client.close c;
+  match r.Service.Protocol.r_data with
+  | Some data -> print_endline (Sat.Json.to_string data)
+  | None ->
+    Printf.eprintf "satc: stats reply carried no data\n";
+    exit 2
+
+let shutdown_cmd socket tcp =
+  let c = connect socket tcp in
+  let _ = fail_reply "shutdown" (Service.Client.shutdown c) in
+  Service.Client.close c;
+  print_endline "ok"
+
+let socket =
+  Arg.(value & opt (some string) None
+       & info [ "socket"; "s" ] ~docv:"PATH"
+         ~doc:"connect to a Unix-domain socket at $(docv)")
+
+let tcp =
+  Arg.(value & opt (some hostport) None
+       & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"connect to a TCP address")
+
+let file =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"DIMACS CNF file, or - for stdin")
+
+let assumptions =
+  Arg.(value & opt (list int) []
+       & info [ "assume"; "a" ] ~docv:"LITS"
+         ~doc:"comma-separated DIMACS literals assumed for this query")
+
+let timeout_ms =
+  Arg.(value & opt (some int) None
+       & info [ "timeout-ms" ] ~doc:"wall-clock deadline in milliseconds")
+
+let max_conflicts =
+  Arg.(value & opt (some int) None
+       & info [ "max-conflicts" ] ~doc:"per-query conflict budget")
+
+let tenant =
+  Arg.(value & opt string "default"
+       & info [ "tenant" ] ~doc:"metrics-rollup tenant name")
+
+let no_cache =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+         ~doc:"bypass the daemon's result cache and warm-session pool")
+
+let quiet =
+  Arg.(value & flag
+       & info [ "quiet"; "q" ] ~doc:"status line only (no model, no timing)")
+
+let solve_c =
+  Cmd.v
+    (Cmd.info "solve" ~doc:"submit one DIMACS CNF query")
+    Term.(const solve_cmd $ socket $ tcp $ file $ assumptions $ timeout_ms
+          $ max_conflicts $ tenant $ no_cache $ quiet)
+
+let ping_c =
+  Cmd.v (Cmd.info "ping" ~doc:"liveness check")
+    Term.(const ping_cmd $ socket $ tcp)
+
+let stats_c =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"print the daemon's service/cache/tenant metrics as JSON")
+    Term.(const stats_cmd $ socket $ tcp)
+
+let shutdown_c =
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"drain in-flight queries and stop the daemon")
+    Term.(const shutdown_cmd $ socket $ tcp)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "satc" ~doc:"client for the satd SAT service daemon")
+    [ solve_c; ping_c; stats_c; shutdown_c ]
+
+let () = exit (Cmd.eval cmd)

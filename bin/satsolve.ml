@@ -7,10 +7,31 @@
 
 open Cmdliner
 
+(* read all of stdin (a pipe: no length to preallocate) *)
+let read_stdin () =
+  let b = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    let n = input stdin chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
 let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
     stats certify jobs timeout no_share metrics_path trace_path =
   let obs = Obs.setup ~tool:"satsolve" metrics_path trace_path in
-  let formula = Cnf.Dimacs.parse_file path in
+  let formula =
+    if path = "-" then Cnf.Dimacs.parse_string (read_stdin ())
+    else if Sys.file_exists path then Cnf.Dimacs.parse_file path
+    else begin
+      Printf.eprintf "satsolve: no such file %s\n" path;
+      exit 2
+    end
+  in
   let config =
     { Sat.Types.default with
       Sat.Types.random_seed = seed;
@@ -118,7 +139,8 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
   | Sat.Types.Unknown _ -> exit 0
 
 let file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"DIMACS CNF file")
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"DIMACS CNF file, or - for stdin")
 
 let engine =
   Arg.(value & opt string "cdcl" & info [ "engine" ] ~doc:"cdcl, dpll or walksat")

@@ -120,6 +120,7 @@ let set_metrics s m = s.metrics <- m
 let inprocess_stats s = s.inp
 let interrupt s = Atomic.set s.interrupted true
 let interrupt_requested s = Atomic.get s.interrupted
+let clear_interrupt s = Atomic.set s.interrupted false
 let nvars s = s.nvars
 let decision_level s = Vec.size s.trail_lim
 

@@ -73,6 +73,13 @@ val interrupt_requested : t -> bool
 (** [true] while an {!interrupt} request is pending (not yet consumed by
     a [solve] loop iteration). *)
 
+val clear_interrupt : t -> unit
+(** Withdraws a pending {!interrupt} request.  For session pools: a
+    cancellation that races with the end of the solve it meant to stop
+    would otherwise leave the flag set and spuriously abort the {e next}
+    query on the same solver.  Only the owner of the solver (the worker
+    that knows no solve is running) may call this. *)
+
 val set_learn_hook : t -> (Cnf.Lit.t list -> int -> unit) option -> unit
 (** [set_learn_hook s (Some h)] makes the solver call [h lits lbd] once
     for every recorded learned clause (unit learned clauses report

@@ -94,7 +94,13 @@ let to_string ?(indent = false) v =
 
 exception Parse_error of string
 
-type cursor = { text : string; mutable pos : int }
+type cursor = { text : string; mutable pos : int; mutable depth : int }
+
+(* Nesting bound for untrusted input (the satd wire protocol parses
+   frames straight off the socket): deep enough for any document we
+   produce, shallow enough that a hostile "[[[[…" frame cannot blow the
+   stack. *)
+let max_depth = 512
 
 let fail c fmt =
   Printf.ksprintf
@@ -169,6 +175,9 @@ let parse_string_body c =
             end
           | e -> fail c "invalid escape '\\%c'" e));
       go ()
+    | Some ch when Char.code ch < 0x20 ->
+      (* RFC 8259: control characters must be escaped *)
+      fail c "unescaped control character 0x%02x in string" (Char.code ch)
     | Some ch ->
       Buffer.add_char b ch;
       c.pos <- c.pos + 1;
@@ -176,6 +185,47 @@ let parse_string_body c =
   in
   go ();
   Buffer.contents b
+
+(* RFC 8259 number grammar: optional minus; integer part '0' or a
+   nonzero digit followed by digits (no leading zeros); optional
+   fraction '.' digits; optional exponent [eE][+-]digits.
+   [float_of_string] is far laxer (hex floats, "nan", leading zeros,
+   "1.", ".5"), so the token is validated before conversion — the wire
+   protocol must not accept what it would never emit. *)
+let valid_number s =
+  let n = String.length s in
+  let digits i =
+    let j = ref i in
+    while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+    !j
+  in
+  let i = if n > 0 && s.[0] = '-' then 1 else 0 in
+  if i >= n then false
+  else
+    (* integer part: no leading zeros *)
+    let i =
+      if s.[i] = '0' then i + 1
+      else
+        let j = digits i in
+        if j = i then -1 else j
+    in
+    if i < 0 then false
+    else if i = n then true
+    else
+      let i =
+        if s.[i] = '.' then
+          let j = digits (i + 1) in
+          if j = i + 1 then -1 else j
+        else i
+      in
+      if i < 0 then false
+      else if i = n then true
+      else if s.[i] <> 'e' && s.[i] <> 'E' then false
+      else
+        let i = i + 1 in
+        let i = if i < n && (s.[i] = '+' || s.[i] = '-') then i + 1 else i in
+        let j = digits i in
+        j > i && j = n
 
 let parse_number c =
   let start = c.pos in
@@ -191,6 +241,7 @@ let parse_number c =
   done;
   let s = String.sub c.text start (c.pos - start) in
   if s = "" then fail c "expected a number";
+  if not (valid_number s) then fail c "malformed number %s" s;
   let is_float =
     String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s
   in
@@ -212,10 +263,13 @@ let rec parse_value c =
   match peek c with
   | None -> fail c "unexpected end of input"
   | Some '{' ->
+    c.depth <- c.depth + 1;
+    if c.depth > max_depth then fail c "nesting deeper than %d" max_depth;
     c.pos <- c.pos + 1;
     skip_ws c;
     if peek c = Some '}' then begin
       c.pos <- c.pos + 1;
+      c.depth <- c.depth - 1;
       Obj []
     end
     else begin
@@ -236,13 +290,17 @@ let rec parse_value c =
         | _ -> fail c "expected ',' or '}'"
       in
       members ();
+      c.depth <- c.depth - 1;
       Obj (List.rev !fields)
     end
   | Some '[' ->
+    c.depth <- c.depth + 1;
+    if c.depth > max_depth then fail c "nesting deeper than %d" max_depth;
     c.pos <- c.pos + 1;
     skip_ws c;
     if peek c = Some ']' then begin
       c.pos <- c.pos + 1;
+      c.depth <- c.depth - 1;
       List []
     end
     else begin
@@ -259,6 +317,7 @@ let rec parse_value c =
         | _ -> fail c "expected ',' or ']'"
       in
       elements ();
+      c.depth <- c.depth - 1;
       List (List.rev !items)
     end
   | Some '"' -> String (parse_string_body c)
@@ -268,7 +327,7 @@ let rec parse_value c =
   | Some _ -> parse_number c
 
 let parse_exn text =
-  let c = { text; pos = 0 } in
+  let c = { text; pos = 0; depth = 0 } in
   let v = parse_value c in
   skip_ws c;
   if c.pos <> String.length text then fail c "trailing characters";
@@ -278,6 +337,27 @@ let parse text =
   match parse_exn text with
   | v -> Ok v
   | exception Parse_error m -> Error m
+
+(* --- framing -------------------------------------------------------------- *)
+
+(* A frame is exactly one JSON value on one line: no embedded newlines
+   (not even as insignificant whitespace — a value spanning lines is a
+   framing violation, not a parse ambiguity), no trailing garbage. *)
+let parse_line line =
+  if String.exists (fun c -> c = '\n' || c = '\r') line then
+    Error "frame contains a newline"
+  else parse line
+
+let read_frame ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line ->
+    (* tolerate CRLF framing from foreign clients *)
+    let n = String.length line in
+    let line =
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    in
+    Some (parse_line line)
 
 (* --- accessors ----------------------------------------------------------- *)
 

@@ -27,12 +27,30 @@ val to_string : ?indent:bool -> t -> string
 exception Parse_error of string
 
 val parse : string -> (t, string) result
-(** Strict JSON parsing (whole input must be one document).  [\u]
-    escapes outside the BMP are not recombined into surrogate pairs —
-    sufficient for documents produced by {!to_string}. *)
+(** Strict JSON parsing (whole input must be one document, trailing
+    bytes after the value are rejected).  Strict also in the RFC 8259
+    sense: numbers follow the JSON grammar exactly (no leading zeros,
+    no bare ['.'] or dangling exponent), unescaped control characters
+    in strings are rejected, and nesting is bounded (512 levels) so
+    hostile input cannot exhaust the stack — the parser doubles as the
+    [satd] wire-protocol reader.  [\u] escapes outside the BMP are not
+    recombined into surrogate pairs — sufficient for documents produced
+    by {!to_string}. *)
 
 val parse_exn : string -> t
 (** Like {!parse}; raises {!Parse_error}. *)
+
+val parse_line : string -> (t, string) result
+(** One wire-protocol frame: exactly one JSON value on exactly one
+    line.  In addition to {!parse}'s strictness, any embedded newline
+    or carriage return — even where plain JSON would allow it as
+    insignificant whitespace — is a framing error.  This is the parsing
+    contract of the line-delimited [satd] protocol ([docs/SATD.md]). *)
+
+val read_frame : in_channel -> (t, string) result option
+(** Reads one newline-terminated frame from the channel and parses it
+    with {!parse_line} ([None] at end of input).  A trailing [\r] is
+    stripped, so CRLF-framing clients interoperate. *)
 
 val member : string -> t -> t option
 (** Field lookup; [None] on missing field or non-object. *)

@@ -54,6 +54,9 @@ let of_formula ?(config = Types.default) ?(retention = Drop_released) f =
   }
 
 let set_retention t r = t.retention <- r
+let interrupt t = Cdcl.interrupt t.cdcl
+let interrupt_requested t = Cdcl.interrupt_requested t.cdcl
+let clear_interrupt t = Cdcl.clear_interrupt t.cdcl
 let nvars t = Cdcl.nvars t.cdcl
 let new_var t = Cdcl.new_var t.cdcl
 let raw t = t.cdcl

@@ -87,6 +87,23 @@ val solve :
     reusable.  Before searching, the between-query retention policy is
     applied to the learned-clause database (from the second query on). *)
 
+val interrupt : t -> unit
+(** Requests cooperative interruption of the running (or next) [solve]
+    — {!Cdcl.interrupt} on the underlying solver.  Safe to call from
+    any domain: this is how a SAT service cancels a query whose client
+    disconnected mid-solve.  The interrupted query returns
+    [Unknown "interrupted"] and leaves the session fully reusable
+    (learned clauses, activations and variable order intact). *)
+
+val interrupt_requested : t -> bool
+(** [true] while an {!interrupt} request is pending. *)
+
+val clear_interrupt : t -> unit
+(** Withdraws a pending {!interrupt} request — see
+    {!Cdcl.clear_interrupt}.  Session pools call this before pooling an
+    idle session so a cancellation that raced with query completion
+    cannot abort the next tenant's query. *)
+
 val model : t -> bool array option
 (** The model cached by the last satisfiable [solve], or [None] if the
     last query was not SAT or the formula changed since ([add_clause],

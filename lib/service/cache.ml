@@ -1,0 +1,190 @@
+(* Result cache + warm-session pool.  See cache.mli for the contract. *)
+
+module J = Sat.Json
+
+type result_entry = {
+  r_nclauses : int;  (* collision guard: hash match alone is not enough *)
+  r_outcome : Sat.Types.outcome;
+}
+
+type session_entry = {
+  s_nclauses : int;
+  s_session : Sat.Session.t;
+  s_stamp : int;  (* insertion order, for oldest-first eviction *)
+}
+
+type t = {
+  lock : Mutex.t;
+  cfg : Sat.Types.config;
+  max_results : int;
+  max_sessions : int;
+  results : (string, result_entry) Hashtbl.t;
+  result_order : string Queue.t;  (* insertion order for eviction *)
+  sessions : (Fhash.t, session_entry) Hashtbl.t;
+  mutable stamp : int;
+  (* counters *)
+  mutable result_hits : int;
+  mutable result_misses : int;
+  mutable warm_hits : int;
+  mutable cold_misses : int;
+  mutable results_evicted : int;
+  mutable sessions_evicted : int;
+}
+
+let create ?(max_results = 4096) ?(max_sessions = 64)
+    ?(config = Sat.Types.default) () =
+  {
+    lock = Mutex.create ();
+    cfg = config;
+    max_results;
+    max_sessions;
+    results = Hashtbl.create 256;
+    result_order = Queue.create ();
+    sessions = Hashtbl.create 64;
+    stamp = 0;
+    result_hits = 0;
+    result_misses = 0;
+    warm_hits = 0;
+    cold_misses = 0;
+    results_evicted = 0;
+    sessions_evicted = 0;
+  }
+
+let config t = t.cfg
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- result cache -------------------------------------------------------- *)
+
+let result_key ~hash ~assumptions =
+  match assumptions with
+  | [] -> Fhash.to_hex hash
+  | l ->
+    Fhash.to_hex hash ^ "/"
+    ^ String.concat ","
+        (List.map string_of_int (List.sort_uniq compare l))
+
+let find_result t ~hash ~nclauses ~assumptions =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.results (result_key ~hash ~assumptions) with
+      | Some e when e.r_nclauses = nclauses ->
+        t.result_hits <- t.result_hits + 1;
+        Some e.r_outcome
+      | Some _ | None ->
+        t.result_misses <- t.result_misses + 1;
+        None)
+
+let store_result t ~hash ~nclauses ~assumptions outcome =
+  match outcome with
+  | Sat.Types.Unknown _ -> ()
+  | _ ->
+    locked t (fun () ->
+        let key = result_key ~hash ~assumptions in
+        if not (Hashtbl.mem t.results key) then begin
+          if Hashtbl.length t.results >= t.max_results then begin
+            (* oldest-first; skip keys already displaced *)
+            let rec evict () =
+              match Queue.take_opt t.result_order with
+              | None -> ()
+              | Some k when Hashtbl.mem t.results k ->
+                Hashtbl.remove t.results k;
+                t.results_evicted <- t.results_evicted + 1
+              | Some _ -> evict ()
+            in
+            evict ()
+          end;
+          Queue.add key t.result_order;
+          Hashtbl.add t.results key
+            { r_nclauses = nclauses; r_outcome = outcome }
+        end)
+
+(* --- warm session pool --------------------------------------------------- *)
+
+let checkout t prefix_hashes =
+  locked t (fun () ->
+      let n = Array.length prefix_hashes in
+      let rec find i =
+        (* longest prefix first; index i of prefix_hashes = i clauses *)
+        if i < 0 then None
+        else
+          match Hashtbl.find_opt t.sessions prefix_hashes.(i) with
+          | Some e when e.s_nclauses = i ->
+            Hashtbl.remove t.sessions prefix_hashes.(i);
+            Some (e.s_session, i)
+          | _ -> find (i - 1)
+      in
+      (* a 0-clause "prefix" is no warmer than a fresh session *)
+      match find (n - 1) with
+      | Some (_, 0) | None ->
+        t.cold_misses <- t.cold_misses + 1;
+        None
+      | Some _ as hit ->
+        t.warm_hits <- t.warm_hits + 1;
+        hit)
+
+let checkin t ~hash ~nclauses session =
+  locked t (fun () ->
+      if Hashtbl.length t.sessions >= t.max_sessions
+         && not (Hashtbl.mem t.sessions hash)
+      then begin
+        (* evict the oldest entry *)
+        let oldest = ref None in
+        Hashtbl.iter
+          (fun h e ->
+             match !oldest with
+             | Some (_, e') when e'.s_stamp <= e.s_stamp -> ()
+             | _ -> oldest := Some (h, e))
+          t.sessions;
+        match !oldest with
+        | Some (h, _) ->
+          Hashtbl.remove t.sessions h;
+          t.sessions_evicted <- t.sessions_evicted + 1
+        | None -> ()
+      end;
+      t.stamp <- t.stamp + 1;
+      (* last-in wins for an already-pooled hash: the incoming session
+         just solved and has the fresher learned clauses *)
+      Hashtbl.replace t.sessions hash
+        { s_nclauses = nclauses; s_session = session; s_stamp = t.stamp })
+
+(* --- introspection ------------------------------------------------------- *)
+
+type stats = {
+  result_hits : int;
+  result_misses : int;
+  warm_hits : int;
+  cold_misses : int;
+  results_stored : int;
+  sessions_pooled : int;
+  results_evicted : int;
+  sessions_evicted : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        result_hits = t.result_hits;
+        result_misses = t.result_misses;
+        warm_hits = t.warm_hits;
+        cold_misses = t.cold_misses;
+        results_stored = Hashtbl.length t.results;
+        sessions_pooled = Hashtbl.length t.sessions;
+        results_evicted = t.results_evicted;
+        sessions_evicted = t.sessions_evicted;
+      })
+
+let stats_json t =
+  let s = stats t in
+  J.Obj
+    [
+      ("hits", J.Int s.result_hits);
+      ("misses", J.Int s.result_misses);
+      ("warm_hits", J.Int s.warm_hits);
+      ("cold_misses", J.Int s.cold_misses);
+      ("results_stored", J.Int s.results_stored);
+      ("sessions_pooled", J.Int s.sessions_pooled);
+      ("results_evicted", J.Int s.results_evicted);
+      ("sessions_evicted", J.Int s.sessions_evicted);
+    ]

@@ -1,0 +1,85 @@
+(** Result cache and warm-session pool, keyed by formula chain hash.
+
+    Two layers, both behind one mutex (every operation is safe from any
+    worker domain):
+
+    - the {e result cache} maps (full chain hash, assumptions) to a
+      definitive outcome, so an exact repeat of an already-answered
+      query is served without any search ([Unknown] outcomes are never
+      stored);
+    - the {e session pool} maps a chain hash to an idle {!Sat.Session}
+      holding exactly that clause sequence — learned clauses, variable
+      activities and saved phases intact.  {!checkout} finds the
+      longest pooled prefix of an incoming clause sequence, so a grown
+      query (a BMC unrolling one frame deeper, a miter with one more
+      output cone) resumes a warm solver instead of starting cold.
+
+    Sessions are exclusively owned while checked out; {!checkin}
+    returns them under the hash of the clause sequence they now hold.
+    Both layers evict oldest-first at a fixed capacity.  Chain-hash
+    collisions are guarded by storing the clause count next to each
+    entry and requiring it to match on lookup. *)
+
+type t
+
+val create :
+  ?max_results:int ->
+  ?max_sessions:int ->
+  ?config:Sat.Types.config ->
+  unit ->
+  t
+(** Defaults: 4096 cached results, 64 pooled sessions, default solver
+    configuration for sessions created by the scheduler ({!config}). *)
+
+val config : t -> Sat.Types.config
+(** The solver configuration pooled sessions are created with. *)
+
+(* --- result cache -------------------------------------------------------- *)
+
+val find_result :
+  t ->
+  hash:Fhash.t ->
+  nclauses:int ->
+  assumptions:int list ->
+  Sat.Types.outcome option
+(** Cached definitive outcome of an identical earlier query, if any.
+    [assumptions] participate in the key (order-insensitively). *)
+
+val store_result :
+  t ->
+  hash:Fhash.t ->
+  nclauses:int ->
+  assumptions:int list ->
+  Sat.Types.outcome ->
+  unit
+(** Stores a definitive outcome.  [Unknown] outcomes are ignored — a
+    budget-limited answer must never mask a later real solve. *)
+
+(* --- warm session pool --------------------------------------------------- *)
+
+val checkout : t -> Fhash.t array -> (Sat.Session.t * int) option
+(** [checkout t prefix_hashes] removes and returns the pooled session
+    matching the longest prefix of the clause sequence whose
+    {!Fhash.prefix_hashes} are given, together with the number of
+    clauses that session already holds.  [None] when no prefix is
+    pooled. *)
+
+val checkin : t -> hash:Fhash.t -> nclauses:int -> Sat.Session.t -> unit
+(** Returns a session to the pool under the chain hash of the clause
+    sequence it now holds.  May evict the oldest pooled session. *)
+
+(* --- introspection ------------------------------------------------------- *)
+
+type stats = {
+  result_hits : int;
+  result_misses : int;
+  warm_hits : int;  (** checkouts that found a pooled prefix *)
+  cold_misses : int;  (** checkouts that found nothing *)
+  results_stored : int;  (** current size of the result cache *)
+  sessions_pooled : int;  (** current size of the session pool *)
+  results_evicted : int;
+  sessions_evicted : int;
+}
+
+val stats : t -> stats
+val stats_json : t -> Sat.Json.t

@@ -1,0 +1,58 @@
+(* Blocking satd client.  See client.mli for the contract. *)
+
+module J = Sat.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  mutable next_id : int;
+}
+
+let of_fd fd = { fd; ic = Unix.in_channel_of_descr fd; next_id = 0 }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  of_fd fd
+
+let connect_tcp host port =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> Unix.inet_addr_of_string host
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  of_fd fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_raw t frame =
+  let len = String.length frame in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring t.fd frame !off (len - !off)
+  done
+
+let send t json = send_raw t (J.to_string json ^ "\n")
+
+let recv t =
+  match J.read_frame t.ic with
+  | None -> Error "connection closed"
+  | Some (Error e) -> Error e
+  | Some (Ok json) -> Protocol.reply_of_json json
+
+let rpc t json =
+  send t json;
+  recv t
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Printf.sprintf "q%d" id
+
+let solve t params = rpc t (Protocol.solve_request ~id:(fresh_id t) params)
+let ping t = rpc t (Protocol.ping_request ~id:(fresh_id t))
+let stats t = rpc t (Protocol.stats_request ~id:(fresh_id t))
+let shutdown t = rpc t (Protocol.shutdown_request ~id:(fresh_id t))

@@ -1,0 +1,41 @@
+(** Blocking [satd] client: connects, frames requests, reads replies.
+
+    One connection, synchronous request/reply usage (the [satc] CLI and
+    the tests).  The protocol itself allows pipelining — callers that
+    want it can {!send} several requests and then {!recv} the replies
+    in completion order, matching them up by [r_id]. *)
+
+type t
+
+val connect_unix : string -> t
+(** Connects to a Unix-domain socket path.  Raises [Unix.Unix_error]. *)
+
+val connect_tcp : string -> int -> t
+(** Connects to [host, port].  Raises [Unix.Unix_error] /
+    [Not_found] (unresolvable host). *)
+
+val close : t -> unit
+
+val send : t -> Sat.Json.t -> unit
+(** Writes one request frame.  Raises on a broken connection. *)
+
+val send_raw : t -> string -> unit
+(** Writes bytes verbatim (no framing added) — for tests that must put
+    malformed frames on the wire. *)
+
+val recv : t -> (Protocol.reply, string) result
+(** Reads the next reply frame (blocking).  [Error] on a malformed
+    frame or a closed connection. *)
+
+val rpc : t -> Sat.Json.t -> (Protocol.reply, string) result
+(** {!send} then {!recv} — the synchronous common case. *)
+
+(** {1 Convenience verbs}
+
+    Each performs one {!rpc} with a fresh request id. *)
+
+val solve : t -> Protocol.solve_params -> (Protocol.reply, string) result
+val ping : t -> (Protocol.reply, string) result
+val stats : t -> (Protocol.reply, string) result
+val shutdown : t -> (Protocol.reply, string) result
+(** Blocks until the daemon has drained and acknowledged. *)

@@ -1,0 +1,37 @@
+(* Chain hashing of clause sequences.  See fhash.mli for the contract. *)
+
+type t = int64
+
+(* splitmix64 finalizer: a cheap high-quality int -> int64 mix *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+(* one FNV-1a step absorbing a full 64-bit word *)
+let absorb h w = Int64.mul (Int64.logxor h w) fnv_prime
+
+let empty = fnv_offset
+
+let clause lits =
+  (* canonical: sorted, deduped DIMACS literals *)
+  let lits = List.sort_uniq compare lits in
+  List.fold_left
+    (fun h l -> absorb h (mix64 (Int64.of_int l)))
+    0x9e3779b97f4a7c15L lits
+
+let extend h c = absorb h (clause c)
+
+let prefix_hashes cs =
+  let n = List.length cs in
+  let out = Array.make (n + 1) empty in
+  List.iteri (fun i c -> out.(i + 1) <- extend out.(i) c) cs;
+  out
+
+let full cs = List.fold_left extend empty cs
+
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,44 @@
+(** Canonical formula hashing for the service cache.
+
+    EDA query streams are highly redundant: the same miter is checked
+    after every trivial edit, a BMC run re-sends the bound-[k] unrolling
+    that is the bound-[k-1] unrolling plus one frame.  The cache keys
+    both patterns with one device — a {e chain hash} over the clause
+    sequence:
+
+    - each clause hashes {e canonically} (literals sorted and deduped,
+      so [x ∨ y] and [y ∨ x] collide on purpose);
+    - the formula hash folds clause hashes {e in order}, and every
+      prefix of the sequence has its own hash ({!prefix_hashes}).
+
+    Equal chain hashes therefore identify an exact repeat (full hash)
+    or an incremental extension (some prefix hash), which is exactly
+    the distinction the cache needs: serve the result, or check out the
+    warm session and grow it.  Hashes are 64-bit (FNV-1a over a
+    splitmix-finalized literal mix); collisions are ruled out in the
+    cache by additionally comparing clause counts, and are otherwise
+    accepted at the usual 2^-64 risk. *)
+
+type t = int64
+
+val empty : t
+(** Hash of the zero-clause formula (the chain basis). *)
+
+val clause : int list -> t
+(** Canonical hash of one clause given as DIMACS literals: order- and
+    duplicate-insensitive within the clause. *)
+
+val extend : t -> int list -> t
+(** [extend h c] is the chain hash of a clause sequence with prefix
+    hash [h] followed by clause [c] (order-sensitive across clauses). *)
+
+val prefix_hashes : int list list -> t array
+(** [prefix_hashes cs] has length [List.length cs + 1]; element [i] is
+    the chain hash of the first [i] clauses ([element 0 = empty]). *)
+
+val full : int list list -> t
+(** The chain hash of the whole sequence (last element of
+    {!prefix_hashes}, without materializing the array). *)
+
+val to_hex : t -> string
+(** 16-digit lowercase hex rendering, for cache keys and logs. *)

@@ -1,0 +1,339 @@
+(* Wire protocol encoder/decoder.  See protocol.mli and docs/SATD.md. *)
+
+module J = Sat.Json
+
+let version = 1
+
+type solve_params = {
+  clauses : int list list;
+  nvars : int;
+  assumptions : int list;
+  max_conflicts : int option;
+  max_decisions : int option;
+  timeout_ms : int option;
+  tenant : string;
+  use_cache : bool;
+}
+
+let max_var_of clauses =
+  List.fold_left
+    (fun m c -> List.fold_left (fun m l -> max m (abs l)) m c)
+    0 clauses
+
+let mk_solve ?nvars ?(assumptions = []) ?max_conflicts ?max_decisions
+    ?timeout_ms ?(tenant = "default") ?(use_cache = true) clauses =
+  let nvars =
+    match nvars with Some n -> n | None -> max_var_of clauses
+  in
+  {
+    clauses;
+    nvars;
+    assumptions;
+    max_conflicts;
+    max_decisions;
+    timeout_ms;
+    tenant;
+    use_cache;
+  }
+
+type request =
+  | Solve of solve_params
+  | Cancel of string
+  | Stats
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Parse_error
+  | Bad_request
+  | Overloaded
+  | Shutting_down
+  | Too_large
+  | Internal
+
+let error_code_string = function
+  | Parse_error -> "parse_error"
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+  | Too_large -> "too_large"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "parse_error" -> Some Parse_error
+  | "bad_request" -> Some Bad_request
+  | "overloaded" -> Some Overloaded
+  | "shutting_down" -> Some Shutting_down
+  | "too_large" -> Some Too_large
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* --- decoding requests ---------------------------------------------------- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let get_string field j =
+  match J.member field j with
+  | Some (J.String s) -> Some s
+  | Some _ -> fail "field %s must be a string" field
+  | None -> None
+
+let get_int field j =
+  match J.member field j with
+  | Some (J.Int i) -> Some i
+  | Some _ -> fail "field %s must be an integer" field
+  | None -> None
+
+let get_bool field j =
+  match J.member field j with
+  | Some (J.Bool b) -> Some b
+  | Some _ -> fail "field %s must be a boolean" field
+  | None -> None
+
+let lit_of_json field = function
+  | J.Int 0 -> fail "field %s: 0 is not a DIMACS literal" field
+  | J.Int i -> i
+  | _ -> fail "field %s must contain integers" field
+
+let get_lits field j =
+  match J.member field j with
+  | None -> None
+  | Some (J.List l) -> Some (List.map (lit_of_json field) l)
+  | Some _ -> fail "field %s must be a list" field
+
+let clauses_of_dimacs text =
+  match Cnf.Dimacs.parse_string text with
+  | exception Cnf.Dimacs.Parse_error m -> fail "dimacs: %s" m
+  | f ->
+    let out = ref [] in
+    Cnf.Formula.iter_clauses f (fun c ->
+        out :=
+          List.map Cnf.Lit.to_dimacs (Cnf.Clause.to_list c) :: !out);
+    (List.rev !out, Cnf.Formula.nvars f)
+
+let solve_of_json j =
+  let clauses, dimacs_nvars =
+    match (J.member "clauses" j, J.member "dimacs" j) with
+    | Some _, Some _ -> fail "give clauses or dimacs, not both"
+    | Some (J.List cs), None ->
+      ( List.map
+          (function
+            | J.List lits -> List.map (lit_of_json "clauses") lits
+            | _ -> fail "field clauses must be a list of lists")
+          cs,
+        0 )
+    | Some _, None -> fail "field clauses must be a list"
+    | None, Some (J.String text) -> clauses_of_dimacs text
+    | None, Some _ -> fail "field dimacs must be a string"
+    | None, None -> fail "solve needs a clauses or dimacs field"
+  in
+  let declared = match get_int "nvars" j with Some n -> n | None -> 0 in
+  if declared < 0 then fail "nvars must be non-negative";
+  let nvars = max declared (max dimacs_nvars (max_var_of clauses)) in
+  let assumptions =
+    match get_lits "assumptions" j with Some l -> l | None -> []
+  in
+  let pos_budget field =
+    match get_int field j with
+    | Some n when n < 0 -> fail "%s must be non-negative" field
+    | v -> v
+  in
+  {
+    clauses;
+    nvars;
+    assumptions;
+    max_conflicts = pos_budget "max_conflicts";
+    max_decisions = pos_budget "max_decisions";
+    timeout_ms = pos_budget "timeout_ms";
+    tenant =
+      (match get_string "tenant" j with Some t -> t | None -> "default");
+    use_cache =
+      (match get_bool "cache" j with Some b -> b | None -> true);
+  }
+
+let request_of_json j =
+  let id = try Option.value (get_string "id" j) ~default:"" with Bad _ -> "" in
+  match
+    (match j with
+     | J.Obj _ -> ()
+     | _ -> fail "request must be a JSON object");
+    (match get_int "v" j with
+     | Some v when v <> version -> fail "unsupported protocol version %d" v
+     | _ -> ());
+    match get_string "verb" j with
+    | None -> fail "missing verb"
+    | Some "solve" -> Solve (solve_of_json j)
+    | Some "cancel" ->
+      (match get_string "target" j with
+       | Some t -> Cancel t
+       | None -> fail "cancel needs a target field")
+    | Some "stats" -> Stats
+    | Some "ping" -> Ping
+    | Some "shutdown" -> Shutdown
+    | Some other -> fail "unknown verb %s" other
+  with
+  | req -> Ok (id, req)
+  | exception Bad m -> Error (id, Bad_request, m)
+
+(* --- encoding requests ---------------------------------------------------- *)
+
+let base_request ~id verb rest =
+  J.Obj (("v", J.Int version) :: ("id", J.String id)
+         :: ("verb", J.String verb) :: rest)
+
+let solve_request ~id p =
+  let opt name v rest =
+    match v with Some x -> (name, J.Int x) :: rest | None -> rest
+  in
+  base_request ~id "solve"
+    (("clauses",
+      J.List
+        (List.map (fun c -> J.List (List.map (fun l -> J.Int l) c)) p.clauses))
+     :: ("nvars", J.Int p.nvars)
+     ::
+     ((match p.assumptions with
+       | [] -> []
+       | l -> [ ("assumptions", J.List (List.map (fun x -> J.Int x) l)) ])
+      @ opt "max_conflicts" p.max_conflicts
+          (opt "max_decisions" p.max_decisions
+             (opt "timeout_ms" p.timeout_ms
+                [ ("tenant", J.String p.tenant);
+                  ("cache", J.Bool p.use_cache) ]))))
+
+let cancel_request ~id ~target =
+  base_request ~id "cancel" [ ("target", J.String target) ]
+
+let stats_request ~id = base_request ~id "stats" []
+let ping_request ~id = base_request ~id "ping" []
+let shutdown_request ~id = base_request ~id "shutdown" []
+
+(* --- encoding replies ----------------------------------------------------- *)
+
+type solve_result = {
+  outcome : Sat.Types.outcome;
+  cached : bool;
+  warm : bool;
+  matched_prefix : int;
+  time_s : float;
+  conflicts : int;
+  decisions : int;
+}
+
+let model_json ~nvars m =
+  J.List
+    (List.init (max nvars (Array.length m)) (fun v ->
+         let b = v < Array.length m && m.(v) in
+         J.Int (if b then v + 1 else -(v + 1))))
+
+let solve_reply ~id ~nvars r =
+  let status, extra =
+    match r.outcome with
+    | Sat.Types.Sat m -> ("sat", [ ("model", model_json ~nvars m) ])
+    | Sat.Types.Unsat -> ("unsat", [])
+    | Sat.Types.Unsat_assuming core ->
+      ( "unsat",
+        [ ("core",
+           J.List
+             (List.map (fun l -> J.Int (Cnf.Lit.to_dimacs l)) core)) ] )
+    | Sat.Types.Unknown why -> ("unknown", [ ("reason", J.String why) ])
+  in
+  J.Obj
+    (("id", J.String id) :: ("status", J.String status)
+     :: extra
+     @ [
+         ("cached", J.Bool r.cached);
+         ("warm", J.Bool r.warm);
+         ("prefix", J.Int r.matched_prefix);
+         ("time_s", J.Float r.time_s);
+         ("conflicts", J.Int r.conflicts);
+         ("decisions", J.Int r.decisions);
+       ])
+
+let ok_reply ~id ~verb =
+  J.Obj
+    [ ("id", J.String id); ("status", J.String "ok"); ("verb", J.String verb) ]
+
+let stats_reply ~id ~data =
+  J.Obj
+    [
+      ("id", J.String id);
+      ("status", J.String "ok");
+      ("verb", J.String "stats");
+      ("data", data);
+    ]
+
+let error_reply ~id code msg =
+  J.Obj
+    [
+      ("id", J.String id);
+      ("status", J.String "error");
+      ("code", J.String (error_code_string code));
+      ("message", J.String msg);
+    ]
+
+(* --- decoding replies ----------------------------------------------------- *)
+
+type reply = {
+  r_id : string;
+  r_status : string;
+  r_model : bool array option;
+  r_reason : string option;
+  r_error : (error_code * string) option;
+  r_cached : bool;
+  r_warm : bool;
+  r_time_s : float;
+  r_data : J.t option;
+  r_raw : J.t;
+}
+
+let reply_of_json j =
+  match
+    let status =
+      match get_string "status" j with
+      | Some s -> s
+      | None -> fail "reply has no status"
+    in
+    let model =
+      match J.member "model" j with
+      | None -> None
+      | Some (J.List lits) ->
+        let lits = List.map (lit_of_json "model") lits in
+        let n = List.fold_left (fun m l -> max m (abs l)) 0 lits in
+        let a = Array.make n false in
+        List.iter (fun l -> if l > 0 then a.(l - 1) <- true) lits;
+        Some a
+      | Some _ -> fail "model must be a list"
+    in
+    let error =
+      if status = "error" then
+        let code =
+          match get_string "code" j with
+          | Some c ->
+            (match error_code_of_string c with
+             | Some c -> c
+             | None -> fail "unknown error code %s" c)
+          | None -> fail "error reply has no code"
+        in
+        Some (code, Option.value (get_string "message" j) ~default:"")
+      else None
+    in
+    {
+      r_id = Option.value (get_string "id" j) ~default:"";
+      r_status = status;
+      r_model = model;
+      r_reason = get_string "reason" j;
+      r_error = error;
+      r_cached = Option.value (get_bool "cached" j) ~default:false;
+      r_warm = Option.value (get_bool "warm" j) ~default:false;
+      r_time_s =
+        (match J.member "time_s" j with
+         | Some v -> Option.value (J.to_float v) ~default:0.
+         | None -> 0.);
+      r_data = J.member "data" j;
+      r_raw = j;
+    }
+  with
+  | r -> Ok r
+  | exception Bad m -> Error m

@@ -1,0 +1,439 @@
+(* Domain-pool query scheduler.  See scheduler.mli for the contract. *)
+
+module J = Sat.Json
+module T = Sat.Types
+
+type answer = {
+  outcome : T.outcome;
+  cached : bool;
+  warm : bool;
+  matched_prefix : int;
+  time_s : float;
+  conflicts : int;
+  decisions : int;
+}
+
+type job = {
+  params : Protocol.solve_params;
+  deadline : float option;  (* absolute Monotime instant *)
+  on_done : answer -> unit;
+  mutable cancelled : bool;
+  mutable timed_out : bool;
+  mutable running : Sat.Session.t option;
+      (* the session currently solving this job; both writes and the
+         cancel/tick reads happen under the scheduler lock *)
+}
+
+type submit_error = Overloaded | Draining
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;  (* workers wait here for queue items *)
+  idle : Condition.t;  (* drain waits here for quiescence *)
+  queue : job Queue.t;
+  max_queue : int;
+  max_conflicts_cap : int option;
+  cache : Cache.t;
+  njobs : int;
+  mutable workers : unit Domain.t array;
+  mutable active : job list;  (* jobs currently solving, for tick *)
+  mutable inflight : int;
+  mutable stop : bool;
+  mutable draining : bool;
+  (* counters, all under [lock] *)
+  mutable queries : int;
+  mutable cancelled_n : int;
+  mutable timeouts : int;
+  mutable overloaded_n : int;
+  mutable errors : int;
+  mutable peak_queue : int;
+  (* per-tenant metric registries, under their own lock so a slow
+     merge never blocks admission *)
+  tenants_lock : Mutex.t;
+  tenants : (string, Sat.Metrics.t) Hashtbl.t;
+}
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let inflight t =
+  Mutex.lock t.lock;
+  let n = t.inflight in
+  Mutex.unlock t.lock;
+  n
+
+let jobs t = t.njobs
+let cache t = t.cache
+
+let draining t =
+  Mutex.lock t.lock;
+  let d = t.draining in
+  Mutex.unlock t.lock;
+  d
+
+let set_draining t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  Mutex.unlock t.lock
+
+let quiescent t =
+  Mutex.lock t.lock;
+  let q = Queue.is_empty t.queue && t.inflight = 0 in
+  Mutex.unlock t.lock;
+  q
+
+(* --- the worker ----------------------------------------------------------- *)
+
+let combine_budget a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some p, Some q -> Some (min p q)
+
+let finished t job answer counted =
+  Mutex.lock t.lock;
+  counted t;
+  Mutex.unlock t.lock;
+  job.on_done answer
+
+let no_search outcome =
+  {
+    outcome;
+    cached = false;
+    warm = false;
+    matched_prefix = 0;
+    time_s = 0.;
+    conflicts = 0;
+    decisions = 0;
+  }
+
+(* merge one query's registry into its tenant's rollup *)
+let roll_up t tenant reg =
+  Mutex.lock t.tenants_lock;
+  let into =
+    match Hashtbl.find_opt t.tenants tenant with
+    | Some m -> m
+    | None ->
+      let m = Sat.Metrics.create () in
+      Hashtbl.add t.tenants tenant m;
+      m
+  in
+  Sat.Metrics.merge_into ~into reg;
+  Mutex.unlock t.tenants_lock
+
+let process t job =
+  let p = job.params in
+  let expired () =
+    match job.deadline with
+    | Some d -> Sat.Monotime.now_s () > d
+    | None -> false
+  in
+  if job.cancelled then
+    finished t job
+      (no_search (T.Unknown "cancelled"))
+      (fun t -> t.cancelled_n <- t.cancelled_n + 1)
+  else if expired () then
+    finished t job
+      (no_search (T.Unknown "timeout"))
+      (fun t -> t.timeouts <- t.timeouts + 1)
+  else begin
+    let t0 = Sat.Monotime.now_s () in
+    let nclauses = List.length p.clauses in
+    let hashes = Fhash.prefix_hashes p.clauses in
+    let full = hashes.(nclauses) in
+    match
+      if p.use_cache then
+        Cache.find_result t.cache ~hash:full ~nclauses
+          ~assumptions:p.assumptions
+      else None
+    with
+    | Some outcome ->
+      finished t job
+        { (no_search outcome) with
+          cached = true;
+          time_s = Sat.Monotime.now_s () -. t0 }
+        (fun t -> t.queries <- t.queries + 1)
+    | None ->
+      (* take a warm session holding a prefix, or start cold *)
+      let sess, matched =
+        match
+          if p.use_cache then Cache.checkout t.cache hashes else None
+        with
+        | Some (sess, i) -> (sess, i)
+        | None -> (Sat.Session.create ~config:(Cache.config t.cache) (), 0)
+      in
+      let reg = Sat.Metrics.create () in
+      Sat.Session.attach_metrics sess reg;
+      (* grow the session to the full clause sequence *)
+      let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+      List.iter
+        (fun c ->
+           Sat.Session.add_clause sess (List.map Cnf.Lit.of_dimacs c))
+        (drop matched p.clauses);
+      (* register for cancellation/deadline interrupts *)
+      Mutex.lock t.lock;
+      let dead = job.cancelled in
+      if not dead then begin
+        job.running <- Some sess;
+        t.active <- job :: t.active
+      end;
+      Mutex.unlock t.lock;
+      if dead then begin
+        Sat.Session.clear_interrupt sess;
+        if p.use_cache then
+          Cache.checkin t.cache ~hash:full ~nclauses sess;
+        finished t job
+          (no_search (T.Unknown "cancelled"))
+          (fun t -> t.cancelled_n <- t.cancelled_n + 1)
+      end
+      else begin
+        let assumptions = List.map Cnf.Lit.of_dimacs p.assumptions in
+        let max_conflicts =
+          combine_budget p.max_conflicts t.max_conflicts_cap
+        in
+        let outcome =
+          Sat.Session.solve ~assumptions ?max_conflicts
+            ?max_decisions:p.max_decisions sess
+        in
+        (* deregister; any interrupt issued from here on targets nobody
+           and is withdrawn below before the session is pooled *)
+        Mutex.lock t.lock;
+        job.running <- None;
+        t.active <- List.filter (fun j -> j != job) t.active;
+        Mutex.unlock t.lock;
+        Sat.Session.clear_interrupt sess;
+        let outcome =
+          match outcome with
+          | T.Unknown "interrupted" when job.cancelled ->
+            T.Unknown "cancelled"
+          | T.Unknown "interrupted" when job.timed_out || expired () ->
+            T.Unknown "timeout"
+          | o -> o
+        in
+        let st = Sat.Session.last_stats sess in
+        let answer =
+          {
+            outcome;
+            cached = false;
+            warm = matched > 0;
+            matched_prefix = matched;
+            time_s = Sat.Monotime.now_s () -. t0;
+            conflicts = st.T.conflicts;
+            decisions = st.T.decisions;
+          }
+        in
+        if p.use_cache then begin
+          Cache.store_result t.cache ~hash:full ~nclauses
+            ~assumptions:p.assumptions outcome;
+          Cache.checkin t.cache ~hash:full ~nclauses sess
+        end;
+        roll_up t p.tenant reg;
+        finished t job answer (fun t ->
+            t.queries <- t.queries + 1;
+            (match outcome with
+             | T.Unknown "cancelled" -> t.cancelled_n <- t.cancelled_n + 1
+             | T.Unknown "timeout" -> t.timeouts <- t.timeouts + 1
+             | _ -> ()))
+      end
+  end
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stop requested and nothing left to do *)
+      Mutex.unlock t.lock;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.inflight <- t.inflight + 1;
+      Mutex.unlock t.lock;
+      (try process t job
+       with e ->
+         (* the query dies, the worker and the daemon survive *)
+         Mutex.lock t.lock;
+         t.errors <- t.errors + 1;
+         job.running <- None;
+         t.active <- List.filter (fun j -> j != job) t.active;
+         Mutex.unlock t.lock;
+         (try
+            job.on_done
+              (no_search
+                 (T.Unknown ("error: " ^ Printexc.to_string e)))
+          with _ -> ()));
+      Mutex.lock t.lock;
+      t.inflight <- t.inflight - 1;
+      if t.inflight = 0 && Queue.is_empty t.queue then
+        Condition.broadcast t.idle;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- lifecycle ------------------------------------------------------------ *)
+
+let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?cache () =
+  let njobs =
+    match jobs with
+    | Some n -> max 1 n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      max_queue;
+      max_conflicts_cap;
+      cache = (match cache with Some c -> c | None -> Cache.create ());
+      njobs;
+      workers = [||];
+      active = [];
+      inflight = 0;
+      stop = false;
+      draining = false;
+      queries = 0;
+      cancelled_n = 0;
+      timeouts = 0;
+      overloaded_n = 0;
+      errors = 0;
+      peak_queue = 0;
+      tenants_lock = Mutex.create ();
+      tenants = Hashtbl.create 8;
+    }
+  in
+  t.workers <- Array.init njobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t ?deadline ~on_done params =
+  let job =
+    {
+      params;
+      deadline;
+      on_done;
+      cancelled = false;
+      timed_out = false;
+      running = None;
+    }
+  in
+  Mutex.lock t.lock;
+  let verdict =
+    if t.draining || t.stop then Error Draining
+    else if Queue.length t.queue >= t.max_queue then begin
+      t.overloaded_n <- t.overloaded_n + 1;
+      Error Overloaded
+    end
+    else begin
+      Queue.add job t.queue;
+      t.peak_queue <- max t.peak_queue (Queue.length t.queue);
+      Condition.signal t.nonempty;
+      Ok job
+    end
+  in
+  Mutex.unlock t.lock;
+  verdict
+
+let cancel t job =
+  Mutex.lock t.lock;
+  if not job.cancelled then begin
+    job.cancelled <- true;
+    match job.running with
+    | Some sess -> Sat.Session.interrupt sess
+    | None -> ()
+  end;
+  Mutex.unlock t.lock
+
+let tick t =
+  let now = Sat.Monotime.now_s () in
+  Mutex.lock t.lock;
+  List.iter
+    (fun job ->
+       match job.deadline with
+       | Some d when now > d && not job.timed_out && not job.cancelled ->
+         job.timed_out <- true;
+         (match job.running with
+          | Some sess -> Sat.Session.interrupt sess
+          | None -> ())
+       | _ -> ())
+    t.active;
+  Mutex.unlock t.lock
+
+let solve t params =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let cell = ref None in
+  let on_done a =
+    Mutex.lock m;
+    cell := Some a;
+    Condition.signal c;
+    Mutex.unlock m
+  in
+  match submit t ~on_done params with
+  | Error e -> Error e
+  | Ok _ ->
+    Mutex.lock m;
+    while Option.is_none !cell do
+      Condition.wait c m
+    done;
+    Mutex.unlock m;
+    Ok (Option.get !cell)
+
+let drain t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  while not (Queue.is_empty t.queue && t.inflight = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  drain t;
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let stats_json t =
+  Mutex.lock t.lock;
+  let service =
+    J.Obj
+      [
+        ("jobs", J.Int t.njobs);
+        ("queries", J.Int t.queries);
+        ("cancelled", J.Int t.cancelled_n);
+        ("timeouts", J.Int t.timeouts);
+        ("overloaded", J.Int t.overloaded_n);
+        ("errors", J.Int t.errors);
+        ("queue_depth", J.Int (Queue.length t.queue));
+        ("peak_queue_depth", J.Int t.peak_queue);
+        ("inflight", J.Int t.inflight);
+        ("draining", J.Bool t.draining);
+      ]
+  in
+  Mutex.unlock t.lock;
+  Mutex.lock t.tenants_lock;
+  let tenants =
+    Hashtbl.fold
+      (fun name reg acc -> (name, Sat.Metrics.to_json reg) :: acc)
+      t.tenants []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Mutex.unlock t.tenants_lock;
+  J.Obj
+    [
+      ("service", service);
+      ("cache", Cache.stats_json t.cache);
+      ("tenants", J.Obj tenants);
+    ]

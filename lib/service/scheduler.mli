@@ -1,0 +1,104 @@
+(** Query scheduler: a bounded domain pool fed by a bounded work queue,
+    with admission control, per-query budgets, cooperative cancellation
+    and per-tenant metrics rollup.
+
+    This is the daemon's engine room, usable without any socket in
+    front of it (the benchmarks and tests drive it directly):
+
+    - {!submit} either queues the query or refuses it immediately —
+      [Overloaded] when the queue is at capacity (backpressure),
+      [Draining] once shutdown has begun;
+    - each worker domain serves queries through the {!Cache}: an exact
+      repeat answers from the result cache, a grown query checks out
+      the warm session holding its longest pooled prefix, anything
+      else solves cold — and every session returns to the pool
+      afterwards, including after an interrupt (nothing leaks);
+    - {!cancel} marks a queued query dead or interrupts a running one
+      ({!Sat.Session.interrupt}, safe cross-domain); {!tick} interrupts
+      running queries whose wall-clock deadline has passed;
+    - per-query solver metrics accumulate into a per-tenant
+      {!Sat.Metrics} registry via the existing {!Sat.Metrics.merge_into},
+      exposed by {!stats_json} (the [stats] verb payload). *)
+
+type t
+
+type answer = {
+  outcome : Sat.Types.outcome;
+  cached : bool;
+  warm : bool;
+  matched_prefix : int;
+  time_s : float;
+  conflicts : int;
+  decisions : int;
+}
+
+type job
+type submit_error = Overloaded | Draining
+
+val create :
+  ?jobs:int ->
+  ?max_queue:int ->
+  ?max_conflicts_cap:int ->
+  ?cache:Cache.t ->
+  unit ->
+  t
+(** Spawns the worker domains.  Defaults: [jobs] =
+    [Domain.recommended_domain_count () - 1] (at least 1), [max_queue]
+    = 128 pending queries, no conflict cap, a fresh default
+    {!Cache.create}.  [max_conflicts_cap] bounds every query's conflict
+    budget (applied on top of the query's own, whichever is smaller) —
+    the admission-control backstop against a tenant submitting
+    unbounded work. *)
+
+val submit :
+  t ->
+  ?deadline:float ->
+  on_done:(answer -> unit) ->
+  Protocol.solve_params ->
+  (job, submit_error) result
+(** Queues a query.  [on_done] runs in the worker domain that served
+    it (callers bridge to their own thread; the socket server pushes
+    to a completion queue).  [deadline] is an absolute
+    {!Sat.Monotime.now_s} instant enforced by {!tick}. *)
+
+val cancel : t -> job -> unit
+(** Cancels a queued or running query.  Queued: it answers
+    [Unknown "cancelled"] without solving.  Running: the session is
+    interrupted; the query answers [Unknown "cancelled"] and the
+    session survives into the pool. *)
+
+val solve : t -> Protocol.solve_params -> (answer, submit_error) result
+(** Blocking convenience over {!submit} — the in-process client used
+    by benchmarks and tests. *)
+
+val tick : t -> unit
+(** Interrupts running queries whose deadline has passed (they answer
+    [Unknown "timeout"]).  The socket server calls this once per event
+    loop turn; queued queries past their deadline are refused when a
+    worker picks them up. *)
+
+val queue_depth : t -> int
+val inflight : t -> int
+val jobs : t -> int
+val cache : t -> Cache.t
+
+val set_draining : t -> unit
+(** Stop admitting new queries ({!submit} answers [Draining]);
+    already-queued and running queries complete normally. *)
+
+val draining : t -> bool
+
+val quiescent : t -> bool
+(** No queued and no running queries. *)
+
+val drain : t -> unit
+(** {!set_draining} then block until {!quiescent}. *)
+
+val shutdown : t -> unit
+(** {!drain}, then stop and join the worker domains.  The scheduler
+    must not be used afterwards. *)
+
+val stats_json : t -> Sat.Json.t
+(** The [stats]-verb payload: service counters (queries, cancellations,
+    timeouts, refusals, queue depth high-water), {!Cache.stats_json},
+    and one merged {!Sat.Metrics.to_json} snapshot per tenant. *)

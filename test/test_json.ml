@@ -53,6 +53,62 @@ let parse_strictness () =
   Alcotest.(check bool) "empty input" true (bad "");
   Alcotest.(check bool) "lone minus" true (bad "-")
 
+let rfc_strictness () =
+  (* the hardened grammar corners: number shapes, raw control
+     characters, and the nesting-depth bound *)
+  let bad s = match J.parse s with Ok _ -> false | Error _ -> true in
+  let ok s = match J.parse s with Ok _ -> true | Error _ -> false in
+  Alcotest.(check bool) "leading zero" true (bad "01");
+  Alcotest.(check bool) "neg leading zero" true (bad "-01");
+  Alcotest.(check bool) "bare dot" true (bad "1.");
+  Alcotest.(check bool) "dot first" true (bad ".5");
+  Alcotest.(check bool) "empty exponent" true (bad "1e");
+  Alcotest.(check bool) "plus sign" true (bad "+1");
+  Alcotest.(check bool) "zero ok" true (ok "0");
+  Alcotest.(check bool) "neg zero ok" true (ok "-0");
+  Alcotest.(check bool) "exp forms ok" true
+    (ok "1e3" && ok "1E+3" && ok "1.25e-3" && ok "0.5");
+  Alcotest.(check bool) "raw newline in string" true (bad "\"a\nb\"");
+  Alcotest.(check bool) "raw tab in string" true (bad "\"a\tb\"");
+  Alcotest.(check bool) "escaped tab ok" true (ok {|"a\tb"|});
+  let nest n = String.make n '[' ^ String.make n ']' in
+  Alcotest.(check bool) "depth 100 ok" true (ok (nest 100));
+  Alcotest.(check bool) "depth 1000 refused" true (bad (nest 1000));
+  Alcotest.(check bool) "mixed deep refused" true
+    (bad (String.concat "" (List.init 600 (fun _ -> "{\"a\":["))))
+
+let line_framing () =
+  (match J.parse_line "{\"a\":1}" with
+   | Ok v -> Alcotest.(check bool) "frame parses" true
+               (J.equal v (J.Obj [ ("a", J.Int 1) ]))
+   | Error e -> Alcotest.failf "frame refused: %s" e);
+  (match J.parse_line "{\"a\":\n1}" with
+   | Ok _ -> Alcotest.fail "embedded newline must be refused"
+   | Error _ -> ());
+  (* read_frame: one JSON value per line, CRLF tolerated, EOF = None *)
+  let path = Filename.temp_file "satreda_json" ".jsonl" in
+  let oc = open_out_bin path in
+  output_string oc "{\"q\":1}\n[1,2]\r\nnot json\n42\n";
+  close_out oc;
+  let ic = open_in_bin path in
+  let frames = ref [] in
+  let rec go () =
+    match J.read_frame ic with
+    | Some r ->
+      frames := r :: !frames;
+      go ()
+    | None -> ()
+  in
+  go ();
+  close_in ic;
+  Sys.remove path;
+  (match List.rev !frames with
+   | [ Ok o; Ok l; Error _; Ok n ] ->
+     Alcotest.(check bool) "object" true (J.equal o (J.Obj [ ("q", J.Int 1) ]));
+     Alcotest.(check bool) "crlf list" true (J.equal l (J.List [ J.Int 1; J.Int 2 ]));
+     Alcotest.(check bool) "number" true (J.equal n (J.Int 42))
+   | fs -> Alcotest.failf "expected 4 frames, got %d" (List.length fs))
+
 let parse_values () =
   let ok s v =
     match J.parse s with
@@ -80,6 +136,8 @@ let suite =
     Th.case "float fidelity" float_fidelity;
     Th.case "nan/inf encode as null" special_floats_are_null;
     Th.case "parser strictness" parse_strictness;
+    Th.case "rfc strictness (numbers, control chars, depth)" rfc_strictness;
+    Th.case "line framing (parse_line, read_frame)" line_framing;
     Th.case "parsed values" parse_values;
     Th.case "accessors" accessors;
   ]

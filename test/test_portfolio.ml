@@ -189,6 +189,58 @@ let property_portfolio_agrees_with_certified () =
   Alcotest.(check int) "portfolio agrees with certified solver on 200 instances"
     0 !disagreements
 
+let repeated_timeouts_under_concurrent_cancellation () =
+  (* a service under cancellation pressure runs many portfolios back to
+     back, each cut short; none may deadlock, leak a domain, or poison
+     the next round — and a final unbudgeted solve must still be exact *)
+  for round = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let r = P.solve ~options:(opts ~jobs:3 ~timeout:0.05 ()) (php 10 9) in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (match r.P.outcome with
+     | T.Unknown "timeout" -> ()
+     | o -> Alcotest.failf "round %d: expected timeout, got %a" round
+              T.pp_outcome o);
+    Alcotest.(check bool) "prompt return" true (elapsed < 10.)
+  done;
+  match (P.solve ~options:(opts ~jobs:3 ()) (php 5 4)).P.outcome with
+  | T.Unsat -> ()
+  | o -> Alcotest.failf "portfolio poisoned by timeouts: %a" T.pp_outcome o
+
+let sessions_cancelled_in_parallel () =
+  (* N sessions each solving in its own domain, one canceller sweeping
+     across all of them — the concurrent-cancellation shape of a daemon
+     dropping a client with many in-flight queries *)
+  let n = 4 in
+  let sessions = Array.init n (fun _ -> Sat.Session.of_formula (php 10 9)) in
+  let workers =
+    Array.map (fun s -> Domain.spawn (fun () -> Sat.Session.solve s)) sessions
+  in
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        Array.iter Sat.Session.interrupt sessions)
+  in
+  let outcomes = Array.map Domain.join workers in
+  Domain.join canceller;
+  Array.iteri
+    (fun i o ->
+       match o with
+       | T.Unknown "interrupted" -> ()
+       | o -> Alcotest.failf "session %d: expected interrupted, got %a" i
+                T.pp_outcome o)
+    outcomes;
+  (* every session returns to the pool reusable *)
+  Array.iter
+    (fun s ->
+       Sat.Session.clear_interrupt s;
+       Sat.Session.add_clause s [ Th.lit 1 ];
+       Sat.Session.add_clause s [ Th.lit (-1) ];
+       match Sat.Session.solve s with
+       | T.Unsat -> ()
+       | o -> Alcotest.failf "cancelled session unusable: %a" T.pp_outcome o)
+    sessions
+
 let suite =
   [
     Th.case "interrupt leaves solver reusable" interrupt_leaves_solver_reusable;
@@ -202,4 +254,7 @@ let suite =
     Th.case "portfolio timeout, no deadlock" portfolio_timeout_no_deadlock;
     Th.case "portfolio vs certified on 200 phase-transition instances"
       property_portfolio_agrees_with_certified;
+    Th.case "repeated timeouts under concurrent cancellation"
+      repeated_timeouts_under_concurrent_cancellation;
+    Th.case "sessions cancelled in parallel" sessions_cancelled_in_parallel;
   ]

@@ -211,6 +211,90 @@ let solver_pipeline_sessions () =
    | _ -> Alcotest.fail "expected UNSAT after adding ~x2");
   Alcotest.(check int) "queries counted" 2 (Sat.Solver.Incremental.queries inc)
 
+(* --- cooperative cancellation (the SAT-service contract) ----------------- *)
+
+let cross_domain_interrupt_keeps_session_reusable () =
+  (* a service worker solves; the event loop cancels from another domain *)
+  let s = S.of_formula (php 10 9) in
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        S.interrupt s)
+  in
+  (match S.solve s with
+   | T.Unknown "interrupted" -> ()
+   | o -> Alcotest.failf "expected interrupted, got %a" T.pp_outcome o);
+  Domain.join canceller;
+  Alcotest.(check bool) "request consumed" false (S.interrupt_requested s);
+  (* the session survives into the pool: growth + a fresh query work *)
+  S.add_clause s [ Th.lit 1 ];
+  S.add_clause s [ Th.lit (-1) ];
+  match S.solve s with
+  | T.Unsat -> ()
+  | o -> Alcotest.failf "expected unsat after reuse, got %a" T.pp_outcome o
+
+let interrupt_storm_single_query () =
+  (* many cancellers racing one query: exactly one interruption, and the
+     session still answers correctly afterwards *)
+  let s = S.of_formula (php 10 9) in
+  let cancellers =
+    Array.init 8 (fun _ ->
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.02;
+            for _ = 1 to 100 do
+              S.interrupt s
+            done))
+  in
+  (match S.solve s with
+   | T.Unknown "interrupted" -> ()
+   | o -> Alcotest.failf "expected interrupted, got %a" T.pp_outcome o);
+  Array.iter Domain.join cancellers;
+  (* late interrupts may still be pending: a pool must be able to
+     withdraw them before the next tenant's query *)
+  S.clear_interrupt s;
+  Alcotest.(check bool) "withdrawn" false (S.interrupt_requested s);
+  match S.solve ~assumptions:[ Th.lit 1 ] (S.of_formula (php 5 5)) with
+  | T.Sat _ -> (
+      (* and the stormed session itself still solves under budget *)
+      match S.solve ~max_conflicts:5 s with
+      | T.Unknown ("budget" | "interrupted") | T.Unsat -> ()
+      | o -> Alcotest.failf "stormed session unusable: %a" T.pp_outcome o)
+  | o -> Alcotest.failf "fresh session broken: %a" T.pp_outcome o
+
+let clear_interrupt_withdraws_pending () =
+  (* a cancellation racing with completion leaves the flag set; pooling
+     the session without clearing would abort the next tenant's query *)
+  let s = S.of_formula (Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ]) in
+  S.interrupt s;
+  Alcotest.(check bool) "pending" true (S.interrupt_requested s);
+  S.clear_interrupt s;
+  Alcotest.(check bool) "withdrawn" false (S.interrupt_requested s);
+  match S.solve s with
+  | T.Sat _ -> ()
+  | o -> Alcotest.failf "expected sat after withdrawal, got %a" T.pp_outcome o
+
+let timeout_then_interrupt_sequence () =
+  (* the scheduler's two Unknown flavours compose on one session *)
+  let s = S.of_formula (php 8 7) in
+  (match S.solve ~max_conflicts:5 s with
+   | T.Unknown "budget" -> ()
+   | T.Unsat -> Alcotest.fail "php 8 7 cannot finish in 5 conflicts"
+   | o -> Alcotest.failf "expected budget, got %a" T.pp_outcome o);
+  let canceller =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        S.interrupt s)
+  in
+  (match S.solve s with
+   | T.Unknown "interrupted" | T.Unsat -> ()
+   | o -> Alcotest.failf "expected interrupted/unsat, got %a" T.pp_outcome o);
+  Domain.join canceller;
+  S.clear_interrupt s;
+  (* budgets still enforced after the interrupt *)
+  match S.solve ~max_decisions:0 s with
+  | T.Unknown _ | T.Unsat -> ()
+  | o -> Alcotest.failf "budget ignored after interrupt: %a" T.pp_outcome o
+
 let suite =
   [
     Th.case "grow after sat" grow_after_sat;
@@ -222,4 +306,9 @@ let suite =
     Th.case "per-call deltas disjoint" per_call_deltas_disjoint;
     Th.case "retention policies" retention_policies_sound;
     Th.case "pipeline sessions" solver_pipeline_sessions;
+    Th.case "cross-domain interrupt keeps session reusable"
+      cross_domain_interrupt_keeps_session_reusable;
+    Th.case "interrupt storm, single query" interrupt_storm_single_query;
+    Th.case "clear_interrupt withdraws pending" clear_interrupt_withdraws_pending;
+    Th.case "timeout then interrupt sequence" timeout_then_interrupt_sequence;
   ]
