@@ -1,0 +1,310 @@
+(* Experiment E29: cube-and-conquer vs portfolio vs sequential CDCL.
+
+   Three engines on the same multiplier miters, interleaved (one rep =
+   all three back to back, so machine drift hits them equally),
+   best-of-[reps] wall clock per engine:
+
+     seq     one CDCL run (the baseline every parallel engine must beat
+             in *total work*, not just wall clock)
+     port    the diversified portfolio with clause sharing (E24 engine)
+     cube    lookahead cube generation + work-stealing conquer workers
+             sharing low-LBD clauses through the same pool
+
+   Families: cross-architecture multiplier miters (array vs Wallace —
+   equivalent, so UNSAT, and structurally dissimilar: the E27 shape
+   where internal cut points are scarce), XOR-decomposition miters
+   (array multiplier vs its rewrite — UNSAT), and injected-bug miters
+   (usually SAT, exercising the early-exit path and model validation).
+
+   Every definite verdict is validated: UNSAT instances against
+   [Proof.solve_certified] (an independent RUP-checked sequential run),
+   SAT models by direct evaluation on the miter CNF.  The engines must
+   also agree with each other wherever both are definite.
+
+   The honest-parallelism comparison on this host is *total conflicts*:
+   cube-and-conquer at [jobs] workers should spend measurably fewer
+   than [jobs] x the sequential conflicts (the decomposition prunes the
+   search, it does not just duplicate it), and the JSON records
+   [host_cores] so wall-clock numbers are read in context — on a
+   single-core host the parallel engines time-slice and wall clock is
+   not expected to improve.
+
+   Flags (read from the bench command line, after "--"):
+     --smoke   tiny instance sizes: asserts the harness runs end to end
+     --json    also write BENCH_cubes.json in the current dir *)
+
+module T = Sat.Types
+
+type row = {
+  name : string;
+  family : string;
+  expected : string;        (* certified / evaluated verdict: sat / unsat *)
+  seq_tag : string;
+  port_tag : string;
+  cube_tag : string;
+  seq_s : float;
+  port_s : float;
+  cube_s : float;
+  seq_conflicts : int;
+  cube_conflicts : int;
+  cubes : int;
+  refuted : int;
+  solved_cubes : int;
+  splits : int;
+}
+
+let smoke () = Array.exists (( = ) "--smoke") Sys.argv
+let json () = Array.exists (( = ) "--json") Sys.argv
+let jobs = 2
+let cutoff = 10_000
+
+(* every engine gets the same (generous) conflict budget so a full run
+   terminates even if an instance is mis-sized; within it all verdicts
+   here are definite *)
+let budget = 4_000_000
+
+let seq_config = { T.default with T.max_conflicts = Some budget }
+
+let tag = function
+  | T.Sat _ -> "sat"
+  | T.Unsat -> "unsat"
+  | _ -> "?"
+
+let conflicts_of = function
+  | Some st -> st.T.conflicts
+  | None -> 0
+
+(* --- instance families --------------------------------------------------- *)
+
+let cross bits () =
+  Circuit.Miter.to_cnf
+    (Circuit.Generators.multiplier ~bits)
+    (Circuit.Generators.wallace_multiplier ~bits)
+
+let mult_xor bits () =
+  let c = Circuit.Generators.multiplier ~bits in
+  Circuit.Miter.to_cnf c (Circuit.Transform.rewrite_xor c)
+
+let bug bits seed () =
+  let c = Circuit.Generators.wallace_multiplier ~bits in
+  let mutant, _what = Circuit.Transform.inject_bug ~seed c in
+  Circuit.Miter.to_cnf c mutant
+
+let run_case ~reps ~family name mk =
+  let f, _map = mk () in
+  (* ground truth once per instance: certified sequential for UNSAT,
+     model evaluation for SAT *)
+  let expected =
+    match Sat.Proof.solve_certified ~config:seq_config f with
+    | T.Unsat, Sat.Proof.Valid_refutation -> "unsat"
+    | T.Unsat, _ -> failwith (name ^ ": uncertified UNSAT refutation")
+    | T.Sat m, _ ->
+      if not (Cnf.Formula.eval (fun v -> m.(v)) f) then
+        failwith (name ^ ": certified run returned a non-model");
+      "sat"
+    | _ -> "?"
+  in
+  let seq_best = ref infinity and port_best = ref infinity in
+  let cube_best = ref infinity in
+  let seq_tag = ref "?" and port_tag = ref "?" and cube_tag = ref "?" in
+  let seq_conflicts = ref 0 and cube_conflicts = ref 0 in
+  let cubes = ref 0 and refuted = ref 0 in
+  let solved_cubes = ref 0 and splits = ref 0 in
+  let check what t =
+    if t <> "?" && expected <> "?" && t <> expected then
+      failwith (Printf.sprintf "%s: %s says %s, expected %s" name what t
+                  expected)
+  in
+  for rep = 1 to reps do
+    let seq = Sat.Solver.solve ~engine:(Sat.Solver.Cdcl seq_config) f in
+    if seq.Sat.Solver.time_seconds < !seq_best then begin
+      seq_best := seq.Sat.Solver.time_seconds;
+      seq_conflicts := conflicts_of seq.Sat.Solver.solver_stats
+    end;
+    seq_tag := tag seq.Sat.Solver.outcome;
+    let port =
+      Sat.Solver.solve
+        ~engine:
+          (Sat.Solver.Portfolio
+             { Sat.Portfolio.default_options with
+               Sat.Portfolio.jobs;
+               config = { seq_config with T.random_seed = rep } })
+        f
+    in
+    if port.Sat.Solver.time_seconds < !port_best then
+      port_best := port.Sat.Solver.time_seconds;
+    port_tag := tag port.Sat.Solver.outcome;
+    let cc =
+      Sat.Conquer.solve
+        ~options:
+          { Sat.Conquer.default_options with
+            Sat.Conquer.jobs;
+            cutoff;
+            cube = { Sat.Cube.default_options with Sat.Cube.seed = rep };
+            config = { T.default with T.random_seed = rep } }
+        f
+    in
+    if cc.Sat.Conquer.time_seconds < !cube_best then begin
+      cube_best := cc.Sat.Conquer.time_seconds;
+      cube_conflicts := cc.Sat.Conquer.stats.T.conflicts;
+      cubes := List.length cc.Sat.Conquer.lookahead.Sat.Cube.cubes;
+      refuted := List.length cc.Sat.Conquer.lookahead.Sat.Cube.refuted;
+      solved_cubes := cc.Sat.Conquer.solved_cubes;
+      splits := cc.Sat.Conquer.splits
+    end;
+    cube_tag := tag cc.Sat.Conquer.outcome;
+    (match cc.Sat.Conquer.outcome with
+     | T.Sat m ->
+       if not (Cnf.Formula.eval (fun v -> m.(v)) f) then
+         failwith (name ^ ": cube-conquer returned a non-model")
+     | _ -> ());
+    check "seq" !seq_tag;
+    check "portfolio" !port_tag;
+    check "cube-conquer" !cube_tag
+  done;
+  {
+    name;
+    family;
+    expected;
+    seq_tag = !seq_tag;
+    port_tag = !port_tag;
+    cube_tag = !cube_tag;
+    seq_s = !seq_best;
+    port_s = !port_best;
+    cube_s = !cube_best;
+    seq_conflicts = !seq_conflicts;
+    cube_conflicts = !cube_conflicts;
+    cubes = !cubes;
+    refuted = !refuted;
+    solved_cubes = !solved_cubes;
+    splits = !splits;
+  }
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | l ->
+    let n = List.length l in
+    let a = Array.of_list l in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+(* cube total conflicts as a fraction of jobs x sequential conflicts:
+   below 1.0 means the decomposition beats naive work duplication *)
+let work_ratio r =
+  if r.seq_conflicts = 0 then None
+  else Some (float_of_int r.cube_conflicts
+             /. (float_of_int jobs *. float_of_int r.seq_conflicts))
+
+let write_json path ~mode rows =
+  let oc = open_out path in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"satreda-bench\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"version\": %d,\n" Sat.Metrics.schema_version);
+  Buffer.add_string b "  \"experiment\": \"E29\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string b (Printf.sprintf "  \"cube_cutoff\": %d,\n" cutoff);
+  Buffer.add_string b
+    (Printf.sprintf "  \"conflict_budget\": %d,\n" budget);
+  Buffer.add_string b "  \"instances\": [\n";
+  List.iteri
+    (fun i r ->
+       let ratio =
+         match work_ratio r with
+         | Some x -> Printf.sprintf "%.3f" x
+         | None -> "null"
+       in
+       Buffer.add_string b
+         (Printf.sprintf
+            "    {\"name\": \"%s\", \"family\": \"%s\", \"expected\": \
+             \"%s\", \"seq\": \"%s\", \"portfolio\": \"%s\", \"cube\": \
+             \"%s\", \"seq_s\": %.6f, \"portfolio_s\": %.6f, \"cube_s\": \
+             %.6f, \"seq_conflicts\": %d, \"cube_conflicts\": %d, \
+             \"conflicts_vs_jobsx_seq\": %s, \"cubes\": %d, \
+             \"refuted_branches\": %d, \"solved_cubes\": %d, \"splits\": \
+             %d}%s\n"
+            r.name r.family r.expected r.seq_tag r.port_tag r.cube_tag
+            r.seq_s r.port_s r.cube_s r.seq_conflicts r.cube_conflicts
+            ratio r.cubes r.refuted r.solved_cubes r.splits
+            (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  let ratios = List.filter_map work_ratio rows in
+  Buffer.add_string b
+    (Printf.sprintf "  \"median_conflicts_vs_jobsx_seq\": %.3f,\n"
+       (median ratios));
+  Buffer.add_string b
+    (Printf.sprintf "  \"all_verdicts_validated\": %b\n"
+       (List.for_all
+          (fun r ->
+             r.expected <> "?" && r.seq_tag = r.expected
+             && r.port_tag = r.expected && r.cube_tag = r.expected)
+          rows));
+  Buffer.add_string b "}\n";
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let e29 () =
+  let smoke = smoke () in
+  let mode = if smoke then "smoke" else "full" in
+  Util.header "E29 cube-and-conquer vs portfolio vs sequential"
+    "lookahead decomposition + work-stealing conquer workers, interleaved \
+     against the clause-sharing portfolio and one CDCL run";
+  let reps = if smoke then 1 else 5 in
+  let rows = ref [] in
+  let case ?(reps = reps) ~family name mk =
+    rows := run_case ~reps ~family name mk :: !rows
+  in
+  List.iter
+    (fun bits ->
+       case ~family:"cross" (Printf.sprintf "mult-vs-wall%d" bits)
+         (cross bits))
+    (if smoke then [ 3 ] else [ 4; 5 ]);
+  List.iter
+    (fun bits ->
+       case ~family:"xor" (Printf.sprintf "mult%d-xor" bits) (mult_xor bits))
+    (if smoke then [ 3 ] else [ 4; 5 ]);
+  List.iter
+    (fun (bits, seed) ->
+       case ~family:"bug" (Printf.sprintf "wall%d-bug%d" bits seed)
+         (bug bits seed))
+    (if smoke then [ (3, 1) ] else [ (4, 1); (5, 2) ]);
+  (* the hard anchor: a cross-architecture miter an order of magnitude
+     past the 5-bit instances (best-of-1 — this one is expensive) *)
+  if not smoke then
+    case ~reps:1 ~family:"cross" "mult-vs-wall6" (cross 6);
+  let rows = List.rev !rows in
+  Util.row "%-16s %-6s %-5s %9s %9s %9s %10s %10s %6s@." "instance" "family"
+    "ans" "seq" "port" "cube" "seq-confl" "cube-confl" "work";
+  Util.line ();
+  List.iter
+    (fun r ->
+       Util.row "%-16s %-6s %-5s %8.3fs %8.3fs %8.3fs %10d %10d %6s@."
+         r.name r.family r.cube_tag r.seq_s r.port_s r.cube_s
+         r.seq_conflicts r.cube_conflicts
+         (match work_ratio r with
+          | Some x -> Printf.sprintf "%.2fx" x
+          | None -> "-"))
+    rows;
+  let ratios = List.filter_map work_ratio rows in
+  if ratios <> [] then
+    Util.row
+      "median cube conflicts vs %dx sequential: %.2fx (below 1.00 = the \
+       decomposition prunes)@."
+      jobs (median ratios);
+  if json () then begin
+    write_json "BENCH_cubes.json" ~mode rows;
+    Util.row "@.wrote BENCH_cubes.json (%s mode)@." mode
+  end;
+  Util.row
+    "@.every verdict validated: UNSAT against a RUP-certified sequential \
+     run, SAT models by evaluation on the miter CNF.  Best of %d \
+     interleaved run(s) per engine at jobs=%d on a %d-core host — on few \
+     cores read the conflict totals, not the wall clock.@."
+    reps jobs
+    (Domain.recommended_domain_count ())

@@ -35,6 +35,8 @@ let experiments =
     ("E26", "preprocessing ablation (BVE + inprocessing)", Experiments_preprocessing.e26);
     ("E27", "fraiging CEC vs monolithic miter", Experiments_fraig.e27);
     ("E28", "SAT service daemon (satd)", Experiments_service.e28);
+    ("E29", "cube-and-conquer vs portfolio vs sequential",
+     Experiments_cubes.e29);
   ]
 
 let () =

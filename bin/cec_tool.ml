@@ -26,15 +26,15 @@ let run a b engine method_ stats jobs no_elim inprocess metrics_path
       (match m with "sat" -> "mono" | "sweep" -> "fraig" | m -> m)
     | None, None -> "fraig"
   in
-  if jobs > 1 && engine <> "mono" then begin
-    Printf.eprintf "--jobs requires --engine mono\n";
+  if jobs > 1 && engine <> "mono" && engine <> "fraig" then begin
+    Printf.eprintf "--jobs requires --engine mono or fraig\n";
     exit 2
   end;
   let sweep_report = ref None in
   let report =
     match engine with
     | "fraig" ->
-      let r = Eda.Sweep.check ?metrics ?trace c1 c2 in
+      let r = Eda.Sweep.check ~jobs ?metrics ?trace c1 c2 in
       sweep_report := Some r;
       {
         Eda.Equiv.verdict = r.Eda.Sweep.verdict;
@@ -122,8 +122,9 @@ let stats =
 let jobs =
   Arg.(value & opt int 1
        & info [ "jobs" ]
-         ~doc:"solve the miter with N diversified parallel workers \
-               (mono engine only)")
+         ~doc:"mono: solve the miter with N diversified parallel workers; \
+               fraig: escalate residual hard output pairs to \
+               cube-and-conquer on N workers")
 
 let no_elim =
   Arg.(value & flag

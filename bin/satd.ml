@@ -1,8 +1,8 @@
 (* The SAT service daemon.
 
    satd --socket /tmp/satd.sock [--tcp HOST:PORT] [--jobs N]
-        [--max-queue N] [--max-conflicts N] [--cache-results N]
-        [--cache-sessions N] [--verbose]                                  *)
+        [--max-queue N] [--max-conflicts N] [--cube-threshold N]
+        [--cache-results N] [--cache-sessions N] [--verbose]              *)
 
 open Cmdliner
 
@@ -22,8 +22,8 @@ let hostport =
     (split_hostport,
      fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
 
-let run socket tcp jobs max_queue max_conflicts_cap max_results max_sessions
-    verbose =
+let run socket tcp jobs max_queue max_conflicts_cap cube_threshold max_results
+    max_sessions verbose =
   if socket = None && tcp = None then begin
     Printf.eprintf "satd: at least one of --socket or --tcp is required\n";
     exit 2
@@ -35,6 +35,7 @@ let run socket tcp jobs max_queue max_conflicts_cap max_results max_sessions
       jobs;
       max_queue;
       max_conflicts_cap;
+      cube_threshold;
       max_results;
       max_sessions;
       verbose }
@@ -88,6 +89,13 @@ let max_conflicts_cap =
        & info [ "max-conflicts" ]
          ~doc:"server-wide cap on every query's conflict budget")
 
+let cube_threshold =
+  Arg.(value & opt (some int) None
+       & info [ "cube-threshold" ]
+         ~doc:"decompose unbudgeted assumption-free queries with at least \
+               this many clauses by cube-and-conquer across the worker \
+               domains (off by default)")
+
 let max_results =
   Arg.(value & opt int 4096
        & info [ "cache-results" ] ~doc:"result-cache capacity (entries)")
@@ -117,6 +125,6 @@ let cmd =
               docs/SATD.md for the protocol.";
          ])
     Term.(const run $ socket $ tcp $ jobs $ max_queue $ max_conflicts_cap
-          $ max_results $ max_sessions $ verbose)
+          $ cube_threshold $ max_results $ max_sessions $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -2,7 +2,8 @@
 
    satsolve FILE [--engine cdcl|dpll|walksat] [--preprocess] [--no-elim]
                  [--inprocess] [--equiv] [--rl DEPTH] [--seed N] [--stats]
-                 [--jobs N] [--timeout SECS] [--no-share]
+                 [--jobs N] [--timeout SECS] [--no-share] [--share-lbd N]
+                 [--cube-conquer] [--cube-depth N] [--cube-cutoff N]
                  [--metrics FILE.json] [--trace FILE.jsonl]              *)
 
 open Cmdliner
@@ -22,7 +23,8 @@ let read_stdin () =
   Buffer.contents b
 
 let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
-    stats certify jobs timeout no_share metrics_path trace_path =
+    stats certify jobs timeout no_share share_lbd cube_conquer cube_depth
+    cube_cutoff metrics_path trace_path =
   let obs = Obs.setup ~tool:"satsolve" metrics_path trace_path in
   let formula =
     if path = "-" then Cnf.Dimacs.parse_string (read_stdin ())
@@ -61,8 +63,25 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
        | Sat.Types.Unknown _, _ -> 0
        | _ -> 2)
   end;
+  let sharing =
+    { Sat.Portfolio.default_sharing with
+      Sat.Portfolio.share = not no_share;
+      max_lbd = share_lbd }
+  in
   let engine =
     match engine_name with
+    | "cdcl" when cube_conquer ->
+      Sat.Solver.Cube_conquer
+        {
+          Sat.Conquer.default_options with
+          Sat.Conquer.jobs = max 1 jobs;
+          cube =
+            { Sat.Cube.default_options with Sat.Cube.depth = cube_depth; seed };
+          config;
+          sharing;
+          cutoff = cube_cutoff;
+          timeout;
+        }
     | "cdcl" ->
       (* --jobs 1 without a timeout takes the plain sequential path
          bit-for-bit; a portfolio wrapper only enters for N > 1 or when
@@ -72,9 +91,7 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
           {
             Sat.Portfolio.jobs;
             config;
-            sharing =
-              { Sat.Portfolio.default_sharing with
-                Sat.Portfolio.share = not no_share };
+            sharing;
             timeout;
             metrics = None;
             trace = None;
@@ -89,6 +106,10 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
   in
   if jobs > 1 && engine_name <> "cdcl" then begin
     Printf.eprintf "--jobs requires the cdcl engine\n";
+    exit 2
+  end;
+  if cube_conquer && engine_name <> "cdcl" then begin
+    Printf.eprintf "--cube-conquer requires the cdcl engine\n";
     exit 2
   end;
   let pipeline =
@@ -183,11 +204,35 @@ let no_share =
   Arg.(value & flag
        & info [ "no-share" ] ~doc:"disable learned-clause sharing between workers")
 
+let share_lbd =
+  Arg.(value & opt int Sat.Portfolio.default_sharing.Sat.Portfolio.max_lbd
+       & info [ "share-lbd" ]
+         ~doc:"share learned clauses with LBD at most N between workers \
+               (portfolio and cube-conquer)")
+
+let cube_conquer =
+  Arg.(value & flag
+       & info [ "cube-conquer" ]
+         ~doc:"cube-and-conquer: split the formula into cubes by lookahead, \
+               then solve them on --jobs work-stealing workers (cdcl engine)")
+
+let cube_depth =
+  Arg.(value & opt int Sat.Cube.default_options.Sat.Cube.depth
+       & info [ "cube-depth" ]
+         ~doc:"emit cubes after N lookahead decisions (--cube-conquer)")
+
+let cube_cutoff =
+  Arg.(value & opt int 10_000
+       & info [ "cube-cutoff" ]
+         ~doc:"conflict budget per cube before it is split dynamically \
+               (--cube-conquer)")
+
 let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~doc:"SAT solver for DIMACS CNF")
     Term.(const solve_file $ file $ engine $ preprocess $ no_elim $ inprocess
           $ equiv $ rl $ seed $ stats $ certify $ jobs $ timeout $ no_share
+          $ share_lbd $ cube_conquer $ cube_depth $ cube_cutoff
           $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

@@ -1,17 +1,17 @@
 (* Sequential equivalence checking of two DFF BENCH netlists.
 
-   sec_tool A.bench B.bench [--max-k K] [--bound B]
+   sec_tool A.bench B.bench [--max-k K] [--bound B] [--jobs N]
             [--metrics FILE.json] [--trace FILE.jsonl] *)
 
 open Cmdliner
 
-let run a b max_k bound metrics_path trace_path =
+let run a b max_k bound jobs metrics_path trace_path =
   let obs = Obs.setup ~tool:"sec_tool" metrics_path trace_path in
   let s1 = Circuit.Bench_format.parse_sequential_file a in
   let s2 = Circuit.Bench_format.parse_sequential_file b in
   match
     Eda.Seq_equiv.check ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace ~max_k
-      ~bound s1 s2
+      ~bound ~jobs s1 s2
   with
   | Eda.Seq_equiv.Equivalent k ->
     Printf.printf "EQUIVALENT for all input sequences (k=%d induction)\n" k;
@@ -36,10 +36,16 @@ let b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B" ~doc:"second 
 let max_k = Arg.(value & opt int 4 & info [ "max-k" ] ~doc:"induction depth limit")
 let bound = Arg.(value & opt int 16 & info [ "bound" ] ~doc:"bounded-search fallback depth")
 
+let jobs =
+  Arg.(value & opt int 1
+       & info [ "jobs" ]
+         ~doc:"with 2 or more, race the induction chain against the \
+               bounded search on separate domains")
+
 let cmd =
   Cmd.v
     (Cmd.info "sec_tool" ~doc:"sequential equivalence checker")
-    Term.(const run $ a $ b $ max_k $ bound $ Obs.metrics_term
+    Term.(const run $ a $ b $ max_k $ bound $ jobs $ Obs.metrics_term
           $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

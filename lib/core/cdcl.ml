@@ -1330,3 +1330,63 @@ let check_watches s =
   Vec.iter check_clause s.clauses;
   Vec.iter check_clause s.learnts;
   match !err with None -> Ok () | Some m -> Error m
+
+(* --- lookahead probing ----------------------------------------------------
+
+   The cube generator (Sat.Cube) drives the watcher-based propagator
+   directly: open a scratch decision level, enqueue one literal,
+   propagate to fixpoint, measure what happened, undo.  Nothing here
+   learns clauses or touches the heuristic state, so a probe is exactly
+   one propagation pass — the march lookahead cost model. *)
+
+type probe = Probe_conflict | Probe_ok of int * int
+
+let trail_size s = Vec.size s.trail
+let trail_get s i = Vec.get s.trail i
+let consistent s = s.ok
+
+let propagate_root s =
+  if decision_level s <> 0 then
+    invalid_arg "Cdcl.propagate_root: solver is mid-search";
+  if s.ok then
+    (match propagate s with Some _ -> s.ok <- false | None -> ());
+  s.ok
+
+let probe_push s l =
+  if not s.ok then invalid_arg "Cdcl.probe_push: solver is inconsistent";
+  let from_ = Vec.size s.trail in
+  new_decision_level s;
+  match value s l with
+  | 1 -> Probe_ok (from_, from_)
+  | 0 ->
+    cancel_until s (decision_level s - 1);
+    Probe_conflict
+  | _ ->
+    enqueue s l dummy_clause;
+    (match propagate s with
+     | Some _ ->
+       cancel_until s (decision_level s - 1);
+       Probe_conflict
+     | None -> Probe_ok (from_, Vec.size s.trail))
+
+let probe_pop s =
+  if decision_level s > 0 then cancel_until s (decision_level s - 1)
+
+let probe_assert s l =
+  if not s.ok then false
+  else
+    match value s l with
+    | 1 -> true
+    | 0 ->
+      if decision_level s = 0 then s.ok <- false;
+      false
+    | _ -> (
+        enqueue s l dummy_clause;
+        match propagate s with
+        | Some _ ->
+          if decision_level s = 0 then s.ok <- false;
+          false
+        | None -> true)
+
+let var_activity s v =
+  if v < 0 || v >= s.nvars then 0. else s.activity.(v)

@@ -191,3 +191,62 @@ val last_partial_assignment : t -> int array option
     [solve] declared satisfiability — before the automatic backtrack.
     With an early-terminating plugin this exposes the don't-cares of the
     computed solution (overspecification analysis, Sec. 5). *)
+
+(** {2 Lookahead probing}
+
+    Primitives for march-style lookahead ({!module:Cube}): drive the
+    watcher-based propagator one literal at a time, measure the
+    propagation it causes, and undo it.  Probing never learns clauses,
+    never touches the branching heuristic and never counts conflicts —
+    its cost is pure propagation work.  Legal only between [solve]
+    calls; the prober owns the solver's decision levels. *)
+
+type probe =
+  | Probe_conflict
+      (** the probed literal is a {e failed literal}: under the current
+          prefix its negation is implied.  The scratch level has already
+          been popped. *)
+  | Probe_ok of int * int
+      (** [Probe_ok (i, j)] — propagation reached a fixpoint; the newly
+          implied literals occupy trail positions [i .. j-1] (read them
+          with {!trail_get} {e before} {!probe_pop}). *)
+
+val trail_size : t -> int
+(** Number of currently assigned literals.  Equal to {!nvars} exactly
+    when the assignment is total — propagation fixpoint without conflict
+    on a total assignment is a model. *)
+
+val trail_get : t -> int -> Cnf.Lit.t
+(** The [i]-th literal of the trail, in assignment order. *)
+
+val consistent : t -> bool
+(** [false] once the formula has been refuted at level 0 (by
+    {!add_clause}, {!propagate_root} or a root {!probe_assert}).  All
+    probing must stop then: the instance is unsatisfiable. *)
+
+val propagate_root : t -> bool
+(** Propagates pending level-0 units to fixpoint (must be called before
+    the first probe).  Returns {!consistent}. *)
+
+val probe_push : t -> Cnf.Lit.t -> probe
+(** Opens a scratch decision level, asserts the literal and propagates.
+    On [Probe_ok] the level stays open — either recurse deeper (the
+    literal becomes a cube decision) or {!probe_pop} to undo the probe.
+    On [Probe_conflict] the level is popped automatically.  An
+    already-true literal yields an empty [Probe_ok] span; an
+    already-false one yields [Probe_conflict]. *)
+
+val probe_pop : t -> unit
+(** Undoes the most recent open {!probe_push} level (no-op at level 0). *)
+
+val probe_assert : t -> Cnf.Lit.t -> bool
+(** Asserts a literal {e at the current level} and propagates — the
+    fold-back step for failed literals.  At level 0 the assertion is a
+    permanent unit.  Returns [false] on conflict: at level 0 this
+    refutes the formula ({!consistent} becomes [false]); above level 0
+    the caller must abandon the current prefix ({!probe_pop} through its
+    levels) — the trail above the last consistent level is poisoned. *)
+
+val var_activity : t -> int -> float
+(** The VSIDS activity of a variable — lets a conquer scheduler split a
+    too-hard cube on the variable its search fought over most. *)

@@ -71,6 +71,12 @@ module Pool = struct
     let n = p.n in
     Mutex.unlock p.lock;
     n
+
+  let dropped p =
+    Mutex.lock p.lock;
+    let n = p.dropped in
+    Mutex.unlock p.lock;
+    n
 end
 
 (* --- options -------------------------------------------------------------- *)

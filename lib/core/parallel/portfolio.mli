@@ -32,7 +32,35 @@ type sharing = {
 }
 
 val default_sharing : sharing
-(** [share = true], LBD ≤ 6, length ≤ 30, capacity 20_000. *)
+(** [share = true], LBD ≤ 6, length ≤ 30, capacity 20_000.  The LBD
+    bound is a policy knob, not a constant: [satsolve --share-lbd]
+    threads a user-chosen bound through both the portfolio and the
+    cube-and-conquer workers ({!module:Conquer}). *)
+
+(** The shared clause pool behind the exchange: a mutex-protected
+    append-only array.  Each consumer keeps a private read cursor, so a
+    drain returns exactly the entries published since its previous
+    level-0 boundary; origin tags stop a worker re-importing its own
+    exports.  Exposed so other multi-worker engines ({!module:Conquer})
+    share clauses through the same structure. *)
+module Pool : sig
+  type entry = { origin : int; lbd : int; lits : Cnf.Lit.t list }
+
+  type t
+
+  val create : int -> t
+  (** [create capacity] — entries published beyond [capacity] are
+      counted as dropped, not stored. *)
+
+  val publish : t -> entry -> unit
+
+  val drain : t -> cursor:int -> self:int -> entry list * int
+  (** Entries published since [cursor], oldest first, skipping those
+      with origin [self]; returns the new cursor. *)
+
+  val size : t -> int
+  val dropped : t -> int
+end
 
 type options = {
   jobs : int;                (** number of worker domains *)

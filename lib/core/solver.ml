@@ -3,6 +3,7 @@ type engine =
   | Dpll of Types.config
   | Walksat of Local_search.config
   | Portfolio of Portfolio.options
+  | Cube_conquer of Conquer.options
 
 type pipeline = {
   preprocess : bool;
@@ -27,6 +28,7 @@ let engine_logs_proofs = function
   | Cdcl c | Dpll c -> c.Types.proof_logging
   | Walksat _ -> false
   | Portfolio o -> o.Portfolio.config.Types.proof_logging
+  | Cube_conquer o -> o.Conquer.config.Types.proof_logging
 
 type report = {
   outcome : Types.outcome;
@@ -69,6 +71,16 @@ let run_engine ?metrics ?trace engine f =
     in
     let r = Portfolio.solve ~options:opts f in
     (r.Portfolio.outcome, Some r.Portfolio.stats)
+  | Cube_conquer opts ->
+    let opts =
+      { opts with
+        Conquer.metrics =
+          (match opts.Conquer.metrics with Some _ as m -> m | None -> metrics);
+        trace =
+          (match opts.Conquer.trace with Some _ as t -> t | None -> trace) }
+    in
+    let r = Conquer.solve ~options:opts f in
+    (r.Conquer.outcome, Some r.Conquer.stats)
 
 let solve ?metrics ?trace ?(engine = Cdcl Types.default)
     ?(pipeline = no_pipeline) f =

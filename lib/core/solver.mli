@@ -12,6 +12,10 @@ type engine =
   | Portfolio of Portfolio.options
       (** diversified parallel portfolio with clause sharing
           ({!module:Portfolio}); [solver_stats] aggregates all workers *)
+  | Cube_conquer of Conquer.options
+      (** lookahead cube generation + work-stealing conquer workers
+          ({!module:Cube}, {!module:Conquer}); [solver_stats] aggregates
+          the generator and all workers *)
 
 type pipeline = {
   preprocess : bool;           (** unit/pure/subsumption/strengthening *)

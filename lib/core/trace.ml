@@ -17,6 +17,9 @@ type event =
   | Reduce_db of { before : int; after : int }
   | Import of { lbd : int; size : int }
   | Export of { lbd : int; size : int }
+  | Cube_emit of { depth : int; size : int }
+  | Cube_solve of { size : int; outcome : string }
+  | Cube_split of { size : int }
 
 type record = { worker : int; seq : int; time_s : float; event : event }
 
@@ -142,6 +145,20 @@ let event_fields = function
     [ ("ev", Json.String "import"); ("lbd", Json.Int lbd); ("size", Json.Int size) ]
   | Export { lbd; size } ->
     [ ("ev", Json.String "export"); ("lbd", Json.Int lbd); ("size", Json.Int size) ]
+  | Cube_emit { depth; size } ->
+    [
+      ("ev", Json.String "cube-emit");
+      ("depth", Json.Int depth);
+      ("size", Json.Int size);
+    ]
+  | Cube_solve { size; outcome } ->
+    [
+      ("ev", Json.String "cube-solve");
+      ("size", Json.Int size);
+      ("outcome", Json.String outcome);
+    ]
+  | Cube_split { size } ->
+    [ ("ev", Json.String "cube-split"); ("size", Json.Int size) ]
 
 let record_to_json r =
   Json.Obj

@@ -38,6 +38,12 @@ type event =
       (** learned-clause database reduction, live counts *)
   | Import of { lbd : int; size : int }  (** foreign clause accepted *)
   | Export of { lbd : int; size : int }  (** learned clause shared *)
+  | Cube_emit of { depth : int; size : int }
+      (** lookahead emitted a cube (cube-and-conquer) *)
+  | Cube_solve of { size : int; outcome : string }
+      (** a conquer worker finished one cube *)
+  | Cube_split of { size : int }
+      (** a cube exceeded its conflict budget and was split in two *)
 
 type record = {
   worker : int;  (** 0 for sequential runs; portfolio worker id else *)

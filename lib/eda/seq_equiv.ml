@@ -60,7 +60,7 @@ let product ?(match_states = false) s1 s2 =
   }
 
 let check ?metrics ?trace ?(config = Sat.Types.default) ?(max_k = 4)
-    ?(bound = 16) s1 s2 =
+    ?(bound = 16) ?(jobs = 1) s1 s2 =
   S.validate s1;
   S.validate s2;
   if List.length s1.S.primary_inputs <> List.length s2.S.primary_inputs then
@@ -70,29 +70,98 @@ let check ?metrics ?trace ?(config = Sat.Types.default) ?(max_k = 4)
   let same_state_count =
     List.length s1.S.state_inputs = List.length s2.S.state_inputs
   in
-  (* try the strengthened (register-correspondence) induction first *)
-  let inductive_attempt =
-    if not same_state_count then None
-    else
-      match
-        Bmc.prove_inductive ?metrics ~config ~max_k
-          (product ~match_states:true s1 s2)
-      with
-      | Bmc.Proved k -> Some (Equivalent k)
-      | Bmc.Refuted _ | Bmc.Bound_reached -> None
-  in
-  match inductive_attempt with
-  | Some r -> r
-  | None -> (
-      (* outputs-only property: refute with BMC, or try plain induction *)
-      let prod = product ~match_states:false s1 s2 in
-      match Bmc.prove_inductive ?metrics ~config ~max_k prod with
-      | Bmc.Proved k -> Equivalent k
-      | Bmc.Refuted frames -> Different frames
-      | Bmc.Bound_reached -> (
+  if jobs <= 1 then begin
+    (* try the strengthened (register-correspondence) induction first *)
+    let inductive_attempt =
+      if not same_state_count then None
+      else
+        match
+          Bmc.prove_inductive ?metrics ~config ~max_k
+            (product ~match_states:true s1 s2)
+        with
+        | Bmc.Proved k -> Some (Equivalent k)
+        | Bmc.Refuted _ | Bmc.Bound_reached -> None
+    in
+    match inductive_attempt with
+    | Some r -> r
+    | None -> (
+        (* outputs-only property: refute with BMC, or try plain induction *)
+        let prod = product ~match_states:false s1 s2 in
+        match Bmc.prove_inductive ?metrics ~config ~max_k prod with
+        | Bmc.Proved k -> Equivalent k
+        | Bmc.Refuted frames -> Different frames
+        | Bmc.Bound_reached -> (
+            match
+              (Bmc.check ?metrics ?trace ~config ~max_bound:bound prod)
+                .Bmc.result
+            with
+            | Bmc.Counterexample frames -> Different frames
+            | Bmc.No_counterexample -> Bounded_equivalent bound))
+  end
+  else begin
+    (* strategy race: the induction chain (strengthened, then plain) and
+       the bounded search run on separate domains; proofs and
+       counterexamples cannot both exist, so the combination is
+       order-independent.  Each side observes into a private registry
+       and sink, merged after the join. *)
+    let reg () =
+      match metrics with Some _ -> Some (Sat.Metrics.create ()) | None -> None
+    in
+    let sink i =
+      match trace with
+      | Some _ -> Some (Sat.Trace.make_sink ~worker:i ())
+      | None -> None
+    in
+    let ind_reg = reg () and bmc_reg = reg () in
+    let bmc_sink = sink 1 in
+    let induction () =
+      let strengthened =
+        if not same_state_count then None
+        else
           match
-            (Bmc.check ?metrics ?trace ~config ~max_bound:bound prod)
-              .Bmc.result
+            Bmc.prove_inductive ?metrics:ind_reg ~config ~max_k
+              (product ~match_states:true s1 s2)
           with
-          | Bmc.Counterexample frames -> Different frames
-          | Bmc.No_counterexample -> Bounded_equivalent bound))
+          | Bmc.Proved k -> Some (`Proved k)
+          | Bmc.Refuted _ | Bmc.Bound_reached -> None
+      in
+      match strengthened with
+      | Some r -> r
+      | None -> (
+          match
+            Bmc.prove_inductive ?metrics:ind_reg ~config ~max_k
+              (product ~match_states:false s1 s2)
+          with
+          | Bmc.Proved k -> `Proved k
+          | Bmc.Refuted frames -> `Refuted frames
+          | Bmc.Bound_reached -> `Open)
+    in
+    let bounded () =
+      match
+        (Bmc.check ?metrics:bmc_reg ?trace:bmc_sink ~config ~max_bound:bound
+           (product ~match_states:false s1 s2))
+          .Bmc.result
+      with
+      | Bmc.Counterexample frames -> `Cex frames
+      | Bmc.No_counterexample -> `Clean
+    in
+    let d = Domain.spawn bounded in
+    let ind = induction () in
+    let bmc_r = Domain.join d in
+    (match metrics with
+     | Some m ->
+       List.iter
+         (function
+           | Some r -> Sat.Metrics.merge_into ~into:m r
+           | None -> ())
+         [ ind_reg; bmc_reg ]
+     | None -> ());
+    (match (trace, bmc_sink) with
+     | Some dst, Some s -> Sat.Trace.absorb ~into:dst s
+     | _ -> ());
+    match (ind, bmc_r) with
+    | `Proved k, _ -> Equivalent k
+    | _, `Cex frames -> Different frames  (* BMC's counterexample is shortest *)
+    | `Refuted frames, _ -> Different frames
+    | `Open, `Clean -> Bounded_equivalent bound
+  end

@@ -22,10 +22,16 @@ val check :
   ?config:Sat.Types.config ->
   ?max_k:int ->
   ?bound:int ->
+  ?jobs:int ->
   Circuit.Sequential.t -> Circuit.Sequential.t -> result
 (** [max_k] (default 4) bounds the induction attempt; [bound]
     (default 16) the fallback bounded search.  Raises
     [Invalid_argument] when primary-input or output counts differ.
+    With [jobs >= 2] the induction chain and the bounded search run as
+    a strategy race on separate domains — a proof answers [Equivalent]
+    without waiting for the bounded sweep, a counterexample answers
+    [Different] without waiting for the induction chain; the
+    combination is order-independent because both cannot exist.
     [metrics] observes the underlying induction and BMC sessions
     (per-query solver deltas plus the [bmc/*] instruments of the
     bounded fallback); [trace] is attached to the bounded fallback's

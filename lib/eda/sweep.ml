@@ -39,7 +39,7 @@ let empty_stats =
     refinement_rounds = 0; sat_calls = 0; decisions = 0; conflicts = 0 }
 
 let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
-    ?(candidate_conflicts = 20_000) ?metrics ?trace c1 c2 =
+    ?(candidate_conflicts = 20_000) ?(jobs = 1) ?metrics ?trace c1 c2 =
   let t_start = Unix.gettimeofday () in
   let words = max 1 words in
   let sim_t = ref 0. and refine_t = ref 0. and prove_t = ref 0. in
@@ -348,17 +348,88 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
           var < Array.length model
           && (if Lit.is_pos l then model.(var) else not model.(var)))
     in
+    (* With [jobs > 1] the final queries run under the candidate budget
+       and a residual hard pair escalates to cube-and-conquer on a
+       standalone cone CNF: the two output cones of the fraiged AIG are
+       Tseitin-encoded over the primary inputs (vars 0..n_inputs-1),
+       the disequality of the pair asserted, and the miter decomposed
+       across the worker domains. *)
+    let cone_miter ea eb =
+      let f = Cnf.Formula.create ~nvars:n_inputs () in
+      let var_of = Hashtbl.create 64 in
+      let rec visit id =
+        match Hashtbl.find_opt var_of id with
+        | Some v -> v
+        | None ->
+          let v =
+            match Aig.view nm id with
+            | Aig.Input k -> k
+            | Aig.Const -> Cnf.Formula.fresh_var f
+            | Aig.And (a, b) ->
+              let la = lit_of_edge a and lb = lit_of_edge b in
+              let v = Cnf.Formula.fresh_var f in
+              Cnf.Formula.add_clause_l f [ Lit.neg_of_var v; la ];
+              Cnf.Formula.add_clause_l f [ Lit.neg_of_var v; lb ];
+              Cnf.Formula.add_clause_l f
+                [ Lit.pos v; Lit.negate la; Lit.negate lb ];
+              v
+          in
+          Hashtbl.replace var_of id v;
+          v
+      and lit_of_edge e =
+        let v = visit (Aig.node_of e) in
+        if Aig.is_complemented e then Lit.neg_of_var v else Lit.pos v
+      in
+      let a = lit_of_edge ea and b = lit_of_edge eb in
+      (* pin the constant node in case a cone reaches it *)
+      if Hashtbl.mem var_of (Aig.node_of Aig.const_true) then
+        Cnf.Formula.add_clause_l f [ lit_of_edge Aig.const_true ];
+      Cnf.Formula.add_clause_l f [ a; b ];
+      Cnf.Formula.add_clause_l f [ Lit.negate a; Lit.negate b ];
+      f
+    in
+    let conquer_pair ea eb =
+      Option.iter
+        (fun m -> Sat.Metrics.incr (Sat.Metrics.counter m "sweep/cube_fallbacks"))
+        metrics;
+      let options =
+        { Sat.Conquer.default_options with
+          Sat.Conquer.jobs;
+          config = { config with Sat.Types.proof_logging = false };
+          metrics;
+          trace }
+      in
+      timed prove_t "sweep/prove" (fun () ->
+          (Sat.Conquer.solve ~options (cone_miter ea eb)).Sat.Conquer.outcome)
+    in
+    let final_budget = if jobs > 1 then Some candidate_conflicts else None in
     let rec outputs_equal = function
       | [] -> Verdict.Equivalent
       | (ea, eb) :: rest -> (
+          let fallback () =
+            match conquer_pair ea eb with
+            | Sat.Types.Sat model ->
+              Verdict.Inequivalent
+                (Array.init n_inputs (fun i ->
+                     i < Array.length model && model.(i)))
+            | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
+              outputs_equal rest
+            | Sat.Types.Unknown why -> Verdict.Inconclusive why
+          in
           let la = Scnf.lit_of scnf ea and lb = Scnf.lit_of scnf eb in
           let acts = Scnf.assumptions scnf [ ea; eb ] in
-          match solve_with (la :: Lit.negate lb :: acts) with
+          match solve_with ?max_conflicts:final_budget
+                  (la :: Lit.negate lb :: acts)
+          with
           | Sat.Types.Sat model -> Verdict.Inequivalent (cex model)
+          | Sat.Types.Unknown _ when jobs > 1 -> fallback ()
           | Sat.Types.Unknown _ -> Verdict.Inconclusive "budget"
           | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> (
-              match solve_with (Lit.negate la :: lb :: acts) with
+              match solve_with ?max_conflicts:final_budget
+                      (Lit.negate la :: lb :: acts)
+              with
               | Sat.Types.Sat model -> Verdict.Inequivalent (cex model)
+              | Sat.Types.Unknown _ when jobs > 1 -> fallback ()
               | Sat.Types.Unknown _ -> Verdict.Inconclusive "budget"
               | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
                 outputs_equal rest))

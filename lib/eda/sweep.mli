@@ -54,14 +54,20 @@ val check :
   ?words:int ->
   ?seed:int ->
   ?candidate_conflicts:int ->
+  ?jobs:int ->
   ?metrics:Sat.Metrics.t ->
   ?trace:Sat.Trace.sink ->
   Circuit.Netlist.t -> Circuit.Netlist.t -> report
 (** [words] (default 4) random simulation words seed the candidate
     classes; [candidate_conflicts] (default 20_000) bounds each
     candidate query — exhausted candidates are skipped, never wrong.
-    Final output queries run under [config]'s own budgets only, so a
-    definite verdict is definite.  [metrics] attaches the registry to
+    With [jobs] at 1 (the default) final output queries run under
+    [config]'s own budgets only, so a definite verdict is definite.
+    With [jobs > 1] the final queries run under the candidate budget
+    and a residual hard pair escalates to cube-and-conquer
+    ({!Sat.Conquer}) on a standalone Tseitin encoding of its two output
+    cones, decomposed across [jobs] worker domains (counted by the
+    [sweep/cube_fallbacks] metric).  [metrics] attaches the registry to
     the session (standard [solver/*] instruments) and fills the
     [sweep/*] counter group and the [sweep/simulate], [sweep/refine]
     and [sweep/prove] phase timers (schema: docs/METRICS.md). *)

@@ -22,6 +22,16 @@ type job = {
   mutable running : Sat.Session.t option;
       (* the session currently solving this job; both writes and the
          cancel/tick reads happen under the scheduler lock *)
+  mutable stopper : bool Atomic.t option;
+      (* the cancellation flag of a decomposed (cube-and-conquer) run;
+         same locking discipline as [running] *)
+}
+
+type decompose = {
+  threshold_clauses : int;
+  decompose_jobs : int;
+  depth : int;
+  cutoff : int;
 }
 
 type submit_error = Overloaded | Draining
@@ -33,6 +43,7 @@ type t = {
   queue : job Queue.t;
   max_queue : int;
   max_conflicts_cap : int option;
+  decompose : decompose option;
   cache : Cache.t;
   njobs : int;
   mutable workers : unit Domain.t array;
@@ -47,6 +58,7 @@ type t = {
   mutable overloaded_n : int;
   mutable errors : int;
   mutable peak_queue : int;
+  mutable decomposed_n : int;
   (* per-tenant metric registries, under their own lock so a slow
      merge never blocks admission *)
   tenants_lock : Mutex.t;
@@ -123,6 +135,74 @@ let roll_up t tenant reg =
   Sat.Metrics.merge_into ~into reg;
   Mutex.unlock t.tenants_lock
 
+(* An oversized unbudgeted query bypasses the warm-session pool and is
+   decomposed by cube-and-conquer across its own worker domains; the
+   result still lands in the result cache. *)
+let process_decomposed t job d ~expired ~full ~nclauses ~t0 =
+  let p = job.params in
+  let stopper = Atomic.make false in
+  Mutex.lock t.lock;
+  let dead = job.cancelled in
+  if not dead then begin
+    job.stopper <- Some stopper;
+    t.active <- job :: t.active
+  end;
+  Mutex.unlock t.lock;
+  if dead then
+    finished t job
+      (no_search (T.Unknown "cancelled"))
+      (fun t -> t.cancelled_n <- t.cancelled_n + 1)
+  else begin
+    let f =
+      Cnf.Formula.of_clauses
+        (List.map Cnf.Clause.of_dimacs_list p.Protocol.clauses)
+    in
+    let reg = Sat.Metrics.create () in
+    let options =
+      { Sat.Conquer.default_options with
+        Sat.Conquer.jobs = d.decompose_jobs;
+        cube = { Sat.Cube.default_options with Sat.Cube.depth = d.depth };
+        config = Cache.config t.cache;
+        cutoff = d.cutoff;
+        stop = Some stopper;
+        metrics = Some reg }
+    in
+    let r = Sat.Conquer.solve ~options f in
+    Mutex.lock t.lock;
+    job.stopper <- None;
+    t.active <- List.filter (fun j -> j != job) t.active;
+    Mutex.unlock t.lock;
+    let outcome =
+      match r.Sat.Conquer.outcome with
+      | T.Unknown "interrupted" when job.cancelled -> T.Unknown "cancelled"
+      | T.Unknown "interrupted" when job.timed_out || expired () ->
+        T.Unknown "timeout"
+      | o -> o
+    in
+    if p.use_cache then
+      Cache.store_result t.cache ~hash:full ~nclauses
+        ~assumptions:p.assumptions outcome;
+    roll_up t p.tenant reg;
+    let st = r.Sat.Conquer.stats in
+    finished t job
+      {
+        outcome;
+        cached = false;
+        warm = false;
+        matched_prefix = 0;
+        time_s = Sat.Monotime.now_s () -. t0;
+        conflicts = st.T.conflicts;
+        decisions = st.T.decisions;
+      }
+      (fun t ->
+         t.queries <- t.queries + 1;
+         t.decomposed_n <- t.decomposed_n + 1;
+         match outcome with
+         | T.Unknown "cancelled" -> t.cancelled_n <- t.cancelled_n + 1
+         | T.Unknown "timeout" -> t.timeouts <- t.timeouts + 1
+         | _ -> ())
+  end
+
 let process t job =
   let p = job.params in
   let expired () =
@@ -155,7 +235,18 @@ let process t job =
           cached = true;
           time_s = Sat.Monotime.now_s () -. t0 }
         (fun t -> t.queries <- t.queries + 1)
-    | None ->
+    | None -> (
+      match t.decompose with
+      | Some d
+        when nclauses >= d.threshold_clauses
+             && p.assumptions = []
+             && combine_budget p.max_conflicts t.max_conflicts_cap = None
+             && p.max_decisions = None ->
+        (* budgeted queries keep their exact budget semantics on the
+           incremental path; only unbudgeted assumption-free bulk
+           queries decompose *)
+        process_decomposed t job d ~expired ~full ~nclauses ~t0
+      | _ ->
       (* take a warm session holding a prefix, or start cold *)
       let sess, matched =
         match
@@ -236,7 +327,7 @@ let process t job =
              | T.Unknown "cancelled" -> t.cancelled_n <- t.cancelled_n + 1
              | T.Unknown "timeout" -> t.timeouts <- t.timeouts + 1
              | _ -> ()))
-      end
+      end)
   end
 
 let worker t =
@@ -260,6 +351,7 @@ let worker t =
          Mutex.lock t.lock;
          t.errors <- t.errors + 1;
          job.running <- None;
+         job.stopper <- None;
          t.active <- List.filter (fun j -> j != job) t.active;
          Mutex.unlock t.lock;
          (try
@@ -279,7 +371,7 @@ let worker t =
 
 (* --- lifecycle ------------------------------------------------------------ *)
 
-let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?cache () =
+let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?decompose ?cache () =
   let njobs =
     match jobs with
     | Some n -> max 1 n
@@ -293,6 +385,7 @@ let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?cache () =
       queue = Queue.create ();
       max_queue;
       max_conflicts_cap;
+      decompose;
       cache = (match cache with Some c -> c | None -> Cache.create ());
       njobs;
       workers = [||];
@@ -306,6 +399,7 @@ let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?cache () =
       overloaded_n = 0;
       errors = 0;
       peak_queue = 0;
+      decomposed_n = 0;
       tenants_lock = Mutex.create ();
       tenants = Hashtbl.create 8;
     }
@@ -322,6 +416,7 @@ let submit t ?deadline ~on_done params =
       cancelled = false;
       timed_out = false;
       running = None;
+      stopper = None;
     }
   in
   Mutex.lock t.lock;
@@ -345,8 +440,11 @@ let cancel t job =
   Mutex.lock t.lock;
   if not job.cancelled then begin
     job.cancelled <- true;
-    match job.running with
-    | Some sess -> Sat.Session.interrupt sess
+    (match job.running with
+     | Some sess -> Sat.Session.interrupt sess
+     | None -> ());
+    match job.stopper with
+    | Some s -> Atomic.set s true
     | None -> ()
   end;
   Mutex.unlock t.lock
@@ -361,6 +459,9 @@ let tick t =
          job.timed_out <- true;
          (match job.running with
           | Some sess -> Sat.Session.interrupt sess
+          | None -> ());
+         (match job.stopper with
+          | Some s -> Atomic.set s true
           | None -> ())
        | _ -> ())
     t.active;
@@ -416,6 +517,7 @@ let stats_json t =
         ("timeouts", J.Int t.timeouts);
         ("overloaded", J.Int t.overloaded_n);
         ("errors", J.Int t.errors);
+        ("decomposed", J.Int t.decomposed_n);
         ("queue_depth", J.Int (Queue.length t.queue));
         ("peak_queue_depth", J.Int t.peak_queue);
         ("inflight", J.Int t.inflight);

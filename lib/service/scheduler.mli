@@ -35,20 +35,37 @@ type answer = {
 type job
 type submit_error = Overloaded | Draining
 
+(** Cube-and-conquer decomposition policy for oversized queries.  A
+    query with at least [threshold_clauses] clauses, no assumptions and
+    no budget (neither its own nor a server cap) bypasses the
+    warm-session pool and is decomposed by {!Sat.Conquer} across
+    [decompose_jobs] worker domains ([depth] lookahead decisions per
+    cube, [cutoff] conflicts before a cube splits dynamically).
+    Budgeted or assumption-carrying queries keep the exact semantics of
+    the incremental path.  Results still land in the result cache;
+    cancellation and deadlines stop the decomposed run cooperatively. *)
+type decompose = {
+  threshold_clauses : int;
+  decompose_jobs : int;
+  depth : int;
+  cutoff : int;
+}
+
 val create :
   ?jobs:int ->
   ?max_queue:int ->
   ?max_conflicts_cap:int ->
+  ?decompose:decompose ->
   ?cache:Cache.t ->
   unit ->
   t
 (** Spawns the worker domains.  Defaults: [jobs] =
     [Domain.recommended_domain_count () - 1] (at least 1), [max_queue]
-    = 128 pending queries, no conflict cap, a fresh default
-    {!Cache.create}.  [max_conflicts_cap] bounds every query's conflict
-    budget (applied on top of the query's own, whichever is smaller) —
-    the admission-control backstop against a tenant submitting
-    unbounded work. *)
+    = 128 pending queries, no conflict cap, no decomposition, a fresh
+    default {!Cache.create}.  [max_conflicts_cap] bounds every query's
+    conflict budget (applied on top of the query's own, whichever is
+    smaller) — the admission-control backstop against a tenant
+    submitting unbounded work. *)
 
 val submit :
   t ->
@@ -100,5 +117,6 @@ val shutdown : t -> unit
 
 val stats_json : t -> Sat.Json.t
 (** The [stats]-verb payload: service counters (queries, cancellations,
-    timeouts, refusals, queue depth high-water), {!Cache.stats_json},
-    and one merged {!Sat.Metrics.to_json} snapshot per tenant. *)
+    timeouts, refusals, decomposed runs, queue depth high-water),
+    {!Cache.stats_json}, and one merged {!Sat.Metrics.to_json} snapshot
+    per tenant. *)

@@ -9,6 +9,7 @@ type config = {
   max_queue : int;
   max_frame : int;
   max_conflicts_cap : int option;
+  cube_threshold : int option;
   max_results : int;
   max_sessions : int;
   verbose : bool;
@@ -22,6 +23,7 @@ let default_config =
     max_queue = 128;
     max_frame = 16 * 1024 * 1024;
     max_conflicts_cap = None;
+    cube_threshold = None;
     max_results = 4096;
     max_sessions = 64;
     verbose = false;
@@ -151,7 +153,16 @@ let create (cfg : config) =
     cfg;
     sched =
       Scheduler.create ~jobs:cfg.jobs ~max_queue:cfg.max_queue
-        ?max_conflicts_cap:cfg.max_conflicts_cap ~cache ();
+        ?max_conflicts_cap:cfg.max_conflicts_cap
+        ?decompose:
+          (Option.map
+             (fun n ->
+                { Scheduler.threshold_clauses = n;
+                  decompose_jobs = max 2 cfg.jobs;
+                  depth = Sat.Cube.default_options.Sat.Cube.depth;
+                  cutoff = 10_000 })
+             cfg.cube_threshold)
+        ~cache ();
     listeners;
     unix_path = cfg.unix_path;
     wake_r;

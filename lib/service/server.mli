@@ -30,6 +30,10 @@ type config = {
   max_queue : int;  (** admission-control queue bound *)
   max_frame : int;  (** bytes; longer frames close the connection *)
   max_conflicts_cap : int option;  (** server-wide per-query budget cap *)
+  cube_threshold : int option;
+      (** decompose unbudgeted assumption-free queries with at least
+          this many clauses by cube-and-conquer ({!Scheduler.decompose});
+          [None] disables decomposition *)
   max_results : int;  (** result-cache capacity *)
   max_sessions : int;  (** warm-session-pool capacity *)
   verbose : bool;  (** connection/query logging on [stderr] *)
