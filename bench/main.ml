@@ -37,6 +37,7 @@ let experiments =
     ("E28", "SAT service daemon (satd)", Experiments_service.e28);
     ("E29", "cube-and-conquer vs portfolio vs sequential",
      Experiments_cubes.e29);
+    ("E30", "proof logging overhead + DRAT trimming", Experiments_proofs.e30);
   ]
 
 let () =

@@ -1,15 +1,16 @@
-(* Emit the built-in circuit generators as BENCH files.
+(* Emit the built-in circuit generators as BENCH files, or miter CNFs.
 
    bench_gen FAMILY [--bits N] [--seed S] [-o FILE] [--metrics FILE.json]
+             [--miter-with FAMILY2 --cnf]
    families: c17 fig1 fig3 ripple carryskip kogge multiplier wallace
              comparator parity mux alu random majority barrel decoder
              priority *)
 
 open Cmdliner
 
-let run family bits seed out metrics_path trace_path =
+let run family bits seed out miter_with cnf metrics_path trace_path =
   let obs = Obs.setup ~tool:"bench_gen" metrics_path trace_path in
-  let circuit =
+  let generate family =
     match family with
     | "c17" -> Circuit.Generators.c17 ()
     | "fig1" -> Circuit.Generators.fig1 ()
@@ -32,6 +33,7 @@ let run family bits seed out metrics_path trace_path =
       Printf.eprintf "unknown family %s\n" other;
       exit 2
   in
+  let circuit = generate family in
   (* no solving happens here; the snapshot records the generated shape *)
   Option.iter
     (fun m ->
@@ -41,13 +43,38 @@ let run family bits seed out metrics_path trace_path =
        set "circuit/outputs"
          (List.length (Circuit.Netlist.outputs circuit)))
     obs.Obs.metrics;
-  let text = Circuit.Bench_format.to_string circuit in
+  if cnf && miter_with = None then begin
+    Printf.eprintf "bench_gen: --cnf needs --miter-with FAMILY2 (a lone \
+                    circuit's Tseitin CNF is trivially satisfiable)\n";
+    exit 2
+  end;
+  let text =
+    match miter_with with
+    | None -> Circuit.Bench_format.to_string circuit
+    | Some family2 ->
+      if not cnf then begin
+        Printf.eprintf "bench_gen: --miter-with needs --cnf\n";
+        exit 2
+      end;
+      let other = generate family2 in
+      (match Circuit.Miter.to_cnf circuit other with
+       | f, _map ->
+         Printf.ksprintf
+           (fun header -> header ^ Cnf.Dimacs.to_string f)
+           "c miter %s vs %s (bits %d, seed %d): UNSAT iff equivalent\n"
+           family family2 bits seed
+       | exception Invalid_argument msg ->
+         Printf.eprintf "bench_gen: %s\n" msg;
+         exit 2)
+  in
   match out with
   | Some path ->
     let oc = open_out path in
     output_string oc text;
     close_out oc;
-    Format.printf "%s: %a@." path Circuit.Netlist.pp_stats circuit
+    if miter_with = None then
+      Format.printf "%s: %a@." path Circuit.Netlist.pp_stats circuit
+    else Printf.printf "%s: miter CNF written\n" path
   | None -> print_string text
 
 let family =
@@ -57,10 +84,22 @@ let bits = Arg.(value & opt int 4 & info [ "bits" ] ~doc:"size parameter")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random seed")
 let out = Arg.(value & opt (some string) None & info [ "o" ] ~doc:"output file")
 
+let miter_with =
+  Arg.(value & opt (some string) None
+       & info [ "miter-with" ] ~docv:"FAMILY2"
+         ~doc:"build the equivalence miter of FAMILY against FAMILY2 \
+               (same --bits/--seed); with --cnf, emit it as DIMACS — \
+               UNSAT iff the two circuits are equivalent")
+
+let cnf =
+  Arg.(value & flag
+       & info [ "cnf" ]
+         ~doc:"emit DIMACS CNF instead of BENCH (requires --miter-with)")
+
 let cmd =
   Cmd.v
-    (Cmd.info "bench_gen" ~doc:"generate benchmark netlists")
-    Term.(const run $ family $ bits $ seed $ out $ Obs.metrics_term
-          $ Obs.trace_term)
+    (Cmd.info "bench_gen" ~doc:"generate benchmark netlists and miter CNFs")
+    Term.(const run $ family $ bits $ seed $ out $ miter_with $ cnf
+          $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

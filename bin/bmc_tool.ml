@@ -12,8 +12,8 @@
 
 open Cmdliner
 
-let run bits buggy_at bound bench bad induction from_scratch stats inprocess
-    timeout metrics_path trace_path =
+let run bits buggy_at bound bench bad induction explain from_scratch stats
+    inprocess timeout metrics_path trace_path =
   let obs = Obs.setup ~tool:"bmc_tool" metrics_path trace_path in
   let config =
     { Sat.Types.default with Sat.Types.inprocessing = inprocess }
@@ -52,6 +52,20 @@ let run bits buggy_at bound bench bad induction from_scratch stats inprocess
        (r.Eda.Bmc.bound_reached - 1)
    | Eda.Bmc.No_counterexample ->
      Printf.printf "no counterexample up to bound %d\n" r.Eda.Bmc.bound_reached);
+  (match r.Eda.Bmc.result with
+   | Eda.Bmc.No_counterexample
+     when explain && r.Eda.Bmc.bound_reached >= 1 && not r.Eda.Bmc.timed_out
+     -> (
+     (* core-driven assumption minimization: which frames' transition
+        logic does the final bound's refutation actually rest on? *)
+     let b = r.Eda.Bmc.bound_reached in
+     match Eda.Bmc.explain_bound ~config ~bad_output:bad ~bound:b seq with
+     | Some frames ->
+       Printf.printf "unreachability at bound %d depends on frames {%s}\n"
+         (b - 1)
+         (String.concat ", " (List.map string_of_int frames))
+     | None -> print_endline "explain: counterexample found on re-encode")
+   | _ -> ());
   if stats then begin
     Printf.printf "per-bound query stats (%s):\n"
       (if from_scratch then "from-scratch" else "incremental");
@@ -88,6 +102,13 @@ let bad =
 let induction =
   Arg.(value & flag & info [ "induction" ] ~doc:"also attempt a k-induction proof")
 
+let explain =
+  Arg.(value & flag
+       & info [ "explain" ]
+         ~doc:"after a counterexample-free run, minimize the final \
+               bound's assumptions (per-frame activation literals) to \
+               report which frames the unreachability proof depends on")
+
 let from_scratch =
   Arg.(value & flag
        & info [ "from-scratch" ]
@@ -111,7 +132,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bmc_tool" ~doc:"bounded model checker demo")
     Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction
-          $ from_scratch $ stats $ inprocess $ timeout $ Obs.metrics_term
-          $ Obs.trace_term)
+          $ explain $ from_scratch $ stats $ inprocess $ timeout
+          $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

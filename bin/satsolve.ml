@@ -4,6 +4,7 @@
                  [--inprocess] [--equiv] [--rl DEPTH] [--seed N] [--stats]
                  [--jobs N] [--timeout SECS] [--no-share] [--share-lbd N]
                  [--cube-conquer] [--cube-depth N] [--cube-cutoff N]
+                 [--proof FILE] [--check] [--core FILE]
                  [--metrics FILE.json] [--trace FILE.jsonl]              *)
 
 open Cmdliner
@@ -24,8 +25,18 @@ let read_stdin () =
 
 let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
     stats certify jobs timeout no_share share_lbd cube_conquer cube_depth
-    cube_cutoff metrics_path trace_path =
+    cube_cutoff proof_path check core_path metrics_path trace_path =
   let obs = Obs.setup ~tool:"satsolve" metrics_path trace_path in
+  let want_proof = proof_path <> None || check || core_path <> None in
+  if want_proof
+     && (engine_name <> "cdcl" || jobs > 1 || cube_conquer || timeout <> None)
+  then begin
+    Printf.eprintf
+      "satsolve: --proof/--check/--core need the sequential cdcl engine \
+       (no --jobs/--cube-conquer/--timeout): parallel workers import \
+       clauses their own proofs cannot justify\n";
+    exit 2
+  end;
   let formula =
     if path = "-" then Cnf.Dimacs.parse_string (read_stdin ())
     else if Sys.file_exists path then Cnf.Dimacs.parse_file path
@@ -37,7 +48,8 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
   let config =
     { Sat.Types.default with
       Sat.Types.random_seed = seed;
-      inprocessing = inprocess }
+      inprocessing = inprocess;
+      proof_logging = want_proof }
   in
   if certify then begin
     let outcome, verdict = Sat.Proof.solve_certified ~config formula in
@@ -115,8 +127,6 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
   let pipeline =
     {
       Sat.Solver.preprocess;
-      (* Solver.solve additionally forces elimination off when the
-         engine logs proofs (--certify takes its own path above) *)
       elim = not no_elim;
       probe_failed_literals = false;
       equivalence = equiv;
@@ -154,9 +164,44 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
       Printf.printf "c equivalence merged %d vars\n"
         report.Sat.Solver.equivalence_merged
   end;
+  let steps = Option.value report.Sat.Solver.proof ~default:[] in
+  (match proof_path with
+   | Some out ->
+     Sat.Proof.write_drat_file out steps;
+     Printf.printf "c proof: %d steps written to %s\n" (List.length steps) out
+   | None -> ());
+  (* with --check or --core, an UNSAT answer must survive our own
+     backward trim before it earns exit 20 *)
+  let verified =
+    match report.Sat.Solver.outcome with
+    | (Sat.Types.Unsat | Sat.Types.Unsat_assuming _) when check || core_path <> None
+      -> (
+      match Sat.Proof.trim formula steps with
+      | Sat.Proof.Trimmed { lines; core; kept_adds; total_adds } ->
+        Printf.printf "c check: refutation verified (%d/%d additions kept)\n"
+          kept_adds total_adds;
+        (match core_path with
+         | Some out ->
+           Cnf.Dimacs.write_file out (Sat.Proof.core_formula formula core);
+           Printf.printf "c core: %d of %d clauses written to %s\n"
+             (List.length core)
+             (Cnf.Formula.nclauses formula)
+             out
+         | None -> ());
+        ignore lines;
+        true
+      | Sat.Proof.Not_refutation ->
+        print_endline "c check: FAILED (proof is not a refutation)";
+        false
+      | Sat.Proof.Trim_invalid i ->
+        Printf.printf "c check: FAILED (invalid step %d)\n" i;
+        false)
+    | _ -> true
+  in
   match report.Sat.Solver.outcome with
   | Sat.Types.Sat _ -> exit 10
-  | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ -> exit 20
+  | Sat.Types.Unsat | Sat.Types.Unsat_assuming _ ->
+    exit (if verified then 20 else 2)
   | Sat.Types.Unknown _ -> exit 0
 
 let file =
@@ -172,8 +217,8 @@ let no_elim =
   Arg.(value & flag
        & info [ "no-elim" ]
          ~doc:"disable bounded variable elimination within --preprocess \
-               (elimination is also disabled automatically when proofs \
-               are logged)")
+               (elimination is proof-complete: it emits its resolvent \
+               additions and clause deletions into --proof streams)")
 
 let inprocess =
   Arg.(value & flag
@@ -227,12 +272,33 @@ let cube_cutoff =
          ~doc:"conflict budget per cube before it is split dynamically \
                (--cube-conquer)")
 
+let proof_path =
+  Arg.(value & opt (some string) None
+       & info [ "proof" ] ~docv:"FILE"
+         ~doc:"write the DRAT proof (additions and deletions) to FILE; \
+               needs the sequential cdcl engine")
+
+let check_flag =
+  Arg.(value & flag
+       & info [ "check" ]
+         ~doc:"on UNSAT, trim and verify the proof in-memory with the \
+               built-in backward checker; exit 20 only when the \
+               refutation verifies (2 otherwise)")
+
+let core_path =
+  Arg.(value & opt (some string) None
+       & info [ "core" ] ~docv:"FILE"
+         ~doc:"on UNSAT, write the unsat core (original clauses the \
+               trimmed proof depends on) to FILE in DIMACS; implies the \
+               verification of --check")
+
 let cmd =
   Cmd.v
     (Cmd.info "satsolve" ~doc:"SAT solver for DIMACS CNF")
     Term.(const solve_file $ file $ engine $ preprocess $ no_elim $ inprocess
           $ equiv $ rl $ seed $ stats $ certify $ jobs $ timeout $ no_share
           $ share_lbd $ cube_conquer $ cube_depth $ cube_cutoff
+          $ proof_path $ check_flag $ core_path
           $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

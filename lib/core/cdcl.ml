@@ -85,7 +85,7 @@ type t = {
   mutable partial : int array option;
   mutable max_learnts : int;
   mutable assumptions : int array;
-  mutable proof : Cnf.Clause.t list; (* learned clauses, newest first *)
+  mutable proof : Types.proof_step list; (* DRAT steps, newest first *)
   (* absolute per-call thresholds, set at [solve] entry *)
   mutable conflict_budget : int option;
   mutable decision_budget : int option;
@@ -225,8 +225,10 @@ let locked s (c : clause) =
 
 (* O(1) lazy deletion: the clause's two watcher entries become tombstones
    that propagation drops on traversal and [maybe_compact_watches] sweeps
-   in bulk. *)
-let delete_clause s (c : clause) =
+   in bulk.  [delete_clause_silent] skips the proof step — for callers
+   that detach a clause only to re-add it (vivification) and emit their
+   own add/delete ordering. *)
+let delete_clause_silent s (c : clause) =
   c.deleted <- true;
   (* re-point the table slot at the (deleted) dummy: tombstone watcher
      entries still dereference safely, and the record becomes garbage as
@@ -234,6 +236,12 @@ let delete_clause s (c : clause) =
   s.ctab.(c.cid) <- dummy_clause;
   s.dead_watchers <- s.dead_watchers + 2;
   s.stats.deleted <- s.stats.deleted + 1
+
+let delete_clause s (c : clause) =
+  if s.cfg.proof_logging && c.learnt then
+    s.proof <-
+      Types.Delete (Cnf.Clause.of_list (Array.to_list c.lits)) :: s.proof;
+  delete_clause_silent s c
 
 (* Compact every watch list once tombstones exceed a quarter of the live
    entries, so clause-database reduction cannot leave permanently
@@ -529,7 +537,8 @@ let fire_learn s lits lbd =
 let record_learnt s lits =
   s.stats.learned <- s.stats.learned + 1;
   s.stats.learned_literals <- s.stats.learned_literals + List.length lits;
-  if s.cfg.proof_logging then s.proof <- Cnf.Clause.of_list lits :: s.proof;
+  if s.cfg.proof_logging then
+    s.proof <- Types.Add (Cnf.Clause.of_list lits) :: s.proof;
   match lits with
   | [] -> s.ok <- false; None
   | [ l ] ->
@@ -958,19 +967,33 @@ let inprocess s =
            decr budget;
            let lits0 = Array.copy c.lits in
            let activity = c.activity and lbd = c.lbd in
-           delete_clause s c;
+           delete_clause_silent s c;
            let lits = vivify_lits s lits0 in
            (* back at level 0: drop root-false literals, discard the
               clause entirely if it is root-satisfied *)
-           if not (List.exists (fun l -> value s l = 1) lits) then begin
+           if List.exists (fun l -> value s l = 1) lits then begin
+             if s.cfg.proof_logging then
+               s.proof <-
+                 Types.Delete (Cnf.Clause.of_list (Array.to_list lits0))
+                 :: s.proof
+           end
+           else begin
              let lits = List.filter (fun l -> value s l <> 0) lits in
              let n' = List.length lits in
              if n' < Array.length lits0 then begin
                s.inp.inp_vivified <- s.inp.inp_vivified + 1;
                s.inp.inp_vivified_lits <-
                  s.inp.inp_vivified_lits + (Array.length lits0 - n');
-               if s.cfg.proof_logging then
-                 s.proof <- Cnf.Clause.of_list lits :: s.proof
+               if s.cfg.proof_logging then begin
+                 (* the shortened clause is RUP while the original is
+                    still in the proof's active set: add first, then
+                    delete the original *)
+                 s.proof <-
+                   Types.Add (Cnf.Clause.of_list lits) :: s.proof;
+                 s.proof <-
+                   Types.Delete (Cnf.Clause.of_list (Array.to_list lits0))
+                   :: s.proof
+               end
              end;
              match lits with
              | [] -> s.ok <- false

@@ -171,11 +171,16 @@ val learned_clauses : t -> Cnf.Clause.t list
 (** The currently recorded (non-deleted) learned clauses — each an
     implicate of the original formula. *)
 
-val proof : t -> Cnf.Clause.t list
-(** Learned clauses in derivation order (requires
-    [config.proof_logging]); each is reverse-unit-propagation derivable
-    from the input clauses plus the earlier entries — see
-    {!module:Proof}. *)
+val proof : t -> Types.proof_step list
+(** The DRAT proof stream in emission order (requires
+    [config.proof_logging]).  [Add] steps are learned or vivified
+    clauses, each reverse-unit-propagation derivable from the clauses
+    active when it appears; [Delete] steps record clause-database
+    reductions, learnt-clause subsumption, and inprocessing rewrites.
+    Clauses accepted through {!import_clause} are {e not} recorded, so
+    proofs from clause-sharing runs are incomplete — proof-producing
+    configurations must run a single sequential solver.  See
+    {!module:Proof} and [docs/PROOFS.md]. *)
 
 val check_watches : t -> (unit, string) result
 (** Debug-only invariant checker (O(clauses × watch-list length) — never

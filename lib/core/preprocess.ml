@@ -36,6 +36,7 @@ type state = {
   assign : int array; (* var -> -1/0/1 *)
   mutable fix : (int * bool) list;
   mutable elim : elimination list; (* newest first *)
+  emit : Types.proof_step -> unit; (* DRAT sink; a no-op without ?proof *)
   st : stats;
 }
 
@@ -49,6 +50,12 @@ let fix_lit s reason l =
   | 1 -> ()
   | 0 -> raise Found_unsat
   | _ ->
+    (* Unit and failed-literal fixes are RUP over the active clause set
+       and enter the proof; pure literals are only RAT, so [run] rejects
+       [pures] when a proof is requested. *)
+    (match reason with
+     | `Unit | `Failed -> s.emit (Types.Add (Clause.of_list [ l ]))
+     | `Pure -> ());
     s.assign.(v) <- (if Lit.is_pos l then 1 else 0);
     s.fix <- (v, Lit.is_pos l) :: s.fix;
     (match reason with
@@ -65,6 +72,7 @@ let simplify_clauses s =
     let keep c =
       let lits = Clause.to_list c in
       if List.exists (fun l -> lit_value s l = 1) lits then begin
+        s.emit (Types.Delete c);
         local := true;
         None
       end
@@ -74,10 +82,17 @@ let simplify_clauses s =
         | [] -> raise Found_unsat
         | [ l ] ->
           fix_lit s `Unit l;
+          s.emit (Types.Delete c);
           local := true;
           None
         | _ ->
-          if List.length free < List.length lits then local := true;
+          if List.length free < List.length lits then begin
+            local := true;
+            (* the stripped clause is RUP while the original is active:
+               add first, then delete *)
+            s.emit (Types.Add (Clause.of_list free));
+            s.emit (Types.Delete c)
+          end;
           Some (Clause.of_list free)
     in
     s.clauses <- List.filter_map keep s.clauses;
@@ -144,6 +159,7 @@ let subsume_pass s =
                    && Clause.subsumes c arr.(cj)
                 then begin
                   alive.(cj) <- false;
+                  s.emit (Types.Delete arr.(cj));
                   s.st.subsumed <- s.st.subsumed + 1;
                   changed := true
                 end)
@@ -185,6 +201,10 @@ let strengthen_pass s =
                             (fun m -> not (Lit.equal m (Lit.negate l)))
                             (Clause.to_list d))
                      in
+                     (* the resolvent is RUP while both parents are
+                        active: add it before deleting the weaker one *)
+                     s.emit (Types.Add d');
+                     s.emit (Types.Delete d);
                      arr.(cj) := d';
                      s.st.strengthened <- s.st.strengthened + 1;
                      changed := true
@@ -232,10 +252,16 @@ let bve_pass s ~frozen ~clause_cap ~occ_cap =
     List.iter (fun l -> occ.(l) <- i :: occ.(l)) (Clause.to_list c);
     i
   in
-  let kill i = !alive.(i) <- false in
+  let kill i =
+    !alive.(i) <- false;
+    s.emit (Types.Delete !cl.(i))
+  in
   (* Insert a clause simplified against the current fixed assignment:
      satisfied clauses vanish, false literals are dropped, units are
-     fixed, tautologies are discarded outright. *)
+     fixed, tautologies are discarded outright.  The argument's content
+     must already be active in the proof (an input clause, or a
+     resolvent the caller just emitted), so any simplification emits
+     its replacement before deleting the original. *)
   let add ~touch c =
     let lits = Clause.to_list c in
     if (not (Clause.is_tautology c))
@@ -246,13 +272,20 @@ let bve_pass s ~frozen ~clause_cap ~occ_cap =
       | [] -> raise Found_unsat
       | [ l ] ->
         fix_lit s `Unit l;
+        s.emit (Types.Delete c);
         changed := true
       | _ ->
+        if List.length free < List.length lits then begin
+          s.emit (Types.Add (Clause.of_list free));
+          s.emit (Types.Delete c)
+        end;
         let i = push_raw (Clause.of_list free) in
         if touch then Queue.add i touched
     end
-    else if List.length lits > 0 && not (Clause.is_tautology c) then
+    else if List.length lits > 0 && not (Clause.is_tautology c) then begin
+      s.emit (Types.Delete c);
       changed := true (* a satisfied clause was dropped *)
+    end
   in
   (* Backward subsumption and self-subsuming resolution seeded from one
      clause — run over every resolvent the elimination loop inserts. *)
@@ -297,14 +330,19 @@ let bve_pass s ~frozen ~clause_cap ~occ_cap =
                     if Clause.mem (Lit.negate l) d
                        && List.for_all (fun m -> Clause.mem m d) rest
                     then begin
+                      let d' =
+                        Clause.of_list
+                          (List.filter
+                             (fun m -> not (Lit.equal m (Lit.negate l)))
+                             (Clause.to_list d))
+                      in
+                      (* emit the strengthened clause while both parents
+                         are still active, then delete the weaker one *)
+                      s.emit (Types.Add d');
                       kill cj;
                       s.st.strengthened <- s.st.strengthened + 1;
                       changed := true;
-                      add ~touch:true
-                        (Clause.of_list
-                           (List.filter
-                              (fun m -> not (Lit.equal m (Lit.negate l)))
-                              (Clause.to_list d)))
+                      add ~touch:true d'
                     end
                   end)
                occ.(Lit.negate l)
@@ -421,8 +459,12 @@ let bve_pass s ~frozen ~clause_cap ~occ_cap =
         match staged with
         | None -> ()
         | Some (resolvents, count) ->
-          (* commit: push the removed clauses on the elimination stack
-             (complete_model replays them), then swap in the resolvents *)
+          (* commit: emit every resolvent into the proof while both
+             parent sides are still active (each is RUP against them),
+             push the removed clauses on the elimination stack
+             (complete_model replays them), then swap in the
+             resolvents *)
+          List.iter (fun r -> s.emit (Types.Add r)) resolvents;
           s.elim <-
             { evar = v;
               pos = List.map (fun i -> !cl.(i)) pos;
@@ -480,7 +522,12 @@ let probe s =
         | None -> false
       in
       match pos_ok, neg_ok with
-      | false, false -> raise Found_unsat
+      | false, false ->
+        (* both phases fail: [v] is RUP (assuming ¬v propagates to a
+           conflict); once added, the clause set is root-inconsistent
+           and the Found_unsat handler's empty clause is RUP too *)
+        s.emit (Types.Add (Clause.of_list [ Lit.pos v ]));
+        raise Found_unsat
       | false, true ->
         fix_lit s `Failed (Lit.neg_of_var v);
         ignore (Bcp.add_unit bcp (Lit.neg_of_var v));
@@ -496,9 +543,15 @@ let probe s =
   done;
   !changed
 
-let run ?(subsumption = true) ?(strengthen = true) ?(pures = true)
+let run ?(subsumption = true) ?(strengthen = true) ?pures
     ?(probe_failed_literals = false) ?(elim = true) ?(frozen = [])
-    ?(elim_clause_cap = 8) ?(elim_occ_cap = 10) f =
+    ?(elim_clause_cap = 8) ?(elim_occ_cap = 10) ?proof f =
+  (* Pure-literal fixes are RAT but not RUP, so they cannot enter the
+     DRAT stream this pipeline emits: with a proof sink, [pures]
+     defaults to — and must be — off. *)
+  let pures = match pures with Some p -> p | None -> proof = None in
+  if pures && proof <> None then
+    invalid_arg "Preprocess.run: ~pures is incompatible with ~proof";
   let st =
     { units = 0; pures = 0; subsumed = 0; strengthened = 0;
       failed_literals = 0; eliminated = 0; elim_clauses_removed = 0;
@@ -512,6 +565,7 @@ let run ?(subsumption = true) ?(strengthen = true) ?(pures = true)
       assign = Array.make (max 1 nvars) (-1);
       fix = [];
       elim = [];
+      emit = (match proof with Some e -> e | None -> fun _ -> ());
       st;
     }
   in
@@ -542,7 +596,12 @@ let run ?(subsumption = true) ?(strengthen = true) ?(pures = true)
         elim = s.elim;
         stats = st;
       }
-  with Found_unsat -> Unsat
+  with Found_unsat ->
+    (* every raise site leaves the active clause set root-inconsistent
+       under unit propagation, so the empty clause is RUP and the
+       emitted stream is a complete refutation *)
+    s.emit (Types.Add (Clause.of_list []));
+    Unsat
 
 let complete_model (simp : simplified) model =
   (* the fixes and the elimination stack may mention variables past the

@@ -36,10 +36,21 @@
     stack newest-first, choosing each eliminated variable's value so
     that every clause removed on its behalf is satisfied.
 
-    Because eliminated clauses disappear without a resolution
-    certificate the {!module:Proof} checker could replay,
-    [Solver.solve] forces [elim] off whenever the engine has
-    [proof_logging] on; see {!module:Solver}. *)
+    {2 Proof emission}
+
+    Every pass can certify its work: pass a [?proof] sink to [run] and
+    the preprocessor emits a DRAT step stream — resolvent and
+    strengthened-clause additions (each reverse-unit-propagation
+    derivable from the clauses active when it appears) interleaved with
+    deletions of the clauses each pass removes, ending with the empty
+    clause when preprocessing itself refutes the formula.  Bounded
+    variable elimination is fully covered: each commit adds all
+    resolvents while both parent sides are still active, then deletes
+    the parent clauses.  Only pure-literal fixes are outside the RUP
+    fragment (they are blocked-clause-style RAT steps), so [run]
+    rejects [pures:true] combined with [?proof]; with a sink installed
+    [pures] simply defaults to [false].  See {!module:Proof} and
+    [docs/PROOFS.md] for the contract. *)
 
 type stats = {
   mutable units : int;
@@ -89,6 +100,7 @@ val run :
   ?frozen:int list ->
   ?elim_clause_cap:int ->
   ?elim_occ_cap:int ->
+  ?proof:(Types.proof_step -> unit) ->
   Cnf.Formula.t ->
   result
 (** Defaults: subsumption, strengthening, pure literals and bounded
@@ -113,7 +125,14 @@ val run :
     (incremental sessions): unlike units and failed literals, a pure
     literal's fixed value is merely satisfiability-preserving, not
     implied, so it must not be baked into a formula that can still
-    grow. *)
+    grow.
+
+    [proof] receives every DRAT step the passes emit, in order (see the
+    proof-emission section above).  With [proof] set, [pures] defaults
+    to [false] and passing [pures:true] raises [Invalid_argument].
+    When [run] returns [Unsat] the emitted stream ends with the empty
+    clause and is a complete, self-contained refutation of the input
+    formula. *)
 
 val complete_model : simplified -> bool array -> bool array
 (** Extends a model of the simplified formula to a model of the

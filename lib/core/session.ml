@@ -162,3 +162,42 @@ let solve ?(assumptions = []) ?max_conflicts ?max_decisions t =
   t.cached_model <-
     (match outcome with Types.Sat m -> Some m | _ -> None);
   outcome
+
+(* Core-driven assumption minimization: shrink an assumption set to a
+   (locally) minimal subset still refuted by the formula.  Each query's
+   [Unsat_assuming] core prunes the candidate set; a destructive pass
+   then tries dropping each surviving literal once. *)
+let minimize_assumptions ?(max_rounds = 4) ?max_conflicts t assumptions =
+  let solve_with asms = solve ~assumptions:asms ?max_conflicts t in
+  match solve_with assumptions with
+  | Types.Sat _ | Types.Unknown _ -> None
+  | Types.Unsat -> Some []
+  | Types.Unsat_assuming core ->
+    (* fixpoint: re-solving under the core alone often yields a smaller
+       core, because the search is no longer steered by the dropped
+       assumptions *)
+    let rec fixpoint rounds core =
+      if rounds <= 0 || core = [] then core
+      else
+        match solve_with core with
+        | Types.Unsat -> []
+        | Types.Unsat_assuming c when List.length c < List.length core ->
+          fixpoint (rounds - 1) c
+        | _ -> core
+    in
+    let core = fixpoint max_rounds core in
+    (* destructive pass: drop one literal at a time; keep it when the
+       query turns SAT (or exhausts its budget) without it *)
+    let rec shrink kept = function
+      | [] -> kept
+      | l :: rest -> (
+        match solve_with (List.rev_append kept rest) with
+        | Types.Unsat -> []
+        | Types.Unsat_assuming c ->
+          shrink
+            (List.filter (fun k -> List.mem k c) kept)
+            (List.filter (fun r -> List.mem r c) rest)
+        | Types.Sat _ | Types.Unknown _ -> shrink (l :: kept) rest)
+    in
+    let final = shrink [] core in
+    Some (List.filter (fun l -> List.mem l final) assumptions)

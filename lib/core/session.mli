@@ -87,6 +87,33 @@ val solve :
     reusable.  Before searching, the between-query retention policy is
     applied to the learned-clause database (from the second query on). *)
 
+val minimize_assumptions :
+  ?max_rounds:int ->
+  ?max_conflicts:int ->
+  t ->
+  Cnf.Lit.t list ->
+  Cnf.Lit.t list option
+(** Shrinks an assumption set to a (locally) minimal subset under which
+    the formula is still unsatisfiable — the core-driven assumption
+    minimization used by incremental BMC and ATPG loops to turn a
+    failing query into a small explanation.
+
+    Returns [None] when the formula is satisfiable under [assumptions]
+    (or the first query exhausts its budget), [Some []] when the formula
+    is unsatisfiable outright, and otherwise [Some core] with
+    [core ⊆ assumptions] (input order preserved) such that the formula
+    is UNSAT under [core].
+
+    The procedure first iterates the solver's [Unsat_assuming] core to a
+    fixpoint (at most [max_rounds] extra queries, default 4) — re-solving
+    under the previous core alone typically shrinks it — then runs one
+    destructive pass dropping each surviving literal in turn, keeping a
+    literal only when the query without it is SAT or exhausts its
+    budget.  [max_conflicts] bounds {e each individual query}; with a
+    budget, the result is still a correct core but may not be locally
+    minimal.  Every query goes through {!solve}, so retention, metrics
+    and {!queries} accounting all apply. *)
+
 val interrupt : t -> unit
 (** Requests cooperative interruption of the running (or next) [solve]
     — {!Cdcl.interrupt} on the underlying solver.  Safe to call from

@@ -21,14 +21,13 @@ let full_pipeline =
   { preprocess = true; elim = true; probe_failed_literals = false;
     equivalence = true; recursive_learning = 1 }
 
-(* Bounded variable elimination removes clauses without a resolution
-   step the RUP checker could replay, so it is forced off whenever the
-   chosen engine records proofs. *)
-let engine_logs_proofs = function
-  | Cdcl c | Dpll c -> c.Types.proof_logging
-  | Walksat _ -> false
-  | Portfolio o -> o.Portfolio.config.Types.proof_logging
-  | Cube_conquer o -> o.Conquer.config.Types.proof_logging
+(* Only a single sequential CDCL engine produces a complete DRAT
+   stream: portfolio and cube-and-conquer workers import foreign
+   clauses that never enter their own proofs, and the DPLL and local
+   search engines record nothing. *)
+let proof_producing = function
+  | Cdcl c -> c.Types.proof_logging
+  | Dpll _ | Walksat _ | Portfolio _ | Cube_conquer _ -> false
 
 type report = {
   outcome : Types.outcome;
@@ -36,6 +35,7 @@ type report = {
   preprocess_stats : Preprocess.stats option;
   equivalence_merged : int;
   recursive_learning_implicates : int;
+  proof : Types.proof_step list option;
   time_seconds : float;
 }
 
@@ -52,14 +52,15 @@ let run_engine ?metrics ?trace engine f =
     (match metrics with
      | Some m -> Metrics.add_stats m (Cdcl.stats s)
      | None -> ());
-    (outcome, Some (Cdcl.stats s))
+    let proof = if cfg.Types.proof_logging then Some (Cdcl.proof s) else None in
+    (outcome, Some (Cdcl.stats s), proof)
   | Dpll cfg ->
     let outcome, st = Dpll.solve ~config:cfg f in
     (match metrics with Some m -> Metrics.add_stats m st | None -> ());
-    (outcome, Some st)
+    (outcome, Some st, None)
   | Walksat cfg ->
     let r = Local_search.solve ~config:cfg f in
-    (r.outcome, None)
+    (r.outcome, None, None)
   | Portfolio opts ->
     (* explicit options on the engine win over the per-call arguments *)
     let opts =
@@ -70,7 +71,7 @@ let run_engine ?metrics ?trace engine f =
           (match opts.Portfolio.trace with Some _ as t -> t | None -> trace) }
     in
     let r = Portfolio.solve ~options:opts f in
-    (r.Portfolio.outcome, Some r.Portfolio.stats)
+    (r.Portfolio.outcome, Some r.Portfolio.stats, None)
   | Cube_conquer opts ->
     let opts =
       { opts with
@@ -80,7 +81,7 @@ let run_engine ?metrics ?trace engine f =
           (match opts.Conquer.trace with Some _ as t -> t | None -> trace) }
     in
     let r = Conquer.solve ~options:opts f in
-    (r.Conquer.outcome, Some r.Conquer.stats)
+    (r.Conquer.outcome, Some r.Conquer.stats, None)
 
 let solve ?metrics ?trace ?(engine = Cdcl Types.default)
     ?(pipeline = no_pipeline) f =
@@ -100,16 +101,26 @@ let solve ?metrics ?trace ?(engine = Cdcl Types.default)
   let preprocess_stats = ref None in
   let equivalence_merged = ref 0 in
   let rl_implicates = ref 0 in
+  (* With a proof-producing engine the preprocessor emits its own DRAT
+     steps (resolvent additions and clause deletions), and the stages
+     that cannot yet certify their rewrites — equivalence reasoning and
+     recursive learning — are skipped so the combined stream refutes
+     the original formula. *)
+  let proofs_on = proof_producing engine in
+  let pre_steps = ref [] in
   (* each stage yields the formula to solve plus a model-lifting step *)
   let lift0 m = m in
   let stage_preprocess (f, lift) =
     if not pipeline.preprocess then `Go (f, lift)
     else
       phase "pipeline/preprocess" (fun () ->
-        let elim = pipeline.elim && not (engine_logs_proofs engine) in
+        let proof =
+          if proofs_on then Some (fun s -> pre_steps := s :: !pre_steps)
+          else None
+        in
         match
-          Preprocess.run ~elim
-            ~probe_failed_literals:pipeline.probe_failed_literals f
+          Preprocess.run ~elim:pipeline.elim
+            ~probe_failed_literals:pipeline.probe_failed_literals ?proof f
         with
         | Preprocess.Unsat -> `Unsat
         | Preprocess.Simplified simp ->
@@ -131,7 +142,7 @@ let solve ?metrics ?trace ?(engine = Cdcl Types.default)
               fun m -> lift (Preprocess.complete_model simp m) ))
   in
   let stage_equivalence (f, lift) =
-    if not pipeline.equivalence then `Go (f, lift)
+    if (not pipeline.equivalence) || proofs_on then `Go (f, lift)
     else
       phase "pipeline/equivalence" (fun () ->
         match Equivalence.detect f with
@@ -144,7 +155,7 @@ let solve ?metrics ?trace ?(engine = Cdcl Types.default)
                 lift (Equivalence.complete_model ~rep:red.Equivalence.rep m) ))
   in
   let stage_rl (f, lift) =
-    if pipeline.recursive_learning <= 0 then `Go (f, lift)
+    if pipeline.recursive_learning <= 0 || proofs_on then `Go (f, lift)
     else
       phase "pipeline/recursive_learning" (fun () ->
         let g, r =
@@ -153,15 +164,20 @@ let solve ?metrics ?trace ?(engine = Cdcl Types.default)
         rl_implicates := List.length r.Recursive_learning.implicates;
         if r.Recursive_learning.unsat then `Unsat else `Go (g, lift))
   in
-  let finish outcome solver_stats =
+  let finish outcome solver_stats proof =
     {
       outcome;
       solver_stats;
       preprocess_stats = !preprocess_stats;
       equivalence_merged = !equivalence_merged;
       recursive_learning_implicates = !rl_implicates;
+      proof;
       time_seconds = Unix.gettimeofday () -. t0;
     }
+  in
+  let combined_proof engine_steps =
+    if not proofs_on then None
+    else Some (List.rev_append !pre_steps (Option.value engine_steps ~default:[]))
   in
   let ( >>= ) x k = match x with `Unsat -> `Unsat | `Go y -> k y in
   let staged =
@@ -170,9 +186,12 @@ let solve ?metrics ?trace ?(engine = Cdcl Types.default)
     >>= fun x -> stage_rl x
   in
   match staged with
-  | `Unsat -> finish Types.Unsat None
+  | `Unsat ->
+    (* preprocessing refuted the formula; its emitted stream already
+       ends with the empty clause *)
+    finish Types.Unsat None (combined_proof None)
   | `Go (g, lift) ->
-    let outcome, st =
+    let outcome, st, engine_proof =
       phase "solve" (fun () -> run_engine ?metrics ?trace engine g)
     in
     let outcome =
@@ -187,7 +206,7 @@ let solve ?metrics ?trace ?(engine = Cdcl Types.default)
         Types.Sat (lift padded)
       | (Types.Unsat | Types.Unsat_assuming _ | Types.Unknown _) as o -> o
     in
-    finish outcome st
+    finish outcome st (combined_proof engine_proof)
 
 let solve_dimacs ?metrics ?trace ?engine ?pipeline text =
   solve ?metrics ?trace ?engine ?pipeline (Cnf.Dimacs.parse_string text)

@@ -21,12 +21,12 @@ type pipeline = {
   preprocess : bool;           (** unit/pure/subsumption/strengthening *)
   elim : bool;
       (** bounded variable elimination inside the preprocess stage
-          ({!Preprocess.run}'s [elim]).  Forced off — regardless of this
-          flag — when the engine's configuration has
-          [Types.config.proof_logging] on: elimination removes clauses
-          without a resolution step a reverse-unit-propagation
-          certificate could replay, so {!module:Proof} checking and
-          elimination are mutually exclusive. *)
+          ({!Preprocess.run}'s [elim]).  Fully compatible with proof
+          logging: under a proof-producing engine the preprocessor
+          emits each elimination's resolvent additions and clause
+          deletions into the DRAT stream (see {!module:Preprocess} and
+          {!module:Proof}), so the fastest configuration is also a
+          certifiable one. *)
   probe_failed_literals : bool;
   equivalence : bool;          (** equivalency reasoning (Sec. 6) *)
   recursive_learning : int;    (** recursion depth; 0 disables (Sec. 4.2) *)
@@ -43,6 +43,16 @@ type report = {
   preprocess_stats : Preprocess.stats option;
   equivalence_merged : int;
   recursive_learning_implicates : int;
+  proof : Types.proof_step list option;
+      (** the combined DRAT stream — preprocessing steps followed by
+          engine steps — refuting/deriving over the {e original}
+          formula.  Present iff the engine is proof-producing: a
+          sequential [Cdcl] configuration with
+          [Types.config.proof_logging] on (portfolio and
+          cube-and-conquer workers import foreign clauses their proofs
+          cannot justify).  When preprocessing itself refutes the
+          formula the stream ends with the empty clause.  Feed it to
+          {!Proof.check} or {!Proof.trim}. *)
   time_seconds : float;
 }
 
@@ -55,6 +65,13 @@ val solve :
   report
 (** Models returned in [outcome] are models of the {e original}
     formula.
+
+    With a proof-producing engine (see {!report.proof}) the
+    preprocessor runs with a DRAT sink (and [pures] off — pure-literal
+    fixes are not RUP), and the equivalence-reasoning and
+    recursive-learning stages are skipped: they rewrite the formula
+    without emitting certifiable steps, and a proof must refute the
+    formula the caller actually supplied.
 
     With [metrics], each enabled pipeline stage is timed under
     [pipeline/preprocess] / [pipeline/equivalence] /

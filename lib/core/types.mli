@@ -108,6 +108,22 @@ val add_stats_into : stats -> stats -> unit
     [max_level] takes the max) — for totalling per-call deltas across
     solvers or queries. *)
 
+type proof_step =
+  | Add of Cnf.Clause.t
+      (** the clause was derived (learned, vivified, resolved, …) and
+          joins the active clause set; every addition the pipeline emits
+          is RUP over the clauses active when it appears *)
+  | Delete of Cnf.Clause.t
+      (** the clause leaves the active clause set (database reduction,
+          subsumption, elimination); deletions never affect soundness of
+          an unsatisfiability certificate, only propagation power *)
+(** One step of a clausal DRAT proof.  Lives here (rather than in
+    {!module:Proof}) so {!module:Cdcl} and {!module:Preprocess} can emit
+    steps without depending on the checker.  See [docs/PROOFS.md] for
+    the full certification contract. *)
+
+val pp_proof_step : Format.formatter -> proof_step -> unit
+
 type outcome =
   | Sat of bool array
       (** satisfying assignment, indexed by variable; unconstrained

@@ -21,7 +21,7 @@ type report = {
 (* Each frame is encoded into a scratch formula whose variables are then
    remapped into the live session; state inputs are bound to the previous
    frame's next-state literals. *)
-let encode_frame sess seq state_lits =
+let encode_frame ?group sess seq state_lits =
   let comb = seq.S.comb in
   let scratch = Cnf.Formula.create () in
   let pre_table = Hashtbl.create 16 in
@@ -52,9 +52,13 @@ let encode_frame sess seq state_lits =
     | None -> None
   in
   let lit_of = Circuit.Encode.encode_into scratch ~pre comb in
+  let add =
+    match group with
+    | Some g -> Session.add_clause_in sess ~group:g
+    | None -> Session.add_clause sess
+  in
   Cnf.Formula.iter_clauses scratch (fun cl ->
-      Session.add_clause sess
-        (List.map lit_of_scratch (Cnf.Clause.to_list cl)));
+      add (List.map lit_of_scratch (Cnf.Clause.to_list cl)));
   fun id -> lit_of_scratch (lit_of id)
 
 let bad_node_of seq bad_output =
@@ -213,6 +217,36 @@ let check ?metrics ?trace ?(config = Sat.Types.default) ?(bad_output = "bad")
     time_seconds = Unix.gettimeofday () -. t0;
     timed_out = !timed_out;
   }
+
+(* Which frames does unreachability actually depend on?  Re-encode
+   frames 0..bound-1 with each frame's transition clauses guarded by an
+   activation literal, then ask [Session.minimize_assumptions] to shrink
+   {activations} ∪ {bad at the last frame}: the activation literals that
+   survive name the frames the refutation needs. *)
+let explain_bound ?(config = Sat.Types.default) ?(bad_output = "bad") ~bound
+    seq =
+  S.validate seq;
+  if bound < 1 then invalid_arg "Bmc.explain_bound: bound must be >= 1";
+  let bad_node = bad_node_of seq bad_output in
+  let sess = Session.create ~config () in
+  let state = ref (initial_state sess seq) in
+  let acts = ref [] in
+  let last_bad = ref (Lit.pos 0) in
+  for _t = 0 to bound - 1 do
+    let a = Session.new_activation sess in
+    acts := a :: !acts;
+    let frame = encode_frame ~group:a sess seq !state in
+    state := List.map frame seq.S.next_state;
+    last_bad := frame bad_node
+  done;
+  let acts = List.rev !acts in
+  match Session.minimize_assumptions sess (acts @ [ !last_bad ]) with
+  | None -> None (* a counterexample of this length exists *)
+  | Some core ->
+    Some
+      (List.mapi (fun t a -> (t, a)) acts
+       |> List.filter_map (fun (t, a) ->
+              if List.mem a core then Some t else None))
 
 type induction_result =
   | Proved of int

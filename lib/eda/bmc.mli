@@ -61,6 +61,25 @@ val check :
     completed bound, and [bmc/frames_encoded] mirrors the report field.
     [trace] attaches an event sink to every underlying solver. *)
 
+val explain_bound :
+  ?config:Sat.Types.config ->
+  ?bad_output:string ->
+  bound:int ->
+  Circuit.Sequential.t ->
+  int list option
+(** Which frames does "[bad] is unreachable in exactly [bound] steps"
+    actually depend on?  Re-encodes frames [0..bound-1] into a fresh
+    session with each frame's transition clauses guarded by an
+    activation literal, then runs {!Sat.Session.minimize_assumptions}
+    over the activation literals plus the final frame's [bad]: the
+    activations surviving in the minimized core name the frames the
+    refutation needs (often a suffix — earlier frames' logic is
+    irrelevant once the reachable-state sleeve has stabilized).
+
+    Returns [None] when a counterexample of this length exists, and
+    [Some frames] (ascending frame indices, possibly empty) otherwise.
+    Raises [Invalid_argument] for [bound < 1]. *)
+
 type induction_result =
   | Proved of int
       (** the property holds at every depth; the argument is the

@@ -104,6 +104,22 @@ let induction_gives_up_honestly () =
   | B.Refuted frames ->
     Alcotest.failf "cex of %d frames within k=3?" (List.length frames)
 
+let explain_bound_names_needed_frames () =
+  let c = S.counter ~bits:3 ~buggy_at:None in
+  (* bad first fires in frame 7; at bound 5 it is still unreachable *)
+  (match B.explain_bound ~bound:5 c with
+   | Some frames ->
+     Alcotest.(check bool) "frames within range" true
+       (List.for_all (fun t -> t >= 0 && t < 5) frames);
+     (* the last frame defines the queried bad literal, so its
+        transition logic must be part of any refutation *)
+     Alcotest.(check bool) "last frame needed" true (List.mem 4 frames)
+   | None -> Alcotest.fail "bad is unreachable at bound 5");
+  (* at bound 8 a counterexample exists, so there is nothing to explain *)
+  match B.explain_bound ~bound:8 c with
+  | None -> ()
+  | Some _ -> Alcotest.fail "counterexample expected at bound 8"
+
 let suite =
   [
     Th.case "induction proves ring counter" induction_proves_ring_counter;
@@ -117,4 +133,5 @@ let suite =
     Th.case "per-bound stats" per_bound_stats;
     Th.case "missing bad output" missing_bad_output;
     Th.case "custom property" custom_property_name;
+    Th.case "explain bound" explain_bound_names_needed_frames;
   ]

@@ -3,10 +3,14 @@
    The binary and the example files are dune deps of the test runner. *)
 
 let satsolve = Filename.concat (Filename.concat ".." "bin") "satsolve.exe"
+let dratcheck = Filename.concat (Filename.concat ".." "bin") "dratcheck.exe"
+let bench_gen = Filename.concat (Filename.concat ".." "bin") "bench_gen.exe"
 let example f = Filename.concat (Filename.concat ".." "examples") f
 
-let run args =
-  Sys.command (Filename.quote_command satsolve args ~stdout:Filename.null)
+let run_exe exe args =
+  Sys.command (Filename.quote_command exe args ~stdout:Filename.null)
+
+let run args = run_exe satsolve args
 
 let exit_codes () =
   Alcotest.(check int) "UNSAT exits 20" 20 (run [ example "php43.cnf" ]);
@@ -90,10 +94,78 @@ let trace_schema () =
                 ignore (Option.get (Sat.Json.member "ev" j))))
          lines)
 
+let in_tmp name f =
+  let path = Filename.temp_file "satreda_cli" name in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let proof_check_core_flow () =
+  (* solve → DRAT → trim/check → LRAT + core, all through the binaries *)
+  in_tmp ".drat" (fun proof ->
+      in_tmp ".lrat" (fun lrat ->
+          in_tmp ".core" (fun core ->
+              Alcotest.(check int) "--proof --check certifies UNSAT" 20
+                (run
+                   [ example "php43.cnf"; "--preprocess"; "--inprocess";
+                     "--proof"; proof; "--check" ]);
+              Alcotest.(check int) "dratcheck verifies and exports" 0
+                (run_exe dratcheck
+                   [ example "php43.cnf"; proof; "--lrat"; lrat; "--core";
+                     core; "--stats" ]);
+              Alcotest.(check int) "forward mode agrees" 0
+                (run_exe dratcheck [ example "php43.cnf"; proof; "--forward" ]);
+              Alcotest.(check int) "exported LRAT re-validates" 0
+                (run_exe dratcheck
+                   [ example "php43.cnf"; "--check-lrat"; lrat ]);
+              (* the exported core is a DIMACS formula and still UNSAT *)
+              Alcotest.(check int) "core is UNSAT" 20 (run [ core ]))))
+
+let proof_of_sat_is_derivation () =
+  in_tmp ".drat" (fun proof ->
+      Alcotest.(check int) "SAT still exits 10" 10
+        (run [ example "color5.cnf"; "--preprocess"; "--proof"; proof ]);
+      Alcotest.(check int) "no refutation to trim" 1
+        (run_exe dratcheck [ example "color5.cnf"; proof ]))
+
+let dratcheck_rejects_garbage () =
+  in_tmp ".cnf" (fun cnf ->
+      in_tmp ".drat" (fun proof ->
+          let write path text =
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc
+          in
+          write cnf "p cnf 2 2\n1 2 0\n-1 2 0\n";
+          (* [1] is not an implicate: forward checking must reject it *)
+          write proof "1 0\n0\n";
+          Alcotest.(check int) "bogus step rejected" 2
+            (run_exe dratcheck [ cnf; proof; "--forward" ]);
+          Alcotest.(check int) "missing file is an I/O error" 3
+            (run_exe dratcheck [ cnf; proof ^ ".nope" ])))
+
+let miter_corpus_flow () =
+  (* the CI certification loop in miniature: generate an equivalence
+     miter, solve with the full pipeline, proof-check the verdict *)
+  in_tmp ".cnf" (fun cnf ->
+      in_tmp ".drat" (fun proof ->
+          Alcotest.(check int) "miter CNF generated" 0
+            (run_exe bench_gen
+               [ "ripple"; "--bits"; "3"; "--miter-with"; "kogge"; "--cnf";
+                 "-o"; cnf ]);
+          Alcotest.(check int) "equivalence certified" 20
+            (run
+               [ cnf; "--preprocess"; "--inprocess"; "--proof"; proof;
+                 "--check" ]);
+          Alcotest.(check int) "dratcheck agrees" 0
+            (run_exe dratcheck [ cnf; proof ])))
+
 let suite =
   [
     Th.case "exit codes" exit_codes;
     Th.case "certify exit codes" certify_exit_codes;
+    Th.case "proof/check/core flow" proof_check_core_flow;
+    Th.case "SAT proofs are derivations" proof_of_sat_is_derivation;
+    Th.case "dratcheck rejects garbage" dratcheck_rejects_garbage;
+    Th.case "miter corpus flow" miter_corpus_flow;
     Th.case "--metrics schema" metrics_schema;
     Th.case "--trace schema" trace_schema;
   ]

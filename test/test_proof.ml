@@ -36,13 +36,16 @@ let sat_runs_give_valid_derivations () =
 let corrupted_proof_rejected () =
   (* a clause that is not an implicate cannot be RUP *)
   let f = Th.formula_of [ [ 1; 2 ]; [ -1; 2 ] ] in
-  let bogus = [ Cnf.Clause.of_dimacs_list [ 1 ] ] in
+  let bogus = [ P.Add (Cnf.Clause.of_dimacs_list [ 1 ]) ] in
   (match P.check f bogus with
    | P.Invalid_step 0 -> ()
    | _ -> Alcotest.fail "bogus step accepted");
   (* a valid step followed by a bogus one *)
   let mixed =
-    [ Cnf.Clause.of_dimacs_list [ 2 ]; Cnf.Clause.of_dimacs_list [ -1 ] ]
+    [
+      P.Add (Cnf.Clause.of_dimacs_list [ 2 ]);
+      P.Add (Cnf.Clause.of_dimacs_list [ -1 ]);
+    ]
   in
   match P.check f mixed with
   | P.Invalid_step 1 -> ()
@@ -91,6 +94,148 @@ let prop_deletion_policies_still_certify =
        | Sat.Types.Sat _, P.Invalid_step _ -> false
        | _ -> true)
 
+(* --- DRAT with deletions, trimming, cores ------------------------------- *)
+
+let proof_config =
+  { Sat.Types.default with
+    Sat.Types.proof_logging = true;
+    inprocessing = true;
+    deletion = Sat.Types.Size_bounded 3 }
+
+let unsat_proof f =
+  let s = Sat.Cdcl.create ~config:proof_config f in
+  match Sat.Cdcl.solve s with
+  | Sat.Types.Unsat -> Sat.Cdcl.proof s
+  | _ -> Alcotest.fail "expected UNSAT"
+
+let php n =
+  (* php(n, n-1): minimally unsatisfiable *)
+  let holes = n - 1 in
+  let v i j = (i * holes) + j + 1 in
+  let cls = ref [] in
+  for i = 0 to n - 1 do
+    cls := List.init holes (fun j -> v i j) :: !cls
+  done;
+  for j = 0 to holes - 1 do
+    for i1 = 0 to n - 1 do
+      for i2 = i1 + 1 to n - 1 do
+        cls := [ -(v i1 j); -(v i2 j) ] :: !cls
+      done
+    done
+  done;
+  Th.formula_of !cls
+
+let trim_emits_checkable_lrat () =
+  let f = php 4 in
+  let steps = unsat_proof f in
+  match P.trim f steps with
+  | P.Trimmed { lines; kept_adds; total_adds; _ } ->
+    Alcotest.(check bool) "trim keeps at most everything" true
+      (kept_adds <= total_adds);
+    (match P.check_lrat f lines with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "trimmed LRAT rejected: %s" e);
+    (* the trimmed additions alone are still a valid DRAT refutation *)
+    let trimmed = List.map (fun (ln : P.lrat_line) -> P.Add ln.lits) lines in
+    (match P.check f trimmed with
+     | P.Valid_refutation -> ()
+     | _ -> Alcotest.fail "trimmed proof no longer checks")
+  | P.Not_refutation -> Alcotest.fail "trim: not a refutation"
+  | P.Trim_invalid i -> Alcotest.failf "trim: invalid step %d" i
+
+let unsat_core_smoke () =
+  let f = Th.formula_of [ [ 1 ]; [ -1 ]; [ 2; 3 ] ] in
+  let steps = unsat_proof f in
+  match P.trim f steps with
+  | P.Trimmed { core; _ } ->
+    Alcotest.(check (list int)) "core is the contradictory pair" [ 1; 2 ] core;
+    (* the core refutes on its own, and is minimal: dropping either
+       clause loses unsatisfiability *)
+    (match Th.solve_cdcl (P.core_formula f core) with
+     | Sat.Types.Unsat -> ()
+     | _ -> Alcotest.fail "core should be UNSAT");
+    List.iter
+      (fun drop ->
+        let rest = List.filter (fun id -> id <> drop) core in
+        match Th.solve_cdcl (P.core_formula f rest) with
+        | Sat.Types.Sat _ -> ()
+        | _ -> Alcotest.fail "core minus one clause should be SAT")
+      core
+  | _ -> Alcotest.fail "trim failed"
+
+let pigeonhole_core_is_everything () =
+  (* minimally unsatisfiable: a valid refutation must use every clause *)
+  let f = php 4 in
+  let steps = unsat_proof f in
+  match P.trim f steps with
+  | P.Trimmed { core; _ } ->
+    Alcotest.(check int) "core covers every clause"
+      (Cnf.Formula.nclauses f) (List.length core)
+  | _ -> Alcotest.fail "trim failed"
+
+let deletions_parse_and_print () =
+  let c l = Cnf.Clause.of_dimacs_list l in
+  let steps =
+    [ P.Add (c [ 1; -2 ]); P.Delete (c [ 3; 2; -1 ]); P.Add (c []) ]
+  in
+  Alcotest.(check bool) "drat text roundtrip" true
+    (P.parse_drat (P.drat_to_string steps) = steps);
+  let lines =
+    [
+      { P.id = 4; lits = c [ 1 ]; hints = [ 1; 3 ] };
+      { P.id = 5; lits = c []; hints = [ 4; 2 ] };
+    ]
+  in
+  Alcotest.(check bool) "lrat text roundtrip" true
+    (P.parse_lrat (P.lrat_to_string lines) = lines)
+
+let pures_incompatible_with_proof () =
+  let f = Th.formula_of [ [ 1; 2 ] ] in
+  match Sat.Preprocess.run ~pures:true ~proof:(fun _ -> ()) f with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let preprocess_refutation_is_self_contained () =
+  let f =
+    Th.formula_of [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3 ]; [ 4; 5 ] ]
+  in
+  let steps = ref [] in
+  (match Sat.Preprocess.run ~proof:(fun s -> steps := s :: !steps) f with
+   | Sat.Preprocess.Unsat -> ()
+   | Sat.Preprocess.Simplified _ -> Alcotest.fail "expected UNSAT");
+  match P.check f (List.rev !steps) with
+  | P.Valid_refutation -> ()
+  | _ -> Alcotest.fail "preprocessor refutation should check"
+
+(* the ISSUE's 300-instance corpus: the full Solver pipeline (BVE +
+   probing off, inprocessing + aggressive deletion on) must emit a DRAT
+   stream that both forward-checks and backward-trims into a valid LRAT
+   certificate on every UNSAT verdict *)
+let prop_full_pipeline_drat =
+  QCheck.Test.make
+    ~name:"full-pipeline DRAT with deletions trims and checks" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Sat.Rng.create (seed + 71) in
+      let f =
+        Th.random_cnf rng (5 + Sat.Rng.int rng 9) (15 + Sat.Rng.int rng 45) 3
+      in
+      let report =
+        Sat.Solver.solve
+          ~engine:(Sat.Solver.Cdcl proof_config)
+          ~pipeline:Sat.Solver.full_pipeline f
+      in
+      let steps = Option.value report.Sat.Solver.proof ~default:[] in
+      match report.Sat.Solver.outcome with
+      | Sat.Types.Unsat ->
+        P.check f steps = P.Valid_refutation
+        && (match P.trim f steps with
+           | P.Trimmed { lines; kept_adds; total_adds; _ } ->
+             kept_adds <= total_adds && P.check_lrat f lines = Ok ()
+           | P.Not_refutation | P.Trim_invalid _ -> false)
+      | Sat.Types.Sat m -> Cnf.Formula.eval (fun x -> m.(x)) f
+      | Sat.Types.Unsat_assuming _ | Sat.Types.Unknown _ -> false)
+
 let suite =
   [
     Th.case "certified unsat" certified_unsat;
@@ -99,6 +244,13 @@ let suite =
     Th.case "corrupted proofs rejected" corrupted_proof_rejected;
     Th.case "empty proof" empty_proof_of_sat;
     Th.case "trivial refutation" inconsistent_formula_trivially_refuted;
+    Th.case "trim emits checkable LRAT" trim_emits_checkable_lrat;
+    Th.case "unsat core smoke" unsat_core_smoke;
+    Th.case "pigeonhole core is everything" pigeonhole_core_is_everything;
+    Th.case "DRAT/LRAT text roundtrip" deletions_parse_and_print;
+    Th.case "pures rejected with proof" pures_incompatible_with_proof;
+    Th.case "preprocess refutation checks" preprocess_refutation_is_self_contained;
     Th.qcheck prop_unsat_always_certifiable;
     Th.qcheck prop_deletion_policies_still_certify;
+    Th.qcheck prop_full_pipeline_drat;
   ]

@@ -295,6 +295,42 @@ let timeout_then_interrupt_sequence () =
   | T.Unknown _ | T.Unsat -> ()
   | o -> Alcotest.failf "budget ignored after interrupt: %a" T.pp_outcome o
 
+let minimize_assumptions_shrinks () =
+  (* x1 ∨ x2 forces one of them on: assuming both off is contradictory,
+     and the third assumption is irrelevant noise *)
+  let s = S.of_formula (Th.formula_of [ [ 1; 2 ] ]) in
+  (match
+     S.minimize_assumptions s [ Th.lit (-1); Th.lit (-2); Th.lit 3 ]
+   with
+   | Some core ->
+     Alcotest.(check bool)
+       "noise dropped, order preserved" true
+       (core = [ Th.lit (-1); Th.lit (-2) ])
+   | None -> Alcotest.fail "expected an UNSAT core");
+  Alcotest.(check bool) "queries accounted" true (S.queries s > 1);
+  (* satisfiable assumption sets yield no core *)
+  (match S.minimize_assumptions s [ Th.lit 1; Th.lit 3 ] with
+   | None -> ()
+   | Some _ -> Alcotest.fail "SAT must give None");
+  (* a formula UNSAT on its own needs no assumptions at all *)
+  let s2 = S.of_formula (Th.formula_of [ [ 1 ]; [ -1 ] ]) in
+  match S.minimize_assumptions s2 [ Th.lit 2 ] with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "core of an UNSAT formula must be empty"
+  | None -> Alcotest.fail "expected Some []"
+
+let minimize_assumptions_php () =
+  (* php(3,3) is satisfiable, but forcing pigeons 0 and 1 both into
+     hole 0 is contradictory; the third assumption is harmless *)
+  let s = S.of_formula (php 3 3) in
+  let v i j = (i * 3) + j + 1 in
+  let asms = [ Th.lit (v 0 0); Th.lit (v 1 0); Th.lit (v 2 1) ] in
+  match S.minimize_assumptions s asms with
+  | Some core ->
+    Alcotest.(check bool) "two pigeons, one hole" true
+      (core = [ Th.lit (v 0 0); Th.lit (v 1 0) ])
+  | None -> Alcotest.fail "expected an UNSAT core"
+
 let suite =
   [
     Th.case "grow after sat" grow_after_sat;
@@ -311,4 +347,6 @@ let suite =
     Th.case "interrupt storm, single query" interrupt_storm_single_query;
     Th.case "clear_interrupt withdraws pending" clear_interrupt_withdraws_pending;
     Th.case "timeout then interrupt sequence" timeout_then_interrupt_sequence;
+    Th.case "minimize assumptions" minimize_assumptions_shrinks;
+    Th.case "minimize assumptions php" minimize_assumptions_php;
   ]
