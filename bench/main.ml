@@ -38,6 +38,7 @@ let experiments =
     ("E29", "cube-and-conquer vs portfolio vs sequential",
      Experiments_cubes.e29);
     ("E30", "proof logging overhead + DRAT trimming", Experiments_proofs.e30);
+    ("E31", "per-instance auto-tuning vs default", Experiments_autotune.e31);
   ]
 
 let () =

@@ -2,7 +2,7 @@
    counter family or an ISCAS-89-style BENCH file with DFFs.
 
    bmc_tool [--bits N] [--buggy-at K] [--bound B] [--bench FILE --bad OUT]
-            [--inprocess] [--timeout SECS]
+            [--inprocess] [--guide] [--timeout SECS]
             [--metrics FILE.json] [--trace FILE.jsonl]
    bmc_tool --induction ... additionally attempts a k-induction proof.
 
@@ -13,7 +13,7 @@
 open Cmdliner
 
 let run bits buggy_at bound bench bad induction explain from_scratch stats
-    inprocess timeout metrics_path trace_path =
+    inprocess guide timeout metrics_path trace_path =
   let obs = Obs.setup ~tool:"bmc_tool" metrics_path trace_path in
   let config =
     { Sat.Types.default with Sat.Types.inprocessing = inprocess }
@@ -37,7 +37,7 @@ let run bits buggy_at bound bench bad induction explain from_scratch stats
   end;
   let r =
     Eda.Bmc.check ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace ~config
-      ~incremental:(not from_scratch) ~bad_output:bad ?timeout
+      ~incremental:(not from_scratch) ~bad_output:bad ~guide ?timeout
       ~max_bound:bound seq
   in
   (match r.Eda.Bmc.result with
@@ -122,6 +122,13 @@ let inprocess =
        & info [ "inprocess" ]
          ~doc:"simplify the learnt-clause database during search")
 
+let guide =
+  Arg.(value & flag
+       & info [ "guide" ]
+         ~doc:"seed each newly encoded frame's activities and phases from \
+               one simulation pass over the transition logic \
+               (docs/TUNING.md); heuristic only")
+
 let timeout =
   Arg.(value & opt (some float) None
        & info [ "timeout" ]
@@ -132,7 +139,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bmc_tool" ~doc:"bounded model checker demo")
     Term.(const run $ bits $ buggy_at $ bound $ bench $ bad $ induction
-          $ explain $ from_scratch $ stats $ inprocess $ timeout
+          $ explain $ from_scratch $ stats $ inprocess $ guide $ timeout
           $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

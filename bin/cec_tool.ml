@@ -1,7 +1,7 @@
 (* Combinational equivalence checking of two BENCH netlists.
 
    cec_tool A.bench B.bench [--engine mono|fraig|bdd] [--stats]
-            [--jobs N] [--no-elim] [--inprocess]
+            [--jobs N] [--no-elim] [--inprocess] [--guide]
             [--metrics FILE.json] [--trace FILE.jsonl]
 
    The default engine is the fraiging pipeline: structural hashing,
@@ -12,7 +12,7 @@
 
 open Cmdliner
 
-let run a b engine method_ stats jobs no_elim inprocess metrics_path
+let run a b engine method_ stats jobs no_elim inprocess guide metrics_path
     trace_path =
   let obs = Obs.setup ~tool:"cec_tool" metrics_path trace_path in
   let metrics = obs.Obs.metrics and trace = obs.Obs.trace in
@@ -30,11 +30,15 @@ let run a b engine method_ stats jobs no_elim inprocess metrics_path
     Printf.eprintf "--jobs requires --engine mono or fraig\n";
     exit 2
   end;
+  if guide && engine <> "fraig" then begin
+    Printf.eprintf "--guide requires --engine fraig\n";
+    exit 2
+  end;
   let sweep_report = ref None in
   let report =
     match engine with
     | "fraig" ->
-      let r = Eda.Sweep.check ~jobs ?metrics ?trace c1 c2 in
+      let r = Eda.Sweep.check ~jobs ~guide ?metrics ?trace c1 c2 in
       sweep_report := Some r;
       {
         Eda.Equiv.verdict = r.Eda.Sweep.verdict;
@@ -138,10 +142,18 @@ let inprocess =
          ~doc:"simplify the learnt-clause database during search \
                (mono engine only)")
 
+let guide =
+  Arg.(value & flag
+       & info [ "guide" ]
+         ~doc:"fraig engine: seed each sweep query's activities and \
+               phases from the simulation signatures and AIG fanout \
+               counts (docs/TUNING.md); heuristic only, the verdict is \
+               unchanged")
+
 let cmd =
   Cmd.v
     (Cmd.info "cec_tool" ~doc:"combinational equivalence checker")
     Term.(const run $ a $ b $ engine $ method_ $ stats $ jobs $ no_elim
-          $ inprocess $ Obs.metrics_term $ Obs.trace_term)
+          $ inprocess $ guide $ Obs.metrics_term $ Obs.trace_term)
 
 let () = exit (Cmd.eval cmd)

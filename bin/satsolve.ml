@@ -4,6 +4,7 @@
                  [--inprocess] [--equiv] [--rl DEPTH] [--seed N] [--stats]
                  [--jobs N] [--timeout SECS] [--no-share] [--share-lbd N]
                  [--cube-conquer] [--cube-depth N] [--cube-cutoff N]
+                 [--auto] [--explain-tuning] [--guide]
                  [--proof FILE] [--check] [--core FILE]
                  [--metrics FILE.json] [--trace FILE.jsonl]              *)
 
@@ -25,8 +26,10 @@ let read_stdin () =
 
 let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
     stats certify jobs timeout no_share share_lbd cube_conquer cube_depth
-    cube_cutoff proof_path check core_path metrics_path trace_path =
+    cube_cutoff auto explain_tuning guide proof_path check core_path
+    metrics_path trace_path =
   let obs = Obs.setup ~tool:"satsolve" metrics_path trace_path in
+  let auto = auto || explain_tuning in
   let want_proof = proof_path <> None || check || core_path <> None in
   if want_proof
      && (engine_name <> "cdcl" || jobs > 1 || cube_conquer || timeout <> None)
@@ -35,6 +38,22 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
       "satsolve: --proof/--check/--core need the sequential cdcl engine \
        (no --jobs/--cube-conquer/--timeout): parallel workers import \
        clauses their own proofs cannot justify\n";
+    exit 2
+  end;
+  if auto
+     && (want_proof || certify || cube_conquer || engine_name <> "cdcl"
+         || timeout <> None)
+  then begin
+    Printf.eprintf
+      "satsolve: --auto picks the engine and pipeline itself; it is \
+       incompatible with --proof/--check/--core/--certify/--cube-conquer/\
+       --timeout and non-cdcl --engine\n";
+    exit 2
+  end;
+  if auto && guide then begin
+    Printf.eprintf
+      "satsolve: --auto decides guidance from the decision table; drop \
+       --guide\n";
     exit 2
   end;
   let formula =
@@ -50,6 +69,14 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
       Sat.Types.random_seed = seed;
       inprocessing = inprocess;
       proof_logging = want_proof }
+  in
+  let config =
+    if guide then begin
+      let g = Sat.Guide.of_formula formula in
+      Option.iter (fun m -> Sat.Guide.emit_metrics m g) obs.Obs.metrics;
+      Sat.Guide.apply_config g config
+    end
+    else config
   in
   if certify then begin
     let outcome, verdict = Sat.Proof.solve_certified ~config formula in
@@ -75,67 +102,95 @@ let solve_file path engine_name preprocess no_elim inprocess equiv rl seed
        | Sat.Types.Unknown _, _ -> 0
        | _ -> 2)
   end;
-  let sharing =
-    { Sat.Portfolio.default_sharing with
-      Sat.Portfolio.share = not no_share;
-      max_lbd = share_lbd }
-  in
-  let engine =
-    match engine_name with
-    | "cdcl" when cube_conquer ->
-      Sat.Solver.Cube_conquer
-        {
-          Sat.Conquer.default_options with
-          Sat.Conquer.jobs = max 1 jobs;
-          cube =
-            { Sat.Cube.default_options with Sat.Cube.depth = cube_depth; seed };
-          config;
-          sharing;
-          cutoff = cube_cutoff;
-          timeout;
-        }
-    | "cdcl" ->
-      (* --jobs 1 without a timeout takes the plain sequential path
-         bit-for-bit; a portfolio wrapper only enters for N > 1 or when
-         a wall clock must be enforced *)
-      if jobs > 1 || timeout <> None then
-        Sat.Solver.Portfolio
+  let solve_manual () =
+    let sharing =
+      { Sat.Portfolio.default_sharing with
+        Sat.Portfolio.share = not no_share;
+        max_lbd = share_lbd }
+    in
+    let engine =
+      match engine_name with
+      | "cdcl" when cube_conquer ->
+        Sat.Solver.Cube_conquer
           {
-            Sat.Portfolio.jobs;
+            Sat.Conquer.default_options with
+            Sat.Conquer.jobs = max 1 jobs;
+            cube =
+              { Sat.Cube.default_options with
+                Sat.Cube.depth = cube_depth;
+                seed };
             config;
             sharing;
+            cutoff = cube_cutoff;
             timeout;
-            metrics = None;
-            trace = None;
           }
-      else Sat.Solver.Cdcl config
-    | "dpll" -> Sat.Solver.Dpll config
-    | "walksat" ->
-      Sat.Solver.Walksat { Sat.Local_search.default with Sat.Local_search.seed }
-    | other ->
-      Printf.eprintf "unknown engine %s (cdcl|dpll|walksat)\n" other;
+      | "cdcl" ->
+        (* --jobs 1 without a timeout takes the plain sequential path
+           bit-for-bit; a portfolio wrapper only enters for N > 1 or when
+           a wall clock must be enforced *)
+        if jobs > 1 || timeout <> None then
+          Sat.Solver.Portfolio
+            {
+              Sat.Portfolio.jobs;
+              config;
+              sharing;
+              timeout;
+              metrics = None;
+              trace = None;
+            }
+        else Sat.Solver.Cdcl config
+      | "dpll" -> Sat.Solver.Dpll config
+      | "walksat" ->
+        Sat.Solver.Walksat
+          { Sat.Local_search.default with Sat.Local_search.seed }
+      | other ->
+        Printf.eprintf "unknown engine %s (cdcl|dpll|walksat)\n" other;
+        exit 2
+    in
+    if jobs > 1 && engine_name <> "cdcl" then begin
+      Printf.eprintf "--jobs requires the cdcl engine\n";
       exit 2
-  in
-  if jobs > 1 && engine_name <> "cdcl" then begin
-    Printf.eprintf "--jobs requires the cdcl engine\n";
-    exit 2
-  end;
-  if cube_conquer && engine_name <> "cdcl" then begin
-    Printf.eprintf "--cube-conquer requires the cdcl engine\n";
-    exit 2
-  end;
-  let pipeline =
-    {
-      Sat.Solver.preprocess;
-      elim = not no_elim;
-      probe_failed_literals = false;
-      equivalence = equiv;
-      recursive_learning = rl;
-    }
-  in
-  let report =
+    end;
+    if cube_conquer && engine_name <> "cdcl" then begin
+      Printf.eprintf "--cube-conquer requires the cdcl engine\n";
+      exit 2
+    end;
+    let pipeline =
+      {
+        Sat.Solver.preprocess;
+        elim = not no_elim;
+        probe_failed_literals = false;
+        equivalence = equiv;
+        recursive_learning = rl;
+      }
+    in
     Sat.Solver.solve ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace ~engine
       ~pipeline formula
+  in
+  let report =
+    if auto then begin
+      let plan, report =
+        Sat.Solver.Auto.solve ?metrics:obs.Obs.metrics ?trace:obs.Obs.trace
+          ~jobs ~config formula
+      in
+      if explain_tuning then begin
+        List.iter
+          (fun (name, v) -> Printf.printf "c autotune feature %s %g\n" name v)
+          (Sat.Autotune.feature_fields plan.Sat.Solver.Auto.features);
+        let p = plan.Sat.Solver.Auto.policy in
+        Printf.printf
+          "c autotune policy engine=%s preprocess=%s restarts=%s \
+           inprocessing=%b guided=%b\n"
+          (Sat.Autotune.engine_label p.Sat.Autotune.engine)
+          (Sat.Autotune.preprocess_label p.Sat.Autotune.preprocess)
+          (Sat.Autotune.restarts_label p.Sat.Autotune.restarts)
+          p.Sat.Autotune.inprocessing p.Sat.Autotune.guided;
+        Printf.printf "c autotune rules %s\n"
+          (String.concat " " p.Sat.Autotune.reason)
+      end;
+      report
+    end
+    else solve_manual ()
   in
   (match report.Sat.Solver.outcome with
    | Sat.Types.Sat m ->
@@ -272,6 +327,32 @@ let cube_cutoff =
          ~doc:"conflict budget per cube before it is split dynamically \
                (--cube-conquer)")
 
+let auto =
+  Arg.(value & flag
+       & info [ "auto" ]
+         ~doc:"per-instance auto-tuning: measure the formula (clause shape \
+               + probe-measured propagation density) and pick the engine, \
+               preprocessing, restart schedule, inprocessing and guidance \
+               from the published decision table (docs/TUNING.md).  \
+               Answers are unchanged; incompatible with --proof/--check/\
+               --core/--certify/--cube-conquer/--timeout and non-cdcl \
+               engines.  --jobs bounds the parallelism the table may use")
+
+let explain_tuning =
+  Arg.(value & flag
+       & info [ "explain-tuning" ]
+         ~doc:"imply --auto and print the measured features, the chosen \
+               policy and the decision-table rules that fired as \
+               $(i,c autotune) comment lines (checkable by hand against \
+               docs/TUNING.md)")
+
+let guide =
+  Arg.(value & flag
+       & info [ "guide" ]
+         ~doc:"seed VSIDS activities and saved phases from the formula's \
+               literal-weight profile (Jeroslow-Wang, docs/TUNING.md) \
+               before search; purely heuristic, works with any cdcl path")
+
 let proof_path =
   Arg.(value & opt (some string) None
        & info [ "proof" ] ~docv:"FILE"
@@ -298,6 +379,7 @@ let cmd =
     Term.(const solve_file $ file $ engine $ preprocess $ no_elim $ inprocess
           $ equiv $ rl $ seed $ stats $ certify $ jobs $ timeout $ no_share
           $ share_lbd $ cube_conquer $ cube_depth $ cube_cutoff
+          $ auto $ explain_tuning $ guide
           $ proof_path $ check_flag $ core_path
           $ Obs.metrics_term $ Obs.trace_term)
 

@@ -306,6 +306,52 @@ let to_netlist m ~outputs =
   List.iter (fun (name, l) -> Circuit.Netlist.set_output ~name c (edge l)) outputs;
   c
 
+(* --- structure observations for solver guidance -------------------------- *)
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let fanout_counts m =
+  let n = Sat.Vec.size m.nodes in
+  let fo = Array.make n 0 in
+  for id = 0 to n - 1 do
+    match Sat.Vec.get m.nodes id with
+    | And (a, b) ->
+      fo.(node_of a) <- fo.(node_of a) + 1;
+      fo.(node_of b) <- fo.(node_of b) + 1
+    | Const | Input _ -> ()
+  done;
+  fo
+
+let signal_probs ?(rounds = 4) ?(seed = 0x5eed) m =
+  let n = Sat.Vec.size m.nodes in
+  let rng = Sat.Rng.create seed in
+  let ones = Array.make n 0 in
+  for _ = 1 to rounds do
+    let vals = sim_words m (Circuit.Simulate.random_words rng m.inputs) in
+    for id = 0 to n - 1 do
+      ones.(id) <- ones.(id) + popcount vals.(id)
+    done
+  done;
+  let total =
+    float_of_int (max 1 (rounds * Circuit.Simulate.word_width))
+  in
+  Array.map (fun c -> float_of_int c /. total) ones
+
+let guidance ?rounds ?seed m ~var_of =
+  let probs = signal_probs ?rounds ?seed m in
+  let fo = fanout_counts m in
+  let obs = ref [] in
+  for id = Sat.Vec.size m.nodes - 1 downto 0 do
+    match var_of id with
+    | Some v ->
+      obs :=
+        { Sat.Guide.var = v; prob = probs.(id); fanout = fo.(id) } :: !obs
+    | None -> ()
+  done;
+  Sat.Guide.of_observations !obs
+
 let to_cnf m =
   let f = Cnf.Formula.create () in
   let vars = Array.init (Sat.Vec.size m.nodes) (fun _ -> Cnf.Formula.fresh_var f) in
@@ -337,6 +383,10 @@ module Session_cnf = struct
     mutable stamp : int array;           (* cone-walk visit marks *)
     mutable stamp_id : int;
     mutable emitted : int;
+    mutable fresh : int list;
+        (* nodes whose session vars were allocated since the last
+           [guide] call — the lazily-grown frontier guidance still owes
+           seeds to *)
   }
 
   let create ?config man =
@@ -348,6 +398,7 @@ module Session_cnf = struct
       stamp = Array.make 64 0;
       stamp_id = 0;
       emitted = 0;
+      fresh = [];
     }
 
   let session t = t.sess
@@ -379,12 +430,15 @@ module Session_cnf = struct
         let v = Sat.Session.new_var t.sess in
         t.vars.(id) <- v;
         Sat.Session.add_clause t.sess [ Cnf.Lit.pos v ]
-      | Input _ -> t.vars.(id) <- Sat.Session.new_var t.sess
+      | Input _ ->
+        t.vars.(id) <- Sat.Session.new_var t.sess;
+        t.fresh <- id :: t.fresh
       | And (a, b) ->
         ensure t (node_of a);
         ensure t (node_of b);
         let v = Sat.Session.new_var t.sess in
         t.vars.(id) <- v;
+        t.fresh <- id :: t.fresh;
         let g = Sat.Session.new_activation t.sess in
         t.groups.(id) <- Some g;
         t.emitted <- t.emitted + 1;
@@ -426,6 +480,30 @@ module Session_cnf = struct
     match t.groups.(node_of l) with
     | Some g -> if Sat.Session.is_active t.sess g then Sat.Session.release t.sess g
     | None -> ()
+
+  (* Seed the session's branching heuristic for the variables allocated
+     since the last call.  The probability/fanout suppliers see node
+     ids; a sweep passes its own simulation signatures and an
+     incrementally maintained fanout count.  Consuming the fresh list
+     keeps repeated calls O(new nodes), so guiding an ever-growing
+     sweep session stays cheap. *)
+  let guide t ~prob_of ~fanout_of =
+    match t.fresh with
+    | [] -> ()
+    | fresh ->
+      t.fresh <- [];
+      let obs =
+        List.rev_map
+          (fun id ->
+             { Sat.Guide.var = t.vars.(id); prob = prob_of id;
+               fanout = fanout_of id })
+          fresh
+      in
+      let g = Sat.Guide.of_observations obs in
+      Sat.Session.apply_guidance t.sess g;
+      Option.iter (fun m -> Sat.Guide.emit_metrics m g) (Sat.Session.metrics t.sess)
+
+  let pending_guides t = List.length t.fresh
 
   let emitted_nodes t = t.emitted
 end

@@ -1,0 +1,38 @@
+(** Simulation-derived branching observations.
+
+    Estimates per-node signal probabilities by random 62-way
+    bit-parallel simulation ({!Simulate.parallel_all}) and pairs them
+    with structural fanout, producing the observations
+    {!Sat.Guide.of_observations} turns into initial VSIDS activities
+    and saved phases (the DAC-2000 Section 5 structure signals; see
+    [docs/TUNING.md]).
+
+    Deterministic for a fixed [seed] and [rounds].  Purely heuristic:
+    guidance influences search order only, never answers. *)
+
+type observation = {
+  node : Netlist.node_id;
+  prob : float;  (** estimated signal probability in [0, 1] *)
+  fanout : int;
+}
+
+val observe : ?rounds:int -> ?seed:int -> Netlist.t -> observation array
+(** [observe c] simulates [rounds] (default 4) random word batches —
+    [rounds * 62] patterns — and reports one observation per node,
+    indexed by node id. *)
+
+val to_guide :
+  lit_of_node:(Netlist.node_id -> Cnf.Lit.t option) ->
+  observation array ->
+  Sat.Types.guidance
+(** Map observations into solver guidance through an encoding.  Nodes
+    mapped to [None] are dropped; a negative literal flips the
+    probability (the variable encodes the complemented signal). *)
+
+val guidance :
+  ?rounds:int ->
+  ?seed:int ->
+  Netlist.t ->
+  lit_of_node:(Netlist.node_id -> Cnf.Lit.t option) ->
+  Sat.Types.guidance
+(** {!observe} followed by {!to_guide}. *)

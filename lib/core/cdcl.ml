@@ -1038,6 +1038,33 @@ let maybe_inprocess s =
      && s.stats.conflicts - s.last_inprocess >= s.cfg.inprocess_interval
   then inprocess s
 
+(* Seed activities and phases from structure-derived guidance.  Legal
+   any time the solver is at decision level 0 between solves: seeded
+   activities are scaled to the current activity ceiling so they rank
+   first among untouched variables yet remain overtakable by
+   conflict-driven bumps, and seeded phases simply overwrite the saved
+   polarity.  Out-of-range variables are ignored (sessions may receive
+   guidance computed against a larger node table). *)
+let apply_guidance s (g : Types.guidance) =
+  let ceiling = ref s.var_inc in
+  for v = 0 to s.nvars - 1 do
+    if s.activity.(v) > !ceiling then ceiling := s.activity.(v)
+  done;
+  let ceiling = !ceiling in
+  List.iter
+    (fun (v, a) ->
+       if v >= 0 && v < s.nvars && a > 0. then begin
+         let a = a *. ceiling in
+         if a > s.activity.(v) then begin
+           s.activity.(v) <- a;
+           Heap.update s.heap v
+         end
+       end)
+    g.Types.seed_activity;
+  List.iter
+    (fun (v, ph) -> if v >= 0 && v < s.nvars then s.phase.(v) <- ph)
+    g.Types.seed_phase
+
 let create ?(config = Types.default) formula =
   let n = Cnf.Formula.nvars formula in
   let cap = max n 1 in
@@ -1096,6 +1123,7 @@ let create ?(config = Types.default) formula =
   done;
   Cnf.Formula.iter_clauses formula (fun c -> add_clause s (Cnf.Clause.to_list c));
   s.max_learnts <- max 100 (Vec.size s.clauses / 3);
+  Option.iter (apply_guidance s) config.Types.guide;
   s
 
 (* --- search --------------------------------------------------------------- *)

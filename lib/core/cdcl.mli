@@ -37,7 +37,19 @@ val no_plugin : plugin
 
 val create : ?config:Types.config -> Cnf.Formula.t -> t
 (** Builds a solver over a snapshot of the formula's clauses.  Later
-    clauses added to the [Formula.t] are not seen; use {!add_clause}. *)
+    clauses added to the [Formula.t] are not seen; use {!add_clause}.
+    When the configuration carries a [guide], it is applied once the
+    formula's variables and clauses are in (see {!apply_guidance}). *)
+
+val apply_guidance : t -> Types.guidance -> unit
+(** Seeds VSIDS activities and saved phases from structure-derived
+    guidance (see {!module:Guide} and [docs/TUNING.md]).  Activities in
+    [[0, 1]] are scaled to the solver's current activity ceiling, so
+    seeded variables are branched first but later conflict-driven bumps
+    can overtake them; a seed below a variable's current activity is
+    ignored.  Phases overwrite the saved polarity.  Legal between
+    solves; variables outside the solver's range are skipped.  Purely
+    heuristic — never changes the answer. *)
 
 val config : t -> Types.config
 val set_plugin : t -> plugin -> unit

@@ -1,0 +1,100 @@
+(* Structure-derived branching guidance.
+
+   Producers turn what we already know about an instance — simulation
+   signal probabilities and fanout from the circuit substrate, or
+   Jeroslow-Wang literal weights from the raw CNF — into initial VSIDS
+   activities and saved phases.  Guidance is purely heuristic: it
+   changes the order the search explores, never the answer.  The exact
+   formulas below are a published contract (docs/TUNING.md) pinned by
+   test/test_guide.ml; change them there too or the suite fails. *)
+
+type t = Types.guidance
+
+type observation = { var : int; prob : float; fanout : int }
+
+let empty = Types.no_guidance
+
+let is_empty (g : t) = g.Types.seed_activity = [] && g.Types.seed_phase = []
+
+let nseeded (g : t) =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (v, _) -> Hashtbl.replace tbl v ()) g.Types.seed_activity;
+  List.iter (fun (v, _) -> Hashtbl.replace tbl v ()) g.Types.seed_phase;
+  Hashtbl.length tbl
+
+(* Simulation-derived seeds (docs/TUNING.md "Seeding from observations"):
+
+     phase(v)    = prob >= 0.5
+     activity(v) = (0.5 + 0.5 * fanout/fmax) * (1 - |2*prob - 1|)
+
+   The second factor is the signal's undecidedness — a node whose
+   simulated probability sits near 0.5 is the one simulation could not
+   settle, so the search should; a node stuck at 0 or 1 will almost
+   always be decided by propagation and earns no activity.  The first
+   factor scales by normalized fanout: highly-observed nodes influence
+   more of the circuit per decision (Sec. 5's justification-frontier
+   argument).  Activities land in [0, 1]; phases follow the majority
+   simulated value so the first descent tracks the likeliest
+   assignment. *)
+let of_observations obs =
+  let fmax =
+    List.fold_left (fun m o -> max m o.fanout) 1 obs |> float_of_int
+  in
+  let seed_activity =
+    List.map
+      (fun o ->
+         let undecided = 1.0 -. Float.abs ((2.0 *. o.prob) -. 1.0) in
+         let scale = 0.5 +. (0.5 *. float_of_int o.fanout /. fmax) in
+         (o.var, scale *. undecided))
+      obs
+  and seed_phase = List.map (fun o -> (o.var, o.prob >= 0.5)) obs in
+  { Types.seed_activity; seed_phase }
+
+(* CNF-derived seeds (docs/TUNING.md "Seeding from the formula"):
+   Jeroslow-Wang literal weights w(l) = sum over clauses c containing l
+   of 2^-|c|, then
+
+     activity(v) = (w(+v) + w(-v)) / max_u (w(+u) + w(-u))
+     phase(v)    = w(+v) >= w(-v)
+
+   Variables in many short clauses get branched first, and the phase
+   points at the polarity with more supporting weight. *)
+let of_formula f =
+  let n = Cnf.Formula.nvars f in
+  if n = 0 then empty
+  else begin
+    let wpos = Array.make n 0.0 and wneg = Array.make n 0.0 in
+    Cnf.Formula.iter_clauses f (fun c ->
+        let len = Cnf.Clause.size c in
+        if len > 0 && len < 60 then begin
+          let w = ldexp 1.0 (-len) in
+          List.iter
+            (fun l ->
+               let v = Cnf.Lit.var l in
+               if v < n then
+                 if Cnf.Lit.is_pos l then wpos.(v) <- wpos.(v) +. w
+                 else wneg.(v) <- wneg.(v) +. w)
+            (Cnf.Clause.to_list c)
+        end);
+    let maxw = ref 1e-9 in
+    for v = 0 to n - 1 do
+      let w = wpos.(v) +. wneg.(v) in
+      if w > !maxw then maxw := w
+    done;
+    let seed_activity = ref [] and seed_phase = ref [] in
+    for v = n - 1 downto 0 do
+      let w = wpos.(v) +. wneg.(v) in
+      if w > 0.0 then begin
+        seed_activity := (v, w /. !maxw) :: !seed_activity;
+        seed_phase := (v, wpos.(v) >= wneg.(v)) :: !seed_phase
+      end
+    done;
+    { Types.seed_activity = !seed_activity; seed_phase = !seed_phase }
+  end
+
+let apply_config (g : t) (cfg : Types.config) =
+  if is_empty g then cfg else { cfg with Types.guide = Some g }
+
+let emit_metrics reg (g : t) =
+  Metrics.incr ~by:(nseeded g) (Metrics.counter reg "guide/seeded_vars");
+  Metrics.incr (Metrics.counter reg "guide/applications")

@@ -1,0 +1,53 @@
+(** Structure-derived branching guidance.
+
+    Producers that turn instance structure — circuit simulation signal
+    probabilities with fanout, or Jeroslow-Wang literal weights over
+    the raw CNF — into a {!Types.guidance} value: initial VSIDS
+    activities and saved phases a solver starts from instead of zero.
+
+    Guidance is purely heuristic.  It never changes a solver's answer,
+    only the order the search explores the space, so every guided
+    verdict is validated or certified exactly like an unguided one.
+
+    The formulas are a published, reimplementable contract; see
+    [docs/TUNING.md] ("Guidance seeding rules").  [test/test_guide.ml]
+    pins them. *)
+
+type t = Types.guidance
+
+type observation = {
+  var : int;  (** solver variable carrying the observed signal *)
+  prob : float;  (** simulated signal probability in [0, 1] *)
+  fanout : int;  (** fanout of the node the variable encodes *)
+}
+
+val empty : t
+
+val is_empty : t -> bool
+
+val nseeded : t -> int
+(** Number of distinct variables carrying an activity or phase seed. *)
+
+val of_observations : observation list -> t
+(** Simulation-derived seeds:
+    [phase v = prob >= 0.5] and
+    [activity v = (0.5 + 0.5 * fanout/fmax) * (1 - |2*prob - 1|)]
+    where [fmax] is the largest fanout observed (at least 1).
+    Activities lie in [[0, 1]]: maximal for a high-fanout signal whose
+    simulated probability is 0.5 (simulation could not settle it),
+    zero for a signal stuck at 0 or 1. *)
+
+val of_formula : Cnf.Formula.t -> t
+(** CNF-derived seeds from Jeroslow-Wang literal weights
+    [w(l) = sum over clauses c containing l of 2^-|c|]:
+    [activity v = (w(+v) + w(-v)) / maxw] (normalized by the largest
+    per-variable weight) and [phase v = w(+v) >= w(-v)].  Variables
+    with zero weight (unused) are not seeded. *)
+
+val apply_config : t -> Types.config -> Types.config
+(** Attach the guidance to a solver configuration ([guide] field);
+    returns the configuration unchanged when the guidance is empty. *)
+
+val emit_metrics : Metrics.t -> t -> unit
+(** Bump [guide/seeded_vars] by {!nseeded} and [guide/applications]
+    by one. *)

@@ -59,6 +59,7 @@ let interrupt_requested t = Cdcl.interrupt_requested t.cdcl
 let clear_interrupt t = Cdcl.clear_interrupt t.cdcl
 let nvars t = Cdcl.nvars t.cdcl
 let new_var t = Cdcl.new_var t.cdcl
+let apply_guidance t g = Cdcl.apply_guidance t.cdcl g
 let raw t = t.cdcl
 let queries t = t.queries
 let last_stats t = t.last

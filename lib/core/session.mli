@@ -44,6 +44,13 @@ val set_retention : t -> retention -> unit
 val nvars : t -> int
 val new_var : t -> int
 
+val apply_guidance : t -> Types.guidance -> unit
+(** Seeds the underlying solver's VSIDS activities and saved phases
+    (see {!Cdcl.apply_guidance}).  Sessions allocate variables lazily,
+    so guidance must be applied {e after} the variables it targets
+    exist; call it again as the variable space grows (e.g. per BMC
+    frame or per sweep cone).  Legal between [solve] calls. *)
+
 val add_clause : t -> Cnf.Lit.t list -> unit
 (** Adds a permanent clause; legal between [solve] calls.  Units are
     propagated at level 0 immediately; the cached model is invalidated. *)

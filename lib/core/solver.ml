@@ -349,3 +349,67 @@ module Incremental = struct
   let equivalence_merged t = t.equivalence_merged
   let recursive_learning_implicates t = t.recursive_learning_implicates
 end
+
+(* --- auto-tuned front: measure the instance, then pick the recipe -------- *)
+
+module Auto = struct
+  type plan = {
+    features : Autotune.features;
+    policy : Autotune.policy;
+    guidance : Types.guidance option;
+    engine : engine;
+    pipeline : pipeline;
+  }
+
+  (* Pre_basic deliberately drops the formula-rewriting stages
+     (equivalence, recursive learning) along with elimination: the
+     cheap tier should also be the predictable one. *)
+  let pipeline_of = function
+    | Autotune.Pre_off -> no_pipeline
+    | Autotune.Pre_basic ->
+      { preprocess = true; elim = false; probe_failed_literals = false;
+        equivalence = false; recursive_learning = 0 }
+    | Autotune.Pre_full -> full_pipeline
+
+  let plan ?(jobs = 1) ?probes ?(config = Types.default) f =
+    let features = Autotune.extract ?probes f in
+    let policy = Autotune.select ~jobs features in
+    let cfg =
+      { config with
+        Types.restarts = policy.Autotune.restarts;
+        inprocessing = policy.Autotune.inprocessing }
+    in
+    let guidance =
+      if policy.Autotune.guided then
+        let g = Guide.of_formula f in
+        if Guide.is_empty g then None else Some g
+      else None
+    in
+    let cfg =
+      match guidance with Some g -> Guide.apply_config g cfg | None -> cfg
+    in
+    let engine =
+      match policy.Autotune.engine with
+      | Autotune.Sequential -> Cdcl cfg
+      | Autotune.Portfolio_race j ->
+        Portfolio
+          { Portfolio.default_options with Portfolio.jobs = j; config = cfg }
+      | Autotune.Cube_conquer j ->
+        Cube_conquer
+          { Conquer.default_options with Conquer.jobs = j; config = cfg }
+    in
+    { features; policy; guidance; engine;
+      pipeline = pipeline_of policy.Autotune.preprocess }
+
+  let solve_plan ?metrics ?trace p f =
+    (match metrics with
+     | Some m ->
+       Autotune.emit_metrics m p.features p.policy;
+       Option.iter (Guide.emit_metrics m) p.guidance
+     | None -> ());
+    solve ?metrics ?trace ~engine:p.engine ~pipeline:p.pipeline f
+
+  let solve ?metrics ?trace ?jobs ?probes ?config f =
+    let p = plan ?jobs ?probes ?config f in
+    (p, solve_plan ?metrics ?trace p f)
+end

@@ -156,3 +156,45 @@ module Incremental : sig
   val equivalence_merged : t -> int
   val recursive_learning_implicates : t -> int
 end
+
+(** Auto-tuned front-end: measure the instance with {!Autotune.extract},
+    pick engine / preprocessing level / restart schedule / guidance from
+    the published decision table ({!Autotune.select}, [docs/TUNING.md]),
+    then run the ordinary {!solve} with the chosen recipe.  The plan is
+    inspectable — [satsolve --explain-tuning] prints it — and tuning
+    never changes answers, so auto-tuned verdicts validate and certify
+    exactly like hand-configured ones. *)
+module Auto : sig
+  type plan = {
+    features : Autotune.features;
+    policy : Autotune.policy;
+    guidance : Types.guidance option;
+        (** present iff the policy asked for guidance ([G1]) and
+            {!Guide.of_formula} produced a non-empty seeding; already
+            attached to the engine's configuration *)
+    engine : engine;
+    pipeline : pipeline;
+  }
+
+  val plan :
+    ?jobs:int -> ?probes:int -> ?config:Types.config -> Cnf.Formula.t -> plan
+  (** Extract features (with [probes] lookahead probes, default 32) and
+      apply the decision table at parallelism [jobs] (default 1).
+      [config] supplies the fields the policy does not set (seed,
+      deletion, budgets, proof logging, ...). *)
+
+  val solve_plan :
+    ?metrics:Metrics.t -> ?trace:Trace.sink -> plan -> Cnf.Formula.t -> report
+  (** Run a previously computed plan.  With [metrics], first records
+      the [autotune/*] and [guide/*] instruments. *)
+
+  val solve :
+    ?metrics:Metrics.t ->
+    ?trace:Trace.sink ->
+    ?jobs:int ->
+    ?probes:int ->
+    ?config:Types.config ->
+    Cnf.Formula.t ->
+    plan * report
+  (** [plan] followed by [solve_plan]. *)
+end

@@ -9,6 +9,13 @@ type deletion_policy =
   | Lbd_bounded of int
   | Activity_halving
 
+type guidance = {
+  seed_activity : (int * float) list;
+  seed_phase : (int * bool) list;
+}
+
+let no_guidance = { seed_activity = []; seed_phase = [] }
+
 type config = {
   heuristic : heuristic;
   restarts : restart_policy;
@@ -23,6 +30,7 @@ type config = {
   proof_logging : bool;
   inprocessing : bool;
   inprocess_interval : int;
+  guide : guidance option;
 }
 
 let default =
@@ -40,6 +48,7 @@ let default =
     proof_logging = false;
     inprocessing = false;
     inprocess_interval = 4000;
+    guide = None;
   }
 
 let grasp_like =

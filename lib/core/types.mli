@@ -33,6 +33,24 @@ type deletion_policy =
   | Activity_halving
       (** periodically delete the less active half (modern default) *)
 
+type guidance = {
+  seed_activity : (int * float) list;
+      (** [(var, activity)] seeds in [0, 1]; applied scaled to the
+          solver's current activity ceiling so seeded variables are
+          visited first but conflict-driven bumps can still overtake
+          them.  Out-of-range variables are ignored. *)
+  seed_phase : (int * bool) list;
+      (** [(var, phase)] initial saved phases — the polarity the solver
+          tries first when it decides on [var] *)
+}
+(** Structure-derived branching advice, produced by {!module:Guide} (or
+    by the circuit substrate's simulation) and consumed by
+    {!Cdcl.apply_guidance}.  Purely heuristic: guidance never changes
+    answers, only the order in which the search visits them.  See
+    [docs/TUNING.md] for the seeding contract. *)
+
+val no_guidance : guidance
+
 type config = {
   heuristic : heuristic;
   restarts : restart_policy;
@@ -60,6 +78,11 @@ type config = {
           proof. *)
   inprocess_interval : int;
       (** minimum conflicts between two inprocessing passes *)
+  guide : guidance option;
+      (** seed activities and phases applied when a solver is created
+          over a non-empty formula (see {!Cdcl.create}); engines that
+          build their solvers lazily — sessions, sweeps — apply guidance
+          explicitly through {!Cdcl.apply_guidance} instead *)
 }
 
 val default : config

@@ -157,11 +157,11 @@ let check_aig ?(config = Sat.Types.default) c1 c2 =
         finish ~stats (Inconclusive why) (Aig.node_count m)
     end
 
-let check_fraig ?metrics ?trace ?config ?words ?seed ?candidate_conflicts c1
-    c2 =
+let check_fraig ?metrics ?trace ?config ?words ?seed ?candidate_conflicts
+    ?guide c1 c2 =
   let r =
-    Sweep.check ?config ?words ?seed ?candidate_conflicts ?metrics ?trace c1
-      c2
+    Sweep.check ?config ?words ?seed ?candidate_conflicts ?guide ?metrics
+      ?trace c1 c2
   in
   {
     verdict = r.Sweep.verdict;

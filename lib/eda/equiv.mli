@@ -61,6 +61,7 @@ val check_fraig :
   ?words:int ->
   ?seed:int ->
   ?candidate_conflicts:int ->
+  ?guide:bool ->
   Circuit.Netlist.t -> Circuit.Netlist.t -> report
 (** The full fraiging pipeline of {!Sweep.check}: structural hashing
     into one AIG, simulation-derived candidate classes, incremental SAT

@@ -39,7 +39,8 @@ let empty_stats =
     refinement_rounds = 0; sat_calls = 0; decisions = 0; conflicts = 0 }
 
 let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
-    ?(candidate_conflicts = 20_000) ?(jobs = 1) ?metrics ?trace c1 c2 =
+    ?(candidate_conflicts = 20_000) ?(jobs = 1) ?(guide = false) ?metrics
+    ?trace c1 c2 =
   let t_start = Unix.gettimeofday () in
   let words = max 1 words in
   let sim_t = ref 0. and refine_t = ref 0. and prove_t = ref 0. in
@@ -109,6 +110,7 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
     let sigs = ref (Array.make !cap [||]) in
     let merged : Aig.lit option array ref = ref (Array.make !cap None) in
     let seen = ref (Array.make !cap false) in
+    let fanout = ref (Array.make !cap 0) in
     let grow_to n =
       if n > !cap then begin
         let c = max n (2 * !cap) in
@@ -118,10 +120,58 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
         Array.blit !merged 0 mg 0 !cap;
         let sn = Array.make c false in
         Array.blit !seen 0 sn 0 !cap;
+        let fo = Array.make c 0 in
+        Array.blit !fanout 0 fo 0 !cap;
         sigs := s;
         merged := mg;
         seen := sn;
+        fanout := fo;
         cap := c
+      end
+    in
+    (* fanout watermark: nodes below [fo_known] have contributed their
+       fanin references to the counts *)
+    let fo_known = ref 0 in
+    let account_fanouts () =
+      let n = Aig.node_count nm in
+      grow_to n;
+      for v = !fo_known to n - 1 do
+        match Aig.view nm v with
+        | Aig.And (a, b) ->
+          let fo = !fanout in
+          fo.(Aig.node_of a) <- fo.(Aig.node_of a) + 1;
+          fo.(Aig.node_of b) <- fo.(Aig.node_of b) + 1
+        | Aig.Const | Aig.Input _ -> ()
+      done;
+      fo_known := n
+    in
+    let popcount w =
+      let rec go w acc =
+        if w = 0 then acc else go (w lsr 1) (acc + (w land 1))
+      in
+      go w 0
+    in
+    (* seed the session's branching heuristic for variables the lazy CNF
+       allocated since the last call: signal probability straight from
+       the sweep's own simulation signatures, fanout from the counts
+       above (docs/TUNING.md "Seeding from observations") *)
+    let apply_guide nwords =
+      if guide then begin
+        account_fanouts ();
+        Scnf.guide scnf
+          ~prob_of:(fun id ->
+            let s = (!sigs).(id) in
+            let n = min nwords (Array.length s) in
+            if n = 0 then 0.5
+            else begin
+              let ones = ref 0 in
+              for w = 0 to n - 1 do
+                ones := !ones + popcount s.(w)
+              done;
+              float_of_int !ones
+              /. float_of_int (n * Circuit.Simulate.word_width)
+            end)
+          ~fanout_of:(fun id -> (!fanout).(id))
       end
     in
     let nwords = ref 0 in
@@ -225,6 +275,7 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
       let lv = Scnf.lit_of scnf (Aig.of_node v) in
       let lv' = if pol then Lit.negate lv else lv in
       let acts = Scnf.assumptions scnf [ Aig.of_node r; Aig.of_node v ] in
+      apply_guide !nwords;
       let query extra =
         match solve_with ~max_conflicts:candidate_conflicts (extra @ acts) with
         | Sat.Types.Sat model -> `Sat model
@@ -298,6 +349,7 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
           (!seen).(id) <- true;
           register id
         done);
+    apply_guide !nwords;
     (* 4. fraig loop: rebuild the merged AIG inputs-outward over
        representatives, proving or splitting every candidate *)
     let repr = Array.make (max 1 n_old) Aig.const_false in
@@ -418,6 +470,7 @@ let check ?(config = Sat.Types.default) ?(words = 4) ?(seed = 77)
           in
           let la = Scnf.lit_of scnf ea and lb = Scnf.lit_of scnf eb in
           let acts = Scnf.assumptions scnf [ ea; eb ] in
+          apply_guide !nwords;
           match solve_with ?max_conflicts:final_budget
                   (la :: Lit.negate lb :: acts)
           with

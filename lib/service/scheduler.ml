@@ -44,6 +44,7 @@ type t = {
   max_queue : int;
   max_conflicts_cap : int option;
   decompose : decompose option;
+  autotune : bool;
   cache : Cache.t;
   njobs : int;
   mutable workers : unit Domain.t array;
@@ -59,6 +60,7 @@ type t = {
   mutable errors : int;
   mutable peak_queue : int;
   mutable decomposed_n : int;
+  mutable autotuned_n : int;
   (* per-tenant metric registries, under their own lock so a slow
      merge never blocks admission *)
   tenants_lock : Mutex.t;
@@ -247,13 +249,44 @@ let process t job =
            queries decompose *)
         process_decomposed t job d ~expired ~full ~nclauses ~t0
       | _ ->
-      (* take a warm session holding a prefix, or start cold *)
-      let sess, matched =
+      (* take a warm session holding a prefix, or start cold.  A cold
+         unbudgeted query may be auto-tuned: measure the formula, pick
+         restart schedule / inprocessing / guidance from the decision
+         table (docs/TUNING.md) at jobs=1 — the engine choice is the
+         scheduler's own.  Warm sessions keep their existing
+         configuration: their value is the carried-over solver state. *)
+      let autotune_cold () =
+        if
+          (not t.autotune)
+          || combine_budget p.max_conflicts t.max_conflicts_cap <> None
+          || p.max_decisions <> None
+        then None
+        else begin
+          let f =
+            Cnf.Formula.of_clauses
+              (List.map Cnf.Clause.of_dimacs_list p.clauses)
+          in
+          let ft = Sat.Autotune.extract ~probes:16 f in
+          let pol = Sat.Autotune.select ~jobs:1 ft in
+          Some (f, pol)
+        end
+      in
+      let sess, matched, tuned =
         match
           if p.use_cache then Cache.checkout t.cache hashes else None
         with
-        | Some (sess, i) -> (sess, i)
-        | None -> (Sat.Session.create ~config:(Cache.config t.cache) (), 0)
+        | Some (sess, i) -> (sess, i, None)
+        | None -> (
+          match autotune_cold () with
+          | Some (_, pol) as tuned ->
+            let config =
+              { (Cache.config t.cache) with
+                T.restarts = pol.Sat.Autotune.restarts;
+                inprocessing = pol.Sat.Autotune.inprocessing }
+            in
+            (Sat.Session.create ~config (), 0, tuned)
+          | None ->
+            (Sat.Session.create ~config:(Cache.config t.cache) (), 0, None))
       in
       let reg = Sat.Metrics.create () in
       Sat.Session.attach_metrics sess reg;
@@ -263,6 +296,12 @@ let process t job =
         (fun c ->
            Sat.Session.add_clause sess (List.map Cnf.Lit.of_dimacs c))
         (drop matched p.clauses);
+      (* guidance seeds need the variables to exist, i.e. after the
+         clauses are in *)
+      (match tuned with
+       | Some (f, pol) when pol.Sat.Autotune.guided ->
+         Sat.Session.apply_guidance sess (Sat.Guide.of_formula f)
+       | Some _ | None -> ());
       (* register for cancellation/deadline interrupts *)
       Mutex.lock t.lock;
       let dead = job.cancelled in
@@ -323,6 +362,7 @@ let process t job =
         roll_up t p.tenant reg;
         finished t job answer (fun t ->
             t.queries <- t.queries + 1;
+            if tuned <> None then t.autotuned_n <- t.autotuned_n + 1;
             (match outcome with
              | T.Unknown "cancelled" -> t.cancelled_n <- t.cancelled_n + 1
              | T.Unknown "timeout" -> t.timeouts <- t.timeouts + 1
@@ -371,7 +411,8 @@ let worker t =
 
 (* --- lifecycle ------------------------------------------------------------ *)
 
-let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?decompose ?cache () =
+let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?decompose
+    ?(autotune = false) ?cache () =
   let njobs =
     match jobs with
     | Some n -> max 1 n
@@ -386,6 +427,7 @@ let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?decompose ?cache () =
       max_queue;
       max_conflicts_cap;
       decompose;
+      autotune;
       cache = (match cache with Some c -> c | None -> Cache.create ());
       njobs;
       workers = [||];
@@ -400,6 +442,7 @@ let create ?jobs ?(max_queue = 128) ?max_conflicts_cap ?decompose ?cache () =
       errors = 0;
       peak_queue = 0;
       decomposed_n = 0;
+      autotuned_n = 0;
       tenants_lock = Mutex.create ();
       tenants = Hashtbl.create 8;
     }
@@ -518,6 +561,7 @@ let stats_json t =
         ("overloaded", J.Int t.overloaded_n);
         ("errors", J.Int t.errors);
         ("decomposed", J.Int t.decomposed_n);
+        ("autotuned", J.Int t.autotuned_n);
         ("queue_depth", J.Int (Queue.length t.queue));
         ("peak_queue_depth", J.Int t.peak_queue);
         ("inflight", J.Int t.inflight);

@@ -56,6 +56,7 @@ val create :
   ?max_queue:int ->
   ?max_conflicts_cap:int ->
   ?decompose:decompose ->
+  ?autotune:bool ->
   ?cache:Cache.t ->
   unit ->
   t
@@ -65,7 +66,17 @@ val create :
     default {!Cache.create}.  [max_conflicts_cap] bounds every query's
     conflict budget (applied on top of the query's own, whichever is
     smaller) — the admission-control backstop against a tenant
-    submitting unbounded work. *)
+    submitting unbounded work.
+
+    With [autotune] (default off), each {e cold, unbudgeted} query is
+    measured with {!Sat.Autotune.extract} and its fresh session gets
+    the restart schedule, inprocessing switch and optional
+    {!Sat.Guide.of_formula} seeding the decision table picks at jobs=1
+    (docs/TUNING.md; the engine dimension stays the scheduler's own).
+    Warm pool hits keep their configuration — carried-over solver
+    state is the whole point of the pool — and budgeted queries keep
+    exact budget semantics untouched.  The [autotuned] counter in
+    {!stats_json} counts tuned queries. *)
 
 val submit :
   t ->

@@ -10,6 +10,7 @@ type config = {
   max_frame : int;
   max_conflicts_cap : int option;
   cube_threshold : int option;
+  autotune : bool;
   max_results : int;
   max_sessions : int;
   verbose : bool;
@@ -24,6 +25,7 @@ let default_config =
     max_frame = 16 * 1024 * 1024;
     max_conflicts_cap = None;
     cube_threshold = None;
+    autotune = false;
     max_results = 4096;
     max_sessions = 64;
     verbose = false;
@@ -162,7 +164,7 @@ let create (cfg : config) =
                   depth = Sat.Cube.default_options.Sat.Cube.depth;
                   cutoff = 10_000 })
              cfg.cube_threshold)
-        ~cache ();
+        ~autotune:cfg.autotune ~cache ();
     listeners;
     unix_path = cfg.unix_path;
     wake_r;

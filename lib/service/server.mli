@@ -34,6 +34,10 @@ type config = {
       (** decompose unbudgeted assumption-free queries with at least
           this many clauses by cube-and-conquer ({!Scheduler.decompose});
           [None] disables decomposition *)
+  autotune : bool;
+      (** tune each cold unbudgeted query's restarts, inprocessing and
+          guidance per the docs/TUNING.md decision table
+          ({!Scheduler.create}) *)
   max_results : int;  (** result-cache capacity *)
   max_sessions : int;  (** warm-session-pool capacity *)
   verbose : bool;  (** connection/query logging on [stderr] *)
